@@ -1,0 +1,38 @@
+//! **Figure 1** — stock (community) Ceph on all-flash: 4K random
+//! write/read IOPS and latency versus client thread count.
+//!
+//! Paper observation: random-write IOPS plateaus (~16K on their 40-SSD
+//! testbed) while latency climbs sharply past 32 threads; random reads
+//! only reach good IOPS at high thread counts because the whole stack is
+//! batched for HDDs.
+//!
+//! Scaled here to a 4×2-OSD cluster on one host; the *shape* (write
+//! plateau + latency blow-up, read needing concurrency) is the result.
+
+use afc_bench::{build_cluster, fio, print_rows, run_fleet, save_rows, vm_images, FigRow};
+use afc_core::{DeviceProfile, OsdTuning};
+use afc_workload::Rw;
+
+fn main() {
+    let threads = [1usize, 2, 4, 8, 16, 32];
+    let cluster = build_cluster(4, 2, OsdTuning::community(), DeviceProfile::sustained());
+    let images = vm_images(&cluster, 4, 64 << 20, true);
+    let mut rows = Vec::new();
+    for rw in [Rw::RandWrite, Rw::RandRead] {
+        for &t in &threads {
+            let spec = fio(rw, 4096, t).label(format!("{} t={t}", rw.name()));
+            let r = run_fleet(&images, &spec);
+            println!("  {r}");
+            rows.push(FigRow::from_report(rw.name(), t as f64, &r, false));
+        }
+    }
+    print_rows("Figure 1: stock Ceph, 4K random I/O vs thread count", "threads", &rows);
+    save_rows("fig01", &rows);
+    // The paper's two observations, asserted loosely so regressions shout:
+    let w: Vec<&FigRow> = rows.iter().filter(|r| r.series == "randwrite").collect();
+    let plateau = w.last().unwrap().value / w[w.len() - 2].value;
+    let lat_blowup = w.last().unwrap().lat_ms / w[0].lat_ms;
+    println!("\nwrite plateau factor (32 vs 16 threads): {plateau:.2} (≈1 means plateau)");
+    println!("write latency blow-up (32 vs 1 thread): {lat_blowup:.1}x");
+    cluster.shutdown();
+}

@@ -1,0 +1,144 @@
+//! **Figure 11** — SolidFire vs AFCeph vs Community Ceph, max VM-based
+//! performance, sustained state.
+//!
+//! Paper methodology and headlines: for 4K random write the community
+//! figure is taken at *minimal latency* (5.7 ms) for a fair comparison —
+//! giving 3K IOPS, "almost the same as HDD-based Ceph", vs AFCeph 71K
+//! @3.4 ms and SolidFire 78K (AFCeph wins 32K random write because
+//! SolidFire is optimized for 4K chunks); random reads favour AFCeph; and
+//! sequential workloads run 3–4× faster on either Ceph than on SolidFire,
+//! whose 4K dedup chunking turns client-sequential into cluster-random.
+//!
+//! We reproduce both views: best-effort IOPS per system per panel, and the
+//! iso-latency 4K-random-write comparison (each system's IOPS at the
+//! lowest offered load whose mean latency fits the budget).
+
+use afc_bench::{build_cluster, fio, print_rows, save_rows, vm_images, FigRow};
+use afc_common::BlockTarget;
+use afc_core::{DeviceProfile, OsdTuning};
+use afc_solidfire::{SfCluster, SfConfig};
+use afc_workload::{JobSpec, Report, Rw};
+use std::sync::Arc;
+
+const PANELS: [(&str, Rw, u64, bool); 6] = [
+    ("4k-randwrite", Rw::RandWrite, 4 << 10, false),
+    ("32k-randwrite", Rw::RandWrite, 32 << 10, false),
+    ("seq-write", Rw::SeqWrite, 1 << 20, true),
+    ("4k-randread", Rw::RandRead, 4 << 10, false),
+    ("32k-randread", Rw::RandRead, 32 << 10, false),
+    ("seq-read", Rw::SeqRead, 1 << 20, true),
+];
+
+fn run_targets(
+    name: &str,
+    targets: &[Arc<dyn BlockTarget>],
+    rows: &mut Vec<FigRow>,
+    quiesce: &dyn Fn(),
+) {
+    for (panel, rw, bs, seq) in PANELS {
+        quiesce(); // drain the previous panel's backlog
+        let spec: JobSpec = fio(rw, bs, 2).label(format!("{name}/{panel}"));
+        let reports: Vec<Report> = std::thread::scope(|s| {
+            let hs: Vec<_> = targets
+                .iter()
+                .enumerate()
+                .map(|(i, t)| {
+                    let spec = spec.clone().seed(spec.seed ^ (i as u64) << 8);
+                    let t = Arc::clone(t);
+                    s.spawn(move || afc_workload::run(&spec, t.as_ref()))
+                })
+                .collect();
+            hs.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let merged = afc_bench::merge_reports(reports, &spec);
+        println!("{merged}");
+        rows.push(FigRow::from_report(name, panel_index(panel), &merged, seq));
+    }
+}
+
+fn panel_index(p: &str) -> f64 {
+    PANELS.iter().position(|(n, ..)| *n == p).unwrap() as f64
+}
+
+fn main() {
+    let vms = 8;
+    let mut rows = Vec::new();
+    let mut iso: Vec<(String, f64, f64)> = Vec::new(); // (system, iops, lat) at iso-latency
+
+    for (name, tuning) in [("community", OsdTuning::community()), ("afceph", OsdTuning::afceph())] {
+        let cluster = build_cluster(4, 2, tuning, DeviceProfile::sustained());
+        let images = vm_images(&cluster, vms, 64 << 20, true);
+        let targets: Vec<Arc<dyn BlockTarget>> =
+            images.iter().map(|i| Arc::clone(i) as Arc<dyn BlockTarget>).collect();
+        run_targets(name, &targets, &mut rows, &|| cluster.quiesce());
+        iso.push(iso_latency_point(name, &targets));
+        cluster.shutdown();
+    }
+    {
+        // SolidFire with the paper's mandatory dedup on fully-random data
+        // (the FIO buffer pattern defeats dedup, as the paper intends).
+        let sf = SfCluster::new(SfConfig { nodes: 4, ssds_per_node: 6, ..SfConfig::paper() }).unwrap();
+        let targets: Vec<Arc<dyn BlockTarget>> = (0..vms)
+            .map(|i| Arc::new(sf.volume(format!("v{i}"), 64 << 20).unwrap()) as Arc<dyn BlockTarget>)
+            .collect();
+        // Prefill so reads hit stored chunks.
+        for (i, t) in targets.iter().enumerate() {
+            let mut buf = vec![0u8; 1 << 20];
+            for (j, b) in buf.iter_mut().enumerate() {
+                *b = (i * 31 + j) as u8;
+            }
+            let mut off = 0;
+            while off + (1 << 20) <= t.size() {
+                t.write_at(off, &buf).unwrap();
+                off += 1 << 20;
+            }
+        }
+        sf.quiesce();
+        run_targets("solidfire", &targets, &mut rows, &|| sf.quiesce());
+        iso.push(iso_latency_point("solidfire", &targets));
+        let s = sf.stats();
+        println!("[solidfire] dedup hits {} / misses {}", s.dedup_hits, s.dedup_misses);
+    }
+
+    print_rows("Figure 11: SolidFire vs AFCeph vs Community (panel index as x)", "panel", &rows);
+    save_rows("fig11", &rows);
+    println!("\npanels: {:?}", PANELS.map(|p| p.0));
+    println!("\n== Figure 11(a,c) methodology: 4K random write at iso-latency ==");
+    for (name, iops, lat) in &iso {
+        println!("  {name:10} {iops:>8.0} IOPS at {lat:.2} ms mean latency");
+    }
+}
+
+/// The paper's fair-comparison method for Fig 11(a,c): take each system's
+/// 4K-random-write IOPS at the lowest offered load whose mean latency is
+/// within the budget; systems that cannot get under the budget report
+/// their minimum-load point (as the paper did for community at 5.7 ms).
+fn iso_latency_point(name: &str, targets: &[Arc<dyn BlockTarget>]) -> (String, f64, f64) {
+    let budget_ms = 8.0;
+    let mut best = (0.0f64, f64::MAX);
+    for iodepth in [1usize, 2, 4, 8] {
+        let spec = fio(Rw::RandWrite, 4096, iodepth).label(format!("{name}/iso/qd{iodepth}"));
+        let reports: Vec<Report> = std::thread::scope(|s| {
+            let hs: Vec<_> = targets
+                .iter()
+                .map(|t| {
+                    let spec = spec.clone();
+                    let t = Arc::clone(t);
+                    s.spawn(move || afc_workload::run(&spec, t.as_ref()))
+                })
+                .collect();
+            hs.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let r = afc_bench::merge_reports(reports, &spec);
+        let lat_ms = r.mean_lat().as_secs_f64() * 1e3;
+        if lat_ms <= budget_ms && r.iops() > best.0 {
+            best = (r.iops(), lat_ms);
+        } else if best.1 == f64::MAX && lat_ms < best.1 {
+            best = (r.iops(), lat_ms); // minimum-latency fallback
+        }
+        if lat_ms > budget_ms * 2.0 {
+            break; // deeper queues only get worse
+        }
+    }
+    (name.to_string(), best.0, best.1)
+}

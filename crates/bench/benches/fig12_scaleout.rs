@@ -1,0 +1,58 @@
+//! **Figure 12** — AFCeph scale-out test: throughput vs node count.
+//!
+//! The paper grows the cluster 4→16 nodes (clean SSDs) with proportional
+//! client load and finds near-linear scaling for every pattern except 4K
+//! random read at 16 nodes, which falls off because SimpleMessenger burns
+//! a sender+receiver thread of CPU per connection.
+//!
+//! Scaled: nodes ∈ {2,3,4,6} × 2 OSDs, one VM per node, with the
+//! per-message messenger CPU cost enabled so the read ceiling appears at
+//! the top scale on this single-core host exactly as CPU did on theirs.
+
+use afc_bench::{fio, print_rows, run_fleet, save_rows, vm_images, FigRow};
+use afc_core::{Cluster, DeviceProfile, OsdTuning};
+use afc_workload::Rw;
+use std::time::Duration;
+
+fn main() {
+    let node_counts = [2u32, 3, 4, 6];
+    let panels: [(&str, Rw, u64, bool); 3] = [
+        ("4k-randwrite", Rw::RandWrite, 4 << 10, false),
+        ("4k-randread", Rw::RandRead, 4 << 10, false),
+        ("seq-read", Rw::SeqRead, 1 << 20, true),
+    ];
+    let mut rows = Vec::new();
+    for &nodes in &node_counts {
+        let cluster: Cluster = Cluster::builder()
+            .nodes(nodes)
+            .osds_per_node(2)
+            .replication(2)
+            .pg_num(64 * nodes)
+            .tuning(OsdTuning::afceph())
+            .devices(DeviceProfile::clean())
+            .messenger_cpu(Duration::from_micros(10))
+            .build()
+            .unwrap();
+        let vms = nodes as usize; // one driving VM per node, load ∝ nodes
+        let images = vm_images(&cluster, vms, 64 << 20, true);
+        for (panel, rw, bs, seq) in panels {
+            let r = run_fleet(&images, &fio(rw, bs, 2).label(format!("n{nodes}/{panel}")));
+            println!("{r}");
+            rows.push(FigRow::from_report(panel, nodes as f64, &r, seq));
+        }
+        cluster.shutdown();
+    }
+    print_rows("Figure 12: AFCeph scale-out (clean SSDs, load ∝ nodes)", "nodes", &rows);
+    save_rows("fig12", &rows);
+    for (panel, ..) in panels {
+        let pts: Vec<&FigRow> = rows.iter().filter(|r| r.series == panel).collect();
+        let lin = (pts.last().unwrap().value / pts[0].value)
+            / (pts.last().unwrap().x / pts[0].x);
+        println!("{panel}: scaling efficiency at max nodes = {:.0}% of linear", lin * 100.0);
+    }
+    println!("(paper: all patterns ≈linear except 4K random read at 16 nodes — messenger CPU)");
+    println!("(host note: this machine has ONE core, so added nodes add threads but no");
+    println!(" compute — absolute scaling saturates early; the reproduced effect is the");
+    println!(" per-connection messenger cost growing with cluster size, which is what");
+    println!(" capped the paper's 16-node random reads. See EXPERIMENTS.md.)");
+}

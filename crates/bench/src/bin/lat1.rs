@@ -1,0 +1,29 @@
+//! Single-op latency decomposition probe (no load).
+
+use afc_bench::{build_cluster, fio, run_fleet, vm_images};
+use afc_core::{DeviceProfile, OsdTuning};
+use afc_workload::Rw;
+use std::time::Instant;
+
+fn main() {
+    let cluster = build_cluster(2, 2, OsdTuning::afceph(), DeviceProfile::clean());
+    let images = vm_images(&cluster, 1, 16 * 1024 * 1024, false);
+    // Warm up.
+    let _ = run_fleet(&images, &fio(Rw::RandWrite, 4096, 1).io_limit(50));
+    // Measure individual writes.
+    let img = &images[0];
+    use afc_common::BlockTarget;
+    let buf = vec![1u8; 4096];
+    for i in 0..10 {
+        let t0 = Instant::now();
+        img.write_at((i * 8192) % (8 << 20), &buf).unwrap();
+        println!("write {i}: {:?}", t0.elapsed());
+    }
+    for (id, s) in cluster.osd_stats() {
+        println!("{id}: writes={} journal_batches={} avg_batch={:.2}", s.writes, s.journal.batches, s.journal.avg_batch());
+    }
+    for s in cluster.osds()[0].stage_samples().iter().take(5) {
+        println!("{s:?}");
+    }
+    cluster.shutdown();
+}

@@ -1,0 +1,23 @@
+//! Debug probe: is Nagle actually binding on the community write path?
+
+use afc_bench::{build_cluster, fio, run_fleet, vm_images};
+use afc_core::{DeviceProfile, OsdTuning};
+use afc_workload::Rw;
+
+fn main() {
+    for (name, tuning) in [
+        ("community(nagle)", OsdTuning::community()),
+        ("community(no-nagle)", OsdTuning { nagle: false, ..OsdTuning::community() }),
+    ] {
+        let cluster = build_cluster(2, 2, tuning, DeviceProfile::clean());
+        let images = vm_images(&cluster, 2, 32 << 20, true);
+        let r = run_fleet(&images, &fio(Rw::RandWrite, 4096, 1).label(name));
+        let c = cluster.network().counters();
+        println!(
+            "{name}: {r}\n  net.msgs={} net.nagled={} ",
+            c.get("net.msgs"),
+            c.get("net.nagled")
+        );
+        cluster.shutdown();
+    }
+}

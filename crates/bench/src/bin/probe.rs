@@ -1,0 +1,31 @@
+//! Quick calibration probe: community vs AFCeph, 4K random write/read.
+//!
+//! Not a paper figure — a fast sanity check that the modeled bottlenecks
+//! produce the expected ordering before running the full harnesses.
+//! Run: `cargo run --release -p afc-bench --bin probe`
+
+use afc_bench::{build_cluster, fio, run_fleet, vm_images};
+use afc_core::{DeviceProfile, OsdTuning};
+use afc_workload::Rw;
+
+fn main() {
+    let vms = 12;
+    for (name, tuning) in [("community", OsdTuning::community()), ("afceph", OsdTuning::afceph())] {
+        let cluster = build_cluster(4, 2, tuning, DeviceProfile::sustained());
+        let images = vm_images(&cluster, vms, 64 * 1024 * 1024, true);
+        let w = run_fleet(&images, &fio(Rw::RandWrite, 4096, 4).label("4k-randwrite"));
+        println!("{name:10} write: {w}");
+        let r = run_fleet(&images, &fio(Rw::RandRead, 4096, 4).label("4k-randread"));
+        println!("{name:10} read : {r}");
+        let osd0 = &cluster.osd_stats()[0].1;
+        println!(
+            "{name:10} osd0: pg_lock_wait={}ms log_wait={}ms throttle_wait={}ms meta_reads={} j_full_stalls={}",
+            osd0.pg_lock_wait_us / 1000,
+            osd0.log_wait_us / 1000,
+            osd0.filestore.throttle_wait_us / 1000 + osd0.client_throttle_wait_us / 1000,
+            osd0.filestore.meta_reads,
+            osd0.journal.full_stalls,
+        );
+        cluster.shutdown();
+    }
+}

@@ -1,0 +1,100 @@
+//! The [`BlockTarget`] trait: what a FIO-style workload drives.
+//!
+//! Implemented by the RBD-like image client in `afc-core`, the SolidFire
+//! volume in `afc-solidfire`, and by [`MemBlockTarget`] here for tests of the
+//! workload runner itself.
+
+use crate::error::{AfcError, Result};
+use parking_lot::RwLock;
+
+/// A synchronous, thread-safe block device endpoint.
+///
+/// Offsets and lengths are in bytes. Implementations must tolerate arbitrary
+/// concurrency — the workload runner issues from `numjobs * iodepth` threads.
+pub trait BlockTarget: Send + Sync {
+    /// Total size in bytes.
+    fn size(&self) -> u64;
+
+    /// Read `len` bytes at `off`.
+    fn read_at(&self, off: u64, len: usize) -> Result<Vec<u8>>;
+
+    /// Write `data` at `off`.
+    fn write_at(&self, off: u64, data: &[u8]) -> Result<()>;
+
+    /// Flush outstanding writes to stable storage. Default: no-op.
+    fn flush(&self) -> Result<()> {
+        Ok(())
+    }
+}
+
+/// Validate an I/O range against a device size; shared by implementations.
+pub fn check_range(size: u64, off: u64, len: u64) -> Result<()> {
+    if len == 0 {
+        return Err(AfcError::InvalidArgument("zero-length I/O".into()));
+    }
+    if off.checked_add(len).map(|end| end > size).unwrap_or(true) {
+        return Err(AfcError::InvalidArgument(format!(
+            "I/O [{off}, +{len}) out of range for size {size}"
+        )));
+    }
+    Ok(())
+}
+
+/// A trivial in-memory block target used by workload-runner unit tests.
+pub struct MemBlockTarget {
+    data: RwLock<Vec<u8>>,
+}
+
+impl MemBlockTarget {
+    /// Create a zero-filled in-memory device of `size` bytes.
+    pub fn new(size: u64) -> Self {
+        MemBlockTarget { data: RwLock::new(vec![0u8; size as usize]) }
+    }
+}
+
+impl BlockTarget for MemBlockTarget {
+    fn size(&self) -> u64 {
+        self.data.read().len() as u64
+    }
+
+    fn read_at(&self, off: u64, len: usize) -> Result<Vec<u8>> {
+        check_range(self.size(), off, len as u64)?;
+        let d = self.data.read();
+        Ok(d[off as usize..off as usize + len].to_vec())
+    }
+
+    fn write_at(&self, off: u64, data: &[u8]) -> Result<()> {
+        check_range(self.size(), off, data.len() as u64)?;
+        let mut d = self.data.write();
+        d[off as usize..off as usize + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_target_round_trips() {
+        let t = MemBlockTarget::new(4096);
+        t.write_at(100, b"hello").unwrap();
+        assert_eq!(t.read_at(100, 5).unwrap(), b"hello");
+        assert_eq!(t.read_at(0, 4).unwrap(), vec![0u8; 4]);
+    }
+
+    #[test]
+    fn range_checks() {
+        let t = MemBlockTarget::new(100);
+        assert!(matches!(t.read_at(90, 20), Err(AfcError::InvalidArgument(_))));
+        assert!(matches!(t.write_at(100, b"x"), Err(AfcError::InvalidArgument(_))));
+        assert!(matches!(t.read_at(0, 0), Err(AfcError::InvalidArgument(_))));
+        assert!(check_range(100, u64::MAX, 1).is_err());
+        assert!(check_range(100, 0, 100).is_ok());
+    }
+
+    #[test]
+    fn flush_default_ok() {
+        assert!(MemBlockTarget::new(10).flush().is_ok());
+    }
+}

@@ -1,0 +1,61 @@
+//! Byte-size constants and formatting.
+
+/// One kibibyte.
+pub const KIB: u64 = 1024;
+/// One mebibyte.
+pub const MIB: u64 = 1024 * KIB;
+/// One gibibyte.
+pub const GIB: u64 = 1024 * MIB;
+/// One tebibyte.
+pub const TIB: u64 = 1024 * GIB;
+
+/// Format a byte count compactly: `512B`, `4.0KiB`, `2.5GiB`.
+pub fn fmt_bytes(n: u64) -> String {
+    const UNITS: [(&str, u64); 4] = [("TiB", TIB), ("GiB", GIB), ("MiB", MIB), ("KiB", KIB)];
+    for (name, size) in UNITS {
+        if n >= size {
+            return format!("{:.1}{name}", n as f64 / size as f64);
+        }
+    }
+    format!("{n}B")
+}
+
+/// Parse a block-size string (`"4k"`, `"32K"`, `"4m"`, `"512"`) into bytes.
+pub fn parse_bs(s: &str) -> Option<u64> {
+    let s = s.trim();
+    if s.is_empty() {
+        return None;
+    }
+    let (num, mult) = match s.as_bytes()[s.len() - 1].to_ascii_lowercase() {
+        b'k' => (&s[..s.len() - 1], KIB),
+        b'm' => (&s[..s.len() - 1], MIB),
+        b'g' => (&s[..s.len() - 1], GIB),
+        _ => (s, 1),
+    };
+    num.parse::<u64>().ok().map(|n| n * mult)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_bytes_units() {
+        assert_eq!(fmt_bytes(512), "512B");
+        assert_eq!(fmt_bytes(4 * KIB), "4.0KiB");
+        assert_eq!(fmt_bytes(5 * MIB / 2), "2.5MiB");
+        assert_eq!(fmt_bytes(3 * GIB), "3.0GiB");
+        assert_eq!(fmt_bytes(2 * TIB), "2.0TiB");
+    }
+
+    #[test]
+    fn parse_bs_accepts_suffixes() {
+        assert_eq!(parse_bs("4k"), Some(4 * KIB));
+        assert_eq!(parse_bs("32K"), Some(32 * KIB));
+        assert_eq!(parse_bs("4m"), Some(4 * MIB));
+        assert_eq!(parse_bs("1g"), Some(GIB));
+        assert_eq!(parse_bs("512"), Some(512));
+        assert_eq!(parse_bs(""), None);
+        assert_eq!(parse_bs("xk"), None);
+    }
+}

@@ -1,0 +1,105 @@
+//! Workspace-wide error type.
+//!
+//! Every fallible public API in the workspace returns [`Result`]. The variants
+//! map onto the failure classes a scale-out store actually surfaces: I/O
+//! errors from devices, capacity exhaustion, missing objects, shutdown races
+//! and configuration mistakes.
+
+use std::fmt;
+
+/// Errors produced anywhere in the `afcstore` workspace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AfcError {
+    /// A device-level I/O failure (injected fault or model limit).
+    Io(String),
+    /// The addressed entity (object, image, key, PG) does not exist.
+    NotFound(String),
+    /// The addressed entity already exists and may not be recreated.
+    AlreadyExists(String),
+    /// An operation exceeded a capacity limit (journal, device, cache).
+    Full(String),
+    /// The component has been shut down and no longer accepts work.
+    ShutDown(String),
+    /// A request was malformed (bad offset, zero length, misalignment...).
+    InvalidArgument(String),
+    /// Internal consistency violation; indicates a bug, surfaced loudly.
+    Corruption(String),
+    /// A request timed out waiting for a resource or a peer.
+    Timeout(String),
+    /// The peer/connection went away mid-operation.
+    Disconnected(String),
+}
+
+impl AfcError {
+    /// Short machine-friendly category name (used in stats and tests).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            AfcError::Io(_) => "io",
+            AfcError::NotFound(_) => "not_found",
+            AfcError::AlreadyExists(_) => "already_exists",
+            AfcError::Full(_) => "full",
+            AfcError::ShutDown(_) => "shut_down",
+            AfcError::InvalidArgument(_) => "invalid_argument",
+            AfcError::Corruption(_) => "corruption",
+            AfcError::Timeout(_) => "timeout",
+            AfcError::Disconnected(_) => "disconnected",
+        }
+    }
+}
+
+impl fmt::Display for AfcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AfcError::Io(m) => write!(f, "I/O error: {m}"),
+            AfcError::NotFound(m) => write!(f, "not found: {m}"),
+            AfcError::AlreadyExists(m) => write!(f, "already exists: {m}"),
+            AfcError::Full(m) => write!(f, "full: {m}"),
+            AfcError::ShutDown(m) => write!(f, "shut down: {m}"),
+            AfcError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+            AfcError::Corruption(m) => write!(f, "corruption: {m}"),
+            AfcError::Timeout(m) => write!(f, "timeout: {m}"),
+            AfcError::Disconnected(m) => write!(f, "disconnected: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for AfcError {}
+
+/// Workspace-wide result alias.
+pub type Result<T> = std::result::Result<T, AfcError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_message() {
+        let e = AfcError::NotFound("object rbd.0.4".into());
+        assert_eq!(e.to_string(), "not found: object rbd.0.4");
+    }
+
+    #[test]
+    fn kinds_are_distinct() {
+        let all = [
+            AfcError::Io(String::new()),
+            AfcError::NotFound(String::new()),
+            AfcError::AlreadyExists(String::new()),
+            AfcError::Full(String::new()),
+            AfcError::ShutDown(String::new()),
+            AfcError::InvalidArgument(String::new()),
+            AfcError::Corruption(String::new()),
+            AfcError::Timeout(String::new()),
+            AfcError::Disconnected(String::new()),
+        ];
+        let mut kinds: Vec<_> = all.iter().map(|e| e.kind()).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert_eq!(kinds.len(), all.len());
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        takes_err(&AfcError::Io("x".into()));
+    }
+}

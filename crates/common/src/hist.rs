@@ -1,0 +1,281 @@
+//! Log-bucketed latency histogram.
+//!
+//! An HdrHistogram-style structure: microsecond-resolution values are placed
+//! into buckets whose width grows geometrically, giving ~3% relative error
+//! over a 1 µs .. ~70 s range with a few KiB of memory. Recording is lock-free
+//! (callers own their histogram and merge at the end — the pattern the
+//! workload runner uses, one histogram per job thread).
+
+use std::time::Duration;
+
+/// Buckets per octave; 32 sub-buckets bounds relative error at ~3%.
+const SUB_BITS: u32 = 5;
+const SUB: usize = 1 << SUB_BITS;
+/// Number of octaves covered above the linear range: 1µs * 2^26 ≈ 67s.
+const OCTAVES: usize = 26;
+const NBUCKETS: usize = SUB * (OCTAVES + 1);
+
+/// A latency histogram with geometric buckets (µs resolution).
+#[derive(Clone)]
+pub struct LatencyHist {
+    counts: Vec<u64>,
+    total: u64,
+    sum_us: u128,
+    min_us: u64,
+    max_us: u64,
+}
+
+impl Default for LatencyHist {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHist {
+    /// Create an empty histogram.
+    pub fn new() -> Self {
+        LatencyHist {
+            counts: vec![0; NBUCKETS],
+            total: 0,
+            sum_us: 0,
+            min_us: u64::MAX,
+            max_us: 0,
+        }
+    }
+
+    #[inline]
+    fn bucket_of(us: u64) -> usize {
+        if us < SUB as u64 {
+            return us as usize;
+        }
+        // v >= SUB: normalize so (v >> shift) lands in [SUB, 2*SUB).
+        let msb = 63 - us.leading_zeros(); // msb >= SUB_BITS
+        let shift = msb - SUB_BITS;
+        let sub = ((us >> shift) as usize) - SUB; // in [0, SUB)
+        let idx = SUB + shift as usize * SUB + sub;
+        idx.min(NBUCKETS - 1)
+    }
+
+    /// Representative (midpoint) value of bucket `idx`, in µs.
+    fn bucket_value(idx: usize) -> u64 {
+        if idx < SUB {
+            return idx as u64;
+        }
+        let shift = ((idx - SUB) / SUB) as u32;
+        let sub = ((idx - SUB) % SUB) as u64;
+        let low = (SUB as u64 + sub) << shift;
+        let width = 1u64 << shift;
+        low + width / 2
+    }
+
+    /// Record one latency sample.
+    pub fn record(&mut self, d: Duration) {
+        let us = d.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.counts[Self::bucket_of(us)] += 1;
+        self.total += 1;
+        self.sum_us += us as u128;
+        self.min_us = self.min_us.min(us);
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Record a latency expressed in microseconds.
+    pub fn record_us(&mut self, us: u64) {
+        self.record(Duration::from_micros(us));
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHist) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += *b;
+        }
+        self.total += other.total;
+        self.sum_us += other.sum_us;
+        self.min_us = self.min_us.min(other.min_us);
+        self.max_us = self.max_us.max(other.max_us);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Arithmetic mean of the recorded samples.
+    pub fn mean(&self) -> Duration {
+        if self.total == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_micros((self.sum_us / self.total as u128) as u64)
+    }
+
+    /// Smallest recorded sample ([`Duration::ZERO`] when empty).
+    pub fn min(&self) -> Duration {
+        if self.total == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_micros(self.min_us)
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> Duration {
+        Duration::from_micros(self.max_us)
+    }
+
+    /// Value at quantile `q` in `[0, 1]` (e.g. 0.99 for p99).
+    pub fn quantile(&self, q: f64) -> Duration {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        if self.total == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Duration::from_micros(Self::bucket_value(idx).min(self.max_us));
+            }
+        }
+        self.max()
+    }
+
+    /// Median (p50).
+    pub fn p50(&self) -> Duration {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> Duration {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> Duration {
+        self.quantile(0.99)
+    }
+}
+
+impl std::fmt::Debug for LatencyHist {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LatencyHist")
+            .field("count", &self.total)
+            .field("mean", &self.mean())
+            .field("p50", &self.p50())
+            .field("p99", &self.p99())
+            .field("max", &self.max())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = LatencyHist::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), Duration::ZERO);
+        assert_eq!(h.quantile(0.99), Duration::ZERO);
+        assert_eq!(h.min(), Duration::ZERO);
+    }
+
+    #[test]
+    fn single_value_quantiles() {
+        let mut h = LatencyHist::new();
+        h.record(Duration::from_micros(1500));
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            let v = h.quantile(q).as_micros() as f64;
+            assert!((v - 1500.0).abs() / 1500.0 < 0.05, "q={q} v={v}");
+        }
+    }
+
+    #[test]
+    fn relative_error_bounded() {
+        let mut h = LatencyHist::new();
+        for us in [1u64, 7, 33, 100, 999, 12_345, 1_000_000, 30_000_000] {
+            h = LatencyHist::new();
+            h.record_us(us);
+            let got = h.p50().as_micros() as f64;
+            let want = us as f64;
+            assert!(
+                (got - want).abs() / want < 0.06 || (got - want).abs() <= 1.0,
+                "us={us} got={got}"
+            );
+        }
+        let _ = h;
+    }
+
+    #[test]
+    fn quantiles_are_monotone() {
+        let mut h = LatencyHist::new();
+        for i in 1..=10_000u64 {
+            h.record_us(i);
+        }
+        let mut prev = Duration::ZERO;
+        for i in 0..=100 {
+            let q = h.quantile(i as f64 / 100.0);
+            assert!(q >= prev, "quantile not monotone at {i}");
+            prev = q;
+        }
+    }
+
+    #[test]
+    fn uniform_distribution_quantiles() {
+        let mut h = LatencyHist::new();
+        for i in 1..=100_000u64 {
+            h.record_us(i);
+        }
+        let p50 = h.p50().as_micros() as f64;
+        let p99 = h.p99().as_micros() as f64;
+        assert!((p50 - 50_000.0).abs() / 50_000.0 < 0.05, "p50={p50}");
+        assert!((p99 - 99_000.0).abs() / 99_000.0 < 0.05, "p99={p99}");
+        let mean = h.mean().as_micros() as f64;
+        assert!((mean - 50_000.0).abs() / 50_000.0 < 0.01, "mean={mean}");
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let mut a = LatencyHist::new();
+        let mut b = LatencyHist::new();
+        let mut c = LatencyHist::new();
+        for i in 0..1000u64 {
+            let v = i * 37 % 5000 + 1;
+            if i % 2 == 0 {
+                a.record_us(v);
+            } else {
+                b.record_us(v);
+            }
+            c.record_us(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), c.count());
+        assert_eq!(a.p50(), c.p50());
+        assert_eq!(a.p99(), c.p99());
+        assert_eq!(a.mean(), c.mean());
+        assert_eq!(a.min(), c.min());
+        assert_eq!(a.max(), c.max());
+    }
+
+    #[test]
+    fn min_max_tracked_exactly() {
+        let mut h = LatencyHist::new();
+        h.record_us(3);
+        h.record_us(900_000);
+        h.record_us(42);
+        assert_eq!(h.min(), Duration::from_micros(3));
+        assert_eq!(h.max(), Duration::from_micros(900_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile out of range")]
+    fn quantile_rejects_out_of_range() {
+        LatencyHist::new().quantile(1.5);
+    }
+
+    #[test]
+    fn huge_values_saturate_without_panic() {
+        let mut h = LatencyHist::new();
+        h.record(Duration::from_secs(10_000));
+        assert!(h.p99() >= Duration::from_secs(60));
+    }
+}

@@ -1,0 +1,37 @@
+//! Common types and utilities shared by every `afcstore` crate.
+//!
+//! This crate deliberately has no knowledge of storage semantics; it provides
+//! the plumbing the rest of the workspace is built from:
+//!
+//! - [`error`]: the workspace-wide error type.
+//! - [`ids`]: strongly-typed identifiers (OSDs, PGs, objects, clients, epochs).
+//! - [`hist`]: a log-bucketed latency histogram (HdrHistogram-style, no deps).
+//! - [`series`]: wall-clock time-series recording for fluctuation plots.
+//! - [`counters`]: cheap named atomic counters used for instrumentation.
+//! - [`rng`]: seeded RNG construction and a fast 64-bit mixing hash.
+//! - [`timeutil`]: sleeping helpers and stopwatches used by device models.
+//! - [`table`]: fixed-width table rendering for benchmark harness output.
+//! - [`bytesize`]: byte-size constants and formatting.
+//! - [`blocktarget`]: the [`blocktarget::BlockTarget`] trait that workload
+//!   generators drive and storage clients implement.
+
+pub mod blocktarget;
+pub mod bytesize;
+pub mod counters;
+pub mod error;
+pub mod hist;
+pub mod ids;
+pub mod rng;
+pub mod series;
+pub mod table;
+pub mod timeutil;
+
+pub use blocktarget::BlockTarget;
+pub use bytesize::{GIB, KIB, MIB, TIB};
+pub use counters::CounterSet;
+pub use error::{AfcError, Result};
+pub use hist::LatencyHist;
+pub use ids::{ClientId, Epoch, NodeId, ObjectId, OpId, OsdId, PgId, PoolId};
+pub use series::{IopsSampler, TimeSeries};
+pub use table::Table;
+pub use timeutil::{sleep_for, Stopwatch};

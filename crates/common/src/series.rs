@@ -1,0 +1,234 @@
+//! Wall-clock time-series recording.
+//!
+//! Used by figure harnesses that plot behaviour over time — e.g. Figure 4's
+//! IOPS fluctuation as the filestore backlog grows. [`IopsSampler`] counts
+//! completions from many threads and snapshots windowed rates; [`TimeSeries`]
+//! is the plain `(t, value)` container the harnesses print/serialize.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// A `(seconds-since-start, value)` series.
+#[derive(Debug, Clone, Default)]
+pub struct TimeSeries {
+    points: Vec<(f64, f64)>,
+}
+
+impl TimeSeries {
+    /// Create an empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a point.
+    pub fn push(&mut self, t_secs: f64, value: f64) {
+        self.points.push((t_secs, value));
+    }
+
+    /// All points in insertion order.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Mean of the values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        self.points.iter().map(|p| p.1).sum::<f64>() / self.points.len() as f64
+    }
+
+    /// Population standard deviation of the values.
+    pub fn stddev(&self) -> f64 {
+        if self.points.len() < 2 {
+            return 0.0;
+        }
+        let m = self.mean();
+        let var =
+            self.points.iter().map(|p| (p.1 - m) * (p.1 - m)).sum::<f64>() / self.points.len() as f64;
+        var.sqrt()
+    }
+
+    /// Coefficient of variation (stddev / mean) — the "fluctuation" metric
+    /// used when reproducing Figure 4 and the 32K-write journal-full effect.
+    pub fn cv(&self) -> f64 {
+        let m = self.mean();
+        if m == 0.0 {
+            0.0
+        } else {
+            self.stddev() / m
+        }
+    }
+
+    /// Minimum value (`f64::NAN` when empty).
+    pub fn min_value(&self) -> f64 {
+        self.points.iter().map(|p| p.1).fold(f64::NAN, f64::min)
+    }
+
+    /// Maximum value (`f64::NAN` when empty).
+    pub fn max_value(&self) -> f64 {
+        self.points.iter().map(|p| p.1).fold(f64::NAN, f64::max)
+    }
+}
+
+/// Concurrent completion counter with windowed-rate sampling.
+///
+/// Worker threads call [`IopsSampler::tick`] per completed op; a sampling
+/// thread (or the main harness loop) calls [`IopsSampler::sample`]
+/// periodically to append the rate over the elapsed window to a series.
+pub struct IopsSampler {
+    count: AtomicU64,
+    start: Instant,
+    state: Mutex<SamplerState>,
+}
+
+struct SamplerState {
+    last_count: u64,
+    last_at: Instant,
+    series: TimeSeries,
+}
+
+impl Default for IopsSampler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl IopsSampler {
+    /// Create a sampler; the clock starts now.
+    pub fn new() -> Self {
+        let now = Instant::now();
+        IopsSampler {
+            count: AtomicU64::new(0),
+            start: now,
+            state: Mutex::new(SamplerState { last_count: 0, last_at: now, series: TimeSeries::new() }),
+        }
+    }
+
+    /// Record `n` completed operations. Callable from any thread.
+    #[inline]
+    pub fn tick(&self, n: u64) {
+        self.count.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Total operations recorded so far.
+    pub fn total(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Close the current window: append `(t, ops/sec over window)` and return it.
+    pub fn sample(&self) -> (f64, f64) {
+        let now = Instant::now();
+        let count = self.count.load(Ordering::Relaxed);
+        let mut st = self.state.lock();
+        let dt = now.duration_since(st.last_at).as_secs_f64();
+        let rate = if dt > 0.0 { (count - st.last_count) as f64 / dt } else { 0.0 };
+        let t = now.duration_since(self.start).as_secs_f64();
+        st.series.push(t, rate);
+        st.last_count = count;
+        st.last_at = now;
+        (t, rate)
+    }
+
+    /// Average rate since construction.
+    pub fn overall_rate(&self) -> f64 {
+        let dt = self.start.elapsed().as_secs_f64();
+        if dt > 0.0 {
+            self.total() as f64 / dt
+        } else {
+            0.0
+        }
+    }
+
+    /// Snapshot the accumulated series.
+    pub fn series(&self) -> TimeSeries {
+        self.state.lock().series.clone()
+    }
+
+    /// Time elapsed since construction.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn series_statistics() {
+        let mut s = TimeSeries::new();
+        for (t, v) in [(0.0, 10.0), (1.0, 20.0), (2.0, 30.0)] {
+            s.push(t, v);
+        }
+        assert_eq!(s.len(), 3);
+        assert!((s.mean() - 20.0).abs() < 1e-9);
+        let expect_sd = (200.0f64 / 3.0).sqrt();
+        assert!((s.stddev() - expect_sd).abs() < 1e-9);
+        assert!((s.cv() - expect_sd / 20.0).abs() < 1e-9);
+        assert_eq!(s.min_value(), 10.0);
+        assert_eq!(s.max_value(), 30.0);
+    }
+
+    #[test]
+    fn empty_series_safe() {
+        let s = TimeSeries::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.stddev(), 0.0);
+        assert_eq!(s.cv(), 0.0);
+    }
+
+    #[test]
+    fn sampler_counts_from_threads() {
+        let s = Arc::new(IopsSampler::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    s.tick(1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.total(), 4000);
+    }
+
+    #[test]
+    fn sampler_windows_reset() {
+        let s = IopsSampler::new();
+        s.tick(100);
+        std::thread::sleep(Duration::from_millis(20));
+        let (_, r1) = s.sample();
+        assert!(r1 > 0.0);
+        // No ticks since last sample: rate must be ~0.
+        std::thread::sleep(Duration::from_millis(10));
+        let (_, r2) = s.sample();
+        assert_eq!(r2, 0.0);
+        assert_eq!(s.series().len(), 2);
+    }
+
+    #[test]
+    fn overall_rate_positive_after_ticks() {
+        let s = IopsSampler::new();
+        s.tick(50);
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(s.overall_rate() > 0.0);
+        assert!(s.elapsed() >= Duration::from_millis(5));
+    }
+}

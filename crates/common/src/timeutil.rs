@@ -1,0 +1,113 @@
+//! Sleeping and timing helpers used by the device models.
+//!
+//! All simulated device latency flows through [`sleep_for`]/[`sleep_until`].
+//! On this project's single-core reference host, spinning would steal CPU
+//! from the very threads whose contention we are measuring, so waiting is
+//! plain `thread::sleep` (Linux hrtimer resolution, ~50 µs worst case, is
+//! well below the ≥100 µs service times every model uses).
+
+use std::time::{Duration, Instant};
+
+/// Sleep for `d`. Zero-duration calls return immediately.
+#[inline]
+pub fn sleep_for(d: Duration) {
+    if d > Duration::ZERO {
+        std::thread::sleep(d);
+    }
+}
+
+/// Sleep until `deadline` (no-op if already past).
+#[inline]
+pub fn sleep_until(deadline: Instant) {
+    let now = Instant::now();
+    if deadline > now {
+        std::thread::sleep(deadline - now);
+    }
+}
+
+/// A simple stopwatch for stage-latency instrumentation (Figure 3).
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Stopwatch {
+    /// Start timing now.
+    pub fn new() -> Self {
+        Stopwatch { start: Instant::now() }
+    }
+
+    /// Elapsed time since start (or last [`Stopwatch::lap`]).
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Return elapsed time and restart the watch.
+    pub fn lap(&mut self) -> Duration {
+        let now = Instant::now();
+        let d = now - self.start;
+        self.start = now;
+        d
+    }
+}
+
+/// Format a duration compactly for table output: `842us`, `3.2ms`, `1.75s`.
+pub fn fmt_dur(d: Duration) -> String {
+    let us = d.as_micros();
+    if us < 1_000 {
+        format!("{us}us")
+    } else if us < 1_000_000 {
+        format!("{:.2}ms", us as f64 / 1_000.0)
+    } else {
+        format!("{:.2}s", us as f64 / 1_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sleep_for_zero_is_instant() {
+        let t = Instant::now();
+        sleep_for(Duration::ZERO);
+        assert!(t.elapsed() < Duration::from_millis(5));
+    }
+
+    #[test]
+    fn sleep_for_waits_at_least_requested() {
+        let t = Instant::now();
+        sleep_for(Duration::from_millis(10));
+        assert!(t.elapsed() >= Duration::from_millis(10));
+    }
+
+    #[test]
+    fn sleep_until_past_deadline_returns() {
+        let t = Instant::now();
+        sleep_until(Instant::now() - Duration::from_secs(1));
+        assert!(t.elapsed() < Duration::from_millis(5));
+    }
+
+    #[test]
+    fn stopwatch_laps() {
+        let mut w = Stopwatch::new();
+        sleep_for(Duration::from_millis(5));
+        let l1 = w.lap();
+        assert!(l1 >= Duration::from_millis(5));
+        // After a lap the elapsed time restarts.
+        assert!(w.elapsed() < l1);
+    }
+
+    #[test]
+    fn fmt_dur_ranges() {
+        assert_eq!(fmt_dur(Duration::from_micros(842)), "842us");
+        assert_eq!(fmt_dur(Duration::from_micros(3_200)), "3.20ms");
+        assert_eq!(fmt_dur(Duration::from_micros(1_750_000)), "1.75s");
+    }
+}

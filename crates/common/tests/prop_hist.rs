@@ -1,0 +1,72 @@
+//! Property tests for the latency histogram and hashing utilities.
+
+use afc_common::rng::{hash_bytes, mix64};
+use afc_common::LatencyHist;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, .. ProptestConfig::default() })]
+
+    /// Quantiles are bounded by min/max, monotone in q, and within the
+    /// bucket scheme's relative error of exact for single values.
+    #[test]
+    fn hist_quantile_properties(mut samples in proptest::collection::vec(1u64..10_000_000, 1..300)) {
+        let mut h = LatencyHist::new();
+        for &s in &samples {
+            h.record_us(s);
+        }
+        samples.sort_unstable();
+        let (lo, hi) = (samples[0], *samples.last().unwrap());
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        let mut prev = std::time::Duration::ZERO;
+        for i in 0..=20 {
+            let q = h.quantile(i as f64 / 20.0);
+            prop_assert!(q >= prev);
+            prev = q;
+            let us = q.as_micros() as u64;
+            // Within bucket error (~3.2%) of the true range.
+            prop_assert!(us as f64 >= lo as f64 * 0.96 - 1.0, "q below min: {us} < {lo}");
+            prop_assert!(us as f64 <= hi as f64 * 1.04 + 1.0, "q above max: {us} > {hi}");
+        }
+        // Mean is exact (tracked outside buckets).
+        let exact: u128 = samples.iter().map(|&s| s as u128).sum::<u128>() / samples.len() as u128;
+        prop_assert_eq!(h.mean().as_micros(), exact);
+    }
+
+    /// Merging histograms equals recording the union.
+    #[test]
+    fn hist_merge_associative(a in proptest::collection::vec(1u64..1_000_000, 0..100),
+                              b in proptest::collection::vec(1u64..1_000_000, 0..100)) {
+        let mut ha = LatencyHist::new();
+        let mut hb = LatencyHist::new();
+        let mut hu = LatencyHist::new();
+        for &s in &a { ha.record_us(s); hu.record_us(s); }
+        for &s in &b { hb.record_us(s); hu.record_us(s); }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.count(), hu.count());
+        for i in 0..=10 {
+            prop_assert_eq!(ha.quantile(i as f64 / 10.0), hu.quantile(i as f64 / 10.0));
+        }
+        prop_assert_eq!(ha.min(), hu.min());
+        prop_assert_eq!(ha.max(), hu.max());
+    }
+
+    /// hash_bytes is a function (equal inputs → equal outputs) and
+    /// prefix-sensitive.
+    #[test]
+    fn hash_function_properties(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        prop_assert_eq!(hash_bytes(&data), hash_bytes(&data));
+        let mut extended = data.clone();
+        extended.push(0);
+        prop_assert_ne!(hash_bytes(&data), hash_bytes(&extended));
+    }
+
+    /// mix64 is injective on arbitrary pairs (collision would break straw2
+    /// determinism assumptions).
+    #[test]
+    fn mix64_injective(a in any::<u64>(), b in any::<u64>()) {
+        if a != b {
+            prop_assert_ne!(mix64(a), mix64(b));
+        }
+    }
+}

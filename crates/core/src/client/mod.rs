@@ -1,0 +1,4 @@
+//! Client-side access: the RADOS object client and the RBD block image.
+
+pub mod rados;
+pub mod rbd;

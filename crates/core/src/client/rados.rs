@@ -1,0 +1,186 @@
+//! The RADOS-style object client.
+//!
+//! Clients need no metadata server: the shared [`OsdMap`] plus CRUSH
+//! determine each object's PG and primary OSD, requests go straight to the
+//! primary, and misdirected ops (stale map during failures/expansion) are
+//! retried after a map refresh.
+
+use crate::messages::{ClientOp, ClientReply, ObjectOp, OpOutcome, OsdMsg};
+use afc_common::{AfcError, ClientId, ObjectId, OpId, PoolId, Result};
+use afc_crush::OsdMap;
+use afc_messenger::{Addr, Dispatcher, Messenger, Network};
+use bytes::Bytes;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+type ReplyTx = crossbeam::channel::Sender<Result<OpOutcome>>;
+
+struct ClientShared {
+    pending: Mutex<HashMap<OpId, ReplyTx>>,
+}
+
+struct ClientDispatcher(Arc<ClientShared>);
+
+impl Dispatcher<OsdMsg> for ClientDispatcher {
+    fn dispatch(&self, _from: Addr, msg: OsdMsg) {
+        if let OsdMsg::Reply(ClientReply { op_id, result }) = msg {
+            if let Some(tx) = self.0.pending.lock().remove(&op_id) {
+                let _ = tx.send(result);
+            }
+        }
+    }
+}
+
+/// A pending asynchronous operation.
+pub struct OpHandle {
+    rx: crossbeam::channel::Receiver<Result<OpOutcome>>,
+}
+
+impl OpHandle {
+    /// Block until the op completes.
+    pub fn wait(self) -> Result<OpOutcome> {
+        self.rx
+            .recv()
+            .map_err(|_| AfcError::Disconnected("client shut down".into()))?
+    }
+
+    /// Non-blocking poll.
+    pub fn try_wait(&self) -> Option<Result<OpOutcome>> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// A RADOS-style client session (one per VM in the evaluation).
+pub struct RadosClient {
+    id: ClientId,
+    pool: PoolId,
+    msgr: Messenger<OsdMsg>,
+    map: Arc<RwLock<Arc<OsdMap>>>,
+    shared: Arc<ClientShared>,
+    next_op: AtomicU64,
+    /// Request in-order ack delivery (exercises the §3.1 ordered-ack path).
+    pub ordered_acks: bool,
+    /// Retries for misdirected ops before giving up.
+    max_retries: usize,
+}
+
+impl RadosClient {
+    /// Connect a client to the fabric.
+    pub fn connect(
+        net: &Arc<Network<OsdMsg>>,
+        map: Arc<RwLock<Arc<OsdMap>>>,
+        id: ClientId,
+        pool: PoolId,
+    ) -> Result<Arc<Self>> {
+        let shared = Arc::new(ClientShared { pending: Mutex::new(HashMap::new()) });
+        let msgr = net.register(Addr::Client(id), Arc::new(ClientDispatcher(Arc::clone(&shared))))?;
+        Ok(Arc::new(RadosClient {
+            id,
+            pool,
+            msgr,
+            map,
+            shared,
+            next_op: AtomicU64::new(1),
+            ordered_acks: false,
+            max_retries: 8,
+        }))
+    }
+
+    /// This client's id.
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    /// The pool this client addresses.
+    pub fn pool(&self) -> PoolId {
+        self.pool
+    }
+
+    /// Submit an op asynchronously.
+    pub fn submit(&self, object: &str, op: ObjectOp) -> Result<OpHandle> {
+        let obj = ObjectId::new(self.pool, object);
+        let map = self.map.read().clone();
+        let (pg, acting) = map.object_placement(&obj)?;
+        let primary = acting[0];
+        let op_id = OpId(self.next_op.fetch_add(1, Ordering::Relaxed));
+        let (tx, rx) = crossbeam::channel::bounded(1);
+        self.shared.pending.lock().insert(op_id, tx);
+        let wire = op.wire_bytes();
+        let req = OsdMsg::Request(ClientOp {
+            client: self.id,
+            op_id,
+            pg,
+            object: obj,
+            op,
+            ordered_ack: self.ordered_acks,
+        });
+        if let Err(e) = self.msgr.send(Addr::Osd(primary), req, wire) {
+            self.shared.pending.lock().remove(&op_id);
+            return Err(e);
+        }
+        Ok(OpHandle { rx })
+    }
+
+    /// Submit and wait, retrying misdirected ops against a refreshed map.
+    pub fn execute(&self, object: &str, op: ObjectOp) -> Result<OpOutcome> {
+        let mut last = AfcError::Timeout("no attempt".into());
+        for attempt in 0..self.max_retries {
+            let handle = self.submit(object, op.clone())?;
+            match handle.wait() {
+                Ok(o) => return Ok(o),
+                Err(AfcError::InvalidArgument(m)) if m.starts_with("misdirected") => {
+                    last = AfcError::InvalidArgument(m);
+                    // Map is shared; a short pause lets the monitor publish.
+                    std::thread::sleep(Duration::from_millis(2 << attempt));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last)
+    }
+
+    /// Write `data` into `object` at `offset`.
+    pub fn write_object(&self, object: &str, offset: u64, data: &[u8]) -> Result<()> {
+        match self.execute(object, ObjectOp::Write { offset, data: Bytes::copy_from_slice(data) })? {
+            OpOutcome::Done => Ok(()),
+            other => Err(AfcError::Corruption(format!("unexpected write outcome {other:?}"))),
+        }
+    }
+
+    /// Read `len` bytes from `object` at `offset`.
+    pub fn read_object(&self, object: &str, offset: u64, len: u32) -> Result<Vec<u8>> {
+        match self.execute(object, ObjectOp::Read { offset, len })? {
+            OpOutcome::Data(d) => Ok(d.to_vec()),
+            other => Err(AfcError::Corruption(format!("unexpected read outcome {other:?}"))),
+        }
+    }
+
+    /// Object size.
+    pub fn stat_object(&self, object: &str) -> Result<u64> {
+        match self.execute(object, ObjectOp::Stat)? {
+            OpOutcome::Size(s) => Ok(s),
+            other => Err(AfcError::Corruption(format!("unexpected stat outcome {other:?}"))),
+        }
+    }
+
+    /// Delete an object.
+    pub fn delete_object(&self, object: &str) -> Result<()> {
+        match self.execute(object, ObjectOp::Delete)? {
+            OpOutcome::Done => Ok(()),
+            other => Err(AfcError::Corruption(format!("unexpected delete outcome {other:?}"))),
+        }
+    }
+
+    /// Asynchronous write (iodepth-style issue).
+    pub fn write_object_async(&self, object: &str, offset: u64, data: Bytes) -> Result<OpHandle> {
+        self.submit(object, ObjectOp::Write { offset, data })
+    }
+
+    /// Asynchronous read.
+    pub fn read_object_async(&self, object: &str, offset: u64, len: u32) -> Result<OpHandle> {
+        self.submit(object, ObjectOp::Read { offset, len })
+    }
+}

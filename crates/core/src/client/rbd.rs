@@ -1,0 +1,217 @@
+//! The RBD-style block image: a virtual disk striped over 4 MiB objects.
+//!
+//! KRBD in the paper's testbed exports each VM's 100 GB image as a block
+//! device; every block I/O maps to object I/O named
+//! `rbd_data.<image>.<object-index>`. [`RbdImage`] implements
+//! [`BlockTarget`] so the FIO-like workload generator can drive it
+//! directly.
+
+use crate::client::rados::RadosClient;
+use afc_common::blocktarget::check_range;
+use afc_common::{AfcError, BlockTarget, Result, MIB};
+use bytes::Bytes;
+use std::sync::Arc;
+
+/// Default RBD object size (4 MiB, Ceph's default).
+pub const DEFAULT_OBJECT_SIZE: u64 = 4 * MIB;
+
+/// A block image striped into fixed-size objects.
+pub struct RbdImage {
+    client: Arc<RadosClient>,
+    name: String,
+    size: u64,
+    object_size: u64,
+}
+
+impl RbdImage {
+    /// Create an image handle (object namespace `rbd_data.<name>.*`).
+    pub fn new(client: Arc<RadosClient>, name: impl Into<String>, size: u64) -> Result<Self> {
+        Self::with_object_size(client, name, size, DEFAULT_OBJECT_SIZE)
+    }
+
+    /// Create an image with a custom object size (power of two expected).
+    pub fn with_object_size(
+        client: Arc<RadosClient>,
+        name: impl Into<String>,
+        size: u64,
+        object_size: u64,
+    ) -> Result<Self> {
+        if size == 0 || object_size == 0 {
+            return Err(AfcError::InvalidArgument("image and object size must be positive".into()));
+        }
+        Ok(RbdImage { client, name: name.into(), size, object_size })
+    }
+
+    /// Image name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Object size.
+    pub fn object_size(&self) -> u64 {
+        self.object_size
+    }
+
+    /// The owning client.
+    pub fn client(&self) -> &Arc<RadosClient> {
+        &self.client
+    }
+
+    fn object_name(&self, index: u64) -> String {
+        format!("rbd_data.{}.{index:016x}", self.name)
+    }
+
+    /// Split `[off, off+len)` into `(object-name, in-object-off, len)`.
+    fn extents(&self, off: u64, len: u64) -> Vec<(String, u64, u64)> {
+        let mut out = Vec::new();
+        let mut cur = off;
+        let end = off + len;
+        while cur < end {
+            let idx = cur / self.object_size;
+            let within = cur % self.object_size;
+            let take = (self.object_size - within).min(end - cur);
+            out.push((self.object_name(idx), within, take));
+            cur += take;
+        }
+        out
+    }
+}
+
+impl BlockTarget for RbdImage {
+    fn size(&self) -> u64 {
+        self.size
+    }
+
+    fn write_at(&self, off: u64, data: &[u8]) -> Result<()> {
+        check_range(self.size, off, data.len() as u64)?;
+        let extents = self.extents(off, data.len() as u64);
+        if extents.len() == 1 {
+            let (obj, ooff, _) = &extents[0];
+            return self.client.write_object(obj, *ooff, data);
+        }
+        // Multi-object write: issue concurrently, wait for all.
+        let mut handles = Vec::with_capacity(extents.len());
+        let mut cursor = 0usize;
+        for (obj, ooff, olen) in &extents {
+            let chunk = Bytes::copy_from_slice(&data[cursor..cursor + *olen as usize]);
+            cursor += *olen as usize;
+            handles.push(self.client.write_object_async(obj, *ooff, chunk)?);
+        }
+        for h in handles {
+            h.wait()?;
+        }
+        Ok(())
+    }
+
+    fn read_at(&self, off: u64, len: usize) -> Result<Vec<u8>> {
+        check_range(self.size, off, len as u64)?;
+        let extents = self.extents(off, len as u64);
+        if extents.len() == 1 {
+            let (obj, ooff, olen) = &extents[0];
+            // Missing objects read as zeros (KRBD semantics for unwritten
+            // extents: the object does not exist yet).
+            let mut data = match self.client.read_object(obj, *ooff, *olen as u32) {
+                Ok(d) => d,
+                Err(AfcError::NotFound(_)) => Vec::new(),
+                Err(e) => return Err(e),
+            };
+            data.resize(*olen as usize, 0); // sparse/unwritten tail
+            return Ok(data);
+        }
+        let mut handles = Vec::with_capacity(extents.len());
+        for (obj, ooff, olen) in &extents {
+            handles.push((self.client.read_object_async(obj, *ooff, *olen as u32)?, *olen));
+        }
+        let mut out = Vec::with_capacity(len);
+        for (h, olen) in handles {
+            match h.wait() {
+                Ok(crate::messages::OpOutcome::Data(d)) => {
+                    let mut d = d.to_vec();
+                    d.resize(olen as usize, 0);
+                    out.extend_from_slice(&d);
+                }
+                Err(AfcError::NotFound(_)) => out.extend_from_slice(&vec![0u8; olen as usize]),
+                Ok(other) => return Err(AfcError::Corruption(format!("unexpected outcome {other:?}"))),
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Extent math is testable without a cluster; end-to-end behaviour is
+    // covered by the integration tests.
+    fn image_for_math() -> RbdImage {
+        // A client is required structurally; build a disconnected dummy via
+        // a private network.
+        let net = afc_messenger::Network::new(afc_messenger::NetConfig::default());
+        let mon = crate::monitor::Monitor::new(afc_crush::CrushMap::uniform(1, 1));
+        mon.update(|m| {
+            m.add_pool(afc_common::PoolId(0), afc_crush::osdmap::PoolSpec { pg_num: 8, size: 1 })
+                .unwrap()
+        });
+        let client = RadosClient::connect(
+            &net,
+            mon.shared_map(),
+            afc_common::ClientId(99),
+            afc_common::PoolId(0),
+        )
+        .unwrap();
+        RbdImage::new(client, "img", 64 * MIB).unwrap()
+    }
+
+    #[test]
+    fn extents_within_one_object() {
+        let img = image_for_math();
+        let e = img.extents(100, 4096);
+        assert_eq!(e.len(), 1);
+        assert_eq!(e[0].0, "rbd_data.img.0000000000000000");
+        assert_eq!(e[0].1, 100);
+        assert_eq!(e[0].2, 4096);
+    }
+
+    #[test]
+    fn extents_cross_object_boundary() {
+        let img = image_for_math();
+        let off = 4 * MIB - 1024;
+        let e = img.extents(off, 4096);
+        assert_eq!(e.len(), 2);
+        assert_eq!(e[0], ("rbd_data.img.0000000000000000".into(), 4 * MIB - 1024, 1024));
+        assert_eq!(e[1], ("rbd_data.img.0000000000000001".into(), 0, 3072));
+    }
+
+    #[test]
+    fn extents_cover_large_write() {
+        let img = image_for_math();
+        let e = img.extents(MIB, 10 * MIB);
+        let total: u64 = e.iter().map(|x| x.2).sum();
+        assert_eq!(total, 10 * MIB);
+        assert_eq!(e.len(), 3); // 3 MiB (obj 0) + 4 MiB (obj 1) + 3 MiB (obj 2)
+    }
+
+    #[test]
+    fn invalid_sizes_rejected() {
+        let net = afc_messenger::Network::new(afc_messenger::NetConfig::default());
+        let mon = crate::monitor::Monitor::new(afc_crush::CrushMap::uniform(1, 1));
+        let client = RadosClient::connect(
+            &net,
+            mon.shared_map(),
+            afc_common::ClientId(98),
+            afc_common::PoolId(0),
+        )
+        .unwrap();
+        assert!(RbdImage::new(Arc::clone(&client), "x", 0).is_err());
+        assert!(RbdImage::with_object_size(client, "x", MIB, 0).is_err());
+    }
+
+    #[test]
+    fn out_of_range_io_rejected() {
+        let img = image_for_math();
+        assert!(img.write_at(64 * MIB, &[0u8; 1]).is_err());
+        assert!(img.read_at(64 * MIB - 1, 2).is_err());
+    }
+}

@@ -1,0 +1,386 @@
+//! Cluster assembly: nodes × OSDs over an in-process fabric.
+//!
+//! [`ClusterBuilder`] reproduces the paper's testbed shape: N server nodes,
+//! each with one NVRAM card shared by its OSDs (journals) and a RAID-0 set
+//! of SATA SSDs per OSD (filestore), replicated pools over an in-process
+//! network with optional Nagle behaviour.
+
+use crate::client::rados::RadosClient;
+use crate::client::rbd::RbdImage;
+use crate::messages::OsdMsg;
+use crate::monitor::Monitor;
+use crate::osd::{Osd, OsdParams, OsdStats};
+use crate::tuning::OsdTuning;
+use afc_common::{AfcError, ClientId, NodeId, ObjectId, OsdId, PgId, PoolId, Result, GIB, KIB};
+use afc_crush::osdmap::PoolSpec;
+use afc_crush::CrushMap;
+use afc_device::{BlockDev, Nvram, NvramConfig, Raid0, Ssd, SsdConfig};
+use afc_messenger::{MessengerMode, NetConfig, Network};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Per-OSD device provisioning.
+#[derive(Debug, Clone)]
+pub struct DeviceProfile {
+    /// SSDs striped per OSD (the paper's nodes used 2–3; default 3).
+    pub ssds_per_osd: usize,
+    /// SSD model config.
+    pub ssd: SsdConfig,
+    /// NVRAM card per node.
+    pub nvram: NvramConfig,
+    /// Journal ring bytes per OSD (2 GiB in the paper).
+    pub journal_capacity: u64,
+    /// RAID-0 stripe unit.
+    pub stripe: u64,
+}
+
+impl DeviceProfile {
+    /// Clean-state flash (Figure 9's conditions).
+    pub fn clean() -> Self {
+        DeviceProfile {
+            ssds_per_osd: 3,
+            ssd: SsdConfig::sata3(),
+            nvram: NvramConfig::pmc_8g(),
+            journal_capacity: 2 * GIB,
+            stripe: 64 * KIB,
+        }
+    }
+
+    /// Sustained-state flash (Figures 10/11's conditions).
+    pub fn sustained() -> Self {
+        DeviceProfile { ssd: SsdConfig::sata3_sustained(), ..Self::clean() }
+    }
+
+    /// Shrink the journal (forces the Figure 10 journal-full fluctuation
+    /// at bench scale).
+    #[must_use]
+    pub fn with_journal_capacity(mut self, bytes: u64) -> Self {
+        self.journal_capacity = bytes;
+        self
+    }
+}
+
+/// Result of a deep scrub pass.
+#[derive(Debug, Clone, Default)]
+pub struct ScrubReport {
+    /// PGs in the scanned pool.
+    pub pgs_checked: u64,
+    /// Data objects compared across their acting sets.
+    pub objects_checked: u64,
+    /// `(pg, object)` pairs whose replicas disagree (or are missing).
+    pub inconsistent: Vec<(PgId, String)>,
+}
+
+impl ScrubReport {
+    /// True when every object's replicas agree.
+    pub fn is_clean(&self) -> bool {
+        self.inconsistent.is_empty()
+    }
+}
+
+/// Builder for [`Cluster`].
+pub struct ClusterBuilder {
+    nodes: u32,
+    osds_per_node: u32,
+    replication: usize,
+    pg_num: u32,
+    tuning: OsdTuning,
+    devices: DeviceProfile,
+    hop_latency: Duration,
+    msgr_cpu: Duration,
+    msgr_mode: MessengerMode,
+    seed: u64,
+}
+
+impl Default for ClusterBuilder {
+    fn default() -> Self {
+        ClusterBuilder {
+            nodes: 4,
+            osds_per_node: 4,
+            replication: 2,
+            pg_num: 128,
+            tuning: OsdTuning::community(),
+            devices: DeviceProfile::clean(),
+            hop_latency: Duration::from_micros(80),
+            msgr_cpu: Duration::ZERO,
+            msgr_mode: MessengerMode::Simple,
+            seed: 0xafc_5eed,
+        }
+    }
+}
+
+impl ClusterBuilder {
+    /// Number of server nodes.
+    #[must_use]
+    pub fn nodes(mut self, n: u32) -> Self {
+        self.nodes = n;
+        self
+    }
+
+    /// OSD daemons per node (4 in the paper).
+    #[must_use]
+    pub fn osds_per_node(mut self, n: u32) -> Self {
+        self.osds_per_node = n;
+        self
+    }
+
+    /// Replication factor (2 in the paper).
+    #[must_use]
+    pub fn replication(mut self, n: usize) -> Self {
+        self.replication = n;
+        self
+    }
+
+    /// PGs in the RBD pool.
+    #[must_use]
+    pub fn pg_num(mut self, n: u32) -> Self {
+        self.pg_num = n;
+        self
+    }
+
+    /// Tuning vector for every OSD.
+    #[must_use]
+    pub fn tuning(mut self, t: OsdTuning) -> Self {
+        self.tuning = t;
+        self
+    }
+
+    /// Device provisioning.
+    #[must_use]
+    pub fn devices(mut self, d: DeviceProfile) -> Self {
+        self.devices = d;
+        self
+    }
+
+    /// One-way network latency.
+    #[must_use]
+    pub fn hop_latency(mut self, d: Duration) -> Self {
+        self.hop_latency = d;
+        self
+    }
+
+    /// Per-message messenger CPU work (the Figure 12 scalability ceiling).
+    #[must_use]
+    pub fn messenger_cpu(mut self, d: Duration) -> Self {
+        self.msgr_cpu = d;
+        self
+    }
+
+    /// Receive-side threading model: `Simple` (thread per connection, the
+    /// paper's testbed) or `Async` (fixed pool — Ceph's later fix for the
+    /// §4.5 scalability ceiling).
+    #[must_use]
+    pub fn messenger_mode(mut self, m: MessengerMode) -> Self {
+        self.msgr_mode = m;
+        self
+    }
+
+    /// Deterministic seed for device jitter streams.
+    #[must_use]
+    pub fn seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+
+    /// Assemble and start the cluster.
+    pub fn build(self) -> Result<Cluster> {
+        if self.nodes == 0 || self.osds_per_node == 0 {
+            return Err(AfcError::InvalidArgument("cluster needs nodes and OSDs".into()));
+        }
+        if self.replication == 0 || self.replication > self.nodes as usize {
+            return Err(AfcError::InvalidArgument(format!(
+                "replication {} impossible with {} nodes (host failure domain)",
+                self.replication, self.nodes
+            )));
+        }
+        let net = Network::new(NetConfig {
+            hop_latency: self.hop_latency,
+            nagle: self.tuning.nagle,
+            cpu_per_msg: self.msgr_cpu,
+            mode: self.msgr_mode,
+            ..NetConfig::default()
+        });
+        let crush = CrushMap::uniform(self.nodes, self.osds_per_node);
+        let monitor = Monitor::new(crush);
+        let pool = PoolId(0);
+        monitor.update(|m| m.add_pool(pool, PoolSpec { pg_num: self.pg_num, size: self.replication }))?;
+        let mut osds = Vec::new();
+        for node in 0..self.nodes {
+            // One NVRAM card per node, shared by its OSDs' journals.
+            let nvram: Arc<dyn BlockDev> = Arc::new(Nvram::new(self.devices.nvram.clone()));
+            for o in 0..self.osds_per_node {
+                let id = OsdId(node * self.osds_per_node + o);
+                let members: Vec<Arc<dyn BlockDev>> = (0..self.devices.ssds_per_osd.max(1))
+                    .map(|d| {
+                        let seed = self.seed ^ ((id.0 as u64) << 16) ^ d as u64;
+                        Arc::new(Ssd::new(self.devices.ssd.clone().with_seed(seed))) as Arc<dyn BlockDev>
+                    })
+                    .collect();
+                let data_dev: Arc<dyn BlockDev> = Arc::new(Raid0::new(members, self.devices.stripe)?);
+                let journal_capacity = self
+                    .devices
+                    .journal_capacity
+                    .min(self.devices.nvram.capacity / self.osds_per_node as u64);
+                osds.push(Osd::spawn(OsdParams {
+                    id,
+                    tuning: self.tuning.clone(),
+                    data_dev,
+                    journal_dev: Arc::clone(&nvram),
+                    journal_capacity,
+                    map: monitor.shared_map(),
+                    net: Arc::clone(&net),
+                })?);
+            }
+        }
+        Ok(Cluster {
+            net,
+            monitor,
+            osds,
+            pool,
+            tuning: self.tuning,
+            next_client: AtomicU64::new(1),
+            stopped: AtomicBool::new(false),
+        })
+    }
+}
+
+/// A running storage cluster.
+pub struct Cluster {
+    net: Arc<Network<OsdMsg>>,
+    monitor: Monitor,
+    osds: Vec<Arc<Osd>>,
+    pool: PoolId,
+    tuning: OsdTuning,
+    next_client: AtomicU64,
+    stopped: AtomicBool,
+}
+
+impl Cluster {
+    /// Start building a cluster.
+    pub fn builder() -> ClusterBuilder {
+        ClusterBuilder::default()
+    }
+
+    /// Connect a new client session.
+    pub fn client(&self) -> Result<Arc<RadosClient>> {
+        let id = ClientId(self.next_client.fetch_add(1, Ordering::Relaxed));
+        RadosClient::connect(&self.net, self.monitor.shared_map(), id, self.pool)
+    }
+
+    /// Convenience: connect a client and open an image handle on it.
+    pub fn create_image(&self, name: &str, size: u64) -> Result<RbdImage> {
+        let client = self.client()?;
+        RbdImage::new(client, name, size)
+    }
+
+    /// The monitor.
+    pub fn monitor(&self) -> &Monitor {
+        &self.monitor
+    }
+
+    /// The OSDs.
+    pub fn osds(&self) -> &[Arc<Osd>] {
+        &self.osds
+    }
+
+    /// An OSD by id.
+    pub fn osd(&self, id: OsdId) -> Option<&Arc<Osd>> {
+        self.osds.iter().find(|o| o.id() == id)
+    }
+
+    /// The network fabric (counters).
+    pub fn network(&self) -> &Arc<Network<OsdMsg>> {
+        &self.net
+    }
+
+    /// The RBD pool.
+    pub fn pool(&self) -> PoolId {
+        self.pool
+    }
+
+    /// The tuning the cluster was built with.
+    pub fn tuning(&self) -> &OsdTuning {
+        &self.tuning
+    }
+
+    /// Node hosting an OSD.
+    pub fn node_of(&self, osd: OsdId) -> Option<NodeId> {
+        self.monitor.map().crush().host_of(osd)
+    }
+
+    /// Per-OSD statistics.
+    pub fn osd_stats(&self) -> Vec<(OsdId, OsdStats)> {
+        self.osds.iter().map(|o| (o.id(), o.stats())).collect()
+    }
+
+    /// Drain in-flight work across the cluster (benchmark epilogue).
+    pub fn quiesce(&self) {
+        for o in &self.osds {
+            o.quiesce();
+        }
+    }
+
+    /// Deep scrub: verify replica consistency for every PG — each data
+    /// object's bytes on the primary are compared against every up
+    /// replica. Ceph runs this continuously in the background; here it is
+    /// an on-demand pass (quiesce first for a stable view). Returns the
+    /// report; inconsistencies indicate a replication bug or injected
+    /// corruption.
+    pub fn deep_scrub(&self) -> Result<ScrubReport> {
+        let map = self.monitor.map();
+        let mut report = ScrubReport::default();
+        // Gather every data object on any OSD (pgmeta objects are per-OSD
+        // bookkeeping and intentionally excluded).
+        let mut objects: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+        for osd in &self.osds {
+            for name in osd.store().list_objects() {
+                if !name.starts_with("pgmeta_") {
+                    objects.insert(name);
+                }
+            }
+        }
+        for name in objects {
+            // Object names are "<pool>/<name>"; recover the ObjectId.
+            let Some((pool_s, obj_name)) = name.split_once('/') else { continue };
+            let Ok(pool_n) = pool_s.trim_start_matches("pool").parse::<u32>() else { continue };
+            let obj = ObjectId::new(PoolId(pool_n), obj_name);
+            let Ok((pg, acting)) = map.object_placement(&obj) else { continue };
+            report.objects_checked += 1;
+            let mut copies = Vec::new();
+            for osd_id in &acting {
+                let Some(osd) = self.osd(*osd_id) else { continue };
+                let hash = match osd.store().fs().stat(&name) {
+                    Ok(size) => match osd.store().read(&name, 0, size as usize) {
+                        Ok(data) => afc_common::rng::hash_bytes(&data),
+                        Err(_) => u64::MAX, // unreadable copy
+                    },
+                    Err(_) => u64::MAX, // missing copy
+                };
+                copies.push((*osd_id, hash));
+            }
+            if copies.windows(2).any(|w| w[0].1 != w[1].1) {
+                report.inconsistent.push((pg, name));
+            }
+        }
+        report.pgs_checked = map.pool(self.pool)?.pg_num as u64;
+        Ok(report)
+    }
+
+    /// Stop everything: fabric first (no new messages), then OSD threads.
+    pub fn shutdown(&self) {
+        if self.stopped.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.net.shutdown();
+        for o in &self.osds {
+            o.shutdown();
+        }
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

@@ -1,0 +1,179 @@
+//! Wire messages between clients, primaries and replicas.
+
+use afc_common::{AfcError, ClientId, ObjectId, OpId, PgId, OsdId};
+use bytes::Bytes;
+
+/// Object-level operation requested by a client.
+#[derive(Debug, Clone)]
+pub enum ObjectOp {
+    /// Write `data` at `offset`.
+    Write {
+        /// Byte offset within the object.
+        offset: u64,
+        /// Payload.
+        data: Bytes,
+    },
+    /// Read `len` bytes at `offset`.
+    Read {
+        /// Byte offset within the object.
+        offset: u64,
+        /// Length.
+        len: u32,
+    },
+    /// Fetch object size.
+    Stat,
+    /// Delete the object.
+    Delete,
+}
+
+impl ObjectOp {
+    /// Whether this op mutates state (and therefore journals/replicates).
+    pub fn is_write(&self) -> bool {
+        matches!(self, ObjectOp::Write { .. } | ObjectOp::Delete)
+    }
+
+    /// Approximate wire size of the request carrying this op.
+    pub fn wire_bytes(&self) -> u32 {
+        match self {
+            ObjectOp::Write { data, .. } => 256 + data.len() as u32,
+            _ => 256,
+        }
+    }
+}
+
+/// Result payload of a completed op.
+#[derive(Debug, Clone)]
+pub enum OpOutcome {
+    /// Write/delete acknowledged (journal-durable everywhere).
+    Done,
+    /// Read data.
+    Data(Bytes),
+    /// Object size.
+    Size(u64),
+}
+
+/// Client request to the primary OSD (`MOSDOp`).
+#[derive(Debug, Clone)]
+pub struct ClientOp {
+    /// Issuing client.
+    pub client: ClientId,
+    /// Per-client op id.
+    pub op_id: OpId,
+    /// Target placement group (client computes it via CRUSH).
+    pub pg: PgId,
+    /// Target object.
+    pub object: ObjectId,
+    /// The operation.
+    pub op: ObjectOp,
+    /// Client requests in-order ack delivery (§3.1 ordered-ack option).
+    pub ordered_ack: bool,
+}
+
+/// Primary's reply to the client (`MOSDOpReply`).
+#[derive(Debug, Clone)]
+pub struct ClientReply {
+    /// Echoed op id.
+    pub op_id: OpId,
+    /// Result.
+    pub result: Result<OpOutcome, AfcError>,
+}
+
+/// Replication sub-op, primary → replica (`MOSDRepOp`).
+#[derive(Debug, Clone)]
+pub struct RepOp {
+    /// Correlation id unique on the primary.
+    pub rep_id: u64,
+    /// Placement group.
+    pub pg: PgId,
+    /// Target object.
+    pub object: ObjectId,
+    /// The (write) operation to mirror.
+    pub op: ObjectOp,
+    /// PG log sequence assigned by the primary.
+    pub pg_seq: u64,
+}
+
+/// Replica's commit ack, replica → primary (`MOSDRepOpReply`).
+#[derive(Debug, Clone)]
+pub struct RepOpReply {
+    /// Correlation id.
+    pub rep_id: u64,
+    /// Acking replica.
+    pub from: OsdId,
+}
+
+/// Everything that travels over the fabric.
+#[derive(Debug, Clone)]
+pub enum OsdMsg {
+    /// Client → primary.
+    Request(ClientOp),
+    /// Primary → client.
+    Reply(ClientReply),
+    /// Primary → replica.
+    Replicate(RepOp),
+    /// Replica → primary.
+    RepAck(RepOpReply),
+}
+
+impl OsdMsg {
+    /// Wire size estimate used for Nagle decisions and byte counters.
+    pub fn wire_bytes(&self) -> u32 {
+        match self {
+            OsdMsg::Request(r) => r.op.wire_bytes(),
+            OsdMsg::Reply(r) => match &r.result {
+                Ok(OpOutcome::Data(d)) => 128 + d.len() as u32,
+                _ => 128,
+            },
+            OsdMsg::Replicate(r) => r.op.wire_bytes() + 64,
+            OsdMsg::RepAck(_) => 96,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afc_common::PoolId;
+
+    #[test]
+    fn write_classification() {
+        assert!(ObjectOp::Write { offset: 0, data: Bytes::new() }.is_write());
+        assert!(ObjectOp::Delete.is_write());
+        assert!(!ObjectOp::Read { offset: 0, len: 1 }.is_write());
+        assert!(!ObjectOp::Stat.is_write());
+    }
+
+    #[test]
+    fn wire_bytes_scale_with_payload() {
+        let small = ObjectOp::Write { offset: 0, data: Bytes::from(vec![0; 512]) };
+        let large = ObjectOp::Write { offset: 0, data: Bytes::from(vec![0; 65536]) };
+        assert!(large.wire_bytes() > small.wire_bytes());
+        let read = ObjectOp::Read { offset: 0, len: 4096 };
+        assert_eq!(read.wire_bytes(), 256);
+    }
+
+    #[test]
+    fn reply_wire_bytes_include_data() {
+        let r = OsdMsg::Reply(ClientReply {
+            op_id: OpId(1),
+            result: Ok(OpOutcome::Data(Bytes::from(vec![0; 4096]))),
+        });
+        assert!(r.wire_bytes() > 4096);
+        let ack = OsdMsg::RepAck(RepOpReply { rep_id: 1, from: OsdId(0) });
+        assert_eq!(ack.wire_bytes(), 96);
+    }
+
+    #[test]
+    fn client_op_construction() {
+        let op = ClientOp {
+            client: ClientId(1),
+            op_id: OpId(9),
+            pg: PgId { pool: PoolId(0), seq: 3 },
+            object: ObjectId::new(PoolId(0), "o"),
+            op: ObjectOp::Stat,
+            ordered_ack: false,
+        };
+        assert_eq!(op.op_id, OpId(9));
+        assert!(!op.op.is_write());
+    }
+}

@@ -1,0 +1,94 @@
+//! The (single, simplified) monitor: authority over the cluster map.
+//!
+//! Real Ceph runs a Paxos quorum of monitors; map-change consensus is not
+//! what the paper evaluates, so here one monitor owns the versioned
+//! [`OsdMap`] and every OSD/client shares a handle to it. Updates bump the
+//! epoch and are immediately visible (the shared `RwLock` stands in for map
+//! gossip).
+
+use afc_crush::{CrushMap, OsdMap};
+use afc_common::{Epoch, OsdId};
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// The cluster-map authority.
+pub struct Monitor {
+    map: Arc<RwLock<Arc<OsdMap>>>,
+}
+
+impl Monitor {
+    /// Create a monitor with an initial CRUSH hierarchy.
+    pub fn new(crush: CrushMap) -> Self {
+        Monitor { map: Arc::new(RwLock::new(Arc::new(OsdMap::new(crush)))) }
+    }
+
+    /// The shared map handle given to OSDs and clients.
+    pub fn shared_map(&self) -> Arc<RwLock<Arc<OsdMap>>> {
+        Arc::clone(&self.map)
+    }
+
+    /// Snapshot of the current map.
+    pub fn map(&self) -> Arc<OsdMap> {
+        self.map.read().clone()
+    }
+
+    /// Current epoch.
+    pub fn epoch(&self) -> Epoch {
+        self.map.read().epoch()
+    }
+
+    /// Apply a mutation to the map (pool creation, OSD status, CRUSH
+    /// change); publishes the new version atomically.
+    pub fn update<R>(&self, f: impl FnOnce(&mut OsdMap) -> R) -> R {
+        let mut guard = self.map.write();
+        let mut next = (**guard).clone();
+        let r = f(&mut next);
+        *guard = Arc::new(next);
+        r
+    }
+
+    /// Mark an OSD down (failure detection shortcut for tests).
+    pub fn mark_down(&self, osd: OsdId) {
+        self.update(|m| m.set_up(osd, false));
+    }
+
+    /// Mark an OSD up again.
+    pub fn mark_up(&self, osd: OsdId) {
+        self.update(|m| m.set_up(osd, true));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afc_common::{PoolId};
+    use afc_crush::osdmap::PoolSpec;
+
+    #[test]
+    fn updates_bump_epoch_and_publish() {
+        let mon = Monitor::new(CrushMap::uniform(2, 2));
+        let e0 = mon.epoch();
+        mon.update(|m| m.add_pool(PoolId(0), PoolSpec { pg_num: 32, size: 2 }).unwrap());
+        assert!(mon.epoch() > e0);
+        let shared = mon.shared_map();
+        assert_eq!(shared.read().pool(PoolId(0)).unwrap().pg_num, 32);
+    }
+
+    #[test]
+    fn mark_down_up_cycle() {
+        let mon = Monitor::new(CrushMap::uniform(2, 2));
+        mon.mark_down(OsdId(1));
+        assert!(!mon.map().osd_status(OsdId(1)).up);
+        mon.mark_up(OsdId(1));
+        assert!(mon.map().osd_status(OsdId(1)).up);
+    }
+
+    #[test]
+    fn shared_handle_sees_updates() {
+        let mon = Monitor::new(CrushMap::uniform(2, 2));
+        let shared = mon.shared_map();
+        let before = shared.read().epoch();
+        mon.mark_down(OsdId(0));
+        assert!(shared.read().epoch() > before);
+    }
+}

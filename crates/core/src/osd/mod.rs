@@ -1,0 +1,1166 @@
+//! The object storage daemon.
+//!
+//! One `Osd` owns a filestore (RAID-0 flash), a journal (NVRAM region), a
+//! logger, PG structures and the op pipeline threads. The pipeline follows
+//! Figure 2(b) of the paper, with every §3 optimization switchable through
+//! [`OsdTuning`]:
+//!
+//! ```text
+//! client ──▶ messenger dispatch ──▶ PG queue ──▶ OP_WQ worker (PG lock)
+//!                                                │  pg-log append
+//!                                                │  replicate ▶ replicas
+//!                                                ▼  journal submit
+//!                               journal writer ▶ commit ▶ finisher
+//!             community: finisher takes PG lock, queues filestore (may
+//!                        block on throttle), handles acks via PG queue
+//!             afceph:    OP-lock bookkeeping + dedicated batching
+//!                        completion worker; acks fast-pathed
+//! ```
+
+pub mod ack;
+pub mod pg;
+pub mod trace;
+pub mod trim;
+
+pub use trace::StageSample;
+
+use crate::messages::{ClientOp, ClientReply, ObjectOp, OpOutcome, OsdMsg, RepOp, RepOpReply};
+use crate::tuning::OsdTuning;
+use ack::OrderedAcker;
+use afc_common::{AfcError, ClientId, ObjectId, OpId, OsdId, PgId, Result};
+use afc_crush::OsdMap;
+use afc_device::BlockDev;
+use afc_filestore::throttle::OwnedPermit;
+use afc_filestore::{FileStore, FileStoreConfig, FileStoreStats, Throttle, Transaction, TxOp, TxnProfile};
+use afc_journal::{Journal, JournalConfig, JournalStats};
+use afc_logging::{Level, Logger};
+use afc_messenger::{Addr, Dispatcher, Messenger, Network};
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex, RwLock};
+use pg::{Pg, PgState};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+use trace::{StageRecorder, TraceTimes};
+use trim::TrimTracker;
+
+/// Parameters for spawning an OSD.
+pub struct OsdParams {
+    /// OSD id.
+    pub id: OsdId,
+    /// Tuning vector.
+    pub tuning: OsdTuning,
+    /// Data device (the OSD's RAID-0 flash set).
+    pub data_dev: Arc<dyn BlockDev>,
+    /// Journal device (NVRAM; may be shared across a node's OSDs).
+    pub journal_dev: Arc<dyn BlockDev>,
+    /// Journal ring capacity for this OSD (2 GiB in the paper's testbed).
+    pub journal_capacity: u64,
+    /// Shared, monitor-updated cluster map.
+    pub map: Arc<RwLock<Arc<OsdMap>>>,
+    /// The fabric.
+    pub net: Arc<Network<OsdMsg>>,
+}
+
+/// Aggregated per-OSD statistics.
+#[derive(Debug, Clone, Default)]
+pub struct OsdStats {
+    /// Client requests received.
+    pub client_ops: u64,
+    /// Writes acknowledged.
+    pub writes: u64,
+    /// Reads served.
+    pub reads: u64,
+    /// Replication sub-ops received (replica role).
+    pub repops: u64,
+    /// Replica acks processed (primary role).
+    pub repacks: u64,
+    /// Contended PG-lock acquisitions.
+    pub pg_lock_waits: u64,
+    /// Total PG-lock wait, microseconds.
+    pub pg_lock_wait_us: u64,
+    /// `osd_client_message_cap` throttle blocks.
+    pub client_throttle_waits: u64,
+    /// Total client-throttle wait, microseconds.
+    pub client_throttle_wait_us: u64,
+    /// Journal statistics.
+    pub journal: JournalStats,
+    /// Filestore statistics.
+    pub filestore: FileStoreStats,
+    /// KV store statistics.
+    pub kv: afc_kvstore::DbStats,
+    /// Data-device statistics.
+    pub device: afc_device::DevStats,
+    /// Debug-log entries submitted.
+    pub log_submitted: u64,
+    /// Debug-log submit wait, microseconds (blocking mode).
+    pub log_wait_us: u64,
+}
+
+struct Progress {
+    local_commit: bool,
+    acks: usize,
+    replied: bool,
+}
+
+/// An in-flight replicated write on the primary.
+struct WriteOp {
+    client: ClientId,
+    op_id: OpId,
+    reply_to: Addr,
+    pg: Arc<Pg>,
+    needed_acks: usize,
+    progress: Mutex<Progress>,
+    permit: Mutex<Option<OwnedPermit>>,
+    trace: Option<Mutex<TraceTimes>>,
+    ack_lane: Option<u64>,
+}
+
+enum CompletionEvent {
+    PrimaryCommit { op: Arc<WriteOp>, jseq: u64, txn: Transaction, pg_seq: u64 },
+    ReplicaCommit { pg: Arc<Pg>, jseq: u64, txn: Transaction, pg_seq: u64, primary: Addr, rep_id: u64 },
+}
+
+struct OpQueue {
+    q: Mutex<VecDeque<Arc<Pg>>>,
+    cv: Condvar,
+}
+
+/// Read gate: a read must not observe the filestore before every write to
+/// its object that was *ordered before it* (journal-acked but not yet
+/// applied) has landed — Ceph's per-object sequencer behaviour that keeps
+/// read-after-acked-write strongly consistent. Writes ordered after the
+/// read do not delay it (no starvation under mixed workloads).
+struct ApplyGate {
+    state: Mutex<HashMap<String, (u64, u64)>>, // object → (enqueued, applied)
+    cv: Condvar,
+}
+
+impl ApplyGate {
+    fn new() -> Self {
+        ApplyGate { state: Mutex::new(HashMap::new()), cv: Condvar::new() }
+    }
+
+    /// A write to `object` entered the pipeline.
+    fn add(&self, object: &str) {
+        self.state.lock().entry(object.to_string()).or_insert((0, 0)).0 += 1;
+    }
+
+    /// A write to `object` finished applying (no-op for untracked objects,
+    /// e.g. replica-side applies that serve no reads).
+    fn done(&self, object: &str) {
+        let mut st = self.state.lock();
+        if let Some(e) = st.get_mut(object) {
+            e.1 += 1;
+            if e.1 >= e.0 {
+                st.remove(object);
+            }
+            drop(st);
+            self.cv.notify_all();
+        }
+    }
+
+    /// Current enqueue watermark for `object` (None: nothing pending).
+    fn snapshot(&self, object: &str) -> Option<u64> {
+        self.state.lock().get(object).map(|e| e.0)
+    }
+
+    /// Wait until applies for `object` reach `target` (from [`Self::snapshot`]).
+    fn wait_target(&self, object: &str, target: Option<u64>) {
+        let Some(target) = target else { return };
+        let mut st = self.state.lock();
+        let deadline = Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            match st.get(object) {
+                Some(&(_, applied)) if applied < target => {
+                    if self.cv.wait_until(&mut st, deadline).timed_out() {
+                        return; // fail open: a wedged apply must not hang reads
+                    }
+                }
+                _ => return, // caught up or entry retired
+            }
+        }
+    }
+
+    /// Wait until every write enqueued *before now* has applied.
+    fn wait_ordered(&self, object: &str) {
+        self.wait_target(object, self.snapshot(object));
+    }
+}
+
+/// A read handed off to the disk-reader pool (§3.1/§4.3: with the pending
+/// queue, "the read requests of other PG can be processed without delay" —
+/// reads leave the PG pipeline once ordered and execute off the op worker).
+struct ReadJob {
+    from: Addr,
+    op_id: OpId,
+    obj_name: String,
+    offset: u64,
+    len: u32,
+    permit: OwnedPermit,
+    gate_target: Option<u64>,
+}
+
+struct OsdInner {
+    id: OsdId,
+    tuning: OsdTuning,
+    logger: Arc<Logger>,
+    store: Arc<FileStore>,
+    journal: Arc<Journal>,
+    msgr: OnceLock<Messenger<OsdMsg>>,
+    map: Arc<RwLock<Arc<OsdMap>>>,
+    pgs: RwLock<HashMap<PgId, Arc<Pg>>>,
+    opq: OpQueue,
+    client_throttle: Arc<Throttle>,
+    rep_waits: Mutex<HashMap<u64, Arc<WriteOp>>>,
+    next_rep_id: AtomicU64,
+    trim: Mutex<TrimTracker>,
+    pending_apply: Mutex<HashMap<u64, Transaction>>,
+    apply_gate: ApplyGate,
+    completion_tx: Mutex<Option<crossbeam::channel::Sender<CompletionEvent>>>,
+    reader_tx: Mutex<Option<crossbeam::channel::Sender<ReadJob>>>,
+    recorder: StageRecorder,
+    acker: OrderedAcker,
+    shutdown: AtomicBool,
+    // counters
+    client_ops: AtomicU64,
+    writes: AtomicU64,
+    reads: AtomicU64,
+    repops: AtomicU64,
+    repacks: AtomicU64,
+}
+
+/// A running OSD daemon.
+pub struct Osd {
+    inner: Arc<OsdInner>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Osd {
+    /// Spawn an OSD: opens the filestore and journal, registers with the
+    /// network, and starts the op-worker (and, in AFCeph mode, completion)
+    /// threads.
+    pub fn spawn(params: OsdParams) -> Result<Arc<Osd>> {
+        let tuning = params.tuning.clone();
+        let logger = Logger::new(tuning.logging.log_config());
+        let fs_profile = if tuning.lightweight_txn {
+            TxnProfile::Lightweight
+        } else {
+            TxnProfile::Community
+        };
+        let fs_cfg = FileStoreConfig {
+            profile: fs_profile,
+            queue_max_ops: tuning.filestore_queue_max_ops(),
+            apply_threads: tuning.apply_threads,
+            ..if tuning.lightweight_txn {
+                FileStoreConfig::lightweight()
+            } else {
+                FileStoreConfig::community()
+            }
+        };
+        let store = FileStore::new(Arc::clone(&params.data_dev), fs_cfg);
+        let journal = Journal::new(
+            Arc::clone(&params.journal_dev),
+            JournalConfig { capacity: params.journal_capacity, ..JournalConfig::default() },
+        );
+        let inner = Arc::new(OsdInner {
+            id: params.id,
+            logger,
+            store,
+            journal,
+            msgr: OnceLock::new(),
+            map: params.map,
+            pgs: RwLock::new(HashMap::new()),
+            opq: OpQueue { q: Mutex::new(VecDeque::new()), cv: Condvar::new() },
+            client_throttle: Arc::new(Throttle::new("osd_client_message_cap", tuning.client_message_cap())),
+            rep_waits: Mutex::new(HashMap::new()),
+            next_rep_id: AtomicU64::new(1),
+            trim: Mutex::new(TrimTracker::new()),
+            pending_apply: Mutex::new(HashMap::new()),
+            apply_gate: ApplyGate::new(),
+            completion_tx: Mutex::new(None),
+            reader_tx: Mutex::new(None),
+            recorder: StageRecorder::new(16, 4096),
+            acker: OrderedAcker::new(),
+            shutdown: AtomicBool::new(false),
+            client_ops: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            reads: AtomicU64::new(0),
+            repops: AtomicU64::new(0),
+            repacks: AtomicU64::new(0),
+            tuning,
+        });
+        let msgr = params
+            .net
+            .register(Addr::Osd(params.id), Arc::new(OsdDispatcher(Arc::clone(&inner))))?;
+        inner.msgr.set(msgr).ok().expect("msgr set once");
+        let mut workers = Vec::new();
+        for i in 0..inner.tuning.op_threads.max(1) {
+            let inner = Arc::clone(&inner);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("{}-op-{i}", params.id))
+                    .spawn(move || op_worker_loop(inner))
+                    .expect("spawn op worker"),
+            );
+        }
+        if inner.tuning.pending_queue {
+            let (tx, rx) = crossbeam::channel::unbounded::<ReadJob>();
+            *inner.reader_tx.lock() = Some(tx);
+            for i in 0..2 {
+                let rx = rx.clone();
+                let inner2 = Arc::clone(&inner);
+                workers.push(
+                    std::thread::Builder::new()
+                        .name(format!("{}-reader-{i}", params.id))
+                        .spawn(move || {
+                            while let Ok(job) = rx.recv() {
+                                inner2.execute_read(job);
+                            }
+                        })
+                        .expect("spawn reader"),
+                );
+            }
+        }
+        if inner.tuning.dedicated_completion {
+            let (tx, rx) = crossbeam::channel::unbounded();
+            *inner.completion_tx.lock() = Some(tx);
+            let inner2 = Arc::clone(&inner);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("{}-completion", params.id))
+                    .spawn(move || completion_worker_loop(inner2, rx))
+                    .expect("spawn completion worker"),
+            );
+        }
+        Ok(Arc::new(Osd { inner, workers: Mutex::new(workers) }))
+    }
+
+    /// This OSD's id.
+    pub fn id(&self) -> OsdId {
+        self.inner.id
+    }
+
+    /// The filestore (stats, direct reads in tests).
+    pub fn store(&self) -> &Arc<FileStore> {
+        &self.inner.store
+    }
+
+    /// The journal.
+    pub fn journal(&self) -> &Arc<Journal> {
+        &self.inner.journal
+    }
+
+    /// The debug logger.
+    pub fn logger(&self) -> &Arc<Logger> {
+        &self.inner.logger
+    }
+
+    /// Collected Figure-3 stage samples.
+    pub fn stage_samples(&self) -> Vec<StageSample> {
+        self.inner.recorder.samples()
+    }
+
+    /// Aggregated statistics.
+    pub fn stats(&self) -> OsdStats {
+        let inner = &self.inner;
+        let (plw, plwu) = {
+            let pgs = inner.pgs.read();
+            pgs.values().map(|p| p.lock_stats()).fold((0, 0), |a, b| (a.0 + b.0, a.1 + b.1))
+        };
+        let (ctw, ctwu) = inner.client_throttle.wait_stats();
+        OsdStats {
+            client_ops: inner.client_ops.load(Ordering::Relaxed),
+            writes: inner.writes.load(Ordering::Relaxed),
+            reads: inner.reads.load(Ordering::Relaxed),
+            repops: inner.repops.load(Ordering::Relaxed),
+            repacks: inner.repacks.load(Ordering::Relaxed),
+            pg_lock_waits: plw,
+            pg_lock_wait_us: plwu,
+            client_throttle_waits: ctw,
+            client_throttle_wait_us: ctwu,
+            journal: inner.journal.stats(),
+            filestore: inner.store.stats(),
+            kv: inner.store.kv_stats(),
+            device: inner.store.fs().device().stats(),
+            log_submitted: inner.logger.counters().get("log.submitted"),
+            log_wait_us: inner.logger.counters().get("log.block_wait_us"),
+        }
+    }
+
+    /// Re-apply journal entries that had not reached the filestore (crash
+    /// recovery). Safe to call repeatedly: writes are idempotent replays.
+    pub fn replay_journal(&self) -> Result<usize> {
+        let pending: Vec<(u64, Transaction)> = {
+            let p = self.inner.pending_apply.lock();
+            let mut v: Vec<_> = p.iter().map(|(s, t)| (*s, t.clone())).collect();
+            v.sort_by_key(|(s, _)| *s);
+            v
+        };
+        let n = pending.len();
+        for (seq, txn) in pending {
+            self.inner.store.apply_sync(txn)?;
+            self.inner.on_applied(seq);
+        }
+        Ok(n)
+    }
+
+    /// Drain in-flight work (test/bench helper): waits until the filestore
+    /// queue empties and the journal has committed everything submitted.
+    pub fn quiesce(&self) {
+        self.inner.journal.quiesce();
+        self.inner.store.wait_idle();
+    }
+
+    /// Stop the op/completion threads. The OSD stops consuming its queue;
+    /// the network endpoint should be shut down by the cluster first.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.opq.cv.notify_all();
+        *self.inner.completion_tx.lock() = None;
+        *self.inner.reader_tx.lock() = None;
+        self.inner.client_throttle.close();
+        for h in self.workers.lock().drain(..) {
+            if h.thread().id() != std::thread::current().id() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+struct OsdDispatcher(Arc<OsdInner>);
+
+impl Dispatcher<OsdMsg> for OsdDispatcher {
+    fn dispatch(&self, from: Addr, msg: OsdMsg) {
+        let inner = &self.0;
+        if inner.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        match msg {
+            OsdMsg::Request(op) => inner.handle_request(from, op),
+            OsdMsg::Replicate(rep) => inner.handle_repop(from, rep),
+            OsdMsg::RepAck(ack) => inner.handle_repack(ack),
+            OsdMsg::Reply(_) => {
+                inner.logger.log(Level::Error, "osd", "unexpected client reply at OSD");
+            }
+        }
+    }
+}
+
+fn op_worker_loop(inner: Arc<OsdInner>) {
+    let blocking = !inner.tuning.pending_queue;
+    loop {
+        let pg = {
+            let mut q = inner.opq.q.lock();
+            loop {
+                if let Some(pg) = q.pop_front() {
+                    break pg;
+                }
+                if inner.shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+                inner.opq.cv.wait(&mut q);
+            }
+        };
+        pg.drain(blocking);
+    }
+}
+
+fn completion_worker_loop(inner: Arc<OsdInner>, rx: crossbeam::channel::Receiver<CompletionEvent>) {
+    while let Ok(first) = rx.recv() {
+        // Batch everything immediately available (§3.1: "Multiple
+        // completion per PG can be processed at once").
+        let mut batch = vec![first];
+        while batch.len() < 128 {
+            match rx.try_recv() {
+                Ok(e) => batch.push(e),
+                Err(_) => break,
+            }
+        }
+        // Pass 1: filestore hand-off, acks and replies — no PG lock (the
+        // §3.1 point: completion no longer serializes on PG locks, and a
+        // full filestore throttle cannot wedge readers holding them).
+        let mut by_pg: HashMap<PgId, (Arc<Pg>, u64)> = HashMap::new();
+        for ev in &batch {
+            let (pg, seq) = match ev {
+                CompletionEvent::PrimaryCommit { op, pg_seq, .. } => (Arc::clone(&op.pg), *pg_seq),
+                CompletionEvent::ReplicaCommit { pg, pg_seq, .. } => (Arc::clone(pg), *pg_seq),
+            };
+            let e = by_pg.entry(pg.id()).or_insert((pg, 0));
+            e.1 = e.1.max(seq);
+        }
+        for ev in batch {
+            match ev {
+                CompletionEvent::PrimaryCommit { op, jseq, txn, .. } => {
+                    inner.enqueue_filestore(jseq, txn);
+                    if let Some(t) = &op.trace {
+                        t.lock().handled = Some(Instant::now());
+                    }
+                    {
+                        let mut p = op.progress.lock();
+                        p.local_commit = true;
+                    }
+                    inner.maybe_reply(&op);
+                }
+                CompletionEvent::ReplicaCommit { jseq, txn, primary, rep_id, .. } => {
+                    inner.enqueue_filestore(jseq, txn);
+                    inner.send(primary, OsdMsg::RepAck(RepOpReply { rep_id, from: inner.id }));
+                }
+            }
+        }
+        // Pass 2: batched PG bookkeeping, one lock acquisition per PG.
+        for (_, (pg, max_seq)) in by_pg {
+            let mut st = pg.lock_measured();
+            st.last_committed = st.last_committed.max(max_seq);
+        }
+    }
+}
+
+impl OsdInner {
+    fn msgr(&self) -> &Messenger<OsdMsg> {
+        self.msgr.get().expect("messenger registered at spawn")
+    }
+
+    fn send(&self, to: Addr, msg: OsdMsg) {
+        let bytes = msg.wire_bytes();
+        if let Err(e) = self.msgr().send(to, msg, bytes) {
+            self.logger.logf(Level::Error, "osd", || format!("send to {to} failed: {e}"));
+        }
+    }
+
+    fn log(&self, msg: &'static str) {
+        self.logger.log(Level::Trace, "osd", msg);
+    }
+
+    /// Model the per-op allocator churn (§3.2): real transient allocations.
+    fn alloc_overhead(&self) {
+        let n = self.tuning.allocator.allocs_per_op();
+        for i in 0..n {
+            let mut v: Vec<u8> = Vec::with_capacity(64 + (i & 7) * 16);
+            v.push(i as u8);
+            std::hint::black_box(&v);
+        }
+    }
+
+    fn pg(&self, id: PgId) -> Arc<Pg> {
+        if let Some(pg) = self.pgs.read().get(&id) {
+            return Arc::clone(pg);
+        }
+        let mut w = self.pgs.write();
+        Arc::clone(w.entry(id).or_insert_with(|| Pg::new(id)))
+    }
+
+    fn queue_pg(&self, pg: Arc<Pg>, work: pg::PgWork) {
+        pg.queue(work);
+        let mut q = self.opq.q.lock();
+        q.push_back(pg);
+        drop(q);
+        self.opq.cv.notify_one();
+    }
+
+    // ---------------------------------------------------------------- //
+    // Client requests
+    // ---------------------------------------------------------------- //
+
+    fn handle_request(self: &Arc<Self>, from: Addr, op: ClientOp) {
+        self.client_ops.fetch_add(1, Ordering::Relaxed);
+        self.log("ms_fast_dispatch client op");
+        // osd_client_message_cap: blocks this client's connection thread
+        // when the OSD has too many undispatched messages (§3.2).
+        let permit = match self.client_throttle.acquire_owned(1) {
+            Ok(p) => p,
+            Err(_) => return,
+        };
+        // Primary check against the current map.
+        let map = self.map.read().clone();
+        let primary = map.pg_primary(op.pg).ok();
+        if primary != Some(self.id) {
+            self.send(
+                from,
+                OsdMsg::Reply(ClientReply {
+                    op_id: op.op_id,
+                    result: Err(AfcError::InvalidArgument(format!("misdirected op for pg {}", op.pg))),
+                }),
+            );
+            return;
+        }
+        let pg = self.pg(op.pg);
+        let inner = Arc::clone(self);
+        match op.op {
+            ObjectOp::Write { offset, data } => {
+                let trace = self
+                    .recorder
+                    .should_trace()
+                    .then(|| Mutex::new(TraceTimes::start()));
+                let acting = map.pg_acting(op.pg).unwrap_or_default();
+                let needed_acks = acting.len().saturating_sub(1);
+                // §3.1: ordered acks when enabled OSD-wide or requested by
+                // the client ("sends client sequential acks if a client
+                // wants to receive ordered acks as requested").
+                let ack_lane = (self.tuning.ordered_acks || op.ordered_ack)
+                    .then(|| self.acker.assign(op.client, op.pg));
+                let wop = Arc::new(WriteOp {
+                    client: op.client,
+                    op_id: op.op_id,
+                    reply_to: from,
+                    pg: Arc::clone(&pg),
+                    needed_acks,
+                    progress: Mutex::new(Progress { local_commit: false, acks: 0, replied: false }),
+                    permit: Mutex::new(Some(permit)),
+                    trace,
+                    ack_lane,
+                });
+                let object = op.object;
+                let replicas: Vec<OsdId> = acting.into_iter().skip(1).collect();
+                let pgc = Arc::clone(&pg);
+                self.queue_pg(
+                    pg,
+                    Box::new(move |st| {
+                        if let Some(t) = &wop.trace {
+                            t.lock().dequeue = Some(Instant::now());
+                        }
+                        inner.process_write(st, &pgc, wop.clone(), object, offset, data, &replicas);
+                    }),
+                );
+            }
+            ObjectOp::Delete => {
+                let acting = map.pg_acting(op.pg).unwrap_or_default();
+                let needed_acks = acting.len().saturating_sub(1);
+                let wop = Arc::new(WriteOp {
+                    client: op.client,
+                    op_id: op.op_id,
+                    reply_to: from,
+                    pg: Arc::clone(&pg),
+                    needed_acks,
+                    progress: Mutex::new(Progress { local_commit: false, acks: 0, replied: false }),
+                    permit: Mutex::new(Some(permit)),
+                    trace: None,
+                    ack_lane: None,
+                });
+                let object = op.object;
+                let replicas: Vec<OsdId> = acting.into_iter().skip(1).collect();
+                let pgc = Arc::clone(&pg);
+                self.queue_pg(
+                    pg,
+                    Box::new(move |st| {
+                        inner.process_delete(st, &pgc, wop.clone(), object, &replicas);
+                    }),
+                );
+            }
+            ObjectOp::Read { offset, len } => {
+                let object = op.object;
+                let (client, op_id) = (op.client, op.op_id);
+                self.queue_pg(
+                    pg,
+                    Box::new(move |_st| {
+                        inner.process_read(from, client, op_id, object, offset, len, permit);
+                    }),
+                );
+            }
+            ObjectOp::Stat => {
+                let object = op.object;
+                let op_id = op.op_id;
+                self.queue_pg(
+                    pg,
+                    Box::new(move |_st| {
+                        let obj_name = object.to_string();
+                        inner.apply_gate.wait_ordered(&obj_name);
+                        let result = inner
+                            .store
+                            .stat(&obj_name)
+                            .map(|m| OpOutcome::Size(m.size));
+                        inner.send(from, OsdMsg::Reply(ClientReply { op_id, result }));
+                        drop(permit);
+                    }),
+                );
+            }
+        }
+    }
+
+    /// The write path under the PG lock: log, metadata read (community),
+    /// PG-log append, replication, journal submit.
+    #[allow(clippy::too_many_arguments)]
+    fn process_write(
+        self: &Arc<Self>,
+        st: &mut PgState,
+        pg: &Arc<Pg>,
+        op: Arc<WriteOp>,
+        object: ObjectId,
+        offset: u64,
+        data: Bytes,
+        replicas: &[OsdId],
+    ) {
+        self.log("do_op: write enter");
+        self.log("get object context");
+        self.alloc_overhead();
+        let obj_name = object.to_string();
+        // Object-context metadata: community reads it back from storage
+        // (device read under the PG lock — Figure 3's large stage (2));
+        // the LWT profile serves it from the write-through cache.
+        if self.tuning.lightweight_txn {
+            let _ = self.store.stat(&obj_name);
+        } else {
+            let _ = self.store.getattr(&obj_name, "_");
+        }
+        st.next_pg_seq += 1;
+        st.info_version += 1;
+        let pg_seq = st.next_pg_seq;
+        self.log("append pg log");
+        let txn = build_write_txn(pg.id(), &obj_name, offset, &data, pg_seq);
+        // Later reads of this object must wait for the apply (gate is
+        // released in on_applied).
+        self.apply_gate.add(&obj_name);
+        // Replicate before journaling (splay replication, Figure 2).
+        for (i, r) in replicas.iter().enumerate() {
+            let rep_id = self.next_rep_id.fetch_add(1, Ordering::Relaxed);
+            self.rep_waits.lock().insert(rep_id, Arc::clone(&op));
+            self.log("send repop");
+            let _ = i;
+            self.send(
+                Addr::Osd(*r),
+                OsdMsg::Replicate(RepOp {
+                    rep_id,
+                    pg: pg.id(),
+                    object: object.clone(),
+                    op: ObjectOp::Write { offset, data: data.clone() },
+                    pg_seq,
+                }),
+            );
+        }
+        if let Some(t) = &op.trace {
+            t.lock().jsubmit = Some(Instant::now());
+        }
+        self.log("journal submit");
+        self.log("waiting for subops");
+        let inner = Arc::clone(self);
+        let pgc = Arc::clone(pg);
+        let payload = Bytes::from(vec![0u8; txn.encoded_bytes().min(1 << 20) as usize]);
+        let opc = Arc::clone(&op);
+        let res = self.journal.submit(
+            payload,
+            Box::new(move |jseq| {
+                if let Some(t) = &opc.trace {
+                    t.lock().jcommit = Some(Instant::now());
+                }
+                inner.on_journal_commit_primary(pgc, opc, jseq, txn, pg_seq);
+            }),
+        );
+        if let Err(e) = res {
+            self.apply_gate.done(&obj_name);
+            self.fail_op(&op, e);
+        }
+        self.writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn process_delete(
+        self: &Arc<Self>,
+        st: &mut PgState,
+        pg: &Arc<Pg>,
+        op: Arc<WriteOp>,
+        object: ObjectId,
+        replicas: &[OsdId],
+    ) {
+        self.alloc_overhead();
+        let obj_name = object.to_string();
+        st.next_pg_seq += 1;
+        let pg_seq = st.next_pg_seq;
+        let mut txn = Transaction::new();
+        txn.push(TxOp::Remove { object: obj_name.clone() });
+        txn.push(pg_log_op(pg.id(), pg_seq, &obj_name));
+        self.apply_gate.add(&obj_name);
+        for r in replicas {
+            let rep_id = self.next_rep_id.fetch_add(1, Ordering::Relaxed);
+            self.rep_waits.lock().insert(rep_id, Arc::clone(&op));
+            self.send(
+                Addr::Osd(*r),
+                OsdMsg::Replicate(RepOp {
+                    rep_id,
+                    pg: pg.id(),
+                    object: object.clone(),
+                    op: ObjectOp::Delete,
+                    pg_seq,
+                }),
+            );
+        }
+        let inner = Arc::clone(self);
+        let pgc = Arc::clone(pg);
+        let opc = Arc::clone(&op);
+        let payload = Bytes::from(vec![0u8; txn.encoded_bytes().min(1 << 20) as usize]);
+        let res = self.journal.submit(
+            payload,
+            Box::new(move |jseq| {
+                inner.on_journal_commit_primary(pgc, opc, jseq, txn, pg_seq);
+            }),
+        );
+        if let Err(e) = res {
+            self.apply_gate.done(&obj_name);
+            self.fail_op(&op, e);
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn process_read(
+        self: &Arc<Self>,
+        from: Addr,
+        _client: ClientId,
+        op_id: OpId,
+        object: ObjectId,
+        offset: u64,
+        len: u32,
+        permit: OwnedPermit,
+    ) {
+        self.log("do_op: read");
+        self.alloc_overhead();
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        let obj_name = object.to_string();
+        let gate_target = self.apply_gate.snapshot(&obj_name);
+        let job = ReadJob { from, op_id, obj_name, offset, len, permit, gate_target };
+        if self.tuning.pending_queue {
+            // §3.1: ordered here (gate target captured under PG order),
+            // executed on the disk-reader pool so the PG lock and the op
+            // worker are released immediately.
+            let tx = self.reader_tx.lock().clone();
+            if let Some(tx) = tx {
+                if tx.send(job).is_ok() {
+                    return;
+                }
+                return; // shutting down
+            }
+            return;
+        }
+        // Community: the device read happens right here, holding the PG
+        // lock for its whole duration (the behaviour the pending queue
+        // fixes: other requests to this PG — and this op worker — stall).
+        self.execute_read(job);
+    }
+
+    /// Complete a read: wait for ordered applies, hit the filestore, reply.
+    fn execute_read(self: &Arc<Self>, job: ReadJob) {
+        self.apply_gate.wait_target(&job.obj_name, job.gate_target);
+        let result = self
+            .store
+            .read(&job.obj_name, job.offset, job.len as usize)
+            .map(|v| OpOutcome::Data(Bytes::from(v)));
+        self.log("read reply");
+        self.send(job.from, OsdMsg::Reply(ClientReply { op_id: job.op_id, result }));
+        drop(job.permit);
+    }
+
+    // ---------------------------------------------------------------- //
+    // Journal completion (the "commit worker"/finisher path)
+    // ---------------------------------------------------------------- //
+
+    fn on_journal_commit_primary(
+        self: &Arc<Self>,
+        pg: Arc<Pg>,
+        op: Arc<WriteOp>,
+        jseq: u64,
+        txn: Transaction,
+        pg_seq: u64,
+    ) {
+        if self.tuning.dedicated_completion {
+            // AFCeph: OP-lock-only bookkeeping here; PG-lock work is
+            // deferred to the batching completion worker.
+            let tx = self.completion_tx.lock().clone();
+            if let Some(tx) = tx {
+                let _ = tx.send(CompletionEvent::PrimaryCommit { op, jseq, txn, pg_seq });
+            }
+            return;
+        }
+        // Community: the single journal finisher queues the filestore
+        // transaction — when the filestore throttle is full this blocks
+        // the finisher, serializing every completion behind it (Figure 3
+        // stage (5), Figure 4's collapse) — and then re-acquires the PG
+        // lock for completion bookkeeping, contending with op workers.
+        self.enqueue_filestore(jseq, txn);
+        let mut st = pg.lock_measured();
+        self.log("journal commit -> pg backend");
+        st.last_committed = st.last_committed.max(pg_seq);
+        drop(st);
+        if let Some(t) = &op.trace {
+            t.lock().handled = Some(Instant::now());
+        }
+        {
+            let mut p = op.progress.lock();
+            p.local_commit = true;
+        }
+        self.maybe_reply(&op);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_journal_commit_replica(
+        self: &Arc<Self>,
+        pg: Arc<Pg>,
+        jseq: u64,
+        txn: Transaction,
+        pg_seq: u64,
+        primary: Addr,
+        rep_id: u64,
+    ) {
+        if self.tuning.dedicated_completion {
+            let tx = self.completion_tx.lock().clone();
+            if let Some(tx) = tx {
+                let _ = tx.send(CompletionEvent::ReplicaCommit { pg, jseq, txn, pg_seq, primary, rep_id });
+            }
+            return;
+        }
+        self.enqueue_filestore(jseq, txn);
+        let mut st = pg.lock_measured();
+        st.last_committed = st.last_committed.max(pg_seq);
+        drop(st);
+        self.log("replica commit ack");
+        self.send(primary, OsdMsg::RepAck(RepOpReply { rep_id, from: self.id }));
+    }
+
+    fn enqueue_filestore(self: &Arc<Self>, jseq: u64, txn: Transaction) {
+        self.pending_apply.lock().insert(jseq, txn.clone());
+        let inner = Arc::clone(self);
+        let res = self.store.queue_transaction(
+            txn,
+            Box::new(move |r| {
+                if let Err(e) = r {
+                    inner.logger.logf(Level::Error, "osd", || format!("apply failed: {e}"));
+                }
+                inner.on_applied(jseq);
+            }),
+        );
+        if res.is_err() {
+            self.pending_apply.lock().remove(&jseq);
+        }
+    }
+
+    fn on_applied(&self, jseq: u64) {
+        self.log("filestore applied");
+        let txn = self.pending_apply.lock().remove(&jseq);
+        if let Some(txn) = txn {
+            if let Some(op) = txn.ops().first() {
+                self.apply_gate.done(op.object());
+            }
+        }
+        let watermark = self.trim.lock().mark(jseq);
+        if let Some(w) = watermark {
+            self.journal.trim_through(w);
+        }
+    }
+
+    // ---------------------------------------------------------------- //
+    // Replica side
+    // ---------------------------------------------------------------- //
+
+    fn handle_repop(self: &Arc<Self>, from: Addr, rep: RepOp) {
+        self.repops.fetch_add(1, Ordering::Relaxed);
+        self.log("handle repop");
+        let pg = self.pg(rep.pg);
+        let inner = Arc::clone(self);
+        let pgc = Arc::clone(&pg);
+        self.queue_pg(
+            pg,
+            Box::new(move |st| {
+                inner.alloc_overhead();
+                st.next_pg_seq = st.next_pg_seq.max(rep.pg_seq);
+                let obj_name = rep.object.to_string();
+                let txn = match &rep.op {
+                    ObjectOp::Write { offset, data } => {
+                        build_write_txn(pgc.id(), &obj_name, *offset, data, rep.pg_seq)
+                    }
+                    ObjectOp::Delete => {
+                        let mut t = Transaction::new();
+                        t.push(TxOp::Remove { object: obj_name.clone() });
+                        t.push(pg_log_op(pgc.id(), rep.pg_seq, &obj_name));
+                        t
+                    }
+                    _ => return,
+                };
+                let inner2 = Arc::clone(&inner);
+                let pgc2 = Arc::clone(&pgc);
+                let payload = Bytes::from(vec![0u8; txn.encoded_bytes().min(1 << 20) as usize]);
+                let pg_seq = rep.pg_seq;
+                let rep_id = rep.rep_id;
+                let _ = inner.journal.submit(
+                    payload,
+                    Box::new(move |jseq| {
+                        inner2.on_journal_commit_replica(pgc2, jseq, txn, pg_seq, from, rep_id);
+                    }),
+                );
+            }),
+        );
+    }
+
+    // ---------------------------------------------------------------- //
+    // Replica acks back at the primary
+    // ---------------------------------------------------------------- //
+
+    fn handle_repack(self: &Arc<Self>, ack: RepOpReply) {
+        self.repacks.fetch_add(1, Ordering::Relaxed);
+        let Some(op) = self.rep_waits.lock().remove(&ack.rep_id) else {
+            return;
+        };
+        if self.tuning.fast_ack {
+            // §3.1: "ack messages are processed right away without
+            // enqueueing them to the PG queue."
+            if let Some(t) = &op.trace {
+                t.lock().replicas = Some(Instant::now());
+            }
+            {
+                let mut p = op.progress.lock();
+                p.acks += 1;
+            }
+            self.maybe_reply(&op);
+        } else {
+            // Community: the ack competes with data ops for the PG queue
+            // and the PG lock.
+            let inner = Arc::clone(self);
+            let pg = Arc::clone(&op.pg);
+            self.queue_pg(
+                pg,
+                Box::new(move |_st| {
+                    inner.log("repop reply via op_wq");
+                    if let Some(t) = &op.trace {
+                        t.lock().replicas = Some(Instant::now());
+                    }
+                    {
+                        let mut p = op.progress.lock();
+                        p.acks += 1;
+                    }
+                    inner.maybe_reply(&op);
+                }),
+            );
+        }
+    }
+
+    fn maybe_reply(&self, op: &Arc<WriteOp>) {
+        let ready = {
+            let mut p = op.progress.lock();
+            if p.replied || !p.local_commit || p.acks < op.needed_acks {
+                false
+            } else {
+                p.replied = true;
+                true
+            }
+        };
+        self.log("op commit ready");
+        if !ready {
+            return;
+        }
+        self.log("send client reply");
+        if let Some(t) = &op.trace {
+            let mut tt = t.lock();
+            tt.reply = Some(Instant::now());
+            self.recorder.finish(&tt);
+        }
+        let reply = ClientReply { op_id: op.op_id, result: Ok(OpOutcome::Done) };
+        if let Some(lane) = op.ack_lane {
+            // Ordered acks: hold back until every earlier op on this
+            // (client, pg) lane has been released.
+            for (to, r) in self.acker.release(op.client, op.pg.id(), lane, op.reply_to, reply) {
+                self.send(to, OsdMsg::Reply(r));
+            }
+        } else {
+            self.send(op.reply_to, OsdMsg::Reply(reply));
+        }
+        *op.permit.lock() = None; // release osd_client_message_cap
+    }
+
+    fn fail_op(&self, op: &Arc<WriteOp>, err: AfcError) {
+        let already = {
+            let mut p = op.progress.lock();
+            std::mem::replace(&mut p.replied, true)
+        };
+        if already {
+            return;
+        }
+        self.send(
+            op.reply_to,
+            OsdMsg::Reply(ClientReply { op_id: op.op_id, result: Err(err) }),
+        );
+        *op.permit.lock() = None;
+    }
+}
+
+/// Build the filestore transaction for a replicated object write — data,
+/// alloc hint, object metadata attrs, and the PG-log omap append (Figure 7).
+fn build_write_txn(pg: PgId, object: &str, offset: u64, data: &Bytes, pg_seq: u64) -> Transaction {
+    let mut txn = Transaction::new();
+    txn.push(TxOp::Touch { object: object.to_string() });
+    txn.push(TxOp::SetAllocHint { object: object.to_string() });
+    txn.push(TxOp::Write { object: object.to_string(), offset, data: data.clone() });
+    txn.push(TxOp::SetAttrs {
+        object: object.to_string(),
+        attrs: vec![("snapset".to_string(), Bytes::from_static(b"{}"))],
+    });
+    txn.push(pg_log_op(pg, pg_seq, object));
+    txn
+}
+
+/// The PG-log entry (omap insert on the PG's meta object): entry + info.
+fn pg_log_op(pg: PgId, pg_seq: u64, object: &str) -> TxOp {
+    let log_key = Bytes::from(format!("pglog.{pg_seq:016x}"));
+    let log_val = Bytes::from(format!("op write {object} v{pg_seq}"));
+    let info_val = Bytes::from(format!("last_update={pg_seq}"));
+    TxOp::OmapSetKeys {
+        object: format!("pgmeta_{pg}"),
+        keys: vec![(log_key, log_val), (Bytes::from_static(b"info"), info_val)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply_gate_orders_reads_after_prior_writes_only() {
+        let g = ApplyGate::new();
+        g.add("obj");
+        g.add("obj");
+        let target = g.snapshot("obj");
+        assert_eq!(target, Some(2));
+        // A write enqueued after the snapshot must not block this reader.
+        g.add("obj");
+        let g = std::sync::Arc::new(g);
+        let g2 = std::sync::Arc::clone(&g);
+        let reader = std::thread::spawn(move || {
+            let t0 = Instant::now();
+            g2.wait_target("obj", target);
+            t0.elapsed()
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        g.done("obj");
+        g.done("obj"); // applied == 2 == target → reader releases
+        let waited = reader.join().unwrap();
+        assert!(waited >= std::time::Duration::from_millis(15), "did not wait: {waited:?}");
+        assert!(waited < std::time::Duration::from_secs(5), "waited for the later write");
+        g.done("obj"); // third apply retires the entry
+        assert_eq!(g.snapshot("obj"), None);
+    }
+
+    #[test]
+    fn apply_gate_untracked_object_passes() {
+        let g = ApplyGate::new();
+        assert_eq!(g.snapshot("ghost"), None);
+        g.wait_target("ghost", None); // returns immediately
+        g.done("ghost"); // no-op
+    }
+
+    #[test]
+    fn apply_gate_distinct_objects_independent() {
+        let g = ApplyGate::new();
+        g.add("a");
+        assert_eq!(g.snapshot("b"), None);
+        g.wait_target("b", g.snapshot("b")); // b is unaffected by a
+        g.done("a");
+        assert_eq!(g.snapshot("a"), None);
+    }
+
+    #[test]
+    fn build_write_txn_shape() {
+        let pg = PgId { pool: afc_common::PoolId(0), seq: 7 };
+        let txn = build_write_txn(pg, "obj", 0, &Bytes::from(vec![0u8; 4096]), 3);
+        assert_eq!(txn.len(), 5);
+        assert_eq!(txn.data_bytes(), 4096);
+        assert!(txn.encoded_bytes() > 4096);
+        // The pg-log op targets the PG meta object.
+        let has_pgmeta = txn.ops().iter().any(|o| o.object().starts_with("pgmeta_"));
+        assert!(has_pgmeta);
+    }
+}

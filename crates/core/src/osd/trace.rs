@@ -1,0 +1,218 @@
+//! Write-path stage tracing (Figure 3).
+//!
+//! A sampled subset of write ops records a wall-clock timestamp at each
+//! pipeline stage; the Figure 3 harness averages the deltas to print the
+//! paper's latency breakdown: message processing → PG-queue dequeue →
+//! journal submit (PG lock + replication send + metadata read) → journal
+//! commit → completion hand-off → replica-ack handling → client reply.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Raw per-op stage timestamps.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceTimes {
+    /// Message received by the messenger dispatch.
+    pub recv: Instant,
+    /// Dequeued by an op worker (PG work started).
+    pub dequeue: Option<Instant>,
+    /// Journal submit issued.
+    pub jsubmit: Option<Instant>,
+    /// Local journal commit observed.
+    pub jcommit: Option<Instant>,
+    /// Completion handling finished (PG-backend hand-off done).
+    pub handled: Option<Instant>,
+    /// Last replica ack processed.
+    pub replicas: Option<Instant>,
+    /// Client reply sent.
+    pub reply: Option<Instant>,
+}
+
+impl TraceTimes {
+    /// Start a trace at message receive time.
+    pub fn start() -> Self {
+        TraceTimes {
+            recv: Instant::now(),
+            dequeue: None,
+            jsubmit: None,
+            jcommit: None,
+            handled: None,
+            replicas: None,
+            reply: None,
+        }
+    }
+}
+
+/// Per-stage durations of one completed write.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageSample {
+    /// (1) receive → op-queue dequeue.
+    pub queue: Duration,
+    /// (2) dequeue → journal submit (PG lock, logging, metadata read,
+    /// replication send).
+    pub submit: Duration,
+    /// (4) journal submit → journal commit.
+    pub journal: Duration,
+    /// (5) journal commit → completion handled.
+    pub completion: Duration,
+    /// (6)(7) completion → last replica ack processed.
+    pub replica_wait: Duration,
+    /// final ack hand-off → reply on the wire.
+    pub reply: Duration,
+    /// End-to-end.
+    pub total: Duration,
+}
+
+impl StageSample {
+    fn from_times(t: &TraceTimes) -> Option<StageSample> {
+        let dequeue = t.dequeue?;
+        let jsubmit = t.jsubmit?;
+        let jcommit = t.jcommit?;
+        let handled = t.handled?;
+        let reply = t.reply?;
+        // Replica acks may land before or after local completion handling.
+        let replicas = t.replicas.unwrap_or(handled);
+        let sat = |a: Instant, b: Instant| b.checked_duration_since(a).unwrap_or_default();
+        Some(StageSample {
+            queue: sat(t.recv, dequeue),
+            submit: sat(dequeue, jsubmit),
+            journal: sat(jsubmit, jcommit),
+            completion: sat(jcommit, handled),
+            replica_wait: sat(handled, replicas),
+            reply: sat(replicas.max(handled), reply),
+            total: sat(t.recv, reply),
+        })
+    }
+
+    /// Component-wise mean of many samples.
+    pub fn mean(samples: &[StageSample]) -> StageSample {
+        if samples.is_empty() {
+            return StageSample::default();
+        }
+        let n = samples.len() as u32;
+        let sum = |f: fn(&StageSample) -> Duration| {
+            samples.iter().map(f).sum::<Duration>() / n
+        };
+        StageSample {
+            queue: sum(|s| s.queue),
+            submit: sum(|s| s.submit),
+            journal: sum(|s| s.journal),
+            completion: sum(|s| s.completion),
+            replica_wait: sum(|s| s.replica_wait),
+            reply: sum(|s| s.reply),
+            total: sum(|s| s.total),
+        }
+    }
+}
+
+/// Sampling recorder: every `every`-th write op carries a trace.
+pub struct StageRecorder {
+    every: u64,
+    seq: AtomicU64,
+    samples: Mutex<Vec<StageSample>>,
+    cap: usize,
+}
+
+impl StageRecorder {
+    /// Record one in `every` ops, keeping at most `cap` samples.
+    pub fn new(every: u64, cap: usize) -> Self {
+        StageRecorder { every: every.max(1), seq: AtomicU64::new(0), samples: Mutex::new(Vec::new()), cap }
+    }
+
+    /// Should the next op be traced?
+    pub fn should_trace(&self) -> bool {
+        self.seq.fetch_add(1, Ordering::Relaxed).is_multiple_of(self.every)
+    }
+
+    /// Finalize a trace into a sample.
+    pub fn finish(&self, times: &TraceTimes) {
+        if let Some(s) = StageSample::from_times(times) {
+            let mut v = self.samples.lock();
+            if v.len() < self.cap {
+                v.push(s);
+            }
+        }
+    }
+
+    /// Snapshot collected samples.
+    pub fn samples(&self) -> Vec<StageSample> {
+        self.samples.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn times_ms(marks: [u64; 7]) -> TraceTimes {
+        let base = Instant::now();
+        let at = |ms: u64| base + Duration::from_millis(ms);
+        TraceTimes {
+            recv: at(marks[0]),
+            dequeue: Some(at(marks[1])),
+            jsubmit: Some(at(marks[2])),
+            jcommit: Some(at(marks[3])),
+            handled: Some(at(marks[4])),
+            replicas: Some(at(marks[5])),
+            reply: Some(at(marks[6])),
+        }
+    }
+
+    #[test]
+    fn sample_deltas() {
+        let t = times_ms([0, 1, 4, 12, 13, 15, 16]);
+        let s = StageSample::from_times(&t).unwrap();
+        assert_eq!(s.queue, Duration::from_millis(1));
+        assert_eq!(s.submit, Duration::from_millis(3));
+        assert_eq!(s.journal, Duration::from_millis(8));
+        assert_eq!(s.completion, Duration::from_millis(1));
+        assert_eq!(s.replica_wait, Duration::from_millis(2));
+        assert_eq!(s.reply, Duration::from_millis(1));
+        assert_eq!(s.total, Duration::from_millis(16));
+    }
+
+    #[test]
+    fn replicas_before_completion_is_safe() {
+        // Replica acks arriving before local completion handling must not
+        // underflow.
+        let t = times_ms([0, 1, 2, 3, 8, 5, 9]);
+        let s = StageSample::from_times(&t).unwrap();
+        assert_eq!(s.replica_wait, Duration::ZERO);
+        assert_eq!(s.reply, Duration::from_millis(1));
+    }
+
+    #[test]
+    fn incomplete_trace_yields_none() {
+        let mut t = TraceTimes::start();
+        t.dequeue = Some(Instant::now());
+        assert!(StageSample::from_times(&t).is_none());
+    }
+
+    #[test]
+    fn recorder_samples_at_rate() {
+        let r = StageRecorder::new(10, 100);
+        let traced = (0..100).filter(|_| r.should_trace()).count();
+        assert_eq!(traced, 10);
+    }
+
+    #[test]
+    fn recorder_caps_storage() {
+        let r = StageRecorder::new(1, 5);
+        for _ in 0..20 {
+            let t = times_ms([0, 1, 2, 3, 4, 5, 6]);
+            r.finish(&t);
+        }
+        assert_eq!(r.samples().len(), 5);
+    }
+
+    #[test]
+    fn mean_of_samples() {
+        let a = StageSample::from_times(&times_ms([0, 1, 2, 3, 4, 5, 6])).unwrap();
+        let b = StageSample::from_times(&times_ms([0, 3, 6, 9, 12, 15, 18])).unwrap();
+        let m = StageSample::mean(&[a, b]);
+        assert_eq!(m.queue, Duration::from_millis(2));
+        assert_eq!(m.total, Duration::from_millis(12));
+        assert_eq!(StageSample::mean(&[]).total, Duration::ZERO);
+    }
+}

@@ -1,0 +1,94 @@
+//! Contiguous-prefix tracking for journal trimming.
+//!
+//! Filestore applies complete out of order across PGs, but the journal ring
+//! frees space front-to-back, so the OSD may only trim through the longest
+//! contiguous prefix of applied journal sequences.
+
+use std::collections::BTreeSet;
+
+/// Tracks applied journal sequences and yields the trim watermark.
+#[derive(Debug, Default)]
+pub struct TrimTracker {
+    /// Highest sequence such that all sequences `<= trimmed` are applied.
+    trimmed: u64,
+    /// Applied sequences beyond the contiguous prefix.
+    done: BTreeSet<u64>,
+}
+
+impl TrimTracker {
+    /// Create a tracker expecting sequences starting at 1.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Mark `seq` applied. Returns the new watermark if it advanced.
+    pub fn mark(&mut self, seq: u64) -> Option<u64> {
+        if seq <= self.trimmed {
+            return None; // duplicate
+        }
+        self.done.insert(seq);
+        let before = self.trimmed;
+        while self.done.remove(&(self.trimmed + 1)) {
+            self.trimmed += 1;
+        }
+        (self.trimmed > before).then_some(self.trimmed)
+    }
+
+    /// Current watermark.
+    pub fn watermark(&self) -> u64 {
+        self.trimmed
+    }
+
+    /// Applied-but-untrimmable sequences (gap diagnostics).
+    pub fn stranded(&self) -> usize {
+        self.done.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_order_marks_advance_each_time() {
+        let mut t = TrimTracker::new();
+        assert_eq!(t.mark(1), Some(1));
+        assert_eq!(t.mark(2), Some(2));
+        assert_eq!(t.mark(3), Some(3));
+        assert_eq!(t.stranded(), 0);
+    }
+
+    #[test]
+    fn out_of_order_waits_for_gap() {
+        let mut t = TrimTracker::new();
+        assert_eq!(t.mark(2), None);
+        assert_eq!(t.mark(3), None);
+        assert_eq!(t.stranded(), 2);
+        assert_eq!(t.mark(1), Some(3));
+        assert_eq!(t.stranded(), 0);
+        assert_eq!(t.watermark(), 3);
+    }
+
+    #[test]
+    fn duplicates_ignored() {
+        let mut t = TrimTracker::new();
+        t.mark(1);
+        assert_eq!(t.mark(1), None);
+        assert_eq!(t.watermark(), 1);
+    }
+
+    #[test]
+    fn interleaved_pattern() {
+        let mut t = TrimTracker::new();
+        let order = [5u64, 1, 3, 2, 7, 4, 6];
+        let mut last = 0;
+        for s in order {
+            if let Some(w) = t.mark(s) {
+                assert!(w > last);
+                last = w;
+            }
+        }
+        assert_eq!(t.watermark(), 7);
+        assert_eq!(t.stranded(), 0);
+    }
+}

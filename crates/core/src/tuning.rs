@@ -1,0 +1,256 @@
+//! Per-optimization switches (the Figure 9 ablation axis).
+
+use afc_logging::{Level, LogConfig, LogMode};
+
+/// Throttle sizing profile (§3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThrottleProfile {
+    /// Community defaults, sized for HDDs (`filestore_queue_max_ops` = 50,
+    /// `osd_client_message_cap` = 100).
+    Hdd,
+    /// Retuned for flash: the paper picked ~30K IOPS per block device; we
+    /// scale the op caps to keep the filestore, not the throttle, as the
+    /// limiter.
+    Ssd,
+}
+
+/// Memory allocator behaviour (§3.2).
+///
+/// The paper replaced tcmalloc with jemalloc because small-random workloads
+/// hammer the allocator. We model the difference as the number of real heap
+/// allocations the op path performs per request (buffers Ceph would
+/// allocate and free around each op).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Allocator {
+    /// tcmalloc-like: more allocator churn per op under small random I/O.
+    TcMalloc,
+    /// jemalloc-like: pooled, little per-op churn.
+    JeMalloc,
+}
+
+impl Allocator {
+    /// Number of transient heap allocations the op path performs.
+    pub fn allocs_per_op(&self) -> usize {
+        match self {
+            Allocator::TcMalloc => 48,
+            Allocator::JeMalloc => 4,
+        }
+    }
+}
+
+/// Debug-logging mode on the I/O path (§3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoggingMode {
+    /// No logging (Figure 4's "No log").
+    Off,
+    /// Community synchronous logging.
+    Blocking,
+    /// AFCeph asynchronous logging with the string cache.
+    NonBlocking,
+}
+
+impl LoggingMode {
+    /// Build the corresponding logger configuration.
+    pub fn log_config(&self) -> LogConfig {
+        match self {
+            LoggingMode::Off => LogConfig::off(),
+            LoggingMode::Blocking => LogConfig { max_level: Level::Trace, ..LogConfig::community() },
+            LoggingMode::NonBlocking => LogConfig { max_level: Level::Trace, ..LogConfig::afceph() },
+        }
+    }
+
+    /// The underlying logger mode.
+    pub fn mode(&self) -> LogMode {
+        match self {
+            LoggingMode::Off => LogMode::Off,
+            LoggingMode::Blocking => LogMode::Blocking,
+            LoggingMode::NonBlocking => LogMode::NonBlocking,
+        }
+    }
+}
+
+/// The complete tuning vector for an OSD. Each field maps to one of the
+/// paper's optimizations; [`OsdTuning::community`] and
+/// [`OsdTuning::afceph`] are the two evaluated configurations, and the
+/// `step_*` constructors reproduce Figure 9's cumulative steps.
+#[derive(Debug, Clone)]
+pub struct OsdTuning {
+    /// §3.1: per-PG pending queue — op workers never block on a held PG
+    /// lock; queued ops are drained in FIFO order by the lock holder.
+    pub pending_queue: bool,
+    /// §3.1: dedicated batching completion worker + per-op (OP) locks;
+    /// journal/filestore completion handlers touch the PG lock only in
+    /// batched, deferred work.
+    pub dedicated_completion: bool,
+    /// §3.1: replica acks are processed immediately on the messenger
+    /// thread instead of being enqueued behind data ops in the PG queue.
+    pub fast_ack: bool,
+    /// §3.1 (last paragraph): re-sort client acks so each client observes
+    /// them in issue order even though the completion worker batches.
+    pub ordered_acks: bool,
+    /// §3.2: throttle sizing.
+    pub throttle: ThrottleProfile,
+    /// §3.2: allocator behaviour.
+    pub allocator: Allocator,
+    /// §3.2: TCP Nagle on client/replication connections.
+    pub nagle: bool,
+    /// §3.3: logging mode.
+    pub logging: LoggingMode,
+    /// §3.4: light-weight transactions (dedup, batch KV, FD reuse, skip
+    /// alloc hints on small writes, write-through metadata cache).
+    pub lightweight_txn: bool,
+    /// Op worker (OP_WQ) threads per OSD.
+    pub op_threads: usize,
+    /// Filestore apply threads per OSD.
+    pub apply_threads: usize,
+}
+
+impl OsdTuning {
+    /// Community Ceph 0.94 defaults.
+    pub fn community() -> Self {
+        OsdTuning {
+            pending_queue: false,
+            dedicated_completion: false,
+            fast_ack: false,
+            ordered_acks: false,
+            throttle: ThrottleProfile::Hdd,
+            allocator: Allocator::TcMalloc,
+            nagle: true,
+            logging: LoggingMode::Blocking,
+            lightweight_txn: false,
+            op_threads: 2,
+            apply_threads: 2,
+        }
+    }
+
+    /// Fully optimized AFCeph.
+    pub fn afceph() -> Self {
+        OsdTuning {
+            pending_queue: true,
+            dedicated_completion: true,
+            fast_ack: true,
+            ordered_acks: false,
+            throttle: ThrottleProfile::Ssd,
+            allocator: Allocator::JeMalloc,
+            nagle: false,
+            logging: LoggingMode::NonBlocking,
+            lightweight_txn: true,
+            op_threads: 2,
+            apply_threads: 2,
+        }
+    }
+
+    /// Figure 9 step 1: community + PG-lock minimization.
+    pub fn step_lock_opt() -> Self {
+        OsdTuning {
+            pending_queue: true,
+            dedicated_completion: true,
+            fast_ack: true,
+            ..Self::community()
+        }
+    }
+
+    /// Figure 9 step 2: + throttle policy and system tuning.
+    pub fn step_tuning() -> Self {
+        OsdTuning {
+            throttle: ThrottleProfile::Ssd,
+            allocator: Allocator::JeMalloc,
+            nagle: false,
+            ..Self::step_lock_opt()
+        }
+    }
+
+    /// Figure 9 step 3: + non-blocking logging.
+    pub fn step_logging() -> Self {
+        OsdTuning { logging: LoggingMode::NonBlocking, ..Self::step_tuning() }
+    }
+
+    /// Figure 9 step 4: + light-weight transactions (= AFCeph).
+    pub fn step_lwt() -> Self {
+        OsdTuning { lightweight_txn: true, ..Self::step_logging() }
+    }
+
+    /// `filestore_queue_max_ops` for the profile.
+    pub fn filestore_queue_max_ops(&self) -> u64 {
+        match self.throttle {
+            ThrottleProfile::Hdd => 50,
+            ThrottleProfile::Ssd => 5_000,
+        }
+    }
+
+    /// `osd_client_message_cap` for the profile.
+    pub fn client_message_cap(&self) -> u64 {
+        match self.throttle {
+            ThrottleProfile::Hdd => 100,
+            ThrottleProfile::Ssd => 10_000,
+        }
+    }
+
+    /// Human-readable label for tables.
+    pub fn label(&self) -> &'static str {
+        let all_opt = self.pending_queue
+            && self.dedicated_completion
+            && self.fast_ack
+            && self.throttle == ThrottleProfile::Ssd
+            && self.logging == LoggingMode::NonBlocking
+            && self.lightweight_txn;
+        let none_opt = !self.pending_queue
+            && !self.dedicated_completion
+            && !self.fast_ack
+            && self.throttle == ThrottleProfile::Hdd
+            && !self.lightweight_txn;
+        if all_opt {
+            "afceph"
+        } else if none_opt {
+            "community"
+        } else {
+            "custom"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_differ_where_expected() {
+        let c = OsdTuning::community();
+        let a = OsdTuning::afceph();
+        assert!(!c.pending_queue && a.pending_queue);
+        assert!(c.nagle && !a.nagle);
+        assert_eq!(c.logging, LoggingMode::Blocking);
+        assert_eq!(a.logging, LoggingMode::NonBlocking);
+        assert!(c.filestore_queue_max_ops() < a.filestore_queue_max_ops());
+        assert!(c.client_message_cap() < a.client_message_cap());
+        assert_eq!(c.label(), "community");
+        assert_eq!(a.label(), "afceph");
+    }
+
+    #[test]
+    fn steps_are_cumulative() {
+        let s1 = OsdTuning::step_lock_opt();
+        assert!(s1.pending_queue && s1.nagle && s1.logging == LoggingMode::Blocking);
+        let s2 = OsdTuning::step_tuning();
+        assert!(s2.pending_queue && !s2.nagle && s2.throttle == ThrottleProfile::Ssd);
+        let s3 = OsdTuning::step_logging();
+        assert_eq!(s3.logging, LoggingMode::NonBlocking);
+        assert!(!s3.lightweight_txn);
+        let s4 = OsdTuning::step_lwt();
+        assert!(s4.lightweight_txn);
+        assert_eq!(s4.label(), "afceph");
+        assert_eq!(s2.label(), "custom");
+    }
+
+    #[test]
+    fn allocator_model() {
+        assert!(Allocator::TcMalloc.allocs_per_op() > Allocator::JeMalloc.allocs_per_op());
+    }
+
+    #[test]
+    fn logging_mode_maps() {
+        assert_eq!(LoggingMode::Off.mode(), LogMode::Off);
+        assert_eq!(LoggingMode::Blocking.mode(), LogMode::Blocking);
+        assert_eq!(LoggingMode::NonBlocking.mode(), LogMode::NonBlocking);
+    }
+}

@@ -1,0 +1,258 @@
+//! The versioned OSD map shared by monitors, OSDs and clients.
+
+use crate::map::CrushMap;
+use afc_common::{AfcError, Epoch, ObjectId, OsdId, PgId, PoolId, Result};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Liveness/membership status of an OSD.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OsdStatus {
+    /// Process is running and heartbeating.
+    pub up: bool,
+    /// OSD participates in placement (down+out OSDs are remapped around).
+    pub in_cluster: bool,
+}
+
+impl Default for OsdStatus {
+    fn default() -> Self {
+        OsdStatus { up: true, in_cluster: true }
+    }
+}
+
+/// Pool parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PoolSpec {
+    /// Number of PGs.
+    pub pg_num: u32,
+    /// Replication factor (paper uses 2).
+    pub size: usize,
+}
+
+/// A versioned cluster map: CRUSH hierarchy + OSD statuses + pools.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OsdMap {
+    epoch: Epoch,
+    crush: CrushMap,
+    status: BTreeMap<OsdId, OsdStatus>,
+    pools: BTreeMap<PoolId, PoolSpec>,
+}
+
+impl OsdMap {
+    /// Create epoch-1 map from a CRUSH hierarchy; all OSDs up+in.
+    pub fn new(crush: CrushMap) -> Self {
+        let status = crush.osds().into_iter().map(|o| (o, OsdStatus::default())).collect();
+        OsdMap { epoch: Epoch(1), crush, status, pools: BTreeMap::new() }
+    }
+
+    /// Current epoch.
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    /// The CRUSH hierarchy.
+    pub fn crush(&self) -> &CrushMap {
+        &self.crush
+    }
+
+    /// Register a pool. Bumps the epoch.
+    pub fn add_pool(&mut self, pool: PoolId, spec: PoolSpec) -> Result<()> {
+        if spec.pg_num == 0 || spec.size == 0 {
+            return Err(AfcError::InvalidArgument("pool needs pg_num > 0 and size > 0".into()));
+        }
+        if self.pools.insert(pool, spec).is_some() {
+            return Err(AfcError::AlreadyExists(format!("{pool}")));
+        }
+        self.epoch = self.epoch.next();
+        Ok(())
+    }
+
+    /// Pool spec lookup.
+    pub fn pool(&self, pool: PoolId) -> Result<PoolSpec> {
+        self.pools.get(&pool).copied().ok_or_else(|| AfcError::NotFound(format!("{pool}")))
+    }
+
+    /// All pools.
+    pub fn pools(&self) -> impl Iterator<Item = (PoolId, PoolSpec)> + '_ {
+        self.pools.iter().map(|(p, s)| (*p, *s))
+    }
+
+    /// Status of an OSD (default up+in when untracked).
+    pub fn osd_status(&self, osd: OsdId) -> OsdStatus {
+        self.status.get(&osd).copied().unwrap_or_default()
+    }
+
+    /// Mark an OSD up/down. Bumps the epoch.
+    pub fn set_up(&mut self, osd: OsdId, up: bool) {
+        self.status.entry(osd).or_default().up = up;
+        self.epoch = self.epoch.next();
+    }
+
+    /// Mark an OSD in/out of placement. Bumps the epoch.
+    pub fn set_in(&mut self, osd: OsdId, in_cluster: bool) {
+        self.status.entry(osd).or_default().in_cluster = in_cluster;
+        self.epoch = self.epoch.next();
+    }
+
+    /// Replace the CRUSH hierarchy (cluster expansion). Bumps the epoch and
+    /// tracks any new OSDs as up+in.
+    pub fn set_crush(&mut self, crush: CrushMap) {
+        for o in crush.osds() {
+            self.status.entry(o).or_default();
+        }
+        self.crush = crush;
+        self.epoch = self.epoch.next();
+    }
+
+    /// Map an object to its PG.
+    pub fn object_pg(&self, obj: &ObjectId) -> Result<PgId> {
+        let spec = self.pool(obj.pool)?;
+        Ok(obj.pg(spec.pg_num))
+    }
+
+    /// The *acting set* of a PG, primary first.
+    ///
+    /// Placement excludes **out** OSDs (CRUSH re-descends; their data is
+    /// expected to be rebalanced), while **down-but-in** OSDs are merely
+    /// dropped from the placed set — the PG runs *degraded* on the
+    /// survivors, which is Ceph's short-term behaviour before backfill
+    /// (backfill/recovery data movement is out of scope here; see
+    /// DESIGN.md).
+    pub fn pg_acting(&self, pg: PgId) -> Result<Vec<OsdId>> {
+        let spec = self.pool(pg.pool)?;
+        let placed = self.crush.select(pg, spec.size, &|o| !self.osd_status(o).in_cluster);
+        let acting: Vec<OsdId> = placed.into_iter().filter(|o| self.osd_status(*o).up).collect();
+        if acting.is_empty() {
+            return Err(AfcError::NotFound(format!("no acting OSDs for pg {pg}")));
+        }
+        Ok(acting)
+    }
+
+    /// Primary OSD for a PG.
+    pub fn pg_primary(&self, pg: PgId) -> Result<OsdId> {
+        Ok(self.pg_acting(pg)?[0])
+    }
+
+    /// Full placement of an object: `(pg, acting-set)`.
+    pub fn object_placement(&self, obj: &ObjectId) -> Result<(PgId, Vec<OsdId>)> {
+        let pg = self.object_pg(obj)?;
+        let acting = self.pg_acting(pg)?;
+        Ok((pg, acting))
+    }
+
+    /// All PGs of a pool whose primary is `osd` (used by OSDs to know which
+    /// PGs they lead).
+    pub fn primary_pgs_of(&self, pool: PoolId, osd: OsdId) -> Result<Vec<PgId>> {
+        let spec = self.pool(pool)?;
+        let mut out = Vec::new();
+        for seq in 0..spec.pg_num {
+            let pg = PgId { pool, seq };
+            if self.pg_primary(pg)? == osd {
+                out.push(pg);
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map4x4() -> OsdMap {
+        let mut m = OsdMap::new(CrushMap::uniform(4, 4));
+        m.add_pool(PoolId(0), PoolSpec { pg_num: 256, size: 2 }).unwrap();
+        m
+    }
+
+    #[test]
+    fn pool_registration() {
+        let mut m = OsdMap::new(CrushMap::uniform(2, 2));
+        assert!(m.pool(PoolId(0)).is_err());
+        m.add_pool(PoolId(0), PoolSpec { pg_num: 64, size: 2 }).unwrap();
+        assert_eq!(m.pool(PoolId(0)).unwrap().pg_num, 64);
+        assert!(m.add_pool(PoolId(0), PoolSpec { pg_num: 1, size: 1 }).is_err());
+        assert!(m.add_pool(PoolId(1), PoolSpec { pg_num: 0, size: 1 }).is_err());
+        assert_eq!(m.pools().count(), 1);
+    }
+
+    #[test]
+    fn epoch_bumps_on_changes() {
+        let mut m = map4x4();
+        let e0 = m.epoch();
+        m.set_up(OsdId(3), false);
+        assert!(m.epoch() > e0);
+        let e1 = m.epoch();
+        m.set_crush(CrushMap::uniform(5, 4));
+        assert!(m.epoch() > e1);
+    }
+
+    #[test]
+    fn object_placement_consistent() {
+        let m = map4x4();
+        let obj = ObjectId::new(PoolId(0), "rbd_data.vm1.000000000000002a");
+        let (pg, acting) = m.object_placement(&obj).unwrap();
+        assert_eq!(acting.len(), 2);
+        assert_eq!(m.pg_primary(pg).unwrap(), acting[0]);
+        assert_eq!(m.object_pg(&obj).unwrap(), pg);
+    }
+
+    #[test]
+    fn down_osd_leaves_degraded_survivors() {
+        let mut m = map4x4();
+        // Record acting sets, then kill osd.0: its PGs must keep exactly
+        // their surviving member (degraded), promoting it to primary.
+        let pgs = m.primary_pgs_of(PoolId(0), OsdId(0)).unwrap();
+        assert!(!pgs.is_empty());
+        let before: Vec<(PgId, Vec<OsdId>)> =
+            pgs.iter().map(|pg| (*pg, m.pg_acting(*pg).unwrap())).collect();
+        m.set_up(OsdId(0), false);
+        for (pg, old) in before {
+            let acting = m.pg_acting(pg).unwrap();
+            assert!(!acting.contains(&OsdId(0)), "pg {pg} still maps to down osd");
+            assert_eq!(acting.len(), 1, "degraded PG runs on the survivor");
+            assert_eq!(acting[0], old[1], "survivor (old replica) promoted to primary");
+        }
+    }
+
+    #[test]
+    fn out_osd_is_remapped_around() {
+        let mut m = map4x4();
+        m.set_in(OsdId(7), false);
+        for seq in 0..256 {
+            let acting = m.pg_acting(PgId { pool: PoolId(0), seq }).unwrap();
+            assert!(!acting.contains(&OsdId(7)));
+        }
+    }
+
+    #[test]
+    fn every_osd_leads_some_pgs() {
+        let m = map4x4();
+        for o in m.crush().osds() {
+            let pgs = m.primary_pgs_of(PoolId(0), o).unwrap();
+            assert!(!pgs.is_empty(), "{o} leads no PGs");
+        }
+    }
+
+    #[test]
+    fn expansion_keeps_most_placements() {
+        let m = map4x4();
+        let mut grown = m.clone();
+        grown.set_crush(CrushMap::uniform(5, 4));
+        let mut moved = 0;
+        for seq in 0..256 {
+            let pg = PgId { pool: PoolId(0), seq };
+            let a = m.pg_acting(pg).unwrap();
+            let b = grown.pg_acting(pg).unwrap();
+            moved += a.iter().filter(|o| !b.contains(o)).count();
+        }
+        assert!(moved < 256, "moved {moved} of 512 replicas");
+    }
+
+    #[test]
+    fn unknown_pool_errors() {
+        let m = map4x4();
+        let obj = ObjectId::new(PoolId(9), "x");
+        assert!(matches!(m.object_pg(&obj), Err(AfcError::NotFound(_))));
+    }
+}

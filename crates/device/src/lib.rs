@@ -1,0 +1,188 @@
+//! Device timing models for `afcstore`.
+//!
+//! The paper's evaluation runs on real SATA3 SSDs (filestore), PMC NVRAM
+//! (journal) and — implicitly, as the design baseline — HDDs. We do not have
+//! that hardware, so this crate provides *timing models*: a device computes a
+//! service time from its internal state (channel occupancy, clean/sustained
+//! flash state, read/write interference, seek position) and the calling
+//! thread **sleeps** for it. Upper layers are ordinary blocking code, which
+//! preserves exactly the behaviour the paper studies: lock-hold times around
+//! device waits, queue backlogs and throttle interactions.
+//!
+//! Design notes:
+//!
+//! - [`BlockDev::plan`] reserves time on an internal channel and returns the
+//!   completion instant *without sleeping*; [`BlockDev::submit`] plans and
+//!   sleeps. RAID-0 plans all stripe segments up front and sleeps until the
+//!   latest, so striped I/O genuinely overlaps with zero helper threads.
+//! - Devices store no data — data lives in the layers above (page cache,
+//!   journal buffer, memtables). Devices account bytes and time only.
+//! - All jitter is deterministic (seeded), so runs are reproducible.
+
+pub mod hdd;
+pub mod nvram;
+pub mod plan;
+pub mod raid;
+pub mod ssd;
+pub mod stats;
+
+pub use hdd::{Hdd, HddConfig};
+pub use nvram::{Nvram, NvramConfig};
+pub use raid::Raid0;
+pub use ssd::{Ssd, SsdConfig, SsdState};
+pub use stats::DevStats;
+
+use afc_common::{sleep_for, AfcError, Result};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// The kind of a device request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoKind {
+    /// Read `len` bytes.
+    Read,
+    /// Write `len` bytes.
+    Write,
+    /// Barrier/flush (drains device write state).
+    Flush,
+}
+
+/// A single device request.
+#[derive(Debug, Clone, Copy)]
+pub struct IoReq {
+    /// Request kind.
+    pub kind: IoKind,
+    /// Byte offset on the device.
+    pub offset: u64,
+    /// Length in bytes (0 allowed only for `Flush`).
+    pub len: u32,
+}
+
+impl IoReq {
+    /// A read request.
+    pub fn read(offset: u64, len: u32) -> Self {
+        IoReq { kind: IoKind::Read, offset, len }
+    }
+
+    /// A write request.
+    pub fn write(offset: u64, len: u32) -> Self {
+        IoReq { kind: IoKind::Write, offset, len }
+    }
+
+    /// A flush request.
+    pub fn flush() -> Self {
+        IoReq { kind: IoKind::Flush, offset: 0, len: 0 }
+    }
+}
+
+/// Outcome of planning a request: when it completes and how long the device
+/// itself is busy servicing it (excluding queue wait).
+#[derive(Debug, Clone, Copy)]
+pub struct IoPlan {
+    /// Instant at which the request completes.
+    pub completion: Instant,
+    /// Pure service time (queue wait excluded).
+    pub service: Duration,
+}
+
+/// A block device timing model.
+pub trait BlockDev: Send + Sync {
+    /// Device capacity in bytes.
+    fn capacity(&self) -> u64;
+
+    /// Reserve device time for `req` and return its completion plan without
+    /// blocking. Accounting (byte/op counters) happens here.
+    fn plan(&self, req: IoReq) -> Result<IoPlan>;
+
+    /// Submit `req`, blocking the calling thread until the modeled
+    /// completion. Returns total request latency (queue wait + service).
+    fn submit(&self, req: IoReq) -> Result<Duration> {
+        let start = Instant::now();
+        let plan = self.plan(req)?;
+        let now = Instant::now();
+        if plan.completion > now {
+            sleep_for(plan.completion - now);
+        }
+        Ok(start.elapsed())
+    }
+
+    /// Snapshot of accumulated statistics.
+    fn stats(&self) -> DevStats;
+
+    /// Human-readable model name for reports.
+    fn model(&self) -> &str;
+}
+
+/// Shared fault-injection hook: devices fail the next `n` requests with
+/// an I/O error. Used by failure-injection tests (journal replay, recovery).
+#[derive(Debug, Default)]
+pub struct FaultInjector {
+    remaining: AtomicU64,
+}
+
+impl FaultInjector {
+    /// Create an injector with no pending faults.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fail the next `n` requests.
+    pub fn inject(&self, n: u64) {
+        self.remaining.store(n, Ordering::SeqCst);
+    }
+
+    /// Consume one fault if armed; returns an error to propagate if so.
+    pub fn check(&self) -> Result<()> {
+        let mut cur = self.remaining.load(Ordering::SeqCst);
+        loop {
+            if cur == 0 {
+                return Ok(());
+            }
+            match self.remaining.compare_exchange(cur, cur - 1, Ordering::SeqCst, Ordering::SeqCst) {
+                Ok(_) => return Err(AfcError::Io("injected device fault".into())),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+}
+
+/// Validate a request against a capacity. Flushes are always valid.
+pub(crate) fn validate(req: &IoReq, capacity: u64) -> Result<()> {
+    if req.kind == IoKind::Flush {
+        return Ok(());
+    }
+    if req.len == 0 {
+        return Err(AfcError::InvalidArgument("zero-length device I/O".into()));
+    }
+    if req.offset.checked_add(req.len as u64).map(|e| e > capacity).unwrap_or(true) {
+        return Err(AfcError::InvalidArgument(format!(
+            "device I/O [{}, +{}) beyond capacity {}",
+            req.offset, req.len, capacity
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_injector_counts_down() {
+        let f = FaultInjector::new();
+        assert!(f.check().is_ok());
+        f.inject(2);
+        assert!(f.check().is_err());
+        assert!(f.check().is_err());
+        assert!(f.check().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_bad_ranges() {
+        assert!(validate(&IoReq::read(0, 0), 100).is_err());
+        assert!(validate(&IoReq::read(90, 20), 100).is_err());
+        assert!(validate(&IoReq::write(u64::MAX, 1), 100).is_err());
+        assert!(validate(&IoReq::read(0, 100), 100).is_ok());
+        assert!(validate(&IoReq::flush(), 100).is_ok());
+    }
+}

@@ -1,0 +1,135 @@
+//! Accumulated device statistics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Snapshot of device activity counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DevStats {
+    /// Completed read requests.
+    pub reads: u64,
+    /// Completed write requests.
+    pub writes: u64,
+    /// Completed flush requests.
+    pub flushes: u64,
+    /// Bytes read.
+    pub bytes_read: u64,
+    /// Bytes written.
+    pub bytes_written: u64,
+    /// Accumulated service time in microseconds (busy time across channels).
+    pub busy_us: u64,
+    /// Reads that were planned while at least one write was in flight —
+    /// the read/write interference events the light-weight transaction
+    /// optimization removes from the write path.
+    pub interfered_reads: u64,
+}
+
+/// Thread-safe accumulator backing [`DevStats`].
+#[derive(Debug, Default)]
+pub struct StatsCell {
+    reads: AtomicU64,
+    writes: AtomicU64,
+    flushes: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+    busy_us: AtomicU64,
+    interfered_reads: AtomicU64,
+}
+
+impl StatsCell {
+    /// Create a zeroed accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Account a read of `len` bytes taking `service`; `interfered` marks a
+    /// read planned while writes were in flight.
+    pub fn on_read(&self, len: u64, service: Duration, interfered: bool) {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        self.bytes_read.fetch_add(len, Ordering::Relaxed);
+        self.busy_us.fetch_add(service.as_micros() as u64, Ordering::Relaxed);
+        if interfered {
+            self.interfered_reads.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Account a write of `len` bytes taking `service`.
+    pub fn on_write(&self, len: u64, service: Duration) {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.bytes_written.fetch_add(len, Ordering::Relaxed);
+        self.busy_us.fetch_add(service.as_micros() as u64, Ordering::Relaxed);
+    }
+
+    /// Account a flush taking `service`.
+    pub fn on_flush(&self, service: Duration) {
+        self.flushes.fetch_add(1, Ordering::Relaxed);
+        self.busy_us.fetch_add(service.as_micros() as u64, Ordering::Relaxed);
+    }
+
+    /// Take a consistent-enough snapshot (relaxed reads; counters only).
+    pub fn snapshot(&self) -> DevStats {
+        DevStats {
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            flushes: self.flushes.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            busy_us: self.busy_us.load(Ordering::Relaxed),
+            interfered_reads: self.interfered_reads.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl DevStats {
+    /// Total requests of all kinds.
+    pub fn total_ops(&self) -> u64 {
+        self.reads + self.writes + self.flushes
+    }
+
+    /// Sum two snapshots (used by RAID-0 to aggregate members).
+    #[must_use]
+    pub fn combined(&self, other: &DevStats) -> DevStats {
+        DevStats {
+            reads: self.reads + other.reads,
+            writes: self.writes + other.writes,
+            flushes: self.flushes + other.flushes,
+            bytes_read: self.bytes_read + other.bytes_read,
+            bytes_written: self.bytes_written + other.bytes_written,
+            busy_us: self.busy_us + other.busy_us,
+            interfered_reads: self.interfered_reads + other.interfered_reads,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accounting_accumulates() {
+        let c = StatsCell::new();
+        c.on_read(4096, Duration::from_micros(100), false);
+        c.on_read(4096, Duration::from_micros(100), true);
+        c.on_write(8192, Duration::from_micros(50));
+        c.on_flush(Duration::from_micros(10));
+        let s = c.snapshot();
+        assert_eq!(s.reads, 2);
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.flushes, 1);
+        assert_eq!(s.bytes_read, 8192);
+        assert_eq!(s.bytes_written, 8192);
+        assert_eq!(s.busy_us, 260);
+        assert_eq!(s.interfered_reads, 1);
+        assert_eq!(s.total_ops(), 4);
+    }
+
+    #[test]
+    fn combined_sums_fields() {
+        let a = DevStats { reads: 1, writes: 2, flushes: 3, bytes_read: 4, bytes_written: 5, busy_us: 6, interfered_reads: 7 };
+        let b = a;
+        let c = a.combined(&b);
+        assert_eq!(c.reads, 2);
+        assert_eq!(c.interfered_reads, 14);
+        assert_eq!(c.total_ops(), 12);
+    }
+}

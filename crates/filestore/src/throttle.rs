@@ -1,0 +1,226 @@
+//! Operation throttles (`filestore_queue_max_ops`,
+//! `osd_client_message_cap`, ...).
+//!
+//! §3.2: "Most of the distributed filesystems have throttle logic in order
+//! to support balanced performance or QoS... These parameters are set based
+//! on HDD capacity", so on flash the defaults strangle the pipeline. A
+//! [`Throttle`] is a counting semaphore that records how often and how long
+//! acquirers block, so harnesses can show exactly where HDD-sized limits
+//! bite.
+
+use afc_common::{AfcError, Result};
+use parking_lot::{Condvar, Mutex};
+use std::time::Instant;
+#[cfg(test)]
+use std::time::Duration;
+
+struct State {
+    in_use: u64,
+    max: u64,
+    closed: bool,
+}
+
+/// A counting semaphore with wait accounting and a runtime-adjustable limit.
+pub struct Throttle {
+    name: &'static str,
+    state: Mutex<State>,
+    cv: Condvar,
+    waits: std::sync::atomic::AtomicU64,
+    wait_us: std::sync::atomic::AtomicU64,
+}
+
+/// RAII permit; releases on drop.
+pub struct Permit<'a> {
+    throttle: &'a Throttle,
+    count: u64,
+}
+
+/// RAII permit that owns its throttle, movable across threads (completion
+/// callbacks hold it until the transaction finishes applying).
+pub struct OwnedPermit {
+    throttle: std::sync::Arc<Throttle>,
+    count: u64,
+}
+
+impl Drop for OwnedPermit {
+    fn drop(&mut self) {
+        self.throttle.release(self.count);
+    }
+}
+
+impl Throttle {
+    /// Create a throttle admitting `max` concurrent units.
+    pub fn new(name: &'static str, max: u64) -> Self {
+        assert!(max > 0, "throttle limit must be positive");
+        Throttle {
+            name,
+            state: Mutex::new(State { in_use: 0, max, closed: false }),
+            cv: Condvar::new(),
+            waits: Default::default(),
+            wait_us: Default::default(),
+        }
+    }
+
+    /// Acquire `count` units, blocking while over the limit.
+    pub fn acquire(&self, count: u64) -> Result<Permit<'_>> {
+        use std::sync::atomic::Ordering::Relaxed;
+        let mut st = self.state.lock();
+        if count > st.max {
+            return Err(AfcError::InvalidArgument(format!(
+                "throttle {}: request {count} exceeds limit {}",
+                self.name, st.max
+            )));
+        }
+        let mut waited: Option<Instant> = None;
+        while st.in_use + count > st.max {
+            if st.closed {
+                return Err(AfcError::ShutDown(format!("throttle {}", self.name)));
+            }
+            if waited.is_none() {
+                waited = Some(Instant::now());
+                self.waits.fetch_add(1, Relaxed);
+            }
+            self.cv.wait(&mut st);
+        }
+        if st.closed {
+            return Err(AfcError::ShutDown(format!("throttle {}", self.name)));
+        }
+        if let Some(t0) = waited {
+            self.wait_us.fetch_add(t0.elapsed().as_micros() as u64, Relaxed);
+        }
+        st.in_use += count;
+        Ok(Permit { throttle: self, count })
+    }
+
+    /// Acquire `count` units as an owned, thread-movable permit.
+    pub fn acquire_owned(self: &std::sync::Arc<Self>, count: u64) -> Result<OwnedPermit> {
+        let permit = self.acquire(count)?;
+        std::mem::forget(permit); // ownership transfers to the OwnedPermit
+        Ok(OwnedPermit { throttle: std::sync::Arc::clone(self), count })
+    }
+
+    /// Try to acquire without blocking.
+    pub fn try_acquire(&self, count: u64) -> Option<Permit<'_>> {
+        let mut st = self.state.lock();
+        if st.closed || st.in_use + count > st.max {
+            return None;
+        }
+        st.in_use += count;
+        Some(Permit { throttle: self, count })
+    }
+
+    fn release(&self, count: u64) {
+        let mut st = self.state.lock();
+        st.in_use = st.in_use.saturating_sub(count);
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// Change the limit at runtime (system tuning), waking waiters.
+    pub fn set_max(&self, max: u64) {
+        assert!(max > 0, "throttle limit must be positive");
+        self.state.lock().max = max;
+        self.cv.notify_all();
+    }
+
+    /// Close: all current and future acquirers fail with `ShutDown`.
+    pub fn close(&self) {
+        self.state.lock().closed = true;
+        self.cv.notify_all();
+    }
+
+    /// Units currently held.
+    pub fn in_use(&self) -> u64 {
+        self.state.lock().in_use
+    }
+
+    /// Current limit.
+    pub fn max(&self) -> u64 {
+        self.state.lock().max
+    }
+
+    /// `(block events, total blocked µs)`.
+    pub fn wait_stats(&self) -> (u64, u64) {
+        use std::sync::atomic::Ordering::Relaxed;
+        (self.waits.load(Relaxed), self.wait_us.load(Relaxed))
+    }
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        self.throttle.release(self.count);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn acquire_release_cycle() {
+        let t = Throttle::new("test", 2);
+        let a = t.acquire(1).unwrap();
+        let b = t.acquire(1).unwrap();
+        assert_eq!(t.in_use(), 2);
+        assert!(t.try_acquire(1).is_none());
+        drop(a);
+        assert_eq!(t.in_use(), 1);
+        assert!(t.try_acquire(1).is_some());
+        drop(b);
+    }
+
+    #[test]
+    fn blocking_acquire_waits_and_accounts() {
+        let t = Arc::new(Throttle::new("test", 1));
+        let held = t.acquire(1).unwrap();
+        let t2 = Arc::clone(&t);
+        let h = std::thread::spawn(move || {
+            let _p = t2.acquire(1).unwrap();
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        drop(held);
+        h.join().unwrap();
+        let (waits, wait_us) = t.wait_stats();
+        assert_eq!(waits, 1);
+        assert!(wait_us >= 15_000, "wait_us={wait_us}");
+    }
+
+    #[test]
+    fn set_max_unblocks_waiters() {
+        let t = Arc::new(Throttle::new("test", 1));
+        let _held = t.acquire(1).unwrap();
+        let t2 = Arc::clone(&t);
+        let h = std::thread::spawn(move || t2.acquire(1).map(drop));
+        std::thread::sleep(Duration::from_millis(10));
+        t.set_max(2);
+        h.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn oversized_request_rejected() {
+        let t = Throttle::new("test", 4);
+        assert!(t.acquire(5).is_err());
+        assert!(t.acquire(4).is_ok());
+    }
+
+    #[test]
+    fn close_fails_waiters_and_future() {
+        let t = Arc::new(Throttle::new("test", 1));
+        let held = t.acquire(1).unwrap();
+        let t2 = Arc::clone(&t);
+        let h = std::thread::spawn(move || t2.acquire(1).map(|_| ()));
+        std::thread::sleep(Duration::from_millis(10));
+        t.close();
+        assert!(h.join().unwrap().is_err());
+        drop(held);
+        assert!(t.acquire(1).is_err());
+        assert!(t.try_acquire(1).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_limit_rejected() {
+        Throttle::new("bad", 0);
+    }
+}

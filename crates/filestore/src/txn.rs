@@ -1,0 +1,311 @@
+//! Filestore transactions (Figure 7).
+//!
+//! A write request reaches the filestore as a transaction bundling the data
+//! write with its metadata: `OP_WRITE` (file data), `OP_SETATTRS` (object
+//! metadata as xattrs), `OP_OMAP_SETKEYS` (omap + PG log into the KV DB),
+//! and — in the community path — `OP_SETALLOCHINT`. The light-weight
+//! transaction **deduplicates** redundant ops before queuing
+//! ([`Transaction::dedup`]).
+
+use bytes::Bytes;
+
+/// One operation within a transaction.
+#[derive(Debug, Clone)]
+pub enum TxOp {
+    /// Ensure the object's backing file exists.
+    Touch {
+        /// Object name.
+        object: String,
+    },
+    /// Write data into the object.
+    Write {
+        /// Object name.
+        object: String,
+        /// Byte offset.
+        offset: u64,
+        /// Payload.
+        data: Bytes,
+    },
+    /// Truncate the object.
+    Truncate {
+        /// Object name.
+        object: String,
+        /// New size.
+        size: u64,
+    },
+    /// Remove the object.
+    Remove {
+        /// Object name.
+        object: String,
+    },
+    /// Set object xattrs (one syscall each in the community path).
+    SetAttrs {
+        /// Object name.
+        object: String,
+        /// Attribute name/value pairs.
+        attrs: Vec<(String, Bytes)>,
+    },
+    /// Insert omap keys (PG log, object omap) into the KV DB.
+    OmapSetKeys {
+        /// Owning object (namespace prefix in the KV DB).
+        object: String,
+        /// Key/value pairs.
+        keys: Vec<(Bytes, Bytes)>,
+    },
+    /// Remove omap keys.
+    OmapRmKeys {
+        /// Owning object.
+        object: String,
+        /// Keys to delete.
+        keys: Vec<Bytes>,
+    },
+    /// `set-alloc-hint` (`fallocate`): beneficial for sequential streams,
+    /// useless for random small writes — the LWT drops it there (§3.4).
+    SetAllocHint {
+        /// Object name.
+        object: String,
+    },
+}
+
+impl TxOp {
+    /// The object this op addresses.
+    pub fn object(&self) -> &str {
+        match self {
+            TxOp::Touch { object }
+            | TxOp::Write { object, .. }
+            | TxOp::Truncate { object, .. }
+            | TxOp::Remove { object }
+            | TxOp::SetAttrs { object, .. }
+            | TxOp::OmapSetKeys { object, .. }
+            | TxOp::OmapRmKeys { object, .. }
+            | TxOp::SetAllocHint { object } => object,
+        }
+    }
+}
+
+/// An atomic group of filestore operations.
+#[derive(Debug, Clone, Default)]
+pub struct Transaction {
+    ops: Vec<TxOp>,
+}
+
+impl Transaction {
+    /// Create an empty transaction.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an op (builder style).
+    pub fn push(&mut self, op: TxOp) -> &mut Self {
+        self.ops.push(op);
+        self
+    }
+
+    /// The ops in order.
+    pub fn ops(&self) -> &[TxOp] {
+        &self.ops
+    }
+
+    /// Number of ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the transaction is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Serialized size on the journal (header + op payloads).
+    pub fn encoded_bytes(&self) -> u64 {
+        let mut n = 32u64;
+        for op in &self.ops {
+            n += 16 + op.object().len() as u64;
+            n += match op {
+                TxOp::Write { data, .. } => data.len() as u64 + 16,
+                TxOp::SetAttrs { attrs, .. } => {
+                    attrs.iter().map(|(k, v)| k.len() as u64 + v.len() as u64 + 8).sum::<u64>()
+                }
+                TxOp::OmapSetKeys { keys, .. } => {
+                    keys.iter().map(|(k, v)| k.len() as u64 + v.len() as u64 + 8).sum::<u64>()
+                }
+                TxOp::OmapRmKeys { keys, .. } => keys.iter().map(|k| k.len() as u64 + 8).sum::<u64>(),
+                TxOp::Truncate { .. } => 8,
+                TxOp::Touch { .. } | TxOp::Remove { .. } | TxOp::SetAllocHint { .. } => 0,
+            };
+        }
+        n
+    }
+
+    /// Bytes of object data written by this transaction.
+    pub fn data_bytes(&self) -> u64 {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                TxOp::Write { data, .. } => data.len() as u64,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// The light-weight transaction's op minimization (§3.4: "The redundancy
+    /// is removed and operations in this transaction is minimized"):
+    /// duplicate `Touch`/`SetAllocHint` per object collapse to one, repeated
+    /// `SetAttrs` on the same object merge (last value wins per attr), and
+    /// consecutive `OmapSetKeys` on the same object concatenate so they
+    /// reach the KV DB as one batch insert.
+    #[must_use]
+    pub fn dedup(self) -> Transaction {
+        let mut out: Vec<TxOp> = Vec::with_capacity(self.ops.len());
+        let mut touched: Vec<String> = Vec::new();
+        let mut hinted: Vec<String> = Vec::new();
+        for op in self.ops {
+            match op {
+                TxOp::Touch { object } => {
+                    if !touched.contains(&object) {
+                        touched.push(object.clone());
+                        out.push(TxOp::Touch { object });
+                    }
+                }
+                TxOp::SetAllocHint { object } => {
+                    if !hinted.contains(&object) {
+                        hinted.push(object.clone());
+                        out.push(TxOp::SetAllocHint { object });
+                    }
+                }
+                TxOp::SetAttrs { object, attrs } => {
+                    if let Some(TxOp::SetAttrs { object: prev_obj, attrs: prev }) = out
+                        .iter_mut()
+                        .rev()
+                        .find(|o| matches!(o, TxOp::SetAttrs { object: po, .. } if *po == object))
+                    {
+                        debug_assert_eq!(*prev_obj, object);
+                        for (k, v) in attrs {
+                            if let Some(e) = prev.iter_mut().find(|(pk, _)| *pk == k) {
+                                e.1 = v;
+                            } else {
+                                prev.push((k, v));
+                            }
+                        }
+                    } else {
+                        out.push(TxOp::SetAttrs { object, attrs });
+                    }
+                }
+                TxOp::OmapSetKeys { object, keys } => {
+                    if let Some(TxOp::OmapSetKeys { object: po, keys: prev }) = out.last_mut() {
+                        if *po == object {
+                            prev.extend(keys);
+                            continue;
+                        }
+                    }
+                    out.push(TxOp::OmapSetKeys { object, keys });
+                }
+                other => out.push(other),
+            }
+        }
+        Transaction { ops: out }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(obj: &str, n: usize) -> TxOp {
+        TxOp::Write { object: obj.into(), offset: 0, data: Bytes::from(vec![0u8; n]) }
+    }
+
+    #[test]
+    fn builder_and_sizes() {
+        let mut t = Transaction::new();
+        t.push(TxOp::Touch { object: "o".into() });
+        t.push(w("o", 4096));
+        t.push(TxOp::SetAttrs { object: "o".into(), attrs: vec![("_".into(), Bytes::from_static(b"m"))] });
+        t.push(TxOp::OmapSetKeys {
+            object: "o".into(),
+            keys: vec![(Bytes::from_static(b"k"), Bytes::from_static(b"v"))],
+        });
+        assert_eq!(t.len(), 4);
+        assert!(!t.is_empty());
+        assert_eq!(t.data_bytes(), 4096);
+        assert!(t.encoded_bytes() > 4096);
+    }
+
+    #[test]
+    fn dedup_collapses_touch_and_hint() {
+        let mut t = Transaction::new();
+        for _ in 0..3 {
+            t.push(TxOp::Touch { object: "o".into() });
+            t.push(TxOp::SetAllocHint { object: "o".into() });
+        }
+        t.push(TxOp::Touch { object: "other".into() });
+        let d = t.dedup();
+        let touches = d.ops().iter().filter(|o| matches!(o, TxOp::Touch { .. })).count();
+        let hints = d.ops().iter().filter(|o| matches!(o, TxOp::SetAllocHint { .. })).count();
+        assert_eq!(touches, 2);
+        assert_eq!(hints, 1);
+    }
+
+    #[test]
+    fn dedup_merges_setattrs_last_wins() {
+        let mut t = Transaction::new();
+        t.push(TxOp::SetAttrs {
+            object: "o".into(),
+            attrs: vec![("a".into(), Bytes::from_static(b"1")), ("b".into(), Bytes::from_static(b"2"))],
+        });
+        t.push(TxOp::SetAttrs { object: "o".into(), attrs: vec![("a".into(), Bytes::from_static(b"9"))] });
+        let d = t.dedup();
+        let attrs: Vec<_> = d
+            .ops()
+            .iter()
+            .filter_map(|o| match o {
+                TxOp::SetAttrs { attrs, .. } => Some(attrs.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(attrs.len(), 1);
+        let merged = &attrs[0];
+        assert_eq!(merged.iter().find(|(k, _)| k == "a").unwrap().1.as_ref(), b"9");
+        assert_eq!(merged.iter().find(|(k, _)| k == "b").unwrap().1.as_ref(), b"2");
+    }
+
+    #[test]
+    fn dedup_concatenates_adjacent_omap() {
+        let mut t = Transaction::new();
+        t.push(TxOp::OmapSetKeys {
+            object: "o".into(),
+            keys: vec![(Bytes::from_static(b"k1"), Bytes::from_static(b"v1"))],
+        });
+        t.push(TxOp::OmapSetKeys {
+            object: "o".into(),
+            keys: vec![(Bytes::from_static(b"k2"), Bytes::from_static(b"v2"))],
+        });
+        let d = t.dedup();
+        assert_eq!(d.len(), 1);
+        match &d.ops()[0] {
+            TxOp::OmapSetKeys { keys, .. } => assert_eq!(keys.len(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dedup_preserves_write_order() {
+        let mut t = Transaction::new();
+        t.push(w("o", 10));
+        t.push(w("o", 20));
+        let d = t.dedup();
+        assert_eq!(d.len(), 2);
+        match (&d.ops()[0], &d.ops()[1]) {
+            (TxOp::Write { data: a, .. }, TxOp::Write { data: b, .. }) => {
+                assert_eq!((a.len(), b.len()), (10, 20));
+            }
+            _ => panic!("writes reordered"),
+        }
+    }
+
+    #[test]
+    fn op_object_accessor() {
+        assert_eq!(w("abc", 1).object(), "abc");
+        assert_eq!(TxOp::Remove { object: "x".into() }.object(), "x");
+    }
+}

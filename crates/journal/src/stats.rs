@@ -1,0 +1,85 @@
+//! Journal statistics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Snapshot of journal activity.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JournalStats {
+    /// Entries submitted.
+    pub submits: u64,
+    /// Entries committed (callbacks fired).
+    pub commits: u64,
+    /// Device writes issued (each covers a batch).
+    pub batches: u64,
+    /// Bytes written to the device (aligned footprints).
+    pub bytes_written: u64,
+    /// Bytes released by trims.
+    pub trimmed_bytes: u64,
+    /// Times a submitter blocked on a full ring.
+    pub full_stalls: u64,
+    /// Total time submitters spent blocked, microseconds.
+    pub full_stall_us: u64,
+    /// Device write errors absorbed (fault injection).
+    pub write_errors: u64,
+}
+
+impl JournalStats {
+    /// Mean entries per device write.
+    pub fn avg_batch(&self) -> f64 {
+        if self.batches == 0 {
+            return 0.0;
+        }
+        self.commits as f64 / self.batches as f64
+    }
+}
+
+/// Thread-safe accumulator behind [`JournalStats`].
+#[derive(Debug, Default)]
+pub struct JournalStatsCell {
+    pub(crate) submits: AtomicU64,
+    pub(crate) commits: AtomicU64,
+    pub(crate) batches: AtomicU64,
+    pub(crate) bytes_written: AtomicU64,
+    pub(crate) trimmed_bytes: AtomicU64,
+    pub(crate) full_stalls: AtomicU64,
+    pub(crate) full_stall_us: AtomicU64,
+    pub(crate) write_errors: AtomicU64,
+}
+
+impl JournalStatsCell {
+    /// Snapshot current values.
+    pub fn snapshot(&self) -> JournalStats {
+        JournalStats {
+            submits: self.submits.load(Ordering::Relaxed),
+            commits: self.commits.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            trimmed_bytes: self.trimmed_bytes.load(Ordering::Relaxed),
+            full_stalls: self.full_stalls.load(Ordering::Relaxed),
+            full_stall_us: self.full_stall_us.load(Ordering::Relaxed),
+            write_errors: self.write_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn avg_batch_math() {
+        let s = JournalStats { commits: 100, batches: 25, ..Default::default() };
+        assert!((s.avg_batch() - 4.0).abs() < 1e-9);
+        assert_eq!(JournalStats::default().avg_batch(), 0.0);
+    }
+
+    #[test]
+    fn snapshot_reflects_cell() {
+        let c = JournalStatsCell::default();
+        c.submits.fetch_add(3, Ordering::Relaxed);
+        c.full_stalls.fetch_add(1, Ordering::Relaxed);
+        let s = c.snapshot();
+        assert_eq!(s.submits, 3);
+        assert_eq!(s.full_stalls, 1);
+    }
+}

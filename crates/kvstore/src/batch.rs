@@ -1,0 +1,96 @@
+//! Atomic write batches.
+//!
+//! A [`WriteBatch`] applies all of its operations atomically: one WAL record,
+//! one memtable pass. The light-weight transaction optimization (§3.4) turns
+//! a filestore transaction's N omap/PG-log puts into one batch; the baseline
+//! path issues one single-op batch per key.
+
+use crate::{Key, Value};
+
+/// One operation inside a batch. `None` value is a delete (tombstone).
+pub type BatchOp = (Key, Option<Value>);
+
+/// An ordered set of puts/deletes applied atomically.
+#[derive(Debug, Clone, Default)]
+pub struct WriteBatch {
+    ops: Vec<BatchOp>,
+}
+
+impl WriteBatch {
+    /// Create an empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queue a put.
+    pub fn put(&mut self, key: impl Into<Key>, value: impl Into<Value>) -> &mut Self {
+        self.ops.push((key.into(), Some(value.into())));
+        self
+    }
+
+    /// Queue a delete.
+    pub fn delete(&mut self, key: impl Into<Key>) -> &mut Self {
+        self.ops.push((key.into(), None));
+        self
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The queued operations in insertion order.
+    pub fn ops(&self) -> &[BatchOp] {
+        &self.ops
+    }
+
+    /// Consume into the op list.
+    pub fn into_ops(self) -> Vec<BatchOp> {
+        self.ops
+    }
+
+    /// Total payload bytes (keys + values), the "user bytes" of the batch.
+    pub fn payload_bytes(&self) -> u64 {
+        self.ops
+            .iter()
+            .map(|(k, v)| k.len() as u64 + v.as_ref().map(|v| v.len() as u64).unwrap_or(0))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_accumulates_in_order() {
+        let mut b = WriteBatch::new();
+        b.put(&b"a"[..], &b"1"[..]).delete(&b"b"[..]).put(&b"c"[..], &b"33"[..]);
+        assert_eq!(b.len(), 3);
+        assert!(!b.is_empty());
+        assert_eq!(b.ops()[0].0.as_ref(), b"a");
+        assert!(b.ops()[1].1.is_none());
+        assert_eq!(b.payload_bytes(), 1 + 1 + 1 + 1 + 2);
+    }
+
+    #[test]
+    fn empty_batch() {
+        let b = WriteBatch::new();
+        assert!(b.is_empty());
+        assert_eq!(b.payload_bytes(), 0);
+        assert_eq!(b.into_ops().len(), 0);
+    }
+
+    #[test]
+    fn duplicate_keys_keep_insertion_order() {
+        let mut b = WriteBatch::new();
+        b.put(&b"k"[..], &b"old"[..]).put(&b"k"[..], &b"new"[..]);
+        let ops = b.into_ops();
+        assert_eq!(ops[1].1.as_ref().unwrap().as_ref(), b"new");
+    }
+}

@@ -1,0 +1,136 @@
+//! The in-memory sorted write buffer.
+
+use crate::batch::BatchOp;
+use crate::{Key, Value};
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+/// A sorted in-memory table. `None` values are tombstones, which must be
+/// preserved until compaction drops them at the bottom level.
+#[derive(Debug, Default, Clone)]
+pub struct MemTable {
+    map: BTreeMap<Key, Option<Value>>,
+    approx_bytes: u64,
+}
+
+impl MemTable {
+    /// Create an empty memtable.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Apply one op, maintaining the size estimate.
+    pub fn apply(&mut self, key: Key, value: Option<Value>) {
+        let add = key.len() as u64 + value.as_ref().map(|v| v.len() as u64).unwrap_or(0) + 16;
+        if let Some(old) = self.map.insert(key, value) {
+            let remove = old.map(|v| v.len() as u64).unwrap_or(0);
+            self.approx_bytes = self.approx_bytes.saturating_sub(remove);
+            self.approx_bytes += add.saturating_sub(16); // key already counted
+        } else {
+            self.approx_bytes += add;
+        }
+    }
+
+    /// Apply a slice of batch ops.
+    pub fn apply_ops(&mut self, ops: &[BatchOp]) {
+        for (k, v) in ops {
+            self.apply(k.clone(), v.clone());
+        }
+    }
+
+    /// Look a key up. `Some(None)` means "deleted here" (stop searching).
+    pub fn get(&self, key: &[u8]) -> Option<Option<Value>> {
+        self.map.get(key).cloned()
+    }
+
+    /// Entries with `lo <= key < hi`, in key order.
+    pub fn range(&self, lo: &[u8], hi: &[u8]) -> impl Iterator<Item = (&Key, &Option<Value>)> {
+        self.map.range::<[u8], _>((Bound::Included(lo), Bound::Excluded(hi)))
+    }
+
+    /// Number of entries (tombstones included).
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the table has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Estimated resident bytes (keys + values + fixed overhead).
+    pub fn approx_bytes(&self) -> u64 {
+        self.approx_bytes
+    }
+
+    /// Drain into a sorted op vector (for SSTable construction).
+    pub fn into_sorted_ops(self) -> Vec<BatchOp> {
+        self.map.into_iter().collect()
+    }
+
+    /// Iterate all entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Key, &Option<Value>)> {
+        self.map.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn k(s: &str) -> Key {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn put_get_overwrite() {
+        let mut m = MemTable::new();
+        m.apply(k("a"), Some(k("1")));
+        m.apply(k("a"), Some(k("2")));
+        assert_eq!(m.get(b"a"), Some(Some(k("2"))));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn tombstone_is_visible() {
+        let mut m = MemTable::new();
+        m.apply(k("a"), Some(k("1")));
+        m.apply(k("a"), None);
+        assert_eq!(m.get(b"a"), Some(None));
+        assert_eq!(m.get(b"b"), None);
+    }
+
+    #[test]
+    fn range_is_half_open_and_sorted() {
+        let mut m = MemTable::new();
+        for s in ["d", "a", "c", "b", "e"] {
+            m.apply(k(s), Some(k("v")));
+        }
+        let keys: Vec<&[u8]> = m.range(b"b", b"e").map(|(key, _)| key.as_ref()).collect();
+        assert_eq!(keys, vec![b"b" as &[u8], b"c", b"d"]);
+    }
+
+    #[test]
+    fn size_estimate_grows_and_tracks_overwrites() {
+        let mut m = MemTable::new();
+        m.apply(k("key1"), Some(Bytes::from(vec![0u8; 100])));
+        let s1 = m.approx_bytes();
+        assert!(s1 >= 104);
+        m.apply(k("key1"), Some(Bytes::from(vec![0u8; 10])));
+        assert!(m.approx_bytes() < s1);
+        m.apply(k("key2"), Some(Bytes::from(vec![0u8; 50])));
+        assert!(m.approx_bytes() > 60);
+    }
+
+    #[test]
+    fn into_sorted_ops_ordered() {
+        let mut m = MemTable::new();
+        for s in ["z", "m", "a"] {
+            m.apply(k(s), Some(k("v")));
+        }
+        let ops = m.into_sorted_ops();
+        let keys: Vec<&[u8]> = ops.iter().map(|(key, _)| key.as_ref()).collect();
+        assert_eq!(keys, vec![b"a" as &[u8], b"m", b"z"]);
+    }
+}

@@ -1,0 +1,172 @@
+//! Immutable sorted runs (SSTables).
+//!
+//! An SSTable is a sorted vector of `(key, value-or-tombstone)` plus a tiny
+//! hash filter so point lookups skip tables that cannot contain the key —
+//! the structure that makes L0 pile-ups expensive (every L0 table may need
+//! probing) and compaction worthwhile.
+
+use crate::batch::BatchOp;
+use crate::Value;
+use afc_common::rng::hash_bytes;
+
+/// An immutable sorted run.
+#[derive(Debug)]
+pub struct SsTable {
+    id: u64,
+    entries: Vec<BatchOp>,
+    /// Key-hash filter (sorted), probed before binary search.
+    filter: Vec<u64>,
+    bytes: u64,
+}
+
+impl SsTable {
+    /// Build a table from sorted, deduplicated ops. Panics (debug) if the
+    /// input is unsorted — callers construct from `BTreeMap` iterations.
+    pub fn build(id: u64, entries: Vec<BatchOp>) -> Self {
+        debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0), "unsorted sstable input");
+        let bytes = entries
+            .iter()
+            .map(|(k, v)| k.len() as u64 + v.as_ref().map(|v| v.len() as u64).unwrap_or(0) + 8)
+            .sum();
+        let mut filter: Vec<u64> = entries.iter().map(|(k, _)| hash_bytes(k)).collect();
+        filter.sort_unstable();
+        SsTable { id, entries, filter, bytes }
+    }
+
+    /// Table id (monotonic; larger = newer).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Encoded size in bytes (what flushing/compacting charges the device).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Number of entries (tombstones included).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Smallest key, if any.
+    pub fn min_key(&self) -> Option<&[u8]> {
+        self.entries.first().map(|(k, _)| k.as_ref())
+    }
+
+    /// Largest key, if any.
+    pub fn max_key(&self) -> Option<&[u8]> {
+        self.entries.last().map(|(k, _)| k.as_ref())
+    }
+
+    /// Point lookup. `Some(None)` = tombstone.
+    pub fn get(&self, key: &[u8]) -> Option<Option<Value>> {
+        if self.filter.binary_search(&hash_bytes(key)).is_err() {
+            return None;
+        }
+        self.entries
+            .binary_search_by(|(k, _)| k.as_ref().cmp(key))
+            .ok()
+            .map(|i| self.entries[i].1.clone())
+    }
+
+    /// Entries with `lo <= key < hi` in key order.
+    pub fn range(&self, lo: &[u8], hi: &[u8]) -> &[BatchOp] {
+        let start = self.entries.partition_point(|(k, _)| k.as_ref() < lo);
+        let end = self.entries.partition_point(|(k, _)| k.as_ref() < hi);
+        &self.entries[start..end]
+    }
+
+    /// All entries in key order.
+    pub fn entries(&self) -> &[BatchOp] {
+        &self.entries
+    }
+}
+
+/// Merge several runs (newest first) into one sorted, deduplicated run.
+/// `drop_tombstones` is set when merging into the bottom level.
+pub fn merge_runs(newest_first: &[&[BatchOp]], drop_tombstones: bool) -> Vec<BatchOp> {
+    // Newest-wins: insert older runs only where the key is absent.
+    let mut map: std::collections::BTreeMap<crate::Key, Option<Value>> = std::collections::BTreeMap::new();
+    for run in newest_first {
+        for (k, v) in *run {
+            map.entry(k.clone()).or_insert_with(|| v.clone());
+        }
+    }
+    map.into_iter()
+        .filter(|(_, v)| !(drop_tombstones && v.is_none()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn op(k: &str, v: Option<&str>) -> BatchOp {
+        (Bytes::copy_from_slice(k.as_bytes()), v.map(|v| Bytes::copy_from_slice(v.as_bytes())))
+    }
+
+    fn table(id: u64, items: &[(&str, Option<&str>)]) -> SsTable {
+        SsTable::build(id, items.iter().map(|(k, v)| op(k, *v)).collect())
+    }
+
+    #[test]
+    fn point_lookup_and_filter() {
+        let t = table(1, &[("a", Some("1")), ("c", None), ("e", Some("5"))]);
+        assert_eq!(t.get(b"a").unwrap().unwrap().as_ref(), b"1");
+        assert_eq!(t.get(b"c"), Some(None));
+        assert_eq!(t.get(b"b"), None);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.min_key(), Some(b"a" as &[u8]));
+        assert_eq!(t.max_key(), Some(b"e" as &[u8]));
+    }
+
+    #[test]
+    fn range_query() {
+        let t = table(1, &[("a", Some("1")), ("b", Some("2")), ("c", Some("3")), ("d", Some("4"))]);
+        let r = t.range(b"b", b"d");
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0].0.as_ref(), b"b");
+        assert_eq!(r[1].0.as_ref(), b"c");
+        assert!(t.range(b"x", b"z").is_empty());
+    }
+
+    #[test]
+    fn bytes_accounts_payload() {
+        let t = table(1, &[("key", Some("value"))]);
+        assert_eq!(t.bytes(), 3 + 5 + 8);
+    }
+
+    #[test]
+    fn merge_newest_wins() {
+        let newer = [op("a", Some("new")), op("b", None)];
+        let older = [op("a", Some("old")), op("b", Some("2")), op("c", Some("3"))];
+        let merged = merge_runs(&[&newer, &older], false);
+        assert_eq!(merged.len(), 3);
+        assert_eq!(merged[0].1.as_ref().unwrap().as_ref(), b"new");
+        assert_eq!(merged[1].1, None); // tombstone preserved
+        assert_eq!(merged[2].1.as_ref().unwrap().as_ref(), b"3");
+    }
+
+    #[test]
+    fn merge_drops_tombstones_at_bottom() {
+        let newer = [op("b", None)];
+        let older = [op("a", Some("1")), op("b", Some("2"))];
+        let merged = merge_runs(&[&newer, &older], true);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].0.as_ref(), b"a");
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = SsTable::build(9, Vec::new());
+        assert!(t.is_empty());
+        assert_eq!(t.get(b"x"), None);
+        assert_eq!(t.min_key(), None);
+    }
+}

@@ -1,0 +1,133 @@
+//! Model-based property tests: the LSM store must behave exactly like a
+//! `BTreeMap` under any operation sequence, including flushes, compaction
+//! and crash-recovery of synced writes.
+
+use afc_device::{Nvram, NvramConfig};
+use afc_kvstore::{Db, DbConfig, WriteBatch, WriteOptions};
+use bytes::Bytes;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put { key: u8, val: u16 },
+    Delete { key: u8 },
+    Batch { ops: Vec<(u8, Option<u16>)> },
+    Flush,
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (any::<u8>(), any::<u16>()).prop_map(|(key, val)| Op::Put { key, val }),
+        2 => any::<u8>().prop_map(|key| Op::Delete { key }),
+        2 => proptest::collection::vec((any::<u8>(), proptest::option::of(any::<u16>())), 1..8)
+            .prop_map(|ops| Op::Batch { ops }),
+        1 => Just(Op::Flush),
+    ]
+}
+
+fn key(k: u8) -> Bytes {
+    Bytes::from(format!("key-{k:03}"))
+}
+
+fn val(v: u16) -> Bytes {
+    Bytes::from(format!("value-{v:05}"))
+}
+
+fn tiny_db() -> Db {
+    let dev = Arc::new(Nvram::new(NvramConfig::pmc_8g()));
+    // Small memtable and aggressive compaction so sequences cross every
+    // structural boundary (freeze, flush, L0 pile-up, L1 merge).
+    let cfg = DbConfig {
+        memtable_bytes: 512,
+        l0_compact_threshold: 2,
+        l0_stall_threshold: 6,
+        max_imm: 2,
+        ..DbConfig::default()
+    };
+    Db::open(dev, cfg)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
+
+    #[test]
+    fn db_matches_btreemap(ops in proptest::collection::vec(op(), 1..80)) {
+        let db = tiny_db();
+        let mut model: BTreeMap<Bytes, Bytes> = BTreeMap::new();
+        for o in &ops {
+            match o {
+                Op::Put { key: k, val: v } => {
+                    db.put(key(*k), val(*v), WriteOptions::async_()).unwrap();
+                    model.insert(key(*k), val(*v));
+                }
+                Op::Delete { key: k } => {
+                    db.delete(key(*k), WriteOptions::async_()).unwrap();
+                    model.remove(&key(*k));
+                }
+                Op::Batch { ops } => {
+                    let mut wb = WriteBatch::new();
+                    for (k, v) in ops {
+                        match v {
+                            Some(v) => {
+                                wb.put(key(*k), val(*v));
+                                model.insert(key(*k), val(*v));
+                            }
+                            None => {
+                                wb.delete(key(*k));
+                                model.remove(&key(*k));
+                            }
+                        }
+                    }
+                    db.write_batch(&wb, WriteOptions::async_()).unwrap();
+                }
+                Op::Flush => db.flush().unwrap(),
+            }
+        }
+        db.flush().unwrap();
+        db.wait_idle();
+        // Point lookups agree.
+        for k in 0u8..=255 {
+            prop_assert_eq!(db.get(&key(k)).unwrap(), model.get(&key(k)).cloned());
+        }
+        // Full dump agrees (scan correctness incl. tombstones).
+        prop_assert_eq!(db.dump().unwrap(), model);
+    }
+
+    #[test]
+    fn synced_writes_survive_crash(puts in proptest::collection::vec((any::<u8>(), any::<u16>()), 1..30)) {
+        let db = tiny_db();
+        let mut model = BTreeMap::new();
+        for (k, v) in &puts {
+            db.put(key(*k), val(*v), WriteOptions::sync()).unwrap();
+            model.insert(key(*k), val(*v));
+        }
+        db.crash_and_recover().unwrap();
+        for (k, v) in &model {
+            let got = db.get(k).unwrap();
+            prop_assert_eq!(got.as_ref(), Some(v));
+        }
+    }
+
+    #[test]
+    fn range_scans_match_model(
+        puts in proptest::collection::vec((any::<u8>(), any::<u16>()), 1..60),
+        lo in any::<u8>(),
+        width in 1u16..128,
+    ) {
+        let db = tiny_db();
+        let mut model = BTreeMap::new();
+        for (k, v) in &puts {
+            db.put(key(*k), val(*v), WriteOptions::async_()).unwrap();
+            model.insert(key(*k), val(*v));
+        }
+        let hi = lo.saturating_add(width.min(255) as u8);
+        let got = db.scan(&key(lo), &key(hi)).unwrap();
+        let want: Vec<(Bytes, Bytes)> = model
+            .range(key(lo)..key(hi))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,77 @@
+//! Entity addresses on the fabric.
+
+use afc_common::{ClientId, OsdId};
+use std::fmt;
+
+/// Address of an endpoint on the in-process network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Addr {
+    /// An OSD daemon.
+    Osd(OsdId),
+    /// A client session (VM / FIO job).
+    Client(ClientId),
+    /// The monitor.
+    Mon,
+}
+
+impl Addr {
+    /// The OSD id, if this is an OSD address.
+    pub fn as_osd(&self) -> Option<OsdId> {
+        match self {
+            Addr::Osd(o) => Some(*o),
+            _ => None,
+        }
+    }
+
+    /// The client id, if this is a client address.
+    pub fn as_client(&self) -> Option<ClientId> {
+        match self {
+            Addr::Client(c) => Some(*c),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Addr::Osd(o) => write!(f, "{o}"),
+            Addr::Client(c) => write!(f, "{c}"),
+            Addr::Mon => write!(f, "mon"),
+        }
+    }
+}
+
+impl From<OsdId> for Addr {
+    fn from(o: OsdId) -> Self {
+        Addr::Osd(o)
+    }
+}
+
+impl From<ClientId> for Addr {
+    fn from(c: ClientId) -> Self {
+        Addr::Client(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_accessors() {
+        let a: Addr = OsdId(3).into();
+        assert_eq!(a.as_osd(), Some(OsdId(3)));
+        assert_eq!(a.as_client(), None);
+        let c: Addr = ClientId(7).into();
+        assert_eq!(c.as_client(), Some(ClientId(7)));
+        assert_eq!(Addr::Mon.as_osd(), None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Addr::Osd(OsdId(1)).to_string(), "osd.1");
+        assert_eq!(Addr::Client(ClientId(2)).to_string(), "client.2");
+        assert_eq!(Addr::Mon.to_string(), "mon");
+    }
+}

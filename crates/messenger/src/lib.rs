@@ -1,0 +1,557 @@
+//! In-process SimpleMessenger-style transport.
+//!
+//! Ceph's SimpleMessenger dedicates a sender and a receiver thread to every
+//! connection — the structure the paper blames for the sub-linear 4K random
+//! read scaling at 16 nodes ("messenger's structure is not scalable and
+//! have receiver and sender threads for each connection", §4.5). This crate
+//! reproduces that shape in-process:
+//!
+//! - A [`Network`] is a registry of endpoints plus a timing configuration.
+//! - Each `(sender → receiver)` pair gets a dedicated **connection thread**
+//!   that enforces per-connection FIFO ordering, models wire latency, and
+//!   optionally burns per-message CPU (protocol/checksum work) so host CPU
+//!   becomes the collective ceiling exactly as in the paper.
+//! - **Nagle modeling** (§3.2): with `nagle = true` (community KRBD on
+//!   CentOS 7), messages smaller than one MSS are delayed by the
+//!   small-packet coalescing window before they leave the sender. Large
+//!   messages are unaffected — which is why the paper only saw the effect
+//!   on small random I/O.
+//!
+//! The message payload type is generic; `afc-core` instantiates it with its
+//! OSD message enum.
+
+pub mod addr;
+
+pub use addr::Addr;
+
+
+use afc_common::{sleep_for, AfcError, CounterSet, Result};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Network timing/behaviour configuration.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// One-way wire+stack latency per message.
+    pub hop_latency: Duration,
+    /// Apply small-packet coalescing delay (TCP_NODELAY unset).
+    pub nagle: bool,
+    /// Messages at or below this wire size are "small" for Nagle.
+    pub nagle_threshold: u32,
+    /// Extra delay Nagle imposes on small messages.
+    pub nagle_delay: Duration,
+    /// Per-message CPU burned by the connection thread (protocol work,
+    /// checksumming). Zero by default; the scale-out harness raises it.
+    pub cpu_per_msg: Duration,
+    /// Receive-side threading model (§4.5 / extension).
+    pub mode: MessengerMode,
+}
+
+/// Receive-side threading model.
+///
+/// The paper diagnoses SimpleMessenger — a dedicated receiver thread per
+/// connection — as the 16-node random-read ceiling ("messenger's structure
+/// is not scalable and have receiver and sender threads for each
+/// connection"). Ceph's eventual fix was AsyncMessenger: a fixed worker
+/// pool multiplexing all connections. Both are available here; connections
+/// are sharded onto async workers by connection id, so per-connection FIFO
+/// ordering is identical in both modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MessengerMode {
+    /// Thread per inbound connection (Ceph SimpleMessenger; the default,
+    /// matching the paper's testbed).
+    Simple,
+    /// Fixed shared worker pool (Ceph AsyncMessenger).
+    Async {
+        /// Pool size.
+        workers: usize,
+    },
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            hop_latency: Duration::from_micros(80),
+            nagle: false,
+            nagle_threshold: 1448,
+            // Nagle + delayed-ACK interaction on small segments; Linux's
+            // delayed-ACK floor is tens of ms — 2 ms is a conservative
+            // stand-in for the KRBD-on-CentOS-7 behaviour the paper hit.
+            nagle_delay: Duration::from_millis(2),
+            cpu_per_msg: Duration::ZERO,
+            mode: MessengerMode::Simple,
+        }
+    }
+}
+
+impl NetConfig {
+    /// Community defaults: Nagle enabled (KRBD on CentOS 7.0, §3.2).
+    pub fn community() -> Self {
+        NetConfig { nagle: true, ..Self::default() }
+    }
+
+    /// AFCeph tuning: Nagle disabled.
+    pub fn afceph() -> Self {
+        Self::default()
+    }
+}
+
+/// Receives dispatched messages for one endpoint. Implementations must be
+/// thread-safe: every inbound connection dispatches from its own thread.
+pub trait Dispatcher<M>: Send + Sync {
+    /// Handle one message from `from`.
+    fn dispatch(&self, from: Addr, msg: M);
+}
+
+/// Blanket impl so closures can act as dispatchers in tests.
+impl<M, F: Fn(Addr, M) + Send + Sync> Dispatcher<M> for F {
+    fn dispatch(&self, from: Addr, msg: M) {
+        self(from, msg)
+    }
+}
+
+struct Envelope<M> {
+    from: Addr,
+    departed: Instant,
+    msg: M,
+}
+
+struct ConnHandle<M> {
+    tx: Sender<WorkItem<M>>,
+    /// Present only for Simple-mode per-connection threads; Async lanes are
+    /// owned by the network.
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+struct WorkItem<M> {
+    env: Envelope<M>,
+    dispatcher: Arc<dyn Dispatcher<M>>,
+}
+
+struct EndpointState<M> {
+    dispatcher: Arc<dyn Dispatcher<M>>,
+    /// Inbound connection lanes keyed by sender address.
+    conns: HashMap<Addr, ConnHandle<M>>,
+}
+
+struct NetInner<M> {
+    endpoints: HashMap<Addr, EndpointState<M>>,
+    /// Shared async-mode worker lanes (created on demand).
+    lanes: Vec<Sender<WorkItem<M>>>,
+    lane_threads: Vec<std::thread::JoinHandle<()>>,
+    shutdown: bool,
+}
+
+/// The in-process network fabric.
+pub struct Network<M: Send + 'static> {
+    cfg: NetConfig,
+    inner: Mutex<NetInner<M>>,
+    counters: CounterSet,
+}
+
+impl<M: Send + 'static> Network<M> {
+    /// Create a network with `cfg`.
+    pub fn new(cfg: NetConfig) -> Arc<Self> {
+        Arc::new(Network {
+            cfg,
+            inner: Mutex::new(NetInner {
+                endpoints: HashMap::new(),
+                lanes: Vec::new(),
+                lane_threads: Vec::new(),
+                shutdown: false,
+            }),
+            counters: CounterSet::new(),
+        })
+    }
+
+    /// Register an endpoint and get its sending handle.
+    pub fn register(self: &Arc<Self>, addr: Addr, dispatcher: Arc<dyn Dispatcher<M>>) -> Result<Messenger<M>> {
+        let mut inner = self.inner.lock();
+        if inner.shutdown {
+            return Err(AfcError::ShutDown("network".into()));
+        }
+        if inner.endpoints.contains_key(&addr) {
+            return Err(AfcError::AlreadyExists(format!("endpoint {addr}")));
+        }
+        inner.endpoints.insert(addr, EndpointState { dispatcher, conns: HashMap::new() });
+        Ok(Messenger { addr, net: Arc::clone(self) })
+    }
+
+    /// Remove an endpoint; its inbound connection threads wind down.
+    pub fn unregister(&self, addr: Addr) {
+        let state = self.inner.lock().endpoints.remove(&addr);
+        if let Some(state) = state {
+            for (_, c) in state.conns {
+                drop(c.tx);
+                if let Some(t) = c.thread {
+                    let _ = t.join();
+                }
+            }
+        }
+    }
+
+    /// Shut the whole fabric down, joining every connection thread.
+    pub fn shutdown(&self) {
+        let (eps, lanes, lane_threads) = {
+            let mut inner = self.inner.lock();
+            inner.shutdown = true;
+            (
+                std::mem::take(&mut inner.endpoints),
+                std::mem::take(&mut inner.lanes),
+                std::mem::take(&mut inner.lane_threads),
+            )
+        };
+        for (_, state) in eps {
+            for (_, c) in state.conns {
+                drop(c.tx);
+                if let Some(t) = c.thread {
+                    let _ = t.join();
+                }
+            }
+        }
+        drop(lanes);
+        for t in lane_threads {
+            let _ = t.join();
+        }
+    }
+
+    /// Instrumentation: `net.msgs`, `net.bytes`, `net.conns`.
+    pub fn counters(&self) -> &CounterSet {
+        &self.counters
+    }
+
+    fn deliver(&self, from: Addr, to: Addr, msg: M, wire_bytes: u32) -> Result<()> {
+        let mut inner = self.inner.lock();
+        if inner.shutdown {
+            return Err(AfcError::ShutDown("network".into()));
+        }
+        let cfg = self.cfg.clone();
+        let counters = self.counters.clone();
+        // Async mode: ensure the shared lanes exist and pick this
+        // connection's lane (sharded by connection id so per-connection
+        // FIFO ordering is preserved) before borrowing the endpoint.
+        let lane_tx = if let MessengerMode::Async { workers } = self.cfg.mode {
+            if inner.lanes.is_empty() {
+                for i in 0..workers.max(1) {
+                    let (tx, rx): (Sender<WorkItem<M>>, Receiver<WorkItem<M>>) = unbounded();
+                    let cfg = self.cfg.clone();
+                    inner.lanes.push(tx);
+                    inner.lane_threads.push(
+                        std::thread::Builder::new()
+                            .name(format!("msgr-async-{i}"))
+                            .spawn(move || receive_loop(rx, cfg))
+                            .expect("spawn async messenger worker"),
+                    );
+                    counters.counter("net.lanes").inc();
+                }
+            }
+            use std::hash::{Hash, Hasher};
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            (from, to).hash(&mut h);
+            let lane = (h.finish() as usize) % inner.lanes.len();
+            Some(inner.lanes[lane].clone())
+        } else {
+            None
+        };
+        let state = inner
+            .endpoints
+            .get_mut(&to)
+            .ok_or_else(|| AfcError::NotFound(format!("endpoint {to}")))?;
+        let dispatcher = Arc::clone(&state.dispatcher);
+        let tx = match lane_tx {
+            None => {
+                let conn = state.conns.entry(from).or_insert_with(|| {
+                    counters.counter("net.conns").inc();
+                    let (tx, rx): (Sender<WorkItem<M>>, Receiver<WorkItem<M>>) = unbounded();
+                    let thread = std::thread::Builder::new()
+                        .name(format!("msgr-{from}-{to}"))
+                        .spawn(move || receive_loop(rx, cfg))
+                        .expect("spawn connection thread");
+                    ConnHandle { tx, thread: Some(thread) }
+                });
+                conn.tx.clone()
+            }
+            Some(lane_tx) => {
+                state.conns.entry(from).or_insert_with(|| {
+                    counters.counter("net.conns").inc();
+                    ConnHandle { tx: lane_tx.clone(), thread: None }
+                });
+                lane_tx
+            }
+        };
+        let mut departed = Instant::now();
+        if self.cfg.nagle && wire_bytes <= self.cfg.nagle_threshold {
+            // Small payload held back by the coalescing window.
+            departed += self.cfg.nagle_delay;
+            self.counters.counter("net.nagled").inc();
+        }
+        self.counters.counter("net.msgs").inc();
+        self.counters.counter("net.bytes").add(wire_bytes as u64);
+        tx.send(WorkItem { env: Envelope { from, departed, msg }, dispatcher })
+            .map_err(|_| AfcError::Disconnected(format!("connection {from}->{to}")))
+    }
+}
+
+fn receive_loop<M: Send + 'static>(rx: Receiver<WorkItem<M>>, cfg: NetConfig) {
+    while let Ok(item) = rx.recv() {
+        // Wire latency relative to departure, preserving per-lane FIFO.
+        let arrival = item.env.departed + cfg.hop_latency;
+        let now = Instant::now();
+        if arrival > now {
+            sleep_for(arrival - now);
+        }
+        if cfg.cpu_per_msg > Duration::ZERO {
+            burn_cpu(cfg.cpu_per_msg);
+        }
+        item.dispatcher.dispatch(item.env.from, item.env.msg);
+    }
+}
+
+/// Burn approximately `d` of CPU (used to model protocol work; only the
+/// scale-out harness enables it).
+fn burn_cpu(d: Duration) {
+    let end = Instant::now() + d;
+    let mut x = 0u64;
+    while Instant::now() < end {
+        for i in 0..64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(i);
+        }
+        std::hint::black_box(x);
+    }
+}
+
+/// Sending handle bound to a registered endpoint address.
+pub struct Messenger<M: Send + 'static> {
+    addr: Addr,
+    net: Arc<Network<M>>,
+}
+
+impl<M: Send + 'static> Messenger<M> {
+    /// This endpoint's address.
+    pub fn addr(&self) -> Addr {
+        self.addr
+    }
+
+    /// Send `msg` (`wire_bytes` on the wire) to `to`.
+    pub fn send(&self, to: Addr, msg: M, wire_bytes: u32) -> Result<()> {
+        self.net.deliver(self.addr, to, msg, wire_bytes)
+    }
+
+    /// The owning network.
+    pub fn network(&self) -> &Arc<Network<M>> {
+        &self.net
+    }
+}
+
+impl<M: Send + 'static> Clone for Messenger<M> {
+    fn clone(&self) -> Self {
+        Messenger { addr: self.addr, net: Arc::clone(&self.net) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afc_common::{ClientId, OsdId};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn client(n: u64) -> Addr {
+        Addr::Client(ClientId(n))
+    }
+
+    fn osd(n: u32) -> Addr {
+        Addr::Osd(OsdId(n))
+    }
+
+    #[test]
+    fn send_and_dispatch() {
+        let net: Arc<Network<String>> = Network::new(NetConfig::default());
+        let got = Arc::new(Mutex::new(Vec::new()));
+        let g = Arc::clone(&got);
+        net.register(osd(0), Arc::new(move |from: Addr, m: String| {
+            g.lock().push((from, m));
+        }))
+        .unwrap();
+        let m = net.register(client(1), Arc::new(|_, _: String| {})).unwrap();
+        m.send(osd(0), "hello".into(), 100).unwrap();
+        std::thread::sleep(Duration::from_millis(10));
+        let got = got.lock();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0], (client(1), "hello".to_string()));
+        net.shutdown();
+    }
+
+    #[test]
+    fn per_connection_fifo_order() {
+        let net: Arc<Network<u64>> = Network::new(NetConfig::default());
+        let got = Arc::new(Mutex::new(Vec::new()));
+        let g = Arc::clone(&got);
+        net.register(osd(0), Arc::new(move |_, m: u64| g.lock().push(m))).unwrap();
+        let m = net.register(client(1), Arc::new(|_, _: u64| {})).unwrap();
+        for i in 0..500u64 {
+            m.send(osd(0), i, 64).unwrap();
+        }
+        while got.lock().len() < 500 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let got = got.lock();
+        assert!(got.windows(2).all(|w| w[0] < w[1]), "order violated");
+        net.shutdown();
+    }
+
+    #[test]
+    fn nagle_delays_small_messages_only() {
+        let cfg = NetConfig { nagle: true, nagle_delay: Duration::from_millis(20), ..NetConfig::default() };
+        let net: Arc<Network<Instant>> = Network::new(cfg);
+        let lat = Arc::new(Mutex::new(Vec::new()));
+        let l = Arc::clone(&lat);
+        net.register(osd(0), Arc::new(move |_, sent: Instant| {
+            l.lock().push(sent.elapsed());
+        }))
+        .unwrap();
+        let m = net.register(client(1), Arc::new(|_, _: Instant| {})).unwrap();
+        // Large first (direct), then small (nagled) — same FIFO connection.
+        m.send(osd(0), Instant::now(), 64 * 1024).unwrap();
+        m.send(osd(0), Instant::now(), 512).unwrap();
+        while lat.lock().len() < 2 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let lat = lat.lock();
+        assert!(lat[0] < Duration::from_millis(20), "large delayed: {:?}", lat[0]);
+        assert!(lat[1] >= Duration::from_millis(20), "small not delayed: {:?}", lat[1]);
+        assert_eq!(net.counters().get("net.nagled"), 1);
+        net.shutdown();
+    }
+
+    #[test]
+    fn distinct_connections_get_distinct_threads() {
+        let net: Arc<Network<()>> = Network::new(NetConfig::default());
+        net.register(osd(0), Arc::new(|_, ()| {})).unwrap();
+        let a = net.register(client(1), Arc::new(|_, ()| {})).unwrap();
+        let b = net.register(client(2), Arc::new(|_, ()| {})).unwrap();
+        a.send(osd(0), (), 1).unwrap();
+        b.send(osd(0), (), 1).unwrap();
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(net.counters().get("net.conns"), 2);
+        assert_eq!(net.counters().get("net.msgs"), 2);
+        net.shutdown();
+    }
+
+    #[test]
+    fn unknown_destination_errors() {
+        let net: Arc<Network<()>> = Network::new(NetConfig::default());
+        let m = net.register(client(1), Arc::new(|_, ()| {})).unwrap();
+        assert!(matches!(m.send(osd(9), (), 1), Err(AfcError::NotFound(_))));
+        net.shutdown();
+    }
+
+    #[test]
+    fn duplicate_registration_rejected() {
+        let net: Arc<Network<()>> = Network::new(NetConfig::default());
+        net.register(osd(0), Arc::new(|_, ()| {})).unwrap();
+        assert!(net.register(osd(0), Arc::new(|_, ()| {})).is_err());
+        net.shutdown();
+    }
+
+    #[test]
+    fn shutdown_rejects_further_traffic() {
+        let net: Arc<Network<()>> = Network::new(NetConfig::default());
+        let m = net.register(client(1), Arc::new(|_, ()| {})).unwrap();
+        net.shutdown();
+        assert!(m.send(client(1), (), 1).is_err());
+        assert!(net.register(osd(0), Arc::new(|_, ()| {})).is_err());
+    }
+
+    #[test]
+    fn concurrent_senders_all_delivered() {
+        let net: Arc<Network<u64>> = Network::new(NetConfig::default());
+        let count = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&count);
+        net.register(osd(0), Arc::new(move |_, _: u64| {
+            c.fetch_add(1, Ordering::Relaxed);
+        }))
+        .unwrap();
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let m = net.register(client(t), Arc::new(|_, _: u64| {})).unwrap();
+                s.spawn(move || {
+                    for i in 0..200 {
+                        m.send(osd(0), i, 128).unwrap();
+                    }
+                });
+            }
+        });
+        while count.load(Ordering::Relaxed) < 1600 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(net.counters().get("net.msgs"), 1600);
+        net.shutdown();
+    }
+
+    #[test]
+    fn async_mode_delivers_and_orders() {
+        let cfg = NetConfig { mode: MessengerMode::Async { workers: 3 }, ..NetConfig::default() };
+        let net: Arc<Network<u64>> = Network::new(cfg);
+        let got = Arc::new(Mutex::new(Vec::new()));
+        let g = Arc::clone(&got);
+        net.register(osd(0), Arc::new(move |_, m: u64| g.lock().push(m))).unwrap();
+        let m = net.register(client(1), Arc::new(|_, _: u64| {})).unwrap();
+        for i in 0..300u64 {
+            m.send(osd(0), i, 64).unwrap();
+        }
+        while got.lock().len() < 300 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(got.lock().windows(2).all(|w| w[0] < w[1]), "async lanes broke FIFO");
+        // Fixed pool regardless of connection count.
+        assert_eq!(net.counters().get("net.lanes"), 3);
+        net.shutdown();
+    }
+
+    #[test]
+    fn async_mode_caps_thread_count_across_many_connections() {
+        let cfg = NetConfig { mode: MessengerMode::Async { workers: 2 }, ..NetConfig::default() };
+        let net: Arc<Network<()>> = Network::new(cfg);
+        let count = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&count);
+        net.register(osd(0), Arc::new(move |_, ()| {
+            c.fetch_add(1, Ordering::Relaxed);
+        }))
+        .unwrap();
+        for t in 0..12u64 {
+            let m = net.register(client(t), Arc::new(|_, ()| {})).unwrap();
+            m.send(osd(0), (), 32).unwrap();
+        }
+        while count.load(Ordering::Relaxed) < 12 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(net.counters().get("net.conns"), 12);
+        assert_eq!(net.counters().get("net.lanes"), 2, "pool must not grow with connections");
+        net.shutdown();
+    }
+
+    #[test]
+    fn cpu_burn_slows_delivery() {
+        let cfg = NetConfig { cpu_per_msg: Duration::from_micros(500), hop_latency: Duration::ZERO, ..NetConfig::default() };
+        let net: Arc<Network<()>> = Network::new(cfg);
+        let count = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&count);
+        net.register(osd(0), Arc::new(move |_, ()| {
+            c.fetch_add(1, Ordering::Relaxed);
+        }))
+        .unwrap();
+        let m = net.register(client(1), Arc::new(|_, ()| {})).unwrap();
+        let t0 = Instant::now();
+        for _ in 0..20 {
+            m.send(osd(0), (), 1).unwrap();
+        }
+        while count.load(Ordering::Relaxed) < 20 {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        assert!(t0.elapsed() >= Duration::from_millis(10), "{:?}", t0.elapsed());
+        net.shutdown();
+    }
+}

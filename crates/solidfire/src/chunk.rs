@@ -1,0 +1,74 @@
+//! Fixed 4 KB chunking math.
+
+/// SolidFire's fixed dedup unit.
+pub const CHUNK: u64 = 4096;
+
+/// One chunk touched by a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkExtent {
+    /// Chunk index (LBA / 4K).
+    pub index: u64,
+    /// Offset of the touched range within the chunk.
+    pub within: u64,
+    /// Touched bytes within the chunk.
+    pub len: u64,
+}
+
+impl ChunkExtent {
+    /// Whether the request covers the whole chunk (no read-modify-write).
+    pub fn is_full(&self) -> bool {
+        self.within == 0 && self.len == CHUNK
+    }
+}
+
+/// Split `[off, off+len)` into per-chunk extents.
+pub fn chunk_extents(off: u64, len: u64) -> Vec<ChunkExtent> {
+    let mut out = Vec::with_capacity(((len / CHUNK) + 2) as usize);
+    let mut cur = off;
+    let end = off + len;
+    while cur < end {
+        let index = cur / CHUNK;
+        let within = cur % CHUNK;
+        let take = (CHUNK - within).min(end - cur);
+        out.push(ChunkExtent { index, within, len: take });
+        cur += take;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligned_single_chunk() {
+        let e = chunk_extents(8192, 4096);
+        assert_eq!(e, vec![ChunkExtent { index: 2, within: 0, len: 4096 }]);
+        assert!(e[0].is_full());
+    }
+
+    #[test]
+    fn unaligned_spans_two_chunks() {
+        let e = chunk_extents(1000, 4096);
+        assert_eq!(e.len(), 2);
+        assert_eq!(e[0], ChunkExtent { index: 0, within: 1000, len: 3096 });
+        assert_eq!(e[1], ChunkExtent { index: 1, within: 0, len: 1000 });
+        assert!(!e[0].is_full());
+        assert!(!e[1].is_full());
+    }
+
+    #[test]
+    fn large_write_shatters() {
+        let e = chunk_extents(0, 32 * 1024);
+        assert_eq!(e.len(), 8);
+        assert!(e.iter().all(|x| x.is_full()));
+        let total: u64 = e.iter().map(|x| x.len).sum();
+        assert_eq!(total, 32 * 1024);
+    }
+
+    #[test]
+    fn sub_chunk_write() {
+        let e = chunk_extents(100, 50);
+        assert_eq!(e, vec![ChunkExtent { index: 0, within: 100, len: 50 }]);
+    }
+}

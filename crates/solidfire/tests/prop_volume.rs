@@ -1,0 +1,91 @@
+//! Property tests: a SolidFire volume is observationally a flat byte
+//! array, regardless of chunking, dedup and read-modify-write paths.
+
+use afc_common::blocktarget::MemBlockTarget;
+use afc_common::BlockTarget;
+use afc_device::{NvramConfig, SsdConfig};
+use afc_solidfire::{chunk_extents, SfCluster, SfConfig, CHUNK};
+use proptest::prelude::*;
+use std::time::Duration;
+
+const VOL: u64 = 1 << 20; // 1 MiB keeps cases fast
+
+fn fast_cluster() -> std::sync::Arc<SfCluster> {
+    SfCluster::new(SfConfig {
+        nodes: 2,
+        ssds_per_node: 2,
+        ssd: SsdConfig { jitter: 0.0, read_base: Duration::ZERO, write_base: Duration::ZERO, ..SsdConfig::sata3() },
+        nvram: NvramConfig { access: Duration::ZERO, ..NvramConfig::pmc_8g() },
+        stage_limit: 1024,
+        hop_latency: Duration::ZERO,
+        meta_hop: Duration::ZERO,
+        write_pipeline: Duration::ZERO,
+        read_pipeline: Duration::ZERO,
+        replicate: true, // exercise the RF=2 path in the model check
+    })
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, .. ProptestConfig::default() })]
+
+    /// Same writes → same reads as an in-memory byte array, for arbitrary
+    /// (unaligned, overlapping) patterns.
+    #[test]
+    fn volume_equals_flat_array(
+        writes in proptest::collection::vec((0u64..VOL - 1, 1usize..9000, any::<u8>()), 1..16),
+        reads in proptest::collection::vec((0u64..VOL - 1, 1usize..9000), 1..8),
+    ) {
+        let cluster = fast_cluster();
+        let vol = cluster.volume("p", VOL).unwrap();
+        let model = MemBlockTarget::new(VOL);
+        for (off, len, fill) in &writes {
+            let len = (*len as u64).min(VOL - off) as usize;
+            let data = vec![*fill; len];
+            vol.write_at(*off, &data).unwrap();
+            model.write_at(*off, &data).unwrap();
+        }
+        for (off, len) in &reads {
+            let len = (*len as u64).min(VOL - off) as usize;
+            prop_assert_eq!(vol.read_at(*off, len).unwrap(), model.read_at(*off, len).unwrap());
+        }
+    }
+
+    /// Chunk extents tile the request exactly: contiguous, within-chunk,
+    /// complete.
+    #[test]
+    fn extents_tile_exactly(off in 0u64..1_000_000, len in 1u64..200_000) {
+        let ext = chunk_extents(off, len);
+        let mut cursor = off;
+        for e in &ext {
+            prop_assert_eq!(e.index, cursor / CHUNK);
+            prop_assert_eq!(e.within, cursor % CHUNK);
+            prop_assert!(e.within + e.len <= CHUNK);
+            cursor += e.len;
+        }
+        prop_assert_eq!(cursor, off + len);
+    }
+
+    /// Refcounts: distinct volumes writing identical content share chunks;
+    /// overwriting all copies reclaims them.
+    #[test]
+    fn dedup_refcount_reclamation(fill in any::<u8>(), copies in 1u64..12) {
+        let cluster = fast_cluster();
+        let vol = cluster.volume("rc", VOL).unwrap();
+        let data = vec![fill; CHUNK as usize];
+        for i in 0..copies {
+            vol.write_at(i * CHUNK, &data).unwrap();
+        }
+        cluster.quiesce();
+        // RF=2: one unique chunk lives as two node-local copies.
+        prop_assert_eq!(cluster.stats().chunks, 2);
+        // Overwrite each copy with unique content: the shared chunk dies.
+        for i in 0..copies {
+            let mut unique = vec![fill ^ 0xff; CHUNK as usize];
+            unique[..8].copy_from_slice(&i.to_le_bytes());
+            vol.write_at(i * CHUNK, &unique).unwrap();
+        }
+        cluster.quiesce();
+        prop_assert_eq!(cluster.stats().chunks, copies * 2);
+    }
+}

@@ -1,0 +1,180 @@
+//! Job specifications.
+
+use std::time::Duration;
+
+/// I/O pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rw {
+    /// Uniform random writes.
+    RandWrite,
+    /// Uniform random reads.
+    RandRead,
+    /// Per-thread sequential writes (partitioned span).
+    SeqWrite,
+    /// Per-thread sequential reads.
+    SeqRead,
+    /// Mixed random with the given read percentage.
+    RandRw {
+        /// Percentage of reads, 0..=100.
+        read_pct: u8,
+    },
+}
+
+impl Rw {
+    /// FIO-style name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Rw::RandWrite => "randwrite",
+            Rw::RandRead => "randread",
+            Rw::SeqWrite => "write",
+            Rw::SeqRead => "read",
+            Rw::RandRw { .. } => "randrw",
+        }
+    }
+}
+
+/// A FIO-like job description (builder style).
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Pattern.
+    pub rw: Rw,
+    /// Block size in bytes.
+    pub bs: u64,
+    /// Independent jobs.
+    pub numjobs: usize,
+    /// In-flight ops per job (sync engine: extra threads).
+    pub iodepth: usize,
+    /// Wall-clock runtime.
+    pub runtime: Duration,
+    /// Per-thread op cap (whichever of runtime/limit hits first).
+    pub io_limit: Option<u64>,
+    /// Restrict I/O to the first `span` bytes of the target.
+    pub span: Option<u64>,
+    /// Windowed-IOPS sampling interval (None = no series).
+    pub sample_interval: Option<Duration>,
+    /// RNG seed.
+    pub seed: u64,
+    /// Label carried into the report.
+    pub label: String,
+}
+
+impl JobSpec {
+    /// A job with defaults: 4 KiB, 1 job, iodepth 1, 1 s runtime.
+    pub fn new(rw: Rw) -> Self {
+        JobSpec {
+            rw,
+            bs: 4096,
+            numjobs: 1,
+            iodepth: 1,
+            runtime: Duration::from_secs(1),
+            io_limit: None,
+            span: None,
+            sample_interval: None,
+            seed: 0x10_ad,
+            label: rw.name().to_string(),
+        }
+    }
+
+    /// Set the block size.
+    #[must_use]
+    pub fn bs(mut self, bs: u64) -> Self {
+        assert!(bs > 0, "block size must be positive");
+        self.bs = bs;
+        self
+    }
+
+    /// Set the job count.
+    #[must_use]
+    pub fn numjobs(mut self, n: usize) -> Self {
+        assert!(n > 0, "numjobs must be positive");
+        self.numjobs = n;
+        self
+    }
+
+    /// Set the iodepth.
+    #[must_use]
+    pub fn iodepth(mut self, n: usize) -> Self {
+        assert!(n > 0, "iodepth must be positive");
+        self.iodepth = n;
+        self
+    }
+
+    /// Set the runtime.
+    #[must_use]
+    pub fn runtime(mut self, d: Duration) -> Self {
+        self.runtime = d;
+        self
+    }
+
+    /// Cap per-thread ops.
+    #[must_use]
+    pub fn io_limit(mut self, ops: u64) -> Self {
+        self.io_limit = Some(ops);
+        self
+    }
+
+    /// Restrict the addressed span.
+    #[must_use]
+    pub fn span(mut self, bytes: u64) -> Self {
+        self.span = Some(bytes);
+        self
+    }
+
+    /// Enable windowed-IOPS sampling.
+    #[must_use]
+    pub fn sample_interval(mut self, d: Duration) -> Self {
+        self.sample_interval = Some(d);
+        self
+    }
+
+    /// Set the RNG seed.
+    #[must_use]
+    pub fn seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+
+    /// Set the report label.
+    #[must_use]
+    pub fn label(mut self, l: impl Into<String>) -> Self {
+        self.label = l.into();
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains() {
+        let s = JobSpec::new(Rw::RandWrite)
+            .bs(32 * 1024)
+            .numjobs(4)
+            .iodepth(8)
+            .runtime(Duration::from_secs(3))
+            .io_limit(100)
+            .span(1 << 30)
+            .seed(9)
+            .label("fig10");
+        assert_eq!(s.bs, 32 * 1024);
+        assert_eq!(s.numjobs, 4);
+        assert_eq!(s.iodepth, 8);
+        assert_eq!(s.io_limit, Some(100));
+        assert_eq!(s.span, Some(1 << 30));
+        assert_eq!(s.label, "fig10");
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Rw::RandWrite.name(), "randwrite");
+        assert_eq!(Rw::SeqRead.name(), "read");
+        assert_eq!(Rw::RandRw { read_pct: 70 }.name(), "randrw");
+    }
+
+    #[test]
+    #[should_panic(expected = "block size")]
+    fn zero_bs_rejected() {
+        let _ = JobSpec::new(Rw::RandRead).bs(0);
+    }
+}

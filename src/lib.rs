@@ -1,0 +1,22 @@
+//! # afcstore — All-Flash Scale-Out Storage
+//!
+//! Umbrella crate for the `afcstore` workspace: a from-scratch Rust
+//! reproduction of *"Performance Optimization for All Flash Scale-out
+//! Storage"* (IEEE CLUSTER 2016). It re-exports each layer of the stack so
+//! examples, integration tests and downstream users need a single dependency.
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-versus-measured results.
+
+pub use afc_common as common;
+pub use afc_crush as crush;
+pub use afc_device as device;
+pub use afc_filestore as filestore;
+pub use afc_journal as journal;
+pub use afc_kvstore as kvstore;
+pub use afc_logging as logging;
+pub use afc_messenger as messenger;
+pub use afc_solidfire as solidfire;
+pub use afc_workload as workload;
+
+pub use afc_core::*;

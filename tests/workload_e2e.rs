@@ -1,0 +1,106 @@
+//! FIO-runner ↔ cluster integration: every workload shape completes
+//! error-free against a live cluster, and tuning affects outcomes in the
+//! expected direction.
+
+use afcstore::common::{BlockTarget, MIB};
+use afcstore::workload::{self, JobSpec, Rw};
+use afcstore::{Cluster, DeviceProfile, OsdTuning};
+use std::time::Duration;
+
+fn cluster(tuning: OsdTuning) -> Cluster {
+    Cluster::builder()
+        .nodes(2)
+        .osds_per_node(2)
+        .replication(2)
+        .pg_num(32)
+        .tuning(tuning)
+        .devices(DeviceProfile::clean())
+        .build()
+        .unwrap()
+}
+
+fn prefill(img: &afcstore::RbdImage) {
+    let buf = vec![7u8; MIB as usize];
+    let mut off = 0;
+    while off + MIB <= BlockTarget::size(img) {
+        img.write_at(off, &buf).unwrap();
+        off += MIB;
+    }
+}
+
+#[test]
+fn all_patterns_run_clean() {
+    let c = cluster(OsdTuning::afceph());
+    let img = c.create_image("wl", 32 * MIB).unwrap();
+    prefill(&img);
+    for rw in [Rw::RandWrite, Rw::RandRead, Rw::SeqWrite, Rw::SeqRead, Rw::RandRw { read_pct: 70 }] {
+        let spec = JobSpec::new(rw).bs(4096).iodepth(2).runtime(Duration::from_millis(600));
+        let r = workload::run(&spec, &img);
+        assert_eq!(r.errors, 0, "{rw:?} had errors");
+        assert!(r.ops > 10, "{rw:?} too few ops: {}", r.ops);
+        assert!(r.mean_lat() > Duration::ZERO);
+    }
+    c.shutdown();
+}
+
+#[test]
+fn large_blocks_give_more_bandwidth_fewer_iops() {
+    let c = cluster(OsdTuning::afceph());
+    let img = c.create_image("bw", 32 * MIB).unwrap();
+    prefill(&img);
+    let small = workload::run(
+        &JobSpec::new(Rw::SeqRead).bs(4096).iodepth(2).runtime(Duration::from_secs(1)),
+        &img,
+    );
+    let large = workload::run(
+        &JobSpec::new(Rw::SeqRead).bs(MIB).iodepth(2).runtime(Duration::from_secs(1)),
+        &img,
+    );
+    assert!(large.bandwidth() > small.bandwidth(), "large {} <= small {}", large.bandwidth(), small.bandwidth());
+    assert!(large.iops() < small.iops());
+    c.shutdown();
+}
+
+#[test]
+fn afceph_beats_community_on_small_random_writes() {
+    // The paper's headline, asserted end-to-end with a margin that holds
+    // under CI noise.
+    let mut results = Vec::new();
+    for tuning in [OsdTuning::community(), OsdTuning::afceph()] {
+        let c = cluster(tuning);
+        let img = c.create_image("cmp", 32 * MIB).unwrap();
+        prefill(&img);
+        let spec = JobSpec::new(Rw::RandWrite).bs(4096).numjobs(2).iodepth(2).runtime(Duration::from_secs(2));
+        let r = workload::run(&spec, &img);
+        assert_eq!(r.errors, 0);
+        results.push((r.iops(), r.mean_lat()));
+        c.shutdown();
+    }
+    let (community, afceph) = (results[0], results[1]);
+    assert!(
+        afceph.0 > community.0 * 1.2,
+        "afceph {:.0} IOPS not clearly above community {:.0}",
+        afceph.0,
+        community.0
+    );
+    assert!(afceph.1 < community.1, "afceph latency {:?} not below community {:?}", afceph.1, community.1);
+}
+
+#[test]
+fn nagle_disabled_cuts_single_stream_latency() {
+    let mut lats = Vec::new();
+    for nagle in [true, false] {
+        let c = cluster(OsdTuning { nagle, ..OsdTuning::community() });
+        let img = c.create_image("ng", 16 * MIB).unwrap();
+        let spec = JobSpec::new(Rw::RandWrite).bs(4096).runtime(Duration::from_secs(1));
+        let r = workload::run(&spec, &img);
+        lats.push(r.mean_lat());
+        c.shutdown();
+    }
+    assert!(
+        lats[1] < lats[0],
+        "no-nagle {:?} should beat nagle {:?} at queue depth 1",
+        lats[1],
+        lats[0]
+    );
+}
