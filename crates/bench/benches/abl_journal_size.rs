@@ -16,7 +16,13 @@ use std::time::Duration;
 
 fn main() {
     let sizes: [u64; 4] = [4 << 20, 16 << 20, 64 << 20, 512 << 20];
-    let mut table = Table::new(vec!["journal", "IOPS", "cv(fluctuation)", "journal-full stalls", "stalled(ms)"]);
+    let mut table = Table::new(vec![
+        "journal",
+        "IOPS",
+        "cv(fluctuation)",
+        "journal-full stalls",
+        "stalled(ms)",
+    ]);
     let mut rows = Vec::new();
     for &cap in &sizes {
         let devices = DeviceProfile::sustained().with_journal_capacity(cap);
@@ -28,9 +34,9 @@ fn main() {
             .label(format!("journal={}", fmt_bytes(cap)));
         let r = run_fleet(&images, &spec);
         let stats = cluster.osd_stats();
-        let (fs_, fsu): (u64, u64) = stats
-            .iter()
-            .fold((0, 0), |a, (_, s)| (a.0 + s.journal.full_stalls, a.1 + s.journal.full_stall_us));
+        let (fs_, fsu): (u64, u64) = stats.iter().fold((0, 0), |a, (_, s)| {
+            (a.0 + s.journal.full_stalls, a.1 + s.journal.full_stall_us)
+        });
         table.row(vec![
             fmt_bytes(cap),
             format!("{:.0}", r.iops()),

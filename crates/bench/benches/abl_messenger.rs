@@ -6,7 +6,7 @@
 //! compares both receive-side models under a fan-in-heavy random-read load
 //! with per-message CPU cost enabled, and reports thread/lane counts.
 
-use afc_bench::{fio, print_rows, save_rows, run_fleet, vm_images, FigRow};
+use afc_bench::{fio, print_rows, run_fleet, save_rows, vm_images, FigRow};
 use afc_core::{Cluster, DeviceProfile, OsdTuning};
 use afc_messenger::MessengerMode;
 use afc_workload::Rw;
@@ -40,12 +40,20 @@ fn main() {
         println!(
             "  connections={} receive threads={}",
             c.get("net.conns"),
-            if c.get("net.lanes") > 0 { c.get("net.lanes") } else { c.get("net.conns") },
+            if c.get("net.lanes") > 0 {
+                c.get("net.lanes")
+            } else {
+                c.get("net.conns")
+            },
         );
         rows.push(FigRow::from_report(name, i as f64, &r, false));
         cluster.shutdown();
     }
-    print_rows("Extension ablation: messenger threading model (4K randread, 12 VMs)", "variant", &rows);
+    print_rows(
+        "Extension ablation: messenger threading model (4K randread, 12 VMs)",
+        "variant",
+        &rows,
+    );
     save_rows("abl_messenger", &rows);
     println!("(the paper's fix direction: bounded receive threads remove the per-connection CPU ceiling)");
 }

@@ -14,9 +14,17 @@ use std::sync::Arc;
 fn main() {
     const OBJECTS: u64 = 512;
     const WRITES: u64 = 4096;
-    let mut table = Table::new(vec!["cache entries", "meta reads", "hit rate", "interfered dev reads"]);
+    let mut table = Table::new(vec![
+        "cache entries",
+        "meta reads",
+        "hit rate",
+        "interfered dev reads",
+    ]);
     for cache in [16usize, 64, 256, 512, 1024] {
-        let dev = Arc::new(Ssd::new(SsdConfig { jitter: 0.0, ..SsdConfig::sata3() }));
+        let dev = Arc::new(Ssd::new(SsdConfig {
+            jitter: 0.0,
+            ..SsdConfig::sata3()
+        }));
         let mut cfg = FileStoreConfig::lightweight();
         cfg.meta_cache_entries = cache;
         cfg.queue_max_ops = 5000;
@@ -24,8 +32,14 @@ fn main() {
         for i in 0..WRITES {
             let obj = format!("obj.{:08x}", (i * 2654435761) % OBJECTS); // scattered reuse
             let mut t = Transaction::new();
-            t.push(TxOp::Touch { object: obj.clone() });
-            t.push(TxOp::Write { object: obj, offset: 0, data: Bytes::from(vec![0u8; 4096]) });
+            t.push(TxOp::Touch {
+                object: obj.clone(),
+            });
+            t.push(TxOp::Write {
+                object: obj,
+                offset: 0,
+                data: Bytes::from(vec![0u8; 4096]),
+            });
             fs.apply_sync(t).unwrap();
         }
         fs.wait_idle();

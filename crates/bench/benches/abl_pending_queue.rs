@@ -11,15 +11,36 @@ use afc_workload::Rw;
 fn main() {
     let variants: [(&str, OsdTuning); 5] = [
         ("afceph(all)", OsdTuning::afceph()),
-        ("-pending_queue", OsdTuning { pending_queue: false, ..OsdTuning::afceph() }),
-        ("-dedicated_completion", OsdTuning { dedicated_completion: false, ..OsdTuning::afceph() }),
-        ("-fast_ack", OsdTuning { fast_ack: false, ..OsdTuning::afceph() }),
-        ("none(of §3.1)", OsdTuning {
-            pending_queue: false,
-            dedicated_completion: false,
-            fast_ack: false,
-            ..OsdTuning::afceph()
-        }),
+        (
+            "-pending_queue",
+            OsdTuning {
+                pending_queue: false,
+                ..OsdTuning::afceph()
+            },
+        ),
+        (
+            "-dedicated_completion",
+            OsdTuning {
+                dedicated_completion: false,
+                ..OsdTuning::afceph()
+            },
+        ),
+        (
+            "-fast_ack",
+            OsdTuning {
+                fast_ack: false,
+                ..OsdTuning::afceph()
+            },
+        ),
+        (
+            "none(of §3.1)",
+            OsdTuning {
+                pending_queue: false,
+                dedicated_completion: false,
+                fast_ack: false,
+                ..OsdTuning::afceph()
+            },
+        ),
     ];
     let mut rows = Vec::new();
     for (i, (name, tuning)) in variants.into_iter().enumerate() {
@@ -36,11 +57,19 @@ fn main() {
         let images = vm_images(&cluster, 8, 64 << 20, false);
         let r = run_fleet(&images, &fio(Rw::RandWrite, 4096, 4).label(name));
         println!("{r}");
-        let waits: u64 = cluster.osd_stats().iter().map(|(_, s)| s.pg_lock_wait_us).sum();
+        let waits: u64 = cluster
+            .osd_stats()
+            .iter()
+            .map(|(_, s)| s.pg_lock_wait_us)
+            .sum();
         println!("  total PG-lock wait: {} ms", waits / 1000);
         rows.push(FigRow::from_report(name, i as f64, &r, false));
         cluster.shutdown();
     }
-    print_rows("Ablation: §3.1 lock optimizations (16 PGs, 4K randwrite)", "variant", &rows);
+    print_rows(
+        "Ablation: §3.1 lock optimizations (16 PGs, 4K randwrite)",
+        "variant",
+        &rows,
+    );
     save_rows("abl_pending_queue", &rows);
 }

@@ -14,7 +14,14 @@ use std::time::Duration;
 
 fn main() {
     let caps = [2u64, 10, 50, 500, 5000];
-    let mut table = Table::new(vec!["queue_max_ops", "IOPS", "lat(ms)", "p99(ms)", "throttle blocks", "blocked(ms)"]);
+    let mut table = Table::new(vec![
+        "queue_max_ops",
+        "IOPS",
+        "lat(ms)",
+        "p99(ms)",
+        "throttle blocks",
+        "blocked(ms)",
+    ]);
     let mut rows = Vec::new();
     for &cap in &caps {
         let cluster = build_cluster(2, 2, OsdTuning::afceph(), DeviceProfile::sustained());
@@ -27,9 +34,12 @@ fn main() {
             .label(format!("cap={cap}"));
         let r = run_fleet(&images, &spec);
         let stats = cluster.osd_stats();
-        let (tw, twu): (u64, u64) = stats
-            .iter()
-            .fold((0, 0), |a, (_, s)| (a.0 + s.filestore.throttle_waits, a.1 + s.filestore.throttle_wait_us));
+        let (tw, twu): (u64, u64) = stats.iter().fold((0, 0), |a, (_, s)| {
+            (
+                a.0 + s.filestore.throttle_waits,
+                a.1 + s.filestore.throttle_wait_us,
+            )
+        });
         table.row(vec![
             cap.to_string(),
             format!("{:.0}", r.iops()),

@@ -26,7 +26,11 @@ fn main() {
             rows.push(FigRow::from_report(rw.name(), t as f64, &r, false));
         }
     }
-    print_rows("Figure 1: stock Ceph, 4K random I/O vs thread count", "threads", &rows);
+    print_rows(
+        "Figure 1: stock Ceph, 4K random I/O vs thread count",
+        "threads",
+        &rows,
+    );
     save_rows("fig01", &rows);
     // The paper's two observations, asserted loosely so regressions shout:
     let w: Vec<&FigRow> = rows.iter().filter(|r| r.series == "randwrite").collect();

@@ -17,10 +17,20 @@ use std::time::Duration;
 
 fn main() {
     let mut table = Table::new(vec![
-        "config", "queue(1)", "submit(2)", "journal(4)", "completion(5)", "replica(6,7)", "reply", "total",
+        "config",
+        "queue(1)",
+        "submit(2)",
+        "journal(4)",
+        "completion(5)",
+        "replica(6,7)",
+        "reply",
+        "total",
         "pg-lock-wait/op",
     ]);
-    for (name, tuning) in [("community", OsdTuning::community()), ("afceph", OsdTuning::afceph())] {
+    for (name, tuning) in [
+        ("community", OsdTuning::community()),
+        ("afceph", OsdTuning::afceph()),
+    ] {
         let cluster = build_cluster(4, 2, tuning, DeviceProfile::sustained());
         let images = vm_images(&cluster, 8, 64 << 20, true);
         let spec = fio(Rw::RandWrite, 4096, 4)
@@ -49,7 +59,10 @@ fn main() {
         ]);
         cluster.shutdown();
     }
-    println!("\n== Figure 3: write-path latency breakdown ({} samples/osd cap) ==", 4096);
+    println!(
+        "\n== Figure 3: write-path latency breakdown ({} samples/osd cap) ==",
+        4096
+    );
     table.print();
     println!("(paper, community: queue≈1ms submit≈3ms journal≈8ms completion≈1.1ms replica≈1.1ms of ≈17ms total)");
 }

@@ -18,8 +18,14 @@ fn main() {
     for (name, logging) in [("log", LoggingMode::Blocking), ("nolog", LoggingMode::Off)] {
         // Lock optimization + tuning, but community filestore + throttle —
         // the configuration of the paper's Figure 4.
-        let tuning = OsdTuning { logging, ..OsdTuning::step_tuning() };
-        let tuning = OsdTuning { lightweight_txn: false, ..tuning };
+        let tuning = OsdTuning {
+            logging,
+            ..OsdTuning::step_tuning()
+        };
+        let tuning = OsdTuning {
+            lightweight_txn: false,
+            ..tuning
+        };
         // Sustained flash plus a journal small enough that the
         // journal→filestore imbalance (the paper's point B) can appear
         // within the bench window.
@@ -52,10 +58,17 @@ fn main() {
             r.series.max_value()
         );
         let stats = cluster.osd_stats();
-        let (tw, twu): (u64, u64) = stats
-            .iter()
-            .fold((0, 0), |a, (_, s)| (a.0 + s.filestore.throttle_waits, a.1 + s.filestore.throttle_wait_us));
-        println!("  filestore throttle: {} blocks, {} ms blocked (the 'contention' in Fig 2)", tw, twu / 1000);
+        let (tw, twu): (u64, u64) = stats.iter().fold((0, 0), |a, (_, s)| {
+            (
+                a.0 + s.filestore.throttle_waits,
+                a.1 + s.filestore.throttle_wait_us,
+            )
+        });
+        println!(
+            "  filestore throttle: {} blocks, {} ms blocked (the 'contention' in Fig 2)",
+            tw,
+            twu / 1000
+        );
         cluster.shutdown();
     }
     save_rows("fig04", &rows);

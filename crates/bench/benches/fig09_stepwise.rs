@@ -33,7 +33,11 @@ fn main() {
         rows.push(FigRow::from_report(name, i as f64, &r, false));
         cluster.shutdown();
     }
-    print_rows("Figure 9: stepwise improvement, clean SSDs, 4K random write", "step", &rows);
+    print_rows(
+        "Figure 9: stepwise improvement, clean SSDs, 4K random write",
+        "step",
+        &rows,
+    );
     save_rows("fig09", &rows);
     let gain = rows.last().unwrap().value / rows[0].value.max(1.0);
     println!("\ncumulative improvement: {gain:.2}x (paper: >2x)");

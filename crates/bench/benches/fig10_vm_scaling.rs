@@ -17,7 +17,11 @@ use std::sync::Arc;
 
 fn main() {
     let max = vms_max();
-    let vm_counts: Vec<usize> = [2usize, 4, 8, 12, 16].iter().copied().filter(|v| *v <= max).collect();
+    let vm_counts: Vec<usize> = [2usize, 4, 8, 12, 16]
+        .iter()
+        .copied()
+        .filter(|v| *v <= max)
+        .collect();
     let panels: [(&str, Rw, u64, bool); 6] = [
         ("4k-randwrite", Rw::RandWrite, 4 << 10, false),
         ("32k-randwrite", Rw::RandWrite, 32 << 10, false),
@@ -27,7 +31,10 @@ fn main() {
         ("seq-read", Rw::SeqRead, 1 << 20, true),
     ];
     let mut all_rows = Vec::new();
-    for (cfg_name, tuning) in [("community", OsdTuning::community()), ("afceph", OsdTuning::afceph())] {
+    for (cfg_name, tuning) in [
+        ("community", OsdTuning::community()),
+        ("afceph", OsdTuning::afceph()),
+    ] {
         // The Figure-10 journal-full fluctuation needs a journal the 32K
         // stream can fill at bench scale.
         let devices = DeviceProfile::sustained().with_journal_capacity(64 << 20);
@@ -42,7 +49,12 @@ fn main() {
                 let subset: Vec<Arc<_>> = images.iter().take(vms).cloned().collect();
                 let r = run_fleet(&subset, &spec);
                 println!("{r}");
-                all_rows.push(FigRow::from_report(&format!("{cfg_name}/{panel}"), vms as f64, &r, seq));
+                all_rows.push(FigRow::from_report(
+                    &format!("{cfg_name}/{panel}"),
+                    vms as f64,
+                    &r,
+                    seq,
+                ));
             }
         }
         let stats = cluster.osd_stats();
@@ -50,7 +62,11 @@ fn main() {
         println!("[{cfg_name}] journal-full stalls across OSDs: {jf}");
         cluster.shutdown();
     }
-    print_rows("Figure 10: VM scaling, sustained SSDs (6 panels)", "VMs", &all_rows);
+    print_rows(
+        "Figure 10: VM scaling, sustained SSDs (6 panels)",
+        "VMs",
+        &all_rows,
+    );
     save_rows("fig10", &all_rows);
     // Headline comparison at max VMs for the 4K random panels.
     for panel in ["4k-randwrite", "4k-randread"] {

@@ -65,11 +65,16 @@ fn main() {
     let mut rows = Vec::new();
     let mut iso: Vec<(String, f64, f64)> = Vec::new(); // (system, iops, lat) at iso-latency
 
-    for (name, tuning) in [("community", OsdTuning::community()), ("afceph", OsdTuning::afceph())] {
+    for (name, tuning) in [
+        ("community", OsdTuning::community()),
+        ("afceph", OsdTuning::afceph()),
+    ] {
         let cluster = build_cluster(4, 2, tuning, DeviceProfile::sustained());
         let images = vm_images(&cluster, vms, 64 << 20, true);
-        let targets: Vec<Arc<dyn BlockTarget>> =
-            images.iter().map(|i| Arc::clone(i) as Arc<dyn BlockTarget>).collect();
+        let targets: Vec<Arc<dyn BlockTarget>> = images
+            .iter()
+            .map(|i| Arc::clone(i) as Arc<dyn BlockTarget>)
+            .collect();
         run_targets(name, &targets, &mut rows, &|| cluster.quiesce());
         iso.push(iso_latency_point(name, &targets));
         cluster.shutdown();
@@ -77,9 +82,16 @@ fn main() {
     {
         // SolidFire with the paper's mandatory dedup on fully-random data
         // (the FIO buffer pattern defeats dedup, as the paper intends).
-        let sf = SfCluster::new(SfConfig { nodes: 4, ssds_per_node: 6, ..SfConfig::paper() }).unwrap();
+        let sf = SfCluster::new(SfConfig {
+            nodes: 4,
+            ssds_per_node: 6,
+            ..SfConfig::paper()
+        })
+        .unwrap();
         let targets: Vec<Arc<dyn BlockTarget>> = (0..vms)
-            .map(|i| Arc::new(sf.volume(format!("v{i}"), 64 << 20).unwrap()) as Arc<dyn BlockTarget>)
+            .map(|i| {
+                Arc::new(sf.volume(format!("v{i}"), 64 << 20).unwrap()) as Arc<dyn BlockTarget>
+            })
             .collect();
         // Prefill so reads hit stored chunks.
         for (i, t) in targets.iter().enumerate() {
@@ -97,10 +109,17 @@ fn main() {
         run_targets("solidfire", &targets, &mut rows, &|| sf.quiesce());
         iso.push(iso_latency_point("solidfire", &targets));
         let s = sf.stats();
-        println!("[solidfire] dedup hits {} / misses {}", s.dedup_hits, s.dedup_misses);
+        println!(
+            "[solidfire] dedup hits {} / misses {}",
+            s.dedup_hits, s.dedup_misses
+        );
     }
 
-    print_rows("Figure 11: SolidFire vs AFCeph vs Community (panel index as x)", "panel", &rows);
+    print_rows(
+        "Figure 11: SolidFire vs AFCeph vs Community (panel index as x)",
+        "panel",
+        &rows,
+    );
     save_rows("fig11", &rows);
     println!("\npanels: {:?}", PANELS.map(|p| p.0));
     println!("\n== Figure 11(a,c) methodology: 4K random write at iso-latency ==");

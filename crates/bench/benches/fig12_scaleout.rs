@@ -42,13 +42,19 @@ fn main() {
         }
         cluster.shutdown();
     }
-    print_rows("Figure 12: AFCeph scale-out (clean SSDs, load ∝ nodes)", "nodes", &rows);
+    print_rows(
+        "Figure 12: AFCeph scale-out (clean SSDs, load ∝ nodes)",
+        "nodes",
+        &rows,
+    );
     save_rows("fig12", &rows);
     for (panel, ..) in panels {
         let pts: Vec<&FigRow> = rows.iter().filter(|r| r.series == panel).collect();
-        let lin = (pts.last().unwrap().value / pts[0].value)
-            / (pts.last().unwrap().x / pts[0].x);
-        println!("{panel}: scaling efficiency at max nodes = {:.0}% of linear", lin * 100.0);
+        let lin = (pts.last().unwrap().value / pts[0].value) / (pts.last().unwrap().x / pts[0].x);
+        println!(
+            "{panel}: scaling efficiency at max nodes = {:.0}% of linear",
+            lin * 100.0
+        );
     }
     println!("(paper: all patterns ≈linear except 4K random read at 16 nodes — messenger CPU)");
     println!("(host note: this machine has ONE core, so added nodes add threads but no");

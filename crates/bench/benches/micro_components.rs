@@ -3,13 +3,13 @@
 //! device planning, journal round trips, histogram recording.
 
 use afc_common::{LatencyHist, ObjectId, PgId, PoolId};
-use afc_crush::{CrushMap, OsdMap};
+use afc_core::osd::pg::Pg;
 use afc_crush::osdmap::PoolSpec;
+use afc_crush::{CrushMap, OsdMap};
 use afc_device::{BlockDev, IoReq, Nvram, NvramConfig, Ssd, SsdConfig};
 use afc_journal::{Journal, JournalConfig};
 use afc_kvstore::{Db, DbConfig, WriteBatch, WriteOptions};
 use afc_logging::{Level, LogConfig, Logger};
-use afc_core::osd::pg::Pg;
 use bytes::Bytes;
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::sync::Arc;
@@ -37,13 +37,17 @@ fn bench_kvstore(c: &mut Criterion) {
             let mut wb = WriteBatch::new();
             for k in 0..10 {
                 i += 1;
-                wb.put(Bytes::from(format!("key{:08x}", (i + k) % 100_000)), Bytes::from(vec![0u8; 128]));
+                wb.put(
+                    Bytes::from(format!("key{:08x}", (i + k) % 100_000)),
+                    Bytes::from(vec![0u8; 128]),
+                );
             }
             db.write_batch(&wb, WriteOptions::async_()).unwrap();
         })
     });
     g.bench_function("get_hot", |b| {
-        db.put(&b"hotkey"[..], &b"hotvalue"[..], WriteOptions::async_()).unwrap();
+        db.put(&b"hotkey"[..], &b"hotvalue"[..], WriteOptions::async_())
+            .unwrap();
         b.iter(|| db.get(b"hotkey").unwrap())
     });
     g.finish();
@@ -53,12 +57,23 @@ fn bench_crush(c: &mut Criterion) {
     let mut g = c.benchmark_group("crush");
     g.measurement_time(Duration::from_secs(2)).sample_size(20);
     let mut map = OsdMap::new(CrushMap::uniform(16, 4));
-    map.add_pool(PoolId(0), PoolSpec { pg_num: 4096, size: 3 }).unwrap();
+    map.add_pool(
+        PoolId(0),
+        PoolSpec {
+            pg_num: 4096,
+            size: 3,
+        },
+    )
+    .unwrap();
     let mut i = 0u32;
     g.bench_function("pg_acting_3x16x4", |b| {
         b.iter(|| {
             i = i.wrapping_add(1);
-            map.pg_acting(PgId { pool: PoolId(0), seq: i % 4096 }).unwrap()
+            map.pg_acting(PgId {
+                pool: PoolId(0),
+                seq: i % 4096,
+            })
+            .unwrap()
         })
     });
     g.bench_function("object_to_pg", |b| {
@@ -83,14 +98,19 @@ fn bench_logging(c: &mut Criterion) {
         b.iter(|| nonblocking.log(Level::Debug, "osd", "hot path event"))
     });
     let off = Logger::new(LogConfig::off());
-    g.bench_function("off_submit", |b| b.iter(|| off.log(Level::Debug, "osd", "hot path event")));
+    g.bench_function("off_submit", |b| {
+        b.iter(|| off.log(Level::Debug, "osd", "hot path event"))
+    });
     g.finish();
 }
 
 fn bench_pg_queue(c: &mut Criterion) {
     let mut g = c.benchmark_group("pg_queue");
     g.measurement_time(Duration::from_secs(2)).sample_size(20);
-    let pg = Pg::new(PgId { pool: PoolId(0), seq: 1 });
+    let pg = Pg::new(PgId {
+        pool: PoolId(0),
+        seq: 1,
+    });
     g.bench_function("submit_blocking_uncontended", |b| {
         b.iter(|| pg.submit(Box::new(|_st| {}), true))
     });

@@ -16,14 +16,28 @@ use std::sync::Arc;
 fn txn(i: u64) -> Transaction {
     let obj = format!("rbd_data.img.{:016x}", i % 64);
     let mut t = Transaction::new();
-    t.push(TxOp::Touch { object: obj.clone() });
-    t.push(TxOp::SetAllocHint { object: obj.clone() });
-    t.push(TxOp::Write { object: obj.clone(), offset: (i % 1024) * 4096, data: Bytes::from(vec![0u8; 4096]) });
-    t.push(TxOp::SetAttrs { object: obj.clone(), attrs: vec![("snapset".into(), Bytes::from_static(b"{}"))] });
+    t.push(TxOp::Touch {
+        object: obj.clone(),
+    });
+    t.push(TxOp::SetAllocHint {
+        object: obj.clone(),
+    });
+    t.push(TxOp::Write {
+        object: obj.clone(),
+        offset: (i % 1024) * 4096,
+        data: Bytes::from(vec![0u8; 4096]),
+    });
+    t.push(TxOp::SetAttrs {
+        object: obj.clone(),
+        attrs: vec![("snapset".into(), Bytes::from_static(b"{}"))],
+    });
     t.push(TxOp::OmapSetKeys {
         object: "pgmeta_0.1".into(),
         keys: vec![
-            (Bytes::from(format!("pglog.{i:016x}")), Bytes::from(vec![1u8; 130])),
+            (
+                Bytes::from(format!("pglog.{i:016x}")),
+                Bytes::from(vec![1u8; 130]),
+            ),
             (Bytes::from_static(b"info"), Bytes::from(vec![2u8; 64])),
         ],
     });
@@ -33,7 +47,12 @@ fn txn(i: u64) -> Transaction {
 fn main() {
     const N: u64 = 1000;
     let mut table = Table::new(vec![
-        "profile", "syscalls/txn", "opens/txn", "kv commits/txn", "meta reads/txn", "dev reads during writes",
+        "profile",
+        "syscalls/txn",
+        "opens/txn",
+        "kv commits/txn",
+        "meta reads/txn",
+        "dev reads during writes",
         "hints skipped",
     ]);
     for (name, mut cfg) in [
@@ -41,17 +60,28 @@ fn main() {
         ("lightweight", FileStoreConfig::lightweight()),
     ] {
         cfg.queue_max_ops = 5000;
-        let dev = Arc::new(Ssd::new(SsdConfig { jitter: 0.0, ..SsdConfig::sata3() }));
+        let dev = Arc::new(Ssd::new(SsdConfig {
+            jitter: 0.0,
+            ..SsdConfig::sata3()
+        }));
         let fs = FileStore::new(dev, cfg);
         for i in 0..N {
             fs.apply_sync(txn(i)).unwrap();
         }
         fs.wait_idle();
         let c = fs.fs().counters();
-        let syscalls: u64 = ["sys.open", "sys.write", "sys.read", "sys.stat", "sys.setxattr", "sys.getxattr", "sys.fallocate"]
-            .iter()
-            .map(|s| c.get(s))
-            .sum();
+        let syscalls: u64 = [
+            "sys.open",
+            "sys.write",
+            "sys.read",
+            "sys.stat",
+            "sys.setxattr",
+            "sys.getxattr",
+            "sys.fallocate",
+        ]
+        .iter()
+        .map(|s| c.get(s))
+        .sum();
         let kv = fs.kv_stats();
         let s = fs.stats();
         let dev_reads = fs.fs().device().stats();
@@ -61,7 +91,10 @@ fn main() {
             format!("{:.1}", c.get("sys.open") as f64 / N as f64),
             format!("{:.1}", kv.commits as f64 / N as f64),
             format!("{:.2}", s.meta_reads as f64 / N as f64),
-            format!("{} ({} interfered)", dev_reads.reads, dev_reads.interfered_reads),
+            format!(
+                "{} ({} interfered)",
+                dev_reads.reads, dev_reads.interfered_reads
+            ),
             format!("{}", s.hints_skipped),
         ]);
     }

@@ -10,8 +10,8 @@
 
 use afc_common::bytesize::fmt_bytes;
 use afc_common::Table;
-use afc_filestore::{FileStore, FileStoreConfig, Transaction, TxOp};
 use afc_device::{Nvram, NvramConfig};
+use afc_filestore::{FileStore, FileStoreConfig, Transaction, TxOp};
 use bytes::Bytes;
 use std::sync::Arc;
 
@@ -26,7 +26,9 @@ fn drive(bs: u64, total: u64, profile: FileStoreConfig) -> (u64, u64, f64) {
         seq += 1;
         let obj = format!("rbd_data.img.{:016x}", written / (4 << 20));
         let mut t = Transaction::new();
-        t.push(TxOp::Touch { object: obj.clone() });
+        t.push(TxOp::Touch {
+            object: obj.clone(),
+        });
         t.push(TxOp::Write {
             object: obj.clone(),
             offset: written % (4 << 20),
@@ -35,7 +37,10 @@ fn drive(bs: u64, total: u64, profile: FileStoreConfig) -> (u64, u64, f64) {
         t.push(TxOp::OmapSetKeys {
             object: "pgmeta_0.1".into(),
             keys: vec![
-                (Bytes::from(format!("pglog.{seq:016x}")), Bytes::from(vec![1u8; 130])),
+                (
+                    Bytes::from(format!("pglog.{seq:016x}")),
+                    Bytes::from(vec![1u8; 130]),
+                ),
                 (Bytes::from_static(b"info"), Bytes::from(vec![2u8; 64])),
             ],
         });
@@ -45,13 +50,25 @@ fn drive(bs: u64, total: u64, profile: FileStoreConfig) -> (u64, u64, f64) {
     fs.wait_idle();
     fs.sync().unwrap();
     let kv = fs.kv_stats();
-    (kv.user_bytes, kv.device_write_bytes(), kv.write_amplification())
+    (
+        kv.user_bytes,
+        kv.device_write_bytes(),
+        kv.write_amplification(),
+    )
 }
 
 fn main() {
     // 64 MiB of client data stands in for the paper's 2 GB (ratio-preserving).
     let total = 64u64 << 20;
-    let mut t = Table::new(vec!["profile", "bs", "kv user bytes", "kv device bytes", "extra", "extra/client-GB", "WA"]);
+    let mut t = Table::new(vec![
+        "profile",
+        "bs",
+        "kv user bytes",
+        "kv device bytes",
+        "extra",
+        "extra/client-GB",
+        "WA",
+    ]);
     for (name, cfg) in [
         ("community", FileStoreConfig::community()),
         ("lightweight", FileStoreConfig::lightweight()),
@@ -63,7 +80,11 @@ fn main() {
             let extra = device.saturating_sub(user);
             t.row(vec![
                 name.to_string(),
-                if bs == 4 << 10 { "4K".into() } else { "4M".into() },
+                if bs == 4 << 10 {
+                    "4K".into()
+                } else {
+                    "4M".into()
+                },
                 fmt_bytes(user),
                 fmt_bytes(device),
                 fmt_bytes(extra),
@@ -73,6 +94,9 @@ fn main() {
         }
     }
     println!("== §3.4 analysis: KV write amplification vs client block size ==");
-    println!("({} client bytes per cell; paper wrote 2GB: 4M bs → ~30MB extra, 4K bs → ~2GB extra)", fmt_bytes(total));
+    println!(
+        "({} client bytes per cell; paper wrote 2GB: 4M bs → ~30MB extra, 4K bs → ~2GB extra)",
+        fmt_bytes(total)
+    );
     t.print();
 }

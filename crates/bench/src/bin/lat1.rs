@@ -20,7 +20,12 @@ fn main() {
         println!("write {i}: {:?}", t0.elapsed());
     }
     for (id, s) in cluster.osd_stats() {
-        println!("{id}: writes={} journal_batches={} avg_batch={:.2}", s.writes, s.journal.batches, s.journal.avg_batch());
+        println!(
+            "{id}: writes={} journal_batches={} avg_batch={:.2}",
+            s.writes,
+            s.journal.batches,
+            s.journal.avg_batch()
+        );
     }
     for s in cluster.osds()[0].stage_samples().iter().take(5) {
         println!("{s:?}");

@@ -7,7 +7,13 @@ use afc_workload::Rw;
 fn main() {
     for (name, tuning) in [
         ("community(nagle)", OsdTuning::community()),
-        ("community(no-nagle)", OsdTuning { nagle: false, ..OsdTuning::community() }),
+        (
+            "community(no-nagle)",
+            OsdTuning {
+                nagle: false,
+                ..OsdTuning::community()
+            },
+        ),
     ] {
         let cluster = build_cluster(2, 2, tuning, DeviceProfile::clean());
         let images = vm_images(&cluster, 2, 32 << 20, true);

@@ -10,7 +10,10 @@ use afc_workload::Rw;
 
 fn main() {
     let vms = 12;
-    for (name, tuning) in [("community", OsdTuning::community()), ("afceph", OsdTuning::afceph())] {
+    for (name, tuning) in [
+        ("community", OsdTuning::community()),
+        ("afceph", OsdTuning::afceph()),
+    ] {
         let cluster = build_cluster(4, 2, tuning, DeviceProfile::sustained());
         let images = vm_images(&cluster, vms, 64 * 1024 * 1024, true);
         let w = run_fleet(&images, &fio(Rw::RandWrite, 4096, 4).label("4k-randwrite"));

@@ -13,22 +13,32 @@
 use afc_common::{BlockTarget, LatencyHist, Table, MIB};
 use afc_core::{Cluster, DeviceProfile, OsdTuning, RbdImage};
 use afc_workload::{JobSpec, Report};
-use serde::Serialize;
 use std::sync::Arc;
 use std::time::Duration;
 
 /// Per-run measurement window (seconds); `AFC_BENCH_SECS` overrides.
 pub fn bench_secs() -> f64 {
-    std::env::var("AFC_BENCH_SECS").ok().and_then(|s| s.parse().ok()).unwrap_or(3.0)
+    std::env::var("AFC_BENCH_SECS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3.0)
 }
 
 /// Largest VM-fleet size used by Figure 10/11; `AFC_BENCH_VMS_MAX` overrides.
 pub fn vms_max() -> usize {
-    std::env::var("AFC_BENCH_VMS_MAX").ok().and_then(|s| s.parse().ok()).unwrap_or(16)
+    std::env::var("AFC_BENCH_VMS_MAX")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16)
 }
 
 /// Standard bench cluster: paper shape at reduced PG count.
-pub fn build_cluster(nodes: u32, osds_per_node: u32, tuning: OsdTuning, devices: DeviceProfile) -> Cluster {
+pub fn build_cluster(
+    nodes: u32,
+    osds_per_node: u32,
+    tuning: OsdTuning,
+    devices: DeviceProfile,
+) -> Cluster {
     Cluster::builder()
         .nodes(nodes)
         .osds_per_node(osds_per_node)
@@ -45,7 +55,13 @@ pub fn build_cluster(nodes: u32, osds_per_node: u32, tuning: OsdTuning, devices:
 /// each image's whole span with 1 MiB sequential writes).
 pub fn vm_images(cluster: &Cluster, n: usize, size: u64, prefill: bool) -> Vec<Arc<RbdImage>> {
     let images: Vec<Arc<RbdImage>> = (0..n)
-        .map(|i| Arc::new(cluster.create_image(&format!("vm{i}"), size).expect("image")))
+        .map(|i| {
+            Arc::new(
+                cluster
+                    .create_image(&format!("vm{i}"), size)
+                    .expect("image"),
+            )
+        })
         .collect();
     if prefill {
         std::thread::scope(|s| {
@@ -101,11 +117,19 @@ pub fn merge_reports(reports: Vec<Report>, base: &JobSpec) -> Report {
             series.push(t, v);
         }
     }
-    Report { ops, errors, runtime, bs: base.bs, lat, series, label: base.label.clone() }
+    Report {
+        ops,
+        errors,
+        runtime,
+        bs: base.bs,
+        lat,
+        series,
+        label: base.label.clone(),
+    }
 }
 
 /// A row of figure output, serializable for re-plotting.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct FigRow {
     /// Series name (e.g. "community", "afceph", "solidfire").
     pub series: String,
@@ -130,7 +154,11 @@ impl FigRow {
             value: if sequential { r.mibps() } else { r.iops() },
             lat_ms: r.mean_lat().as_secs_f64() * 1e3,
             p99_ms: r.p99().as_secs_f64() * 1e3,
-            unit: if sequential { "MiB/s".into() } else { "IOPS".into() },
+            unit: if sequential {
+                "MiB/s".into()
+            } else {
+                "IOPS".into()
+            },
         }
     }
 }
@@ -138,7 +166,9 @@ impl FigRow {
 /// Print rows as an aligned table.
 pub fn print_rows(title: &str, xlabel: &str, rows: &[FigRow]) {
     println!("\n== {title} ==");
-    let mut t = Table::new(vec!["series", xlabel, "value", "unit", "lat(ms)", "p99(ms)"]);
+    let mut t = Table::new(vec![
+        "series", xlabel, "value", "unit", "lat(ms)", "p99(ms)",
+    ]);
     for r in rows {
         t.row(vec![
             r.series.clone(),
@@ -160,16 +190,55 @@ pub fn save_rows(name: &str, rows: &[FigRow]) {
     let dir = dir.as_path();
     let _ = std::fs::create_dir_all(dir);
     let path = dir.join(format!("{name}.json"));
-    match serde_json::to_string_pretty(rows) {
-        Ok(s) => {
-            if let Err(e) = std::fs::write(&path, s) {
-                eprintln!("warn: could not write {}: {e}", path.display());
-            } else {
-                println!("(saved {})", path.display());
-            }
-        }
-        Err(e) => eprintln!("warn: serialize {name}: {e}"),
+    let s = rows_to_json(rows);
+    if let Err(e) = std::fs::write(&path, s) {
+        eprintln!("warn: could not write {}: {e}", path.display());
+    } else {
+        println!("(saved {})", path.display());
     }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_num(v: f64) -> String {
+    // JSON has no NaN/Infinity; clamp to null-adjacent zero.
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".into()
+    }
+}
+
+fn rows_to_json(rows: &[FigRow]) -> String {
+    let mut s = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "  {{\n    \"series\": \"{}\",\n    \"x\": {},\n    \"value\": {},\n    \"lat_ms\": {},\n    \"p99_ms\": {},\n    \"unit\": \"{}\"\n  }}{}\n",
+            json_escape(&r.series),
+            json_num(r.x),
+            json_num(r.value),
+            json_num(r.lat_ms),
+            json_num(r.p99_ms),
+            json_escape(&r.unit),
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    s.push(']');
+    s
 }
 
 /// The standard measurement job used by most figures.

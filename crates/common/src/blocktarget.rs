@@ -48,7 +48,9 @@ pub struct MemBlockTarget {
 impl MemBlockTarget {
     /// Create a zero-filled in-memory device of `size` bytes.
     pub fn new(size: u64) -> Self {
-        MemBlockTarget { data: RwLock::new(vec![0u8; size as usize]) }
+        MemBlockTarget {
+            data: RwLock::new(vec![0u8; size as usize]),
+        }
     }
 }
 
@@ -86,8 +88,14 @@ mod tests {
     #[test]
     fn range_checks() {
         let t = MemBlockTarget::new(100);
-        assert!(matches!(t.read_at(90, 20), Err(AfcError::InvalidArgument(_))));
-        assert!(matches!(t.write_at(100, b"x"), Err(AfcError::InvalidArgument(_))));
+        assert!(matches!(
+            t.read_at(90, 20),
+            Err(AfcError::InvalidArgument(_))
+        ));
+        assert!(matches!(
+            t.write_at(100, b"x"),
+            Err(AfcError::InvalidArgument(_))
+        ));
         assert!(matches!(t.read_at(0, 0), Err(AfcError::InvalidArgument(_))));
         assert!(check_range(100, u64::MAX, 1).is_err());
         assert!(check_range(100, 0, 100).is_ok());

@@ -64,11 +64,18 @@ impl CounterSet {
 
     /// Snapshot all counters, sorted by name.
     pub fn snapshot(&self) -> BTreeMap<String, u64> {
-        self.inner.read().iter().map(|(k, v)| (k.clone(), v.get())).collect()
+        self.inner
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
     }
 
     /// Difference of two snapshots (`later - earlier`), omitting zero deltas.
-    pub fn diff(earlier: &BTreeMap<String, u64>, later: &BTreeMap<String, u64>) -> BTreeMap<String, u64> {
+    pub fn diff(
+        earlier: &BTreeMap<String, u64>,
+        later: &BTreeMap<String, u64>,
+    ) -> BTreeMap<String, u64> {
         let mut out = BTreeMap::new();
         for (k, &v) in later {
             let before = earlier.get(k).copied().unwrap_or(0);

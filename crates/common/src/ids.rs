@@ -4,26 +4,25 @@
 //! OSD daemons, objects belong to pools, objects are grouped into placement
 //! groups (PGs), and cluster maps are versioned by epochs.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 use crate::rng::mix64;
 
 /// A physical server node hosting one or more OSDs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub u32);
 
 /// An object storage daemon (one per RAID-0 SSD group in the paper's setup).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct OsdId(pub u32);
 
 /// A storage pool (namespace with its own PG count and replication factor).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PoolId(pub u32);
 
 /// A placement group within a pool: the unit of placement, ordering and
 /// locking in the OSD ("PG lock" in the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PgId {
     /// Owning pool.
     pub pool: PoolId,
@@ -32,21 +31,21 @@ pub struct PgId {
 }
 
 /// A client session (one per VM / FIO job in the evaluation).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ClientId(pub u64);
 
 /// A monotonically increasing cluster-map version.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Epoch(pub u64);
 
 /// A per-client monotonically increasing operation id; `(ClientId, OpId)`
 /// uniquely identifies a request in flight.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct OpId(pub u64);
 
 /// A named object within a pool. Object names are interned as `String`s at
 /// this layer; hot paths hash them once via [`ObjectId::name_hash`].
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ObjectId {
     /// Owning pool.
     pub pool: PoolId,
@@ -57,7 +56,10 @@ pub struct ObjectId {
 impl ObjectId {
     /// Create an object id in `pool` with the given name.
     pub fn new(pool: PoolId, name: impl Into<String>) -> Self {
-        ObjectId { pool, name: name.into() }
+        ObjectId {
+            pool,
+            name: name.into(),
+        }
     }
 
     /// Stable 64-bit hash of the object name (used for PG mapping).
@@ -73,7 +75,10 @@ impl ObjectId {
     /// Map this object to a PG, Ceph-style: `pg = hash(name) % pg_num`.
     pub fn pg(&self, pg_num: u32) -> PgId {
         assert!(pg_num > 0, "pg_num must be positive");
-        PgId { pool: self.pool, seq: (self.name_hash() % pg_num as u64) as u32 }
+        PgId {
+            pool: self.pool,
+            seq: (self.name_hash() % pg_num as u64) as u32,
+        }
     }
 }
 
@@ -183,7 +188,14 @@ mod tests {
     #[test]
     fn display_formats() {
         assert_eq!(OsdId(3).to_string(), "osd.3");
-        assert_eq!(PgId { pool: PoolId(2), seq: 0x1f }.to_string(), "2.1f");
+        assert_eq!(
+            PgId {
+                pool: PoolId(2),
+                seq: 0x1f
+            }
+            .to_string(),
+            "2.1f"
+        );
         assert_eq!(NodeId(1).to_string(), "node1");
         assert_eq!(ClientId(7).to_string(), "client.7");
         assert_eq!(Epoch(9).to_string(), "e9");

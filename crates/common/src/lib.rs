@@ -14,6 +14,8 @@
 //! - [`bytesize`]: byte-size constants and formatting.
 //! - [`blocktarget`]: the [`blocktarget::BlockTarget`] trait that workload
 //!   generators drive and storage clients implement.
+//! - [`lockdep`]: runtime lock-order checking and the declared lock
+//!   hierarchy for the OSD hot path (debug builds only).
 
 pub mod blocktarget;
 pub mod bytesize;
@@ -21,6 +23,7 @@ pub mod counters;
 pub mod error;
 pub mod hist;
 pub mod ids;
+pub mod lockdep;
 pub mod rng;
 pub mod series;
 pub mod table;
@@ -32,6 +35,10 @@ pub use counters::CounterSet;
 pub use error::{AfcError, Result};
 pub use hist::LatencyHist;
 pub use ids::{ClientId, Epoch, NodeId, ObjectId, OpId, OsdId, PgId, PoolId};
+pub use lockdep::{
+    TrackedCondvar, TrackedMutex, TrackedMutexGuard, TrackedRwLock, TrackedRwLockReadGuard,
+    TrackedRwLockWriteGuard,
+};
 pub use series::{IopsSampler, TimeSeries};
 pub use table::Table;
 pub use timeutil::{sleep_for, Stopwatch};

@@ -1,0 +1,856 @@
+//! Runtime lock-order checking (lockdep) for the OSD hot path.
+//!
+//! Deadlocks in the write pipeline are order bugs: thread 1 takes the PG
+//! lock then the journal ring, thread 2 takes them the other way around,
+//! and under load they park forever. This module makes the intended order
+//! executable:
+//!
+//! - Every shared lock belongs to a static [`LockClass`] with a **rank**.
+//!   The whole hierarchy is declared once, as data, in [`classes`] /
+//!   [`DECLARED_ORDER`].
+//! - [`TrackedMutex`] / [`TrackedRwLock`] / [`TrackedCondvar`] wrap the
+//!   parking_lot primitives. Under `debug_assertions` every acquisition is
+//!   checked against the acquiring thread's held set (rank must strictly
+//!   increase) and recorded in a global lock-order graph; the first cycle
+//!   panics with the acquisition labels on the offending path.
+//! - Classes marked `no_block_while_held` must not be held across a
+//!   blocking section (condvar wait on a *different* lock, throttle wait,
+//!   journal-full wait). Blocking entry points call [`assert_blockable`].
+//!
+//! In release builds every check compiles away: the tracked types are
+//! transparent newtypes over parking_lot and the class argument is dropped
+//! on the floor.
+//!
+//! Rank semantics: ranks order *classes*, not instances. Acquiring a class
+//! while holding a class of equal or higher rank panics; rank
+//! [`UNRANKED`] (0) opts a class out of rank checking and relies on the
+//! order graph alone. Waiting on a condvar keeps the associated mutex in
+//! the held set (the waiter still owns the ordering position), and the
+//! mutex a condvar releases during its wait never counts as "held across
+//! a blocking section".
+
+use std::fmt;
+
+/// A class of locks sharing one position in the global order.
+///
+/// Declare one `static` per lock *role* (not per instance): every `Pg`'s
+/// state mutex shares [`classes::PG_STATE`].
+pub struct LockClass {
+    /// Label used in panics and the order graph (`subsystem.lock`).
+    pub name: &'static str,
+    /// Position in the declared hierarchy; strictly increasing along any
+    /// nested acquisition chain. [`UNRANKED`] skips rank checks.
+    pub rank: u32,
+    /// If true, the lock must never be held when the thread enters a
+    /// blocking section ([`assert_blockable`]).
+    pub no_block_while_held: bool,
+}
+
+/// Rank value that opts a class out of rank checking (graph-only).
+pub const UNRANKED: u32 = 0;
+
+pub mod classes {
+    //! The declared lock hierarchy — **the** one place ranks live.
+    //!
+    //! Order (must strictly increase along any nested acquisition):
+    //! op queue → OSD maps → `Pg::state` → `Pg::pending` → OSD op tables
+    //! (rep_waits / pending_apply / apply gate / trim / channel handles /
+    //! ack lanes) → per-op leaf locks → journal → filestore throttle.
+    //!
+    //! `PG_STATE` deliberately allows blocking while held: the write path
+    //! submits to the journal (which can wait for ring space) and readers
+    //! wait on the apply gate under the PG lock — that is current,
+    //! intended behaviour. The queue/pending locks are pure FIFO guards
+    //! and must never be held across a blocking section.
+
+    use super::LockClass;
+
+    /// `OpQueue::q` — the OSD-wide ready queue of PGs with pending work.
+    pub static OP_QUEUE: LockClass = LockClass {
+        name: "osd.op_queue",
+        rank: 100,
+        no_block_while_held: true,
+    };
+    /// `OsdInner::map` — current OSD map (RwLock).
+    pub static OSD_MAP: LockClass = LockClass {
+        name: "osd.map",
+        rank: 110,
+        no_block_while_held: true,
+    };
+    /// `OsdInner::pgs` — PG id → `Pg` table (RwLock).
+    pub static OSD_PG_MAP: LockClass = LockClass {
+        name: "osd.pg_map",
+        rank: 120,
+        no_block_while_held: true,
+    };
+    /// `Pg::state` — *the* PG lock. Blocking while held is allowed (journal
+    /// submit, apply-gate waits happen under it today).
+    pub static PG_STATE: LockClass = LockClass {
+        name: "pg.state",
+        rank: 200,
+        no_block_while_held: false,
+    };
+    /// `Pg::pending` — the pending-queue FIFO next to the PG lock.
+    pub static PG_PENDING: LockClass = LockClass {
+        name: "pg.pending",
+        rank: 300,
+        no_block_while_held: true,
+    };
+    /// `OsdInner::rep_waits` — rep_id → in-flight write table.
+    pub static REP_WAITS: LockClass = LockClass {
+        name: "osd.rep_waits",
+        rank: 400,
+        no_block_while_held: true,
+    };
+    /// `OsdInner::pending_apply` — journal seq → transaction awaiting apply.
+    pub static PENDING_APPLY: LockClass = LockClass {
+        name: "osd.pending_apply",
+        rank: 410,
+        no_block_while_held: true,
+    };
+    /// `ApplyGate::state` — read-vs-apply ordering gate (waits on own cv).
+    pub static APPLY_GATE: LockClass = LockClass {
+        name: "osd.apply_gate",
+        rank: 420,
+        no_block_while_held: true,
+    };
+    /// `OsdInner::trim` — journal trim watermark tracker.
+    pub static TRIM: LockClass = LockClass {
+        name: "osd.trim",
+        rank: 430,
+        no_block_while_held: true,
+    };
+    /// `OsdInner::{completion_tx, reader_tx}` — worker channel handles.
+    pub static OSD_CHANNEL_TX: LockClass = LockClass {
+        name: "osd.channel_tx",
+        rank: 440,
+        no_block_while_held: true,
+    };
+    /// `OrderedAcker::lanes` — ordered-ack lanes.
+    pub static ACK_LANES: LockClass = LockClass {
+        name: "osd.ack_lanes",
+        rank: 450,
+        no_block_while_held: true,
+    };
+    /// `WriteOp::trace` — per-op trace timestamps (leaf).
+    pub static OP_TRACE: LockClass = LockClass {
+        name: "op.trace",
+        rank: 470,
+        no_block_while_held: true,
+    };
+    /// `WriteOp::progress` — per-op completion bookkeeping (leaf).
+    pub static OP_PROGRESS: LockClass = LockClass {
+        name: "op.progress",
+        rank: 480,
+        no_block_while_held: true,
+    };
+    /// `WriteOp::permit` — per-op throttle permit slot. Ranks *below* the
+    /// throttle: dropping the permit re-enters `Throttle::release`.
+    pub static OP_PERMIT: LockClass = LockClass {
+        name: "op.permit",
+        rank: 490,
+        no_block_while_held: true,
+    };
+    /// `Journal` ring state (waits on its own work/space condvars).
+    pub static JOURNAL_RING: LockClass = LockClass {
+        name: "journal.ring",
+        rank: 600,
+        no_block_while_held: false,
+    };
+    /// `Journal::done_tx` — completion channel handle.
+    pub static JOURNAL_DONE_TX: LockClass = LockClass {
+        name: "journal.done_tx",
+        rank: 610,
+        no_block_while_held: true,
+    };
+    /// `Throttle::state` — counting-semaphore state (waits on own cv).
+    pub static THROTTLE: LockClass = LockClass {
+        name: "filestore.throttle",
+        rank: 700,
+        no_block_while_held: false,
+    };
+    /// `Osd::workers` — join handles; shutdown path only, joins while held.
+    pub static OSD_WORKERS: LockClass = LockClass {
+        name: "osd.workers",
+        rank: 900,
+        no_block_while_held: false,
+    };
+}
+
+/// The declared hierarchy as data, lowest rank first. Tests assert it is
+/// strictly ordered; DESIGN.md renders from the same order.
+pub static DECLARED_ORDER: &[&LockClass] = &[
+    &classes::OP_QUEUE,
+    &classes::OSD_MAP,
+    &classes::OSD_PG_MAP,
+    &classes::PG_STATE,
+    &classes::PG_PENDING,
+    &classes::REP_WAITS,
+    &classes::PENDING_APPLY,
+    &classes::APPLY_GATE,
+    &classes::TRIM,
+    &classes::OSD_CHANNEL_TX,
+    &classes::ACK_LANES,
+    &classes::OP_TRACE,
+    &classes::OP_PROGRESS,
+    &classes::OP_PERMIT,
+    &classes::JOURNAL_RING,
+    &classes::JOURNAL_DONE_TX,
+    &classes::THROTTLE,
+    &classes::OSD_WORKERS,
+];
+
+impl fmt::Debug for LockClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LockClass({} rank={})", self.name, self.rank)
+    }
+}
+
+// ------------------------------------------------------------------ //
+// Debug-build runtime
+// ------------------------------------------------------------------ //
+
+#[cfg(debug_assertions)]
+mod rt {
+    use super::LockClass;
+    use std::cell::RefCell;
+    use std::collections::{BTreeMap, BTreeSet};
+    // Sanctioned std::sync exception: the checker's own state must not go
+    // through the tracked types it implements (xtask lint skips this file).
+    use std::sync::Mutex;
+
+    struct Held {
+        class: &'static LockClass,
+        token: u64,
+    }
+
+    thread_local! {
+        static HELD: RefCell<Vec<Held>> = const { RefCell::new(Vec::new()) };
+    }
+
+    static NEXT_TOKEN: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
+    /// Global order graph: class address → set of classes acquired while
+    /// it was held. Names are carried for panic messages.
+    struct Graph {
+        edges: BTreeMap<usize, BTreeSet<usize>>,
+        names: BTreeMap<usize, &'static str>,
+    }
+
+    static GRAPH: Mutex<Graph> = Mutex::new(Graph {
+        edges: BTreeMap::new(),
+        names: BTreeMap::new(),
+    });
+
+    fn id(class: &'static LockClass) -> usize {
+        class as *const LockClass as usize
+    }
+
+    /// Depth-first path search `from → … → to` over the order graph.
+    fn find_path(g: &Graph, from: usize, to: usize) -> Option<Vec<usize>> {
+        let mut stack = vec![(from, vec![from])];
+        let mut seen = BTreeSet::new();
+        while let Some((node, path)) = stack.pop() {
+            if node == to {
+                return Some(path);
+            }
+            if !seen.insert(node) {
+                continue;
+            }
+            if let Some(next) = g.edges.get(&node) {
+                for &n in next {
+                    let mut p = path.clone();
+                    p.push(n);
+                    stack.push((n, p));
+                }
+            }
+        }
+        None
+    }
+
+    pub fn on_acquire(class: &'static LockClass) -> u64 {
+        HELD.with(|h| {
+            let held = h.borrow();
+            for hl in held.iter() {
+                if std::ptr::eq(hl.class, class) {
+                    panic!(
+                        "lockdep: recursive acquisition of lock class '{}' \
+                         (already held by this thread)",
+                        class.name
+                    );
+                }
+                if hl.class.rank != super::UNRANKED
+                    && class.rank != super::UNRANKED
+                    && hl.class.rank >= class.rank
+                {
+                    panic!(
+                        "lockdep: hierarchy violation: acquiring '{}' (rank {}) while \
+                         holding '{}' (rank {}); see afc_common::lockdep::DECLARED_ORDER",
+                        class.name, class.rank, hl.class.name, hl.class.rank
+                    );
+                }
+            }
+            // Record order edges held → class; a pre-existing reverse path
+            // means two threads disagree on the order — report the cycle.
+            if !held.is_empty() {
+                let mut g = GRAPH.lock().unwrap_or_else(|e| e.into_inner());
+                g.names.insert(id(class), class.name);
+                for hl in held.iter() {
+                    g.names.insert(id(hl.class), hl.class.name);
+                    let (from, to) = (id(hl.class), id(class));
+                    if g.edges.get(&from).is_some_and(|s| s.contains(&to)) {
+                        continue;
+                    }
+                    if let Some(path) = find_path(&g, to, from) {
+                        let labels: Vec<&str> = path.iter().map(|i| g.names[i]).collect();
+                        // `path` runs from the acquired class to the held
+                        // class, so it already names both endpoints.
+                        panic!(
+                            "lockdep: lock-order cycle: this thread acquires \
+                             '{}' while holding '{}', but the order {} \
+                             was already established",
+                            class.name,
+                            hl.class.name,
+                            labels
+                                .iter()
+                                .map(|l| format!("'{l}'"))
+                                .collect::<Vec<_>>()
+                                .join(" -> "),
+                        );
+                    }
+                    g.edges.entry(from).or_default().insert(to);
+                }
+            }
+            drop(held);
+            let token = NEXT_TOKEN.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            h.borrow_mut().push(Held { class, token });
+            token
+        })
+    }
+
+    pub fn on_release(token: u64) {
+        HELD.with(|h| {
+            let mut held = h.borrow_mut();
+            // Usually LIFO, but guards may be dropped out of order.
+            if let Some(pos) = held.iter().rposition(|hl| hl.token == token) {
+                held.remove(pos);
+            }
+        });
+    }
+
+    /// Panic if any held class forbids blocking sections. `exempt` names a
+    /// mutex a condvar releases for the duration of the wait.
+    pub fn assert_blockable(what: &str, exempt: Option<u64>) {
+        HELD.with(|h| {
+            for hl in h.borrow().iter() {
+                if Some(hl.token) == exempt {
+                    continue;
+                }
+                if hl.class.no_block_while_held {
+                    panic!(
+                        "lockdep: blocking section '{what}' entered while \
+                         holding '{}' (declared no_block_while_held)",
+                        hl.class.name
+                    );
+                }
+            }
+        });
+    }
+
+    pub fn held_names() -> Vec<&'static str> {
+        HELD.with(|h| h.borrow().iter().map(|hl| hl.class.name).collect())
+    }
+}
+
+/// Assert the current thread may enter a blocking section (journal-full
+/// wait, throttle wait, blocking channel wait). No-op in release builds.
+#[inline]
+pub fn assert_blockable(what: &str) {
+    #[cfg(debug_assertions)]
+    rt::assert_blockable(what, None);
+    #[cfg(not(debug_assertions))]
+    let _ = what;
+}
+
+/// Names of the lock classes the current thread holds (debug builds;
+/// always empty in release). Test/diagnostic helper.
+#[inline]
+pub fn held_lock_names() -> Vec<&'static str> {
+    #[cfg(debug_assertions)]
+    {
+        rt::held_names()
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        Vec::new()
+    }
+}
+
+// ------------------------------------------------------------------ //
+// Tracked primitives
+// ------------------------------------------------------------------ //
+
+/// A [`parking_lot::Mutex`] that participates in lockdep checking.
+pub struct TrackedMutex<T> {
+    #[cfg(debug_assertions)]
+    class: &'static LockClass,
+    inner: parking_lot::Mutex<T>,
+}
+
+/// RAII guard for [`TrackedMutex`]; releases (and un-records) on drop.
+pub struct TrackedMutexGuard<'a, T> {
+    inner: parking_lot::MutexGuard<'a, T>,
+    #[cfg(debug_assertions)]
+    token: u64,
+}
+
+impl<T> TrackedMutex<T> {
+    /// Create a mutex belonging to `class`.
+    #[inline]
+    pub const fn new(class: &'static LockClass, value: T) -> Self {
+        #[cfg(not(debug_assertions))]
+        let _ = class;
+        TrackedMutex {
+            #[cfg(debug_assertions)]
+            class,
+            inner: parking_lot::Mutex::new(value),
+        }
+    }
+
+    /// Acquire, enforcing the declared order in debug builds.
+    #[inline]
+    pub fn lock(&self) -> TrackedMutexGuard<'_, T> {
+        #[cfg(debug_assertions)]
+        let token = rt::on_acquire(self.class);
+        TrackedMutexGuard {
+            inner: self.inner.lock(),
+            #[cfg(debug_assertions)]
+            token,
+        }
+    }
+
+    /// Non-blocking acquire. Order checks still apply on success: a
+    /// try-lock taken out of order is the same latent deadlock.
+    #[inline]
+    pub fn try_lock(&self) -> Option<TrackedMutexGuard<'_, T>> {
+        let inner = self.inner.try_lock()?;
+        #[cfg(debug_assertions)]
+        let token = rt::on_acquire(self.class);
+        Some(TrackedMutexGuard {
+            inner,
+            #[cfg(debug_assertions)]
+            token,
+        })
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    #[inline]
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut()
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for TrackedMutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&self.inner, f)
+    }
+}
+
+impl<T> std::ops::Deref for TrackedMutexGuard<'_, T> {
+    type Target = T;
+    #[inline]
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T> std::ops::DerefMut for TrackedMutexGuard<'_, T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T> Drop for TrackedMutexGuard<'_, T> {
+    #[inline]
+    fn drop(&mut self) {
+        #[cfg(debug_assertions)]
+        rt::on_release(self.token);
+    }
+}
+
+/// Condition variable for [`TrackedMutex`]. Waits release the guarded
+/// mutex, so that mutex is exempt from the blocking-section check; every
+/// *other* held lock is still checked.
+pub struct TrackedCondvar {
+    inner: parking_lot::Condvar,
+}
+
+impl TrackedCondvar {
+    /// Create a condition variable.
+    #[inline]
+    pub const fn new() -> Self {
+        TrackedCondvar {
+            inner: parking_lot::Condvar::new(),
+        }
+    }
+
+    /// Block until notified.
+    #[inline]
+    pub fn wait<T>(&self, guard: &mut TrackedMutexGuard<'_, T>) {
+        #[cfg(debug_assertions)]
+        rt::assert_blockable("condvar wait", Some(guard.token));
+        self.inner.wait(&mut guard.inner);
+    }
+
+    /// Block until notified or `deadline` passes.
+    #[inline]
+    pub fn wait_until<T>(
+        &self,
+        guard: &mut TrackedMutexGuard<'_, T>,
+        deadline: std::time::Instant,
+    ) -> parking_lot::WaitTimeoutResult {
+        #[cfg(debug_assertions)]
+        rt::assert_blockable("condvar wait_until", Some(guard.token));
+        self.inner.wait_until(&mut guard.inner, deadline)
+    }
+
+    /// Block until notified or `dur` elapses; true result ⇒ timed out.
+    #[inline]
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut TrackedMutexGuard<'_, T>,
+        dur: std::time::Duration,
+    ) -> parking_lot::WaitTimeoutResult {
+        #[cfg(debug_assertions)]
+        rt::assert_blockable("condvar wait_for", Some(guard.token));
+        self.inner.wait_for(&mut guard.inner, dur)
+    }
+
+    /// Wake one waiter.
+    #[inline]
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wake every waiter.
+    #[inline]
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+impl Default for TrackedCondvar {
+    fn default() -> Self {
+        TrackedCondvar::new()
+    }
+}
+
+impl fmt::Debug for TrackedCondvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("TrackedCondvar")
+    }
+}
+
+/// A [`parking_lot::RwLock`] that participates in lockdep checking. Both
+/// read and write acquisitions occupy the class's ordering position.
+pub struct TrackedRwLock<T> {
+    #[cfg(debug_assertions)]
+    class: &'static LockClass,
+    inner: parking_lot::RwLock<T>,
+}
+
+/// Shared-access guard for [`TrackedRwLock`].
+pub struct TrackedRwLockReadGuard<'a, T> {
+    inner: parking_lot::RwLockReadGuard<'a, T>,
+    #[cfg(debug_assertions)]
+    token: u64,
+}
+
+/// Exclusive-access guard for [`TrackedRwLock`].
+pub struct TrackedRwLockWriteGuard<'a, T> {
+    inner: parking_lot::RwLockWriteGuard<'a, T>,
+    #[cfg(debug_assertions)]
+    token: u64,
+}
+
+impl<T> TrackedRwLock<T> {
+    /// Create a reader-writer lock belonging to `class`.
+    #[inline]
+    pub const fn new(class: &'static LockClass, value: T) -> Self {
+        #[cfg(not(debug_assertions))]
+        let _ = class;
+        TrackedRwLock {
+            #[cfg(debug_assertions)]
+            class,
+            inner: parking_lot::RwLock::new(value),
+        }
+    }
+
+    /// Acquire shared access.
+    #[inline]
+    pub fn read(&self) -> TrackedRwLockReadGuard<'_, T> {
+        #[cfg(debug_assertions)]
+        let token = rt::on_acquire(self.class);
+        TrackedRwLockReadGuard {
+            inner: self.inner.read(),
+            #[cfg(debug_assertions)]
+            token,
+        }
+    }
+
+    /// Acquire exclusive access.
+    #[inline]
+    pub fn write(&self) -> TrackedRwLockWriteGuard<'_, T> {
+        #[cfg(debug_assertions)]
+        let token = rt::on_acquire(self.class);
+        TrackedRwLockWriteGuard {
+            inner: self.inner.write(),
+            #[cfg(debug_assertions)]
+            token,
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for TrackedRwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&self.inner, f)
+    }
+}
+
+impl<T> std::ops::Deref for TrackedRwLockReadGuard<'_, T> {
+    type Target = T;
+    #[inline]
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T> Drop for TrackedRwLockReadGuard<'_, T> {
+    #[inline]
+    fn drop(&mut self) {
+        #[cfg(debug_assertions)]
+        rt::on_release(self.token);
+    }
+}
+
+impl<T> std::ops::Deref for TrackedRwLockWriteGuard<'_, T> {
+    type Target = T;
+    #[inline]
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T> std::ops::DerefMut for TrackedRwLockWriteGuard<'_, T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T> Drop for TrackedRwLockWriteGuard<'_, T> {
+    #[inline]
+    fn drop(&mut self) {
+        #[cfg(debug_assertions)]
+        rt::on_release(self.token);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declared_order_is_strictly_ranked_and_uniquely_named() {
+        for w in DECLARED_ORDER.windows(2) {
+            assert!(
+                w[0].rank < w[1].rank,
+                "'{}' (rank {}) must rank strictly below '{}' (rank {})",
+                w[0].name,
+                w[0].rank,
+                w[1].name,
+                w[1].rank
+            );
+        }
+        let mut names: Vec<_> = DECLARED_ORDER.iter().map(|c| c.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), DECLARED_ORDER.len(), "duplicate class names");
+    }
+
+    #[test]
+    fn in_order_nesting_is_allowed() {
+        let outer = TrackedMutex::new(&classes::PG_STATE, 1u32);
+        let inner = TrackedMutex::new(&classes::JOURNAL_RING, 2u32);
+        let a = outer.lock();
+        let b = inner.lock();
+        assert_eq!(*a + *b, 3);
+        assert_eq!(held_lock_names(), vec!["pg.state", "journal.ring"]);
+        drop(b);
+        drop(a);
+        assert!(held_lock_names().is_empty());
+    }
+
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "lockdep compiled out in release")]
+    fn rank_inversion_panics() {
+        let low = TrackedMutex::new(&classes::OP_QUEUE, ());
+        let high = TrackedMutex::new(&classes::THROTTLE, ());
+        let err = std::thread::scope(|s| {
+            s.spawn(|| {
+                let _h = high.lock();
+                let _l = low.lock(); // throttle(700) held, op_queue(100) wanted
+            })
+            .join()
+        });
+        let msg = *err.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("hierarchy violation"), "{msg}");
+        assert!(
+            msg.contains("osd.op_queue") && msg.contains("filestore.throttle"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "lockdep compiled out in release")]
+    fn recursive_same_class_panics() {
+        static A: LockClass = LockClass {
+            name: "test.recursive",
+            rank: UNRANKED,
+            no_block_while_held: false,
+        };
+        let m1 = TrackedMutex::new(&A, ());
+        let m2 = TrackedMutex::new(&A, ());
+        let err = std::thread::scope(|s| {
+            s.spawn(|| {
+                let _a = m1.lock();
+                let _b = m2.lock(); // distinct instance, same class
+            })
+            .join()
+        });
+        let msg = *err.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("recursive acquisition"), "{msg}");
+    }
+
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "lockdep compiled out in release")]
+    fn cross_thread_order_cycle_is_detected() {
+        // Unranked classes: only the order graph can catch the inversion.
+        static A: LockClass = LockClass {
+            name: "test.cycle_a",
+            rank: UNRANKED,
+            no_block_while_held: false,
+        };
+        static B: LockClass = LockClass {
+            name: "test.cycle_b",
+            rank: UNRANKED,
+            no_block_while_held: false,
+        };
+        let ma = std::sync::Arc::new(TrackedMutex::new(&A, ()));
+        let mb = std::sync::Arc::new(TrackedMutex::new(&B, ()));
+        // Thread 1 establishes A -> B without contention.
+        {
+            let _a = ma.lock();
+            let _b = mb.lock();
+        }
+        // Thread 2 attempts B -> A: lockdep must panic on the first
+        // acquisition, before any actual deadlock can form.
+        let (ma2, mb2) = (std::sync::Arc::clone(&ma), std::sync::Arc::clone(&mb));
+        let err = std::thread::spawn(move || {
+            let _b = mb2.lock();
+            let _a = ma2.lock();
+        })
+        .join();
+        let msg = *err.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("lock-order cycle"), "{msg}");
+        assert!(
+            msg.contains("test.cycle_a") && msg.contains("test.cycle_b"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "lockdep compiled out in release")]
+    fn blocking_while_holding_noblock_class_panics() {
+        let q = TrackedMutex::new(&classes::PG_PENDING, ());
+        let err = std::thread::scope(|s| {
+            s.spawn(|| {
+                let _g = q.lock();
+                assert_blockable("journal submit");
+            })
+            .join()
+        });
+        let msg = *err.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("blocking section"), "{msg}");
+        assert!(msg.contains("pg.pending"), "{msg}");
+    }
+
+    #[test]
+    fn blocking_while_holding_pg_state_is_allowed() {
+        // The write path journals under the PG lock today; lockdep must
+        // not flag it.
+        let st = TrackedMutex::new(&classes::PG_STATE, ());
+        let _g = st.lock();
+        assert_blockable("journal submit under pg lock");
+    }
+
+    #[test]
+    fn condvar_wait_exempts_own_mutex() {
+        let m = std::sync::Arc::new(TrackedMutex::new(&classes::OP_QUEUE, false));
+        let cv = std::sync::Arc::new(TrackedCondvar::new());
+        let (m2, cv2) = (std::sync::Arc::clone(&m), std::sync::Arc::clone(&cv));
+        let waiter = std::thread::spawn(move || {
+            let mut g = m2.lock();
+            while !*g {
+                // OP_QUEUE is no_block, but the wait releases it: allowed.
+                cv2.wait(&mut g);
+            }
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        *m.lock() = true;
+        cv.notify_all();
+        waiter.join().unwrap();
+    }
+
+    #[test]
+    fn try_lock_checks_and_releases() {
+        let m = TrackedMutex::new(&classes::REP_WAITS, 7u32);
+        {
+            let g = m.try_lock().expect("uncontended");
+            assert_eq!(*g, 7);
+            assert!(m.try_lock().is_none(), "second try_lock must fail");
+        }
+        assert!(m.try_lock().is_some(), "released after guard drop");
+        assert!(held_lock_names().is_empty());
+    }
+
+    #[test]
+    fn rwlock_participates_in_ordering() {
+        let maps = TrackedRwLock::new(&classes::OSD_PG_MAP, 5u32);
+        {
+            let r = maps.read();
+            assert_eq!(*r, 5);
+            assert_eq!(held_lock_names(), vec!["osd.pg_map"]);
+        }
+        {
+            let mut w = maps.write();
+            *w = 6;
+        }
+        assert_eq!(*maps.read(), 6);
+        assert!(held_lock_names().is_empty());
+    }
+
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "lockdep compiled out in release")]
+    fn out_of_order_guard_drop_keeps_held_set_consistent() {
+        let a = TrackedMutex::new(&classes::PG_STATE, ());
+        let b = TrackedMutex::new(&classes::JOURNAL_RING, ());
+        let ga = a.lock();
+        let gb = b.lock();
+        drop(ga); // drop outer first
+        assert_eq!(held_lock_names(), vec!["journal.ring"]);
+        drop(gb);
+        assert!(held_lock_names().is_empty());
+    }
+}

@@ -99,6 +99,9 @@ mod tests {
         let a = hash_bytes(b"the quick brown fox jumps over the lazy dog.");
         let b = hash_bytes(b"the quick brown fox jumps over the lazy dog,");
         let flipped = (a ^ b).count_ones();
-        assert!((16..=48).contains(&flipped), "poor avalanche: {flipped} bits");
+        assert!(
+            (16..=48).contains(&flipped),
+            "poor avalanche: {flipped} bits"
+        );
     }
 }

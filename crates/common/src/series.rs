@@ -55,8 +55,12 @@ impl TimeSeries {
             return 0.0;
         }
         let m = self.mean();
-        let var =
-            self.points.iter().map(|p| (p.1 - m) * (p.1 - m)).sum::<f64>() / self.points.len() as f64;
+        let var = self
+            .points
+            .iter()
+            .map(|p| (p.1 - m) * (p.1 - m))
+            .sum::<f64>()
+            / self.points.len() as f64;
         var.sqrt()
     }
 
@@ -112,7 +116,11 @@ impl IopsSampler {
         IopsSampler {
             count: AtomicU64::new(0),
             start: now,
-            state: Mutex::new(SamplerState { last_count: 0, last_at: now, series: TimeSeries::new() }),
+            state: Mutex::new(SamplerState {
+                last_count: 0,
+                last_at: now,
+                series: TimeSeries::new(),
+            }),
         }
     }
 
@@ -133,7 +141,11 @@ impl IopsSampler {
         let count = self.count.load(Ordering::Relaxed);
         let mut st = self.state.lock();
         let dt = now.duration_since(st.last_at).as_secs_f64();
-        let rate = if dt > 0.0 { (count - st.last_count) as f64 / dt } else { 0.0 };
+        let rate = if dt > 0.0 {
+            (count - st.last_count) as f64 / dt
+        } else {
+            0.0
+        };
         let t = now.duration_since(self.start).as_secs_f64();
         st.series.push(t, rate);
         st.last_count = count;

@@ -40,7 +40,9 @@ impl Default for Stopwatch {
 impl Stopwatch {
     /// Start timing now.
     pub fn new() -> Self {
-        Stopwatch { start: Instant::now() }
+        Stopwatch {
+            start: Instant::now(),
+        }
     }
 
     /// Elapsed time since start (or last [`Stopwatch::lap`]).

@@ -6,11 +6,11 @@
 //! retried after a map refresh.
 
 use crate::messages::{ClientOp, ClientReply, ObjectOp, OpOutcome, OsdMsg};
+use crate::monitor::SharedMap;
 use afc_common::{AfcError, ClientId, ObjectId, OpId, PoolId, Result};
-use afc_crush::OsdMap;
 use afc_messenger::{Addr, Dispatcher, Messenger, Network};
 use bytes::Bytes;
-use parking_lot::{Mutex, RwLock};
+use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -58,7 +58,7 @@ pub struct RadosClient {
     id: ClientId,
     pool: PoolId,
     msgr: Messenger<OsdMsg>,
-    map: Arc<RwLock<Arc<OsdMap>>>,
+    map: SharedMap,
     shared: Arc<ClientShared>,
     next_op: AtomicU64,
     /// Request in-order ack delivery (exercises the §3.1 ordered-ack path).
@@ -71,12 +71,17 @@ impl RadosClient {
     /// Connect a client to the fabric.
     pub fn connect(
         net: &Arc<Network<OsdMsg>>,
-        map: Arc<RwLock<Arc<OsdMap>>>,
+        map: SharedMap,
         id: ClientId,
         pool: PoolId,
     ) -> Result<Arc<Self>> {
-        let shared = Arc::new(ClientShared { pending: Mutex::new(HashMap::new()) });
-        let msgr = net.register(Addr::Client(id), Arc::new(ClientDispatcher(Arc::clone(&shared))))?;
+        let shared = Arc::new(ClientShared {
+            pending: Mutex::new(HashMap::new()),
+        });
+        let msgr = net.register(
+            Addr::Client(id),
+            Arc::new(ClientDispatcher(Arc::clone(&shared))),
+        )?;
         Ok(Arc::new(RadosClient {
             id,
             pool,
@@ -144,9 +149,17 @@ impl RadosClient {
 
     /// Write `data` into `object` at `offset`.
     pub fn write_object(&self, object: &str, offset: u64, data: &[u8]) -> Result<()> {
-        match self.execute(object, ObjectOp::Write { offset, data: Bytes::copy_from_slice(data) })? {
+        match self.execute(
+            object,
+            ObjectOp::Write {
+                offset,
+                data: Bytes::copy_from_slice(data),
+            },
+        )? {
             OpOutcome::Done => Ok(()),
-            other => Err(AfcError::Corruption(format!("unexpected write outcome {other:?}"))),
+            other => Err(AfcError::Corruption(format!(
+                "unexpected write outcome {other:?}"
+            ))),
         }
     }
 
@@ -154,7 +167,9 @@ impl RadosClient {
     pub fn read_object(&self, object: &str, offset: u64, len: u32) -> Result<Vec<u8>> {
         match self.execute(object, ObjectOp::Read { offset, len })? {
             OpOutcome::Data(d) => Ok(d.to_vec()),
-            other => Err(AfcError::Corruption(format!("unexpected read outcome {other:?}"))),
+            other => Err(AfcError::Corruption(format!(
+                "unexpected read outcome {other:?}"
+            ))),
         }
     }
 
@@ -162,7 +177,9 @@ impl RadosClient {
     pub fn stat_object(&self, object: &str) -> Result<u64> {
         match self.execute(object, ObjectOp::Stat)? {
             OpOutcome::Size(s) => Ok(s),
-            other => Err(AfcError::Corruption(format!("unexpected stat outcome {other:?}"))),
+            other => Err(AfcError::Corruption(format!(
+                "unexpected stat outcome {other:?}"
+            ))),
         }
     }
 
@@ -170,7 +187,9 @@ impl RadosClient {
     pub fn delete_object(&self, object: &str) -> Result<()> {
         match self.execute(object, ObjectOp::Delete)? {
             OpOutcome::Done => Ok(()),
-            other => Err(AfcError::Corruption(format!("unexpected delete outcome {other:?}"))),
+            other => Err(AfcError::Corruption(format!(
+                "unexpected delete outcome {other:?}"
+            ))),
         }
     }
 

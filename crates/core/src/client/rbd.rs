@@ -37,9 +37,16 @@ impl RbdImage {
         object_size: u64,
     ) -> Result<Self> {
         if size == 0 || object_size == 0 {
-            return Err(AfcError::InvalidArgument("image and object size must be positive".into()));
+            return Err(AfcError::InvalidArgument(
+                "image and object size must be positive".into(),
+            ));
         }
-        Ok(RbdImage { client, name: name.into(), size, object_size })
+        Ok(RbdImage {
+            client,
+            name: name.into(),
+            size,
+            object_size,
+        })
     }
 
     /// Image name.
@@ -120,7 +127,10 @@ impl BlockTarget for RbdImage {
         }
         let mut handles = Vec::with_capacity(extents.len());
         for (obj, ooff, olen) in &extents {
-            handles.push((self.client.read_object_async(obj, *ooff, *olen as u32)?, *olen));
+            handles.push((
+                self.client.read_object_async(obj, *ooff, *olen as u32)?,
+                *olen,
+            ));
         }
         let mut out = Vec::with_capacity(len);
         for (h, olen) in handles {
@@ -131,7 +141,11 @@ impl BlockTarget for RbdImage {
                     out.extend_from_slice(&d);
                 }
                 Err(AfcError::NotFound(_)) => out.extend_from_slice(&vec![0u8; olen as usize]),
-                Ok(other) => return Err(AfcError::Corruption(format!("unexpected outcome {other:?}"))),
+                Ok(other) => {
+                    return Err(AfcError::Corruption(format!(
+                        "unexpected outcome {other:?}"
+                    )))
+                }
                 Err(e) => return Err(e),
             }
         }
@@ -151,8 +165,11 @@ mod tests {
         let net = afc_messenger::Network::new(afc_messenger::NetConfig::default());
         let mon = crate::monitor::Monitor::new(afc_crush::CrushMap::uniform(1, 1));
         mon.update(|m| {
-            m.add_pool(afc_common::PoolId(0), afc_crush::osdmap::PoolSpec { pg_num: 8, size: 1 })
-                .unwrap()
+            m.add_pool(
+                afc_common::PoolId(0),
+                afc_crush::osdmap::PoolSpec { pg_num: 8, size: 1 },
+            )
+            .unwrap()
         });
         let client = RadosClient::connect(
             &net,
@@ -180,7 +197,10 @@ mod tests {
         let off = 4 * MIB - 1024;
         let e = img.extents(off, 4096);
         assert_eq!(e.len(), 2);
-        assert_eq!(e[0], ("rbd_data.img.0000000000000000".into(), 4 * MIB - 1024, 1024));
+        assert_eq!(
+            e[0],
+            ("rbd_data.img.0000000000000000".into(), 4 * MIB - 1024, 1024)
+        );
         assert_eq!(e[1], ("rbd_data.img.0000000000000001".into(), 0, 3072));
     }
 

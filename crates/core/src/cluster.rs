@@ -49,7 +49,10 @@ impl DeviceProfile {
 
     /// Sustained-state flash (Figures 10/11's conditions).
     pub fn sustained() -> Self {
-        DeviceProfile { ssd: SsdConfig::sata3_sustained(), ..Self::clean() }
+        DeviceProfile {
+            ssd: SsdConfig::sata3_sustained(),
+            ..Self::clean()
+        }
     }
 
     /// Shrink the journal (forces the Figure 10 journal-full fluctuation
@@ -186,7 +189,9 @@ impl ClusterBuilder {
     /// Assemble and start the cluster.
     pub fn build(self) -> Result<Cluster> {
         if self.nodes == 0 || self.osds_per_node == 0 {
-            return Err(AfcError::InvalidArgument("cluster needs nodes and OSDs".into()));
+            return Err(AfcError::InvalidArgument(
+                "cluster needs nodes and OSDs".into(),
+            ));
         }
         if self.replication == 0 || self.replication > self.nodes as usize {
             return Err(AfcError::InvalidArgument(format!(
@@ -204,7 +209,15 @@ impl ClusterBuilder {
         let crush = CrushMap::uniform(self.nodes, self.osds_per_node);
         let monitor = Monitor::new(crush);
         let pool = PoolId(0);
-        monitor.update(|m| m.add_pool(pool, PoolSpec { pg_num: self.pg_num, size: self.replication }))?;
+        monitor.update(|m| {
+            m.add_pool(
+                pool,
+                PoolSpec {
+                    pg_num: self.pg_num,
+                    size: self.replication,
+                },
+            )
+        })?;
         let mut osds = Vec::new();
         for node in 0..self.nodes {
             // One NVRAM card per node, shared by its OSDs' journals.
@@ -214,10 +227,12 @@ impl ClusterBuilder {
                 let members: Vec<Arc<dyn BlockDev>> = (0..self.devices.ssds_per_osd.max(1))
                     .map(|d| {
                         let seed = self.seed ^ ((id.0 as u64) << 16) ^ d as u64;
-                        Arc::new(Ssd::new(self.devices.ssd.clone().with_seed(seed))) as Arc<dyn BlockDev>
+                        Arc::new(Ssd::new(self.devices.ssd.clone().with_seed(seed)))
+                            as Arc<dyn BlockDev>
                     })
                     .collect();
-                let data_dev: Arc<dyn BlockDev> = Arc::new(Raid0::new(members, self.devices.stripe)?);
+                let data_dev: Arc<dyn BlockDev> =
+                    Arc::new(Raid0::new(members, self.devices.stripe)?);
                 let journal_capacity = self
                     .devices
                     .journal_capacity
@@ -342,14 +357,22 @@ impl Cluster {
         }
         for name in objects {
             // Object names are "<pool>/<name>"; recover the ObjectId.
-            let Some((pool_s, obj_name)) = name.split_once('/') else { continue };
-            let Ok(pool_n) = pool_s.trim_start_matches("pool").parse::<u32>() else { continue };
+            let Some((pool_s, obj_name)) = name.split_once('/') else {
+                continue;
+            };
+            let Ok(pool_n) = pool_s.trim_start_matches("pool").parse::<u32>() else {
+                continue;
+            };
             let obj = ObjectId::new(PoolId(pool_n), obj_name);
-            let Ok((pg, acting)) = map.object_placement(&obj) else { continue };
+            let Ok((pg, acting)) = map.object_placement(&obj) else {
+                continue;
+            };
             report.objects_checked += 1;
             let mut copies = Vec::new();
             for osd_id in &acting {
-                let Some(osd) = self.osd(*osd_id) else { continue };
+                let Some(osd) = self.osd(*osd_id) else {
+                    continue;
+                };
                 let hash = match osd.store().fs().stat(&name) {
                     Ok(size) => match osd.store().read(&name, 0, size as usize) {
                         Ok(data) => afc_common::rng::hash_bytes(&data),

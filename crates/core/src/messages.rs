@@ -1,6 +1,6 @@
 //! Wire messages between clients, primaries and replicas.
 
-use afc_common::{AfcError, ClientId, ObjectId, OpId, PgId, OsdId};
+use afc_common::{AfcError, ClientId, ObjectId, OpId, OsdId, PgId};
 use bytes::Bytes;
 
 /// Object-level operation requested by a client.
@@ -137,7 +137,11 @@ mod tests {
 
     #[test]
     fn write_classification() {
-        assert!(ObjectOp::Write { offset: 0, data: Bytes::new() }.is_write());
+        assert!(ObjectOp::Write {
+            offset: 0,
+            data: Bytes::new()
+        }
+        .is_write());
         assert!(ObjectOp::Delete.is_write());
         assert!(!ObjectOp::Read { offset: 0, len: 1 }.is_write());
         assert!(!ObjectOp::Stat.is_write());
@@ -145,10 +149,19 @@ mod tests {
 
     #[test]
     fn wire_bytes_scale_with_payload() {
-        let small = ObjectOp::Write { offset: 0, data: Bytes::from(vec![0; 512]) };
-        let large = ObjectOp::Write { offset: 0, data: Bytes::from(vec![0; 65536]) };
+        let small = ObjectOp::Write {
+            offset: 0,
+            data: Bytes::from(vec![0; 512]),
+        };
+        let large = ObjectOp::Write {
+            offset: 0,
+            data: Bytes::from(vec![0; 65536]),
+        };
         assert!(large.wire_bytes() > small.wire_bytes());
-        let read = ObjectOp::Read { offset: 0, len: 4096 };
+        let read = ObjectOp::Read {
+            offset: 0,
+            len: 4096,
+        };
         assert_eq!(read.wire_bytes(), 256);
     }
 
@@ -159,7 +172,10 @@ mod tests {
             result: Ok(OpOutcome::Data(Bytes::from(vec![0; 4096]))),
         });
         assert!(r.wire_bytes() > 4096);
-        let ack = OsdMsg::RepAck(RepOpReply { rep_id: 1, from: OsdId(0) });
+        let ack = OsdMsg::RepAck(RepOpReply {
+            rep_id: 1,
+            from: OsdId(0),
+        });
         assert_eq!(ack.wire_bytes(), 96);
     }
 
@@ -168,7 +184,10 @@ mod tests {
         let op = ClientOp {
             client: ClientId(1),
             op_id: OpId(9),
-            pg: PgId { pool: PoolId(0), seq: 3 },
+            pg: PgId {
+                pool: PoolId(0),
+                seq: 3,
+            },
             object: ObjectId::new(PoolId(0), "o"),
             op: ObjectOp::Stat,
             ordered_ack: false,

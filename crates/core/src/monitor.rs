@@ -6,24 +6,32 @@
 //! epoch and are immediately visible (the shared `RwLock` stands in for map
 //! gossip).
 
-use afc_crush::{CrushMap, OsdMap};
+use afc_common::lockdep::{classes, TrackedRwLock};
 use afc_common::{Epoch, OsdId};
-use parking_lot::RwLock;
+use afc_crush::{CrushMap, OsdMap};
 use std::sync::Arc;
+
+/// The shared, lock-order-tracked handle to the current cluster map.
+pub type SharedMap = Arc<TrackedRwLock<Arc<OsdMap>>>;
 
 /// The cluster-map authority.
 pub struct Monitor {
-    map: Arc<RwLock<Arc<OsdMap>>>,
+    map: SharedMap,
 }
 
 impl Monitor {
     /// Create a monitor with an initial CRUSH hierarchy.
     pub fn new(crush: CrushMap) -> Self {
-        Monitor { map: Arc::new(RwLock::new(Arc::new(OsdMap::new(crush)))) }
+        Monitor {
+            map: Arc::new(TrackedRwLock::new(
+                &classes::OSD_MAP,
+                Arc::new(OsdMap::new(crush)),
+            )),
+        }
     }
 
     /// The shared map handle given to OSDs and clients.
-    pub fn shared_map(&self) -> Arc<RwLock<Arc<OsdMap>>> {
+    pub fn shared_map(&self) -> SharedMap {
         Arc::clone(&self.map)
     }
 
@@ -61,14 +69,23 @@ impl Monitor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use afc_common::{PoolId};
+    use afc_common::PoolId;
     use afc_crush::osdmap::PoolSpec;
 
     #[test]
     fn updates_bump_epoch_and_publish() {
         let mon = Monitor::new(CrushMap::uniform(2, 2));
         let e0 = mon.epoch();
-        mon.update(|m| m.add_pool(PoolId(0), PoolSpec { pg_num: 32, size: 2 }).unwrap());
+        mon.update(|m| {
+            m.add_pool(
+                PoolId(0),
+                PoolSpec {
+                    pg_num: 32,
+                    size: 2,
+                },
+            )
+            .unwrap()
+        });
         assert!(mon.epoch() > e0);
         let shared = mon.shared_map();
         assert_eq!(shared.read().pool(PoolId(0)).unwrap().pg_num, 32);

@@ -8,9 +8,9 @@
 //! earlier-arrived op on its lane has been released.
 
 use crate::messages::ClientReply;
+use afc_common::lockdep::{classes, TrackedMutex};
 use afc_common::{ClientId, PgId};
 use afc_messenger::Addr;
-use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap};
 
 struct Lane {
@@ -20,23 +20,32 @@ struct Lane {
 }
 
 /// Per-(client, PG) ack sequencer.
-#[derive(Default)]
 pub struct OrderedAcker {
-    lanes: Mutex<HashMap<(ClientId, PgId), Lane>>,
+    lanes: TrackedMutex<HashMap<(ClientId, PgId), Lane>>,
+}
+
+impl Default for OrderedAcker {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl OrderedAcker {
     /// Create an empty sequencer.
     pub fn new() -> Self {
-        Self::default()
+        OrderedAcker {
+            lanes: TrackedMutex::new(&classes::ACK_LANES, HashMap::new()),
+        }
     }
 
     /// Assign the next lane slot for an arriving op.
     pub fn assign(&self, client: ClientId, pg: PgId) -> u64 {
         let mut lanes = self.lanes.lock();
-        let lane = lanes
-            .entry((client, pg))
-            .or_insert(Lane { next_assign: 0, next_release: 0, held: BTreeMap::new() });
+        let lane = lanes.entry((client, pg)).or_insert(Lane {
+            next_assign: 0,
+            next_release: 0,
+            held: BTreeMap::new(),
+        });
         let idx = lane.next_assign;
         lane.next_assign += 1;
         idx
@@ -77,11 +86,17 @@ mod tests {
     use afc_common::{OpId, PoolId};
 
     fn reply(n: u64) -> ClientReply {
-        ClientReply { op_id: OpId(n), result: Ok(crate::messages::OpOutcome::Done) }
+        ClientReply {
+            op_id: OpId(n),
+            result: Ok(crate::messages::OpOutcome::Done),
+        }
     }
 
     fn pg() -> PgId {
-        PgId { pool: PoolId(0), seq: 0 }
+        PgId {
+            pool: PoolId(0),
+            seq: 0,
+        }
     }
 
     const CLIENT: ClientId = ClientId(1);
@@ -116,7 +131,10 @@ mod tests {
     #[test]
     fn lanes_are_independent() {
         let a = OrderedAcker::new();
-        let pg2 = PgId { pool: PoolId(0), seq: 1 };
+        let pg2 = PgId {
+            pool: PoolId(0),
+            seq: 1,
+        };
         let x = a.assign(CLIENT, pg());
         let _y0 = a.assign(CLIENT, pg2);
         let y1 = a.assign(CLIENT, pg2);

@@ -25,18 +25,20 @@ pub mod trim;
 pub use trace::StageSample;
 
 use crate::messages::{ClientOp, ClientReply, ObjectOp, OpOutcome, OsdMsg, RepOp, RepOpReply};
+use crate::monitor::SharedMap;
 use crate::tuning::OsdTuning;
 use ack::OrderedAcker;
+use afc_common::lockdep::{classes, TrackedCondvar, TrackedMutex, TrackedRwLock};
 use afc_common::{AfcError, ClientId, ObjectId, OpId, OsdId, PgId, Result};
-use afc_crush::OsdMap;
 use afc_device::BlockDev;
 use afc_filestore::throttle::OwnedPermit;
-use afc_filestore::{FileStore, FileStoreConfig, FileStoreStats, Throttle, Transaction, TxOp, TxnProfile};
+use afc_filestore::{
+    FileStore, FileStoreConfig, FileStoreStats, Throttle, Transaction, TxOp, TxnProfile,
+};
 use afc_journal::{Journal, JournalConfig, JournalStats};
 use afc_logging::{Level, Logger};
 use afc_messenger::{Addr, Dispatcher, Messenger, Network};
 use bytes::Bytes;
-use parking_lot::{Condvar, Mutex, RwLock};
 use pg::{Pg, PgState};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -58,7 +60,7 @@ pub struct OsdParams {
     /// Journal ring capacity for this OSD (2 GiB in the paper's testbed).
     pub journal_capacity: u64,
     /// Shared, monitor-updated cluster map.
-    pub map: Arc<RwLock<Arc<OsdMap>>>,
+    pub map: SharedMap,
     /// The fabric.
     pub net: Arc<Network<OsdMsg>>,
 }
@@ -111,20 +113,32 @@ struct WriteOp {
     reply_to: Addr,
     pg: Arc<Pg>,
     needed_acks: usize,
-    progress: Mutex<Progress>,
-    permit: Mutex<Option<OwnedPermit>>,
-    trace: Option<Mutex<TraceTimes>>,
+    progress: TrackedMutex<Progress>,
+    permit: TrackedMutex<Option<OwnedPermit>>,
+    trace: Option<TrackedMutex<TraceTimes>>,
     ack_lane: Option<u64>,
 }
 
 enum CompletionEvent {
-    PrimaryCommit { op: Arc<WriteOp>, jseq: u64, txn: Transaction, pg_seq: u64 },
-    ReplicaCommit { pg: Arc<Pg>, jseq: u64, txn: Transaction, pg_seq: u64, primary: Addr, rep_id: u64 },
+    PrimaryCommit {
+        op: Arc<WriteOp>,
+        jseq: u64,
+        txn: Transaction,
+        pg_seq: u64,
+    },
+    ReplicaCommit {
+        pg: Arc<Pg>,
+        jseq: u64,
+        txn: Transaction,
+        pg_seq: u64,
+        primary: Addr,
+        rep_id: u64,
+    },
 }
 
 struct OpQueue {
-    q: Mutex<VecDeque<Arc<Pg>>>,
-    cv: Condvar,
+    q: TrackedMutex<VecDeque<Arc<Pg>>>,
+    cv: TrackedCondvar,
 }
 
 /// Read gate: a read must not observe the filestore before every write to
@@ -133,24 +147,31 @@ struct OpQueue {
 /// read-after-acked-write strongly consistent. Writes ordered after the
 /// read do not delay it (no starvation under mixed workloads).
 struct ApplyGate {
-    state: Mutex<HashMap<String, (u64, u64)>>, // object → (enqueued, applied)
-    cv: Condvar,
+    objects: TrackedMutex<HashMap<String, (u64, u64)>>, // object → (enqueued, applied)
+    cv: TrackedCondvar,
 }
 
 impl ApplyGate {
     fn new() -> Self {
-        ApplyGate { state: Mutex::new(HashMap::new()), cv: Condvar::new() }
+        ApplyGate {
+            objects: TrackedMutex::new(&classes::APPLY_GATE, HashMap::new()),
+            cv: TrackedCondvar::new(),
+        }
     }
 
     /// A write to `object` entered the pipeline.
     fn add(&self, object: &str) {
-        self.state.lock().entry(object.to_string()).or_insert((0, 0)).0 += 1;
+        self.objects
+            .lock()
+            .entry(object.to_string())
+            .or_insert((0, 0))
+            .0 += 1;
     }
 
     /// A write to `object` finished applying (no-op for untracked objects,
     /// e.g. replica-side applies that serve no reads).
     fn done(&self, object: &str) {
-        let mut st = self.state.lock();
+        let mut st = self.objects.lock();
         if let Some(e) = st.get_mut(object) {
             e.1 += 1;
             if e.1 >= e.0 {
@@ -163,13 +184,13 @@ impl ApplyGate {
 
     /// Current enqueue watermark for `object` (None: nothing pending).
     fn snapshot(&self, object: &str) -> Option<u64> {
-        self.state.lock().get(object).map(|e| e.0)
+        self.objects.lock().get(object).map(|e| e.0)
     }
 
     /// Wait until applies for `object` reach `target` (from [`Self::snapshot`]).
     fn wait_target(&self, object: &str, target: Option<u64>) {
         let Some(target) = target else { return };
-        let mut st = self.state.lock();
+        let mut st = self.objects.lock();
         let deadline = Instant::now() + std::time::Duration::from_secs(10);
         loop {
             match st.get(object) {
@@ -209,17 +230,17 @@ struct OsdInner {
     store: Arc<FileStore>,
     journal: Arc<Journal>,
     msgr: OnceLock<Messenger<OsdMsg>>,
-    map: Arc<RwLock<Arc<OsdMap>>>,
-    pgs: RwLock<HashMap<PgId, Arc<Pg>>>,
+    map: SharedMap,
+    pgs: TrackedRwLock<HashMap<PgId, Arc<Pg>>>,
     opq: OpQueue,
     client_throttle: Arc<Throttle>,
-    rep_waits: Mutex<HashMap<u64, Arc<WriteOp>>>,
+    rep_waits: TrackedMutex<HashMap<u64, Arc<WriteOp>>>,
     next_rep_id: AtomicU64,
-    trim: Mutex<TrimTracker>,
-    pending_apply: Mutex<HashMap<u64, Transaction>>,
+    trim: TrackedMutex<TrimTracker>,
+    pending_apply: TrackedMutex<HashMap<u64, Transaction>>,
     apply_gate: ApplyGate,
-    completion_tx: Mutex<Option<crossbeam::channel::Sender<CompletionEvent>>>,
-    reader_tx: Mutex<Option<crossbeam::channel::Sender<ReadJob>>>,
+    completion_tx: TrackedMutex<Option<crossbeam::channel::Sender<CompletionEvent>>>,
+    reader_tx: TrackedMutex<Option<crossbeam::channel::Sender<ReadJob>>>,
     recorder: StageRecorder,
     acker: OrderedAcker,
     shutdown: AtomicBool,
@@ -234,7 +255,7 @@ struct OsdInner {
 /// A running OSD daemon.
 pub struct Osd {
     inner: Arc<OsdInner>,
-    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    workers: TrackedMutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
 impl Osd {
@@ -262,7 +283,10 @@ impl Osd {
         let store = FileStore::new(Arc::clone(&params.data_dev), fs_cfg);
         let journal = Journal::new(
             Arc::clone(&params.journal_dev),
-            JournalConfig { capacity: params.journal_capacity, ..JournalConfig::default() },
+            JournalConfig {
+                capacity: params.journal_capacity,
+                ..JournalConfig::default()
+            },
         );
         let inner = Arc::new(OsdInner {
             id: params.id,
@@ -271,16 +295,22 @@ impl Osd {
             journal,
             msgr: OnceLock::new(),
             map: params.map,
-            pgs: RwLock::new(HashMap::new()),
-            opq: OpQueue { q: Mutex::new(VecDeque::new()), cv: Condvar::new() },
-            client_throttle: Arc::new(Throttle::new("osd_client_message_cap", tuning.client_message_cap())),
-            rep_waits: Mutex::new(HashMap::new()),
+            pgs: TrackedRwLock::new(&classes::OSD_PG_MAP, HashMap::new()),
+            opq: OpQueue {
+                q: TrackedMutex::new(&classes::OP_QUEUE, VecDeque::new()),
+                cv: TrackedCondvar::new(),
+            },
+            client_throttle: Arc::new(Throttle::new(
+                "osd_client_message_cap",
+                tuning.client_message_cap(),
+            )),
+            rep_waits: TrackedMutex::new(&classes::REP_WAITS, HashMap::new()),
             next_rep_id: AtomicU64::new(1),
-            trim: Mutex::new(TrimTracker::new()),
-            pending_apply: Mutex::new(HashMap::new()),
+            trim: TrackedMutex::new(&classes::TRIM, TrimTracker::new()),
+            pending_apply: TrackedMutex::new(&classes::PENDING_APPLY, HashMap::new()),
             apply_gate: ApplyGate::new(),
-            completion_tx: Mutex::new(None),
-            reader_tx: Mutex::new(None),
+            completion_tx: TrackedMutex::new(&classes::OSD_CHANNEL_TX, None),
+            reader_tx: TrackedMutex::new(&classes::OSD_CHANNEL_TX, None),
             recorder: StageRecorder::new(16, 4096),
             acker: OrderedAcker::new(),
             shutdown: AtomicBool::new(false),
@@ -291,50 +321,74 @@ impl Osd {
             repacks: AtomicU64::new(0),
             tuning,
         });
-        let msgr = params
-            .net
-            .register(Addr::Osd(params.id), Arc::new(OsdDispatcher(Arc::clone(&inner))))?;
-        inner.msgr.set(msgr).ok().expect("msgr set once");
-        let mut workers = Vec::new();
-        for i in 0..inner.tuning.op_threads.max(1) {
-            let inner = Arc::clone(&inner);
-            workers.push(
-                std::thread::Builder::new()
-                    .name(format!("{}-op-{i}", params.id))
-                    .spawn(move || op_worker_loop(inner))
-                    .expect("spawn op worker"),
-            );
+        let msgr = params.net.register(
+            Addr::Osd(params.id),
+            Arc::new(OsdDispatcher(Arc::clone(&inner))),
+        )?;
+        if inner.msgr.set(msgr).is_err() {
+            return Err(AfcError::Corruption(format!(
+                "messenger for {} registered twice",
+                params.id
+            )));
         }
-        if inner.tuning.pending_queue {
-            let (tx, rx) = crossbeam::channel::unbounded::<ReadJob>();
-            *inner.reader_tx.lock() = Some(tx);
-            for i in 0..2 {
-                let rx = rx.clone();
-                let inner2 = Arc::clone(&inner);
-                workers.push(
-                    std::thread::Builder::new()
-                        .name(format!("{}-reader-{i}", params.id))
-                        .spawn(move || {
+        let spawn_worker = |name: String, f: Box<dyn FnOnce() + Send>| {
+            std::thread::Builder::new()
+                .name(name.clone())
+                .spawn(f)
+                .map_err(|e| AfcError::Io(format!("spawn {name}: {e}")))
+        };
+        // On any spawn failure, tear down the workers already started so a
+        // partially-constructed OSD never leaks threads.
+        let mut workers = Vec::new();
+        let result = (|| -> Result<()> {
+            for i in 0..inner.tuning.op_threads.max(1) {
+                let inner = Arc::clone(&inner);
+                workers.push(spawn_worker(
+                    format!("{}-op-{i}", params.id),
+                    Box::new(move || op_worker_loop(inner)),
+                )?);
+            }
+            if inner.tuning.pending_queue {
+                let (tx, rx) = crossbeam::channel::unbounded::<ReadJob>();
+                *inner.reader_tx.lock() = Some(tx);
+                for i in 0..2 {
+                    let rx = rx.clone();
+                    let inner2 = Arc::clone(&inner);
+                    workers.push(spawn_worker(
+                        format!("{}-reader-{i}", params.id),
+                        Box::new(move || {
                             while let Ok(job) = rx.recv() {
                                 inner2.execute_read(job);
                             }
-                        })
-                        .expect("spawn reader"),
-                );
+                        }),
+                    )?);
+                }
             }
+            if inner.tuning.dedicated_completion {
+                let (tx, rx) = crossbeam::channel::unbounded();
+                *inner.completion_tx.lock() = Some(tx);
+                let inner2 = Arc::clone(&inner);
+                workers.push(spawn_worker(
+                    format!("{}-completion", params.id),
+                    Box::new(move || completion_worker_loop(inner2, rx)),
+                )?);
+            }
+            Ok(())
+        })();
+        if let Err(e) = result {
+            inner.shutdown.store(true, Ordering::SeqCst);
+            inner.opq.cv.notify_all();
+            *inner.completion_tx.lock() = None;
+            *inner.reader_tx.lock() = None;
+            for h in workers {
+                let _ = h.join();
+            }
+            return Err(e);
         }
-        if inner.tuning.dedicated_completion {
-            let (tx, rx) = crossbeam::channel::unbounded();
-            *inner.completion_tx.lock() = Some(tx);
-            let inner2 = Arc::clone(&inner);
-            workers.push(
-                std::thread::Builder::new()
-                    .name(format!("{}-completion", params.id))
-                    .spawn(move || completion_worker_loop(inner2, rx))
-                    .expect("spawn completion worker"),
-            );
-        }
-        Ok(Arc::new(Osd { inner, workers: Mutex::new(workers) }))
+        Ok(Arc::new(Osd {
+            inner,
+            workers: TrackedMutex::new(&classes::OSD_WORKERS, workers),
+        }))
     }
 
     /// This OSD's id.
@@ -367,7 +421,9 @@ impl Osd {
         let inner = &self.inner;
         let (plw, plwu) = {
             let pgs = inner.pgs.read();
-            pgs.values().map(|p| p.lock_stats()).fold((0, 0), |a, b| (a.0 + b.0, a.1 + b.1))
+            pgs.values()
+                .map(|p| p.lock_stats())
+                .fold((0, 0), |a, b| (a.0 + b.0, a.1 + b.1))
         };
         let (ctw, ctwu) = inner.client_throttle.wait_stats();
         OsdStats {
@@ -415,13 +471,18 @@ impl Osd {
 
     /// Stop the op/completion threads. The OSD stops consuming its queue;
     /// the network endpoint should be shut down by the cluster first.
+    /// Idempotent: later calls find the worker list already drained.
     pub fn shutdown(&self) {
         self.inner.shutdown.store(true, Ordering::SeqCst);
         self.inner.opq.cv.notify_all();
         *self.inner.completion_tx.lock() = None;
         *self.inner.reader_tx.lock() = None;
         self.inner.client_throttle.close();
-        for h in self.workers.lock().drain(..) {
+        // Take the handles out first: joining while holding the workers
+        // lock would block concurrent shutdown() callers on a lock held
+        // across thread exit instead of on join itself.
+        let handles: Vec<_> = self.workers.lock().drain(..).collect();
+        for h in handles {
             if h.thread().id() != std::thread::current().id() {
                 let _ = h.join();
             }
@@ -442,7 +503,9 @@ impl Dispatcher<OsdMsg> for OsdDispatcher {
             OsdMsg::Replicate(rep) => inner.handle_repop(from, rep),
             OsdMsg::RepAck(ack) => inner.handle_repack(ack),
             OsdMsg::Reply(_) => {
-                inner.logger.log(Level::Error, "osd", "unexpected client reply at OSD");
+                inner
+                    .logger
+                    .log(Level::Error, "osd", "unexpected client reply at OSD");
             }
         }
     }
@@ -503,9 +566,21 @@ fn completion_worker_loop(inner: Arc<OsdInner>, rx: crossbeam::channel::Receiver
                     }
                     inner.maybe_reply(&op);
                 }
-                CompletionEvent::ReplicaCommit { jseq, txn, primary, rep_id, .. } => {
+                CompletionEvent::ReplicaCommit {
+                    jseq,
+                    txn,
+                    primary,
+                    rep_id,
+                    ..
+                } => {
                     inner.enqueue_filestore(jseq, txn);
-                    inner.send(primary, OsdMsg::RepAck(RepOpReply { rep_id, from: inner.id }));
+                    inner.send(
+                        primary,
+                        OsdMsg::RepAck(RepOpReply {
+                            rep_id,
+                            from: inner.id,
+                        }),
+                    );
                 }
             }
         }
@@ -525,7 +600,8 @@ impl OsdInner {
     fn send(&self, to: Addr, msg: OsdMsg) {
         let bytes = msg.wire_bytes();
         if let Err(e) = self.msgr().send(to, msg, bytes) {
-            self.logger.logf(Level::Error, "osd", || format!("send to {to} failed: {e}"));
+            self.logger
+                .logf(Level::Error, "osd", || format!("send to {to} failed: {e}"));
         }
     }
 
@@ -580,7 +656,10 @@ impl OsdInner {
                 from,
                 OsdMsg::Reply(ClientReply {
                     op_id: op.op_id,
-                    result: Err(AfcError::InvalidArgument(format!("misdirected op for pg {}", op.pg))),
+                    result: Err(AfcError::InvalidArgument(format!(
+                        "misdirected op for pg {}",
+                        op.pg
+                    ))),
                 }),
             );
             return;
@@ -592,7 +671,7 @@ impl OsdInner {
                 let trace = self
                     .recorder
                     .should_trace()
-                    .then(|| Mutex::new(TraceTimes::start()));
+                    .then(|| TrackedMutex::new(&classes::OP_TRACE, TraceTimes::start()));
                 let acting = map.pg_acting(op.pg).unwrap_or_default();
                 let needed_acks = acting.len().saturating_sub(1);
                 // §3.1: ordered acks when enabled OSD-wide or requested by
@@ -606,8 +685,15 @@ impl OsdInner {
                     reply_to: from,
                     pg: Arc::clone(&pg),
                     needed_acks,
-                    progress: Mutex::new(Progress { local_commit: false, acks: 0, replied: false }),
-                    permit: Mutex::new(Some(permit)),
+                    progress: TrackedMutex::new(
+                        &classes::OP_PROGRESS,
+                        Progress {
+                            local_commit: false,
+                            acks: 0,
+                            replied: false,
+                        },
+                    ),
+                    permit: TrackedMutex::new(&classes::OP_PERMIT, Some(permit)),
                     trace,
                     ack_lane,
                 });
@@ -633,8 +719,15 @@ impl OsdInner {
                     reply_to: from,
                     pg: Arc::clone(&pg),
                     needed_acks,
-                    progress: Mutex::new(Progress { local_commit: false, acks: 0, replied: false }),
-                    permit: Mutex::new(Some(permit)),
+                    progress: TrackedMutex::new(
+                        &classes::OP_PROGRESS,
+                        Progress {
+                            local_commit: false,
+                            acks: 0,
+                            replied: false,
+                        },
+                    ),
+                    permit: TrackedMutex::new(&classes::OP_PERMIT, Some(permit)),
                     trace: None,
                     ack_lane: None,
                 });
@@ -666,10 +759,7 @@ impl OsdInner {
                     Box::new(move |_st| {
                         let obj_name = object.to_string();
                         inner.apply_gate.wait_ordered(&obj_name);
-                        let result = inner
-                            .store
-                            .stat(&obj_name)
-                            .map(|m| OpOutcome::Size(m.size));
+                        let result = inner.store.stat(&obj_name).map(|m| OpOutcome::Size(m.size));
                         inner.send(from, OsdMsg::Reply(ClientReply { op_id, result }));
                         drop(permit);
                     }),
@@ -723,7 +813,10 @@ impl OsdInner {
                     rep_id,
                     pg: pg.id(),
                     object: object.clone(),
-                    op: ObjectOp::Write { offset, data: data.clone() },
+                    op: ObjectOp::Write {
+                        offset,
+                        data: data.clone(),
+                    },
                     pg_seq,
                 }),
             );
@@ -766,7 +859,9 @@ impl OsdInner {
         st.next_pg_seq += 1;
         let pg_seq = st.next_pg_seq;
         let mut txn = Transaction::new();
-        txn.push(TxOp::Remove { object: obj_name.clone() });
+        txn.push(TxOp::Remove {
+            object: obj_name.clone(),
+        });
         txn.push(pg_log_op(pg.id(), pg_seq, &obj_name));
         self.apply_gate.add(&obj_name);
         for r in replicas {
@@ -815,7 +910,15 @@ impl OsdInner {
         self.reads.fetch_add(1, Ordering::Relaxed);
         let obj_name = object.to_string();
         let gate_target = self.apply_gate.snapshot(&obj_name);
-        let job = ReadJob { from, op_id, obj_name, offset, len, permit, gate_target };
+        let job = ReadJob {
+            from,
+            op_id,
+            obj_name,
+            offset,
+            len,
+            permit,
+            gate_target,
+        };
         if self.tuning.pending_queue {
             // §3.1: ordered here (gate target captured under PG order),
             // executed on the disk-reader pool so the PG lock and the op
@@ -843,7 +946,13 @@ impl OsdInner {
             .read(&job.obj_name, job.offset, job.len as usize)
             .map(|v| OpOutcome::Data(Bytes::from(v)));
         self.log("read reply");
-        self.send(job.from, OsdMsg::Reply(ClientReply { op_id: job.op_id, result }));
+        self.send(
+            job.from,
+            OsdMsg::Reply(ClientReply {
+                op_id: job.op_id,
+                result,
+            }),
+        );
         drop(job.permit);
     }
 
@@ -864,7 +973,12 @@ impl OsdInner {
             // deferred to the batching completion worker.
             let tx = self.completion_tx.lock().clone();
             if let Some(tx) = tx {
-                let _ = tx.send(CompletionEvent::PrimaryCommit { op, jseq, txn, pg_seq });
+                let _ = tx.send(CompletionEvent::PrimaryCommit {
+                    op,
+                    jseq,
+                    txn,
+                    pg_seq,
+                });
             }
             return;
         }
@@ -901,7 +1015,14 @@ impl OsdInner {
         if self.tuning.dedicated_completion {
             let tx = self.completion_tx.lock().clone();
             if let Some(tx) = tx {
-                let _ = tx.send(CompletionEvent::ReplicaCommit { pg, jseq, txn, pg_seq, primary, rep_id });
+                let _ = tx.send(CompletionEvent::ReplicaCommit {
+                    pg,
+                    jseq,
+                    txn,
+                    pg_seq,
+                    primary,
+                    rep_id,
+                });
             }
             return;
         }
@@ -910,7 +1031,13 @@ impl OsdInner {
         st.last_committed = st.last_committed.max(pg_seq);
         drop(st);
         self.log("replica commit ack");
-        self.send(primary, OsdMsg::RepAck(RepOpReply { rep_id, from: self.id }));
+        self.send(
+            primary,
+            OsdMsg::RepAck(RepOpReply {
+                rep_id,
+                from: self.id,
+            }),
+        );
     }
 
     fn enqueue_filestore(self: &Arc<Self>, jseq: u64, txn: Transaction) {
@@ -920,7 +1047,9 @@ impl OsdInner {
             txn,
             Box::new(move |r| {
                 if let Err(e) = r {
-                    inner.logger.logf(Level::Error, "osd", || format!("apply failed: {e}"));
+                    inner
+                        .logger
+                        .logf(Level::Error, "osd", || format!("apply failed: {e}"));
                 }
                 inner.on_applied(jseq);
             }),
@@ -966,7 +1095,9 @@ impl OsdInner {
                     }
                     ObjectOp::Delete => {
                         let mut t = Transaction::new();
-                        t.push(TxOp::Remove { object: obj_name.clone() });
+                        t.push(TxOp::Remove {
+                            object: obj_name.clone(),
+                        });
                         t.push(pg_log_op(pgc.id(), rep.pg_seq, &obj_name));
                         t
                     }
@@ -1049,11 +1180,17 @@ impl OsdInner {
             tt.reply = Some(Instant::now());
             self.recorder.finish(&tt);
         }
-        let reply = ClientReply { op_id: op.op_id, result: Ok(OpOutcome::Done) };
+        let reply = ClientReply {
+            op_id: op.op_id,
+            result: Ok(OpOutcome::Done),
+        };
         if let Some(lane) = op.ack_lane {
             // Ordered acks: hold back until every earlier op on this
             // (client, pg) lane has been released.
-            for (to, r) in self.acker.release(op.client, op.pg.id(), lane, op.reply_to, reply) {
+            for (to, r) in self
+                .acker
+                .release(op.client, op.pg.id(), lane, op.reply_to, reply)
+            {
                 self.send(to, OsdMsg::Reply(r));
             }
         } else {
@@ -1072,7 +1209,10 @@ impl OsdInner {
         }
         self.send(
             op.reply_to,
-            OsdMsg::Reply(ClientReply { op_id: op.op_id, result: Err(err) }),
+            OsdMsg::Reply(ClientReply {
+                op_id: op.op_id,
+                result: Err(err),
+            }),
         );
         *op.permit.lock() = None;
     }
@@ -1082,9 +1222,17 @@ impl OsdInner {
 /// alloc hint, object metadata attrs, and the PG-log omap append (Figure 7).
 fn build_write_txn(pg: PgId, object: &str, offset: u64, data: &Bytes, pg_seq: u64) -> Transaction {
     let mut txn = Transaction::new();
-    txn.push(TxOp::Touch { object: object.to_string() });
-    txn.push(TxOp::SetAllocHint { object: object.to_string() });
-    txn.push(TxOp::Write { object: object.to_string(), offset, data: data.clone() });
+    txn.push(TxOp::Touch {
+        object: object.to_string(),
+    });
+    txn.push(TxOp::SetAllocHint {
+        object: object.to_string(),
+    });
+    txn.push(TxOp::Write {
+        object: object.to_string(),
+        offset,
+        data: data.clone(),
+    });
     txn.push(TxOp::SetAttrs {
         object: object.to_string(),
         attrs: vec![("snapset".to_string(), Bytes::from_static(b"{}"))],
@@ -1128,8 +1276,14 @@ mod tests {
         g.done("obj");
         g.done("obj"); // applied == 2 == target → reader releases
         let waited = reader.join().unwrap();
-        assert!(waited >= std::time::Duration::from_millis(15), "did not wait: {waited:?}");
-        assert!(waited < std::time::Duration::from_secs(5), "waited for the later write");
+        assert!(
+            waited >= std::time::Duration::from_millis(15),
+            "did not wait: {waited:?}"
+        );
+        assert!(
+            waited < std::time::Duration::from_secs(5),
+            "waited for the later write"
+        );
         g.done("obj"); // third apply retires the entry
         assert_eq!(g.snapshot("obj"), None);
     }
@@ -1154,7 +1308,10 @@ mod tests {
 
     #[test]
     fn build_write_txn_shape() {
-        let pg = PgId { pool: afc_common::PoolId(0), seq: 7 };
+        let pg = PgId {
+            pool: afc_common::PoolId(0),
+            seq: 7,
+        };
         let txn = build_write_txn(pg, "obj", 0, &Bytes::from(vec![0u8; 4096]), 3);
         assert_eq!(txn.len(), 5);
         assert_eq!(txn.data_bytes(), 4096);

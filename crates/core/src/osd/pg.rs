@@ -15,8 +15,8 @@
 //! write-after-write and read-after-write — is identical, which is the
 //! invariant the paper insists on preserving.
 
+use afc_common::lockdep::{classes, TrackedMutex, TrackedMutexGuard};
 use afc_common::PgId;
-use parking_lot::{Mutex, MutexGuard};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -41,8 +41,8 @@ pub type PgWork = Box<dyn FnOnce(&mut PgState) + Send>;
 /// A placement group: lock + state + pending FIFO + wait accounting.
 pub struct Pg {
     id: PgId,
-    state: Mutex<PgState>,
-    pending: Mutex<VecDeque<PgWork>>,
+    state: TrackedMutex<PgState>,
+    pending: TrackedMutex<VecDeque<PgWork>>,
     lock_waits: AtomicU64,
     lock_wait_us: AtomicU64,
     processed: AtomicU64,
@@ -53,8 +53,8 @@ impl Pg {
     pub fn new(id: PgId) -> Arc<Self> {
         Arc::new(Pg {
             id,
-            state: Mutex::new(PgState::default()),
-            pending: Mutex::new(VecDeque::new()),
+            state: TrackedMutex::new(&classes::PG_STATE, PgState::default()),
+            pending: TrackedMutex::new(&classes::PG_PENDING, VecDeque::new()),
             lock_waits: AtomicU64::new(0),
             lock_wait_us: AtomicU64::new(0),
             processed: AtomicU64::new(0),
@@ -110,7 +110,7 @@ impl Pg {
 
     /// Acquire the PG lock directly (completion handlers in the community
     /// path), accounting the wait.
-    pub fn lock_measured(&self) -> MutexGuard<'_, PgState> {
+    pub fn lock_measured(&self) -> TrackedMutexGuard<'_, PgState> {
         if let Some(g) = self.state.try_lock() {
             return g;
         }
@@ -134,7 +134,10 @@ impl Pg {
 
     /// `(contended acquisitions, total wait µs)`.
     pub fn lock_stats(&self) -> (u64, u64) {
-        (self.lock_waits.load(Ordering::Relaxed), self.lock_wait_us.load(Ordering::Relaxed))
+        (
+            self.lock_waits.load(Ordering::Relaxed),
+            self.lock_wait_us.load(Ordering::Relaxed),
+        )
     }
 }
 
@@ -146,13 +149,16 @@ mod tests {
     use std::time::Duration;
 
     fn pg() -> Arc<Pg> {
-        Pg::new(PgId { pool: PoolId(0), seq: 1 })
+        Pg::new(PgId {
+            pool: PoolId(0),
+            seq: 1,
+        })
     }
 
     #[test]
     fn submit_runs_in_fifo_order() {
         let pg = pg();
-        let order = Arc::new(Mutex::new(Vec::new()));
+        let order = Arc::new(parking_lot::Mutex::new(Vec::new()));
         for i in 0..100 {
             let o = Arc::clone(&order);
             pg.submit(Box::new(move |_st| o.lock().push(i)), true);
@@ -183,11 +189,18 @@ mod tests {
         std::thread::sleep(Duration::from_millis(10));
         let ran3 = Arc::clone(&ran);
         let t0 = Instant::now();
-        pg.submit(Box::new(move |_st| {
-            ran3.fetch_add(1, Ordering::SeqCst);
-        }), false);
+        pg.submit(
+            Box::new(move |_st| {
+                ran3.fetch_add(1, Ordering::SeqCst);
+            }),
+            false,
+        );
         // Non-blocking submit returned quickly even though the lock is held.
-        assert!(t0.elapsed() < Duration::from_millis(30), "{:?}", t0.elapsed());
+        assert!(
+            t0.elapsed() < Duration::from_millis(30),
+            "{:?}",
+            t0.elapsed()
+        );
         holder.join().unwrap();
         // The holder drained our deferred work before releasing.
         assert_eq!(ran.load(Ordering::SeqCst), 2);
@@ -199,7 +212,10 @@ mod tests {
         let pg = pg();
         let pg2 = Arc::clone(&pg);
         let holder = std::thread::spawn(move || {
-            pg2.submit(Box::new(|_st| std::thread::sleep(Duration::from_millis(40))), true);
+            pg2.submit(
+                Box::new(|_st| std::thread::sleep(Duration::from_millis(40))),
+                true,
+            );
         });
         std::thread::sleep(Duration::from_millis(10));
         // Worker blocks until the holder finishes... but the holder drains
@@ -228,14 +244,20 @@ mod tests {
     #[test]
     fn state_mutations_persist() {
         let pg = pg();
-        pg.submit(Box::new(|st| {
-            st.next_pg_seq = 10;
-            st.last_committed = 5;
-        }), true);
-        pg.submit(Box::new(|st| {
-            assert_eq!(st.next_pg_seq, 10);
-            assert_eq!(st.last_committed, 5);
-        }), true);
+        pg.submit(
+            Box::new(|st| {
+                st.next_pg_seq = 10;
+                st.last_committed = 5;
+            }),
+            true,
+        );
+        pg.submit(
+            Box::new(|st| {
+                assert_eq!(st.next_pg_seq, 10);
+                assert_eq!(st.last_committed, 5);
+            }),
+            true,
+        );
     }
 
     #[test]
@@ -249,9 +271,12 @@ mod tests {
                 s.spawn(move || {
                     for _ in 0..200 {
                         let c = Arc::clone(&count);
-                        pg.submit(Box::new(move |_| {
-                            c.fetch_add(1, Ordering::Relaxed);
-                        }), t % 2 == 0);
+                        pg.submit(
+                            Box::new(move |_| {
+                                c.fetch_add(1, Ordering::Relaxed);
+                            }),
+                            t % 2 == 0,
+                        );
                     }
                 });
             }

@@ -91,9 +91,7 @@ impl StageSample {
             return StageSample::default();
         }
         let n = samples.len() as u32;
-        let sum = |f: fn(&StageSample) -> Duration| {
-            samples.iter().map(f).sum::<Duration>() / n
-        };
+        let sum = |f: fn(&StageSample) -> Duration| samples.iter().map(f).sum::<Duration>() / n;
         StageSample {
             queue: sum(|s| s.queue),
             submit: sum(|s| s.submit),
@@ -117,12 +115,19 @@ pub struct StageRecorder {
 impl StageRecorder {
     /// Record one in `every` ops, keeping at most `cap` samples.
     pub fn new(every: u64, cap: usize) -> Self {
-        StageRecorder { every: every.max(1), seq: AtomicU64::new(0), samples: Mutex::new(Vec::new()), cap }
+        StageRecorder {
+            every: every.max(1),
+            seq: AtomicU64::new(0),
+            samples: Mutex::new(Vec::new()),
+            cap,
+        }
     }
 
     /// Should the next op be traced?
     pub fn should_trace(&self) -> bool {
-        self.seq.fetch_add(1, Ordering::Relaxed).is_multiple_of(self.every)
+        self.seq
+            .fetch_add(1, Ordering::Relaxed)
+            .is_multiple_of(self.every)
     }
 
     /// Finalize a trace into a sample.

@@ -54,8 +54,14 @@ impl LoggingMode {
     pub fn log_config(&self) -> LogConfig {
         match self {
             LoggingMode::Off => LogConfig::off(),
-            LoggingMode::Blocking => LogConfig { max_level: Level::Trace, ..LogConfig::community() },
-            LoggingMode::NonBlocking => LogConfig { max_level: Level::Trace, ..LogConfig::afceph() },
+            LoggingMode::Blocking => LogConfig {
+                max_level: Level::Trace,
+                ..LogConfig::community()
+            },
+            LoggingMode::NonBlocking => LogConfig {
+                max_level: Level::Trace,
+                ..LogConfig::afceph()
+            },
         }
     }
 
@@ -162,12 +168,18 @@ impl OsdTuning {
 
     /// Figure 9 step 3: + non-blocking logging.
     pub fn step_logging() -> Self {
-        OsdTuning { logging: LoggingMode::NonBlocking, ..Self::step_tuning() }
+        OsdTuning {
+            logging: LoggingMode::NonBlocking,
+            ..Self::step_tuning()
+        }
     }
 
     /// Figure 9 step 4: + light-weight transactions (= AFCeph).
     pub fn step_lwt() -> Self {
-        OsdTuning { lightweight_txn: true, ..Self::step_logging() }
+        OsdTuning {
+            lightweight_txn: true,
+            ..Self::step_logging()
+        }
     }
 
     /// `filestore_queue_max_ops` for the profile.

@@ -1,0 +1,167 @@
+//! PG pending-queue contention tests (lockdep active in debug builds).
+//!
+//! The pending queue (§3.1) hands drain responsibility to whichever
+//! thread holds the PG lock, so the failure mode to guard against is a
+//! *stranded* work item: queued after the holder's last drain check but
+//! never picked up. These tests hammer a single PG from many threads —
+//! with concurrent quiesce/shutdown traffic at the cluster level — and
+//! assert that every submitted completion ran and every thread joins
+//! cleanly. Lockdep wrappers are live throughout, so any lock-order
+//! regression on this path fails these tests too.
+
+use afc_common::{PgId, PoolId};
+use afc_core::osd::pg::Pg;
+use afc_core::{Cluster, DeviceProfile, OsdTuning};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+use std::thread;
+use std::time::{Duration, Instant};
+
+#[test]
+fn pending_queue_loses_no_completions_under_contention() {
+    const THREADS: usize = 8;
+    const OPS_PER_THREAD: usize = 500;
+    let pg = Pg::new(PgId {
+        pool: PoolId(0),
+        seq: 7,
+    });
+    let completions = Arc::new(AtomicUsize::new(0));
+    let stop_quiescer = Arc::new(AtomicBool::new(false));
+
+    // A quiescer thread concurrently drains the FIFO the way
+    // `Osd::quiesce` would — it must coexist with the submitters without
+    // double-running or stranding work.
+    let quiescer = {
+        let pg = Arc::clone(&pg);
+        let stop = Arc::clone(&stop_quiescer);
+        thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                pg.drain(true);
+                thread::yield_now();
+            }
+        })
+    };
+
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let submitters: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let pg = Arc::clone(&pg);
+            let completions = Arc::clone(&completions);
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                barrier.wait();
+                for i in 0..OPS_PER_THREAD {
+                    let c = Arc::clone(&completions);
+                    // Alternate the community (blocking) and pending-queue
+                    // (try-lock) paths: both drain one FIFO and the
+                    // hand-off between them is where items could strand.
+                    let blocking = (t + i) % 2 == 0;
+                    pg.submit(
+                        Box::new(move |st| {
+                            st.next_pg_seq += 1;
+                            c.fetch_add(1, Ordering::Relaxed);
+                        }),
+                        blocking,
+                    );
+                }
+            })
+        })
+        .collect();
+    for s in submitters {
+        s.join().expect("submitter must join cleanly");
+    }
+
+    // Non-blocking submissions may have deferred work to a holder that
+    // has since released; a final blocking drain must leave nothing.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while completions.load(Ordering::Relaxed) < THREADS * OPS_PER_THREAD {
+        pg.drain(true);
+        assert!(
+            Instant::now() < deadline,
+            "work stranded in the pending queue"
+        );
+        thread::sleep(Duration::from_millis(1));
+    }
+    stop_quiescer.store(true, Ordering::Relaxed);
+    quiescer.join().expect("quiescer must join cleanly");
+
+    assert_eq!(
+        completions.load(Ordering::Relaxed),
+        THREADS * OPS_PER_THREAD
+    );
+    assert_eq!(pg.processed(), (THREADS * OPS_PER_THREAD) as u64);
+    assert_eq!(pg.pending_len(), 0);
+}
+
+#[test]
+fn cluster_survives_concurrent_writers_and_quiesce() {
+    const WRITERS: usize = 4;
+    const OBJECTS_PER_WRITER: usize = 25;
+    let cluster = Arc::new(
+        Cluster::builder()
+            .nodes(2)
+            .osds_per_node(2)
+            .replication(2)
+            .pg_num(16)
+            .tuning(OsdTuning::afceph())
+            .devices(DeviceProfile::clean())
+            .build()
+            .unwrap(),
+    );
+    let client = cluster.client().unwrap();
+
+    // Quiesce concurrently with the write storm: quiesce takes the
+    // journal and filestore idle paths while writers hold PG locks, so
+    // this cross-checks the declared hierarchy under real traffic.
+    let stop = Arc::new(AtomicBool::new(false));
+    let quiescer = {
+        let cluster = Arc::clone(&cluster);
+        let stop = Arc::clone(&stop);
+        thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                cluster.quiesce();
+                thread::yield_now();
+            }
+        })
+    };
+
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            let client = Arc::clone(&client);
+            thread::spawn(move || {
+                for i in 0..OBJECTS_PER_WRITER {
+                    let name = format!("contend-{w}-{i}");
+                    client.write_object(&name, 0, name.as_bytes()).unwrap();
+                }
+            })
+        })
+        .collect();
+    for h in writers {
+        h.join().expect("writer must join cleanly");
+    }
+    stop.store(true, Ordering::Relaxed);
+    quiescer.join().expect("quiescer must join cleanly");
+    cluster.quiesce();
+
+    // No lost completions: every write that returned Ok is readable.
+    for w in 0..WRITERS {
+        for i in 0..OBJECTS_PER_WRITER {
+            let name = format!("contend-{w}-{i}");
+            assert_eq!(
+                client.read_object(&name, 0, name.len() as u32).unwrap(),
+                name.as_bytes(),
+                "lost completion for {name}"
+            );
+        }
+    }
+
+    // Shutdown must be idempotent and race-safe: two concurrent calls
+    // plus a third after the fact, all returning with threads joined.
+    let c1 = Arc::clone(&cluster);
+    let c2 = Arc::clone(&cluster);
+    let s1 = thread::spawn(move || c1.shutdown());
+    let s2 = thread::spawn(move || c2.shutdown());
+    s1.join().expect("first shutdown must join cleanly");
+    s2.join().expect("second shutdown must join cleanly");
+    cluster.shutdown();
+}

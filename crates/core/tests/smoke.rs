@@ -20,7 +20,10 @@ fn community_write_read_roundtrip() {
     let cluster = small_cluster(OsdTuning::community());
     let client = cluster.client().unwrap();
     client.write_object("obj1", 0, b"hello community").unwrap();
-    assert_eq!(client.read_object("obj1", 0, 15).unwrap(), b"hello community");
+    assert_eq!(
+        client.read_object("obj1", 0, 15).unwrap(),
+        b"hello community"
+    );
     assert_eq!(client.stat_object("obj1").unwrap(), 15);
     cluster.shutdown();
 }
@@ -30,7 +33,10 @@ fn afceph_write_read_roundtrip() {
     let cluster = small_cluster(OsdTuning::afceph());
     let client = cluster.client().unwrap();
     client.write_object("obj1", 100, b"hello afceph").unwrap();
-    assert_eq!(client.read_object("obj1", 100, 12).unwrap(), b"hello afceph");
+    assert_eq!(
+        client.read_object("obj1", 100, 12).unwrap(),
+        b"hello afceph"
+    );
     client.delete_object("obj1").unwrap();
     assert!(client.read_object("obj1", 0, 1).is_err());
     cluster.shutdown();
@@ -51,12 +57,18 @@ fn writes_are_replicated() {
     let cluster = small_cluster(OsdTuning::afceph());
     let client = cluster.client().unwrap();
     for i in 0..20 {
-        client.write_object(&format!("o{i}"), 0, b"payload").unwrap();
+        client
+            .write_object(&format!("o{i}"), 0, b"payload")
+            .unwrap();
     }
     cluster.quiesce();
     // Each write lands on a primary and one replica: total filestore
     // transactions across OSDs ≈ 2 × ops.
-    let total_txns: u64 = cluster.osd_stats().iter().map(|(_, s)| s.filestore.txns_applied).sum();
+    let total_txns: u64 = cluster
+        .osd_stats()
+        .iter()
+        .map(|(_, s)| s.filestore.txns_applied)
+        .sum();
     assert!(total_txns >= 40, "only {total_txns} transactions applied");
     cluster.shutdown();
 }
@@ -66,7 +78,9 @@ fn journal_trims_after_applies() {
     let cluster = small_cluster(OsdTuning::afceph());
     let client = cluster.client().unwrap();
     for i in 0..40 {
-        client.write_object(&format!("t{i}"), 0, &[1u8; 4096]).unwrap();
+        client
+            .write_object(&format!("t{i}"), 0, &[1u8; 4096])
+            .unwrap();
     }
     cluster.quiesce();
     // Applies completed ⇒ trim watermark advanced ⇒ ring nearly empty.
@@ -78,7 +92,11 @@ fn journal_trims_after_applies() {
             osd.journal().used_fraction()
         );
         let s = osd.journal().stats();
-        assert!(s.trimmed_bytes > 0 || s.submits == 0, "{}: nothing trimmed", osd.id());
+        assert!(
+            s.trimmed_bytes > 0 || s.submits == 0,
+            "{}: nothing trimmed",
+            osd.id()
+        );
     }
     cluster.shutdown();
 }
@@ -88,7 +106,9 @@ fn osd_stats_account_the_pipeline() {
     let cluster = small_cluster(OsdTuning::community());
     let client = cluster.client().unwrap();
     for i in 0..24 {
-        client.write_object(&format!("s{i}"), 0, &[2u8; 2048]).unwrap();
+        client
+            .write_object(&format!("s{i}"), 0, &[2u8; 2048])
+            .unwrap();
         let _ = client.read_object(&format!("s{i}"), 0, 2048).unwrap();
     }
     cluster.quiesce();
@@ -100,7 +120,10 @@ fn osd_stats_account_the_pipeline() {
     assert_eq!(sum(&|s| s.repacks), 24);
     // Community blocking logging accounted real wait time.
     assert!(sum(&|s| s.log_submitted) > 0);
-    assert!(sum(&|s| s.journal.commits) >= 48, "primary + replica journal commits");
+    assert!(
+        sum(&|s| s.journal.commits) >= 48,
+        "primary + replica journal commits"
+    );
     assert!(sum(&|s| s.filestore.txns_applied) >= 48);
     assert!(sum(&|s| s.device.bytes_written) > 0);
     cluster.shutdown();
@@ -111,13 +134,22 @@ fn stage_traces_collected_for_writes() {
     let cluster = small_cluster(OsdTuning::afceph());
     let client = cluster.client().unwrap();
     for i in 0..64 {
-        client.write_object(&format!("tr{i}"), 0, &[3u8; 1024]).unwrap();
+        client
+            .write_object(&format!("tr{i}"), 0, &[3u8; 1024])
+            .unwrap();
     }
     let samples: usize = cluster.osds().iter().map(|o| o.stage_samples().len()).sum();
     assert!(samples > 0, "sampled stage traces missing");
-    let all: Vec<_> = cluster.osds().iter().flat_map(|o| o.stage_samples()).collect();
+    let all: Vec<_> = cluster
+        .osds()
+        .iter()
+        .flat_map(|o| o.stage_samples())
+        .collect();
     let mean = afc_core::StageSample::mean(&all);
     assert!(mean.total > std::time::Duration::ZERO);
-    assert!(mean.total >= mean.journal, "stage decomposition inconsistent");
+    assert!(
+        mean.total >= mean.journal,
+        "stage decomposition inconsistent"
+    );
     cluster.shutdown();
 }

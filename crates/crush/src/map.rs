@@ -4,11 +4,10 @@
 use crate::straw2::straw2_draw;
 use afc_common::rng::mix64;
 use afc_common::{NodeId, OsdId, PgId};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Description of one host used when building a map.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct HostSpec {
     /// Host id.
     pub node: NodeId,
@@ -20,7 +19,7 @@ pub struct HostSpec {
 ///
 /// Selection picks `size` distinct *hosts* first (failure domain = host, as
 /// in the paper's replicated pools), then one OSD within each chosen host.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct CrushMap {
     hosts: BTreeMap<NodeId, Vec<(OsdId, f64)>>,
 }
@@ -96,7 +95,10 @@ impl CrushMap {
 
     /// Total weight of a host (sum of its OSD weights).
     fn host_weight(&self, node: NodeId) -> f64 {
-        self.hosts.get(&node).map(|v| v.iter().map(|(_, w)| w).sum()).unwrap_or(0.0)
+        self.hosts
+            .get(&node)
+            .map(|v| v.iter().map(|(_, w)| w).sum())
+            .unwrap_or(0.0)
     }
 
     /// Stable per-PG selection key.
@@ -161,7 +163,10 @@ mod tests {
     use afc_common::PoolId;
 
     fn pg(seq: u32) -> PgId {
-        PgId { pool: PoolId(0), seq }
+        PgId {
+            pool: PoolId(0),
+            seq,
+        }
     }
 
     const NO_EXCLUDE: fn(OsdId) -> bool = |_| false;
@@ -179,7 +184,10 @@ mod tests {
     fn select_is_deterministic() {
         let m = CrushMap::uniform(4, 4);
         for s in 0..64 {
-            assert_eq!(m.select(pg(s), 2, &NO_EXCLUDE), m.select(pg(s), 2, &NO_EXCLUDE));
+            assert_eq!(
+                m.select(pg(s), 2, &NO_EXCLUDE),
+                m.select(pg(s), 2, &NO_EXCLUDE)
+            );
         }
     }
 
@@ -263,7 +271,11 @@ mod tests {
         // our retry scheme should stay in the same ballpark, far below a
         // naive rehash (~80%+).
         assert!(frac < 0.40, "moved {:.1}%", frac * 100.0);
-        assert!(frac > 0.05, "suspiciously little movement: {:.1}%", frac * 100.0);
+        assert!(
+            frac > 0.05,
+            "suspiciously little movement: {:.1}%",
+            frac * 100.0
+        );
     }
 
     #[test]

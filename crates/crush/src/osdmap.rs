@@ -2,11 +2,10 @@
 
 use crate::map::CrushMap;
 use afc_common::{AfcError, Epoch, ObjectId, OsdId, PgId, PoolId, Result};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Liveness/membership status of an OSD.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OsdStatus {
     /// Process is running and heartbeating.
     pub up: bool,
@@ -16,12 +15,15 @@ pub struct OsdStatus {
 
 impl Default for OsdStatus {
     fn default() -> Self {
-        OsdStatus { up: true, in_cluster: true }
+        OsdStatus {
+            up: true,
+            in_cluster: true,
+        }
     }
 }
 
 /// Pool parameters.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct PoolSpec {
     /// Number of PGs.
     pub pg_num: u32,
@@ -30,7 +32,7 @@ pub struct PoolSpec {
 }
 
 /// A versioned cluster map: CRUSH hierarchy + OSD statuses + pools.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct OsdMap {
     epoch: Epoch,
     crush: CrushMap,
@@ -41,8 +43,17 @@ pub struct OsdMap {
 impl OsdMap {
     /// Create epoch-1 map from a CRUSH hierarchy; all OSDs up+in.
     pub fn new(crush: CrushMap) -> Self {
-        let status = crush.osds().into_iter().map(|o| (o, OsdStatus::default())).collect();
-        OsdMap { epoch: Epoch(1), crush, status, pools: BTreeMap::new() }
+        let status = crush
+            .osds()
+            .into_iter()
+            .map(|o| (o, OsdStatus::default()))
+            .collect();
+        OsdMap {
+            epoch: Epoch(1),
+            crush,
+            status,
+            pools: BTreeMap::new(),
+        }
     }
 
     /// Current epoch.
@@ -58,7 +69,9 @@ impl OsdMap {
     /// Register a pool. Bumps the epoch.
     pub fn add_pool(&mut self, pool: PoolId, spec: PoolSpec) -> Result<()> {
         if spec.pg_num == 0 || spec.size == 0 {
-            return Err(AfcError::InvalidArgument("pool needs pg_num > 0 and size > 0".into()));
+            return Err(AfcError::InvalidArgument(
+                "pool needs pg_num > 0 and size > 0".into(),
+            ));
         }
         if self.pools.insert(pool, spec).is_some() {
             return Err(AfcError::AlreadyExists(format!("{pool}")));
@@ -69,7 +82,10 @@ impl OsdMap {
 
     /// Pool spec lookup.
     pub fn pool(&self, pool: PoolId) -> Result<PoolSpec> {
-        self.pools.get(&pool).copied().ok_or_else(|| AfcError::NotFound(format!("{pool}")))
+        self.pools
+            .get(&pool)
+            .copied()
+            .ok_or_else(|| AfcError::NotFound(format!("{pool}")))
     }
 
     /// All pools.
@@ -120,8 +136,13 @@ impl OsdMap {
     /// DESIGN.md).
     pub fn pg_acting(&self, pg: PgId) -> Result<Vec<OsdId>> {
         let spec = self.pool(pg.pool)?;
-        let placed = self.crush.select(pg, spec.size, &|o| !self.osd_status(o).in_cluster);
-        let acting: Vec<OsdId> = placed.into_iter().filter(|o| self.osd_status(*o).up).collect();
+        let placed = self
+            .crush
+            .select(pg, spec.size, &|o| !self.osd_status(o).in_cluster);
+        let acting: Vec<OsdId> = placed
+            .into_iter()
+            .filter(|o| self.osd_status(*o).up)
+            .collect();
         if acting.is_empty() {
             return Err(AfcError::NotFound(format!("no acting OSDs for pg {pg}")));
         }
@@ -161,7 +182,14 @@ mod tests {
 
     fn map4x4() -> OsdMap {
         let mut m = OsdMap::new(CrushMap::uniform(4, 4));
-        m.add_pool(PoolId(0), PoolSpec { pg_num: 256, size: 2 }).unwrap();
+        m.add_pool(
+            PoolId(0),
+            PoolSpec {
+                pg_num: 256,
+                size: 2,
+            },
+        )
+        .unwrap();
         m
     }
 
@@ -169,10 +197,21 @@ mod tests {
     fn pool_registration() {
         let mut m = OsdMap::new(CrushMap::uniform(2, 2));
         assert!(m.pool(PoolId(0)).is_err());
-        m.add_pool(PoolId(0), PoolSpec { pg_num: 64, size: 2 }).unwrap();
+        m.add_pool(
+            PoolId(0),
+            PoolSpec {
+                pg_num: 64,
+                size: 2,
+            },
+        )
+        .unwrap();
         assert_eq!(m.pool(PoolId(0)).unwrap().pg_num, 64);
-        assert!(m.add_pool(PoolId(0), PoolSpec { pg_num: 1, size: 1 }).is_err());
-        assert!(m.add_pool(PoolId(1), PoolSpec { pg_num: 0, size: 1 }).is_err());
+        assert!(m
+            .add_pool(PoolId(0), PoolSpec { pg_num: 1, size: 1 })
+            .is_err());
+        assert!(m
+            .add_pool(PoolId(1), PoolSpec { pg_num: 0, size: 1 })
+            .is_err());
         assert_eq!(m.pools().count(), 1);
     }
 
@@ -204,14 +243,22 @@ mod tests {
         // their surviving member (degraded), promoting it to primary.
         let pgs = m.primary_pgs_of(PoolId(0), OsdId(0)).unwrap();
         assert!(!pgs.is_empty());
-        let before: Vec<(PgId, Vec<OsdId>)> =
-            pgs.iter().map(|pg| (*pg, m.pg_acting(*pg).unwrap())).collect();
+        let before: Vec<(PgId, Vec<OsdId>)> = pgs
+            .iter()
+            .map(|pg| (*pg, m.pg_acting(*pg).unwrap()))
+            .collect();
         m.set_up(OsdId(0), false);
         for (pg, old) in before {
             let acting = m.pg_acting(pg).unwrap();
-            assert!(!acting.contains(&OsdId(0)), "pg {pg} still maps to down osd");
+            assert!(
+                !acting.contains(&OsdId(0)),
+                "pg {pg} still maps to down osd"
+            );
             assert_eq!(acting.len(), 1, "degraded PG runs on the survivor");
-            assert_eq!(acting[0], old[1], "survivor (old replica) promoted to primary");
+            assert_eq!(
+                acting[0], old[1],
+                "survivor (old replica) promoted to primary"
+            );
         }
     }
 
@@ -220,7 +267,12 @@ mod tests {
         let mut m = map4x4();
         m.set_in(OsdId(7), false);
         for seq in 0..256 {
-            let acting = m.pg_acting(PgId { pool: PoolId(0), seq }).unwrap();
+            let acting = m
+                .pg_acting(PgId {
+                    pool: PoolId(0),
+                    seq,
+                })
+                .unwrap();
             assert!(!acting.contains(&OsdId(7)));
         }
     }
@@ -241,7 +293,10 @@ mod tests {
         grown.set_crush(CrushMap::uniform(5, 4));
         let mut moved = 0;
         for seq in 0..256 {
-            let pg = PgId { pool: PoolId(0), seq };
+            let pg = PgId {
+                pool: PoolId(0),
+                seq,
+            };
             let a = m.pg_acting(pg).unwrap();
             let b = grown.pg_acting(pg).unwrap();
             moved += a.iter().filter(|o| !b.contains(o)).count();

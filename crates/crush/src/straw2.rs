@@ -71,8 +71,20 @@ mod tests {
             let b = straw2_draw(key, 2, 1.0);
             let c_before = straw2_draw(key, 3, 1.0);
             let c_after = straw2_draw(key, 3, 3.0);
-            let winner_before = if c_before > a && c_before > b { 3 } else if a > b { 1 } else { 2 };
-            let winner_after = if c_after > a && c_after > b { 3 } else if a > b { 1 } else { 2 };
+            let winner_before = if c_before > a && c_before > b {
+                3
+            } else if a > b {
+                1
+            } else {
+                2
+            };
+            let winner_after = if c_after > a && c_after > b {
+                3
+            } else if a > b {
+                1
+            } else {
+                2
+            };
             if winner_before != 3 && winner_after != 3 {
                 assert_eq!(winner_before, winner_after, "key={key}");
             }

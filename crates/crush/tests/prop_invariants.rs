@@ -7,7 +7,11 @@ use proptest::prelude::*;
 
 fn arbitrary_map() -> impl Strategy<Value = (CrushMap, u32, usize)> {
     (2u32..8, 1u32..5, 1usize..4).prop_map(|(nodes, osds, size)| {
-        (CrushMap::uniform(nodes, osds), nodes, size.min(nodes as usize))
+        (
+            CrushMap::uniform(nodes, osds),
+            nodes,
+            size.min(nodes as usize),
+        )
     })
 }
 

@@ -126,7 +126,10 @@ impl BlockDev for Hdd {
             IoKind::Write => self.stats.on_write(req.len as u64, service),
             IoKind::Flush => self.stats.on_flush(service),
         }
-        Ok(IoPlan { completion, service })
+        Ok(IoPlan {
+            completion,
+            service,
+        })
     }
 
     fn stats(&self) -> DevStats {
@@ -144,7 +147,10 @@ mod tests {
     use afc_common::KIB;
 
     fn quiet() -> HddConfig {
-        HddConfig { jitter: 0.0, ..HddConfig::nearline_7k2() }
+        HddConfig {
+            jitter: 0.0,
+            ..HddConfig::nearline_7k2()
+        }
     }
 
     #[test]

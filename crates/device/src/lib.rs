@@ -61,17 +61,29 @@ pub struct IoReq {
 impl IoReq {
     /// A read request.
     pub fn read(offset: u64, len: u32) -> Self {
-        IoReq { kind: IoKind::Read, offset, len }
+        IoReq {
+            kind: IoKind::Read,
+            offset,
+            len,
+        }
     }
 
     /// A write request.
     pub fn write(offset: u64, len: u32) -> Self {
-        IoReq { kind: IoKind::Write, offset, len }
+        IoReq {
+            kind: IoKind::Write,
+            offset,
+            len,
+        }
     }
 
     /// A flush request.
     pub fn flush() -> Self {
-        IoReq { kind: IoKind::Flush, offset: 0, len: 0 }
+        IoReq {
+            kind: IoKind::Flush,
+            offset: 0,
+            len: 0,
+        }
     }
 }
 
@@ -138,7 +150,10 @@ impl FaultInjector {
             if cur == 0 {
                 return Ok(());
             }
-            match self.remaining.compare_exchange(cur, cur - 1, Ordering::SeqCst, Ordering::SeqCst) {
+            match self
+                .remaining
+                .compare_exchange(cur, cur - 1, Ordering::SeqCst, Ordering::SeqCst)
+            {
                 Ok(_) => return Err(AfcError::Io("injected device fault".into())),
                 Err(actual) => cur = actual,
             }
@@ -154,7 +169,12 @@ pub(crate) fn validate(req: &IoReq, capacity: u64) -> Result<()> {
     if req.len == 0 {
         return Err(AfcError::InvalidArgument("zero-length device I/O".into()));
     }
-    if req.offset.checked_add(req.len as u64).map(|e| e > capacity).unwrap_or(true) {
+    if req
+        .offset
+        .checked_add(req.len as u64)
+        .map(|e| e > capacity)
+        .unwrap_or(true)
+    {
         return Err(AfcError::InvalidArgument(format!(
             "device I/O [{}, +{}) beyond capacity {}",
             req.offset, req.len, capacity

@@ -87,7 +87,10 @@ impl BlockDev for Nvram {
             IoKind::Write => self.stats.on_write(req.len as u64, service),
             IoKind::Flush => self.stats.on_flush(self.cfg.access),
         }
-        Ok(IoPlan { completion, service })
+        Ok(IoPlan {
+            completion,
+            service,
+        })
     }
 
     fn stats(&self) -> DevStats {
@@ -114,7 +117,10 @@ mod tests {
     #[test]
     fn much_faster_than_ssd_writes() {
         let nv = Nvram::new(NvramConfig::pmc_8g());
-        let ssd = crate::Ssd::new(crate::SsdConfig { jitter: 0.0, ..crate::SsdConfig::sata3() });
+        let ssd = crate::Ssd::new(crate::SsdConfig {
+            jitter: 0.0,
+            ..crate::SsdConfig::sata3()
+        });
         let pn = nv.plan(IoReq::write(0, 4096)).unwrap();
         let ps = ssd.plan(IoReq::write(0, 4096)).unwrap();
         assert!(ps.service > pn.service.mul_f64(3.0));

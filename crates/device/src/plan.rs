@@ -19,7 +19,9 @@ impl ChannelPool {
     /// Create a pool with `channels` independent service channels.
     pub fn new(channels: usize) -> Self {
         assert!(channels > 0, "device needs at least one channel");
-        ChannelPool { busy_until: Mutex::new(vec![Instant::now(); channels]) }
+        ChannelPool {
+            busy_until: Mutex::new(vec![Instant::now(); channels]),
+        }
     }
 
     /// Reserve `service` time on the earliest-free channel. Returns the

@@ -22,14 +22,22 @@ impl Raid0 {
     /// Build a RAID-0 set with the given stripe unit (bytes).
     pub fn new(members: Vec<Arc<dyn BlockDev>>, stripe: u64) -> Result<Self> {
         if members.is_empty() {
-            return Err(AfcError::InvalidArgument("RAID-0 needs at least one member".into()));
+            return Err(AfcError::InvalidArgument(
+                "RAID-0 needs at least one member".into(),
+            ));
         }
         if stripe == 0 {
-            return Err(AfcError::InvalidArgument("stripe unit must be positive".into()));
+            return Err(AfcError::InvalidArgument(
+                "stripe unit must be positive".into(),
+            ));
         }
         let min_cap = members.iter().map(|m| m.capacity()).min().unwrap();
         let capacity = min_cap * members.len() as u64;
-        Ok(Raid0 { members, stripe, capacity })
+        Ok(Raid0 {
+            members,
+            stripe,
+            capacity,
+        })
     }
 
     /// Number of member devices.
@@ -79,18 +87,28 @@ impl BlockDev for Raid0 {
         let mut completion = None;
         let mut service = Duration::ZERO;
         for (member, off, len) in self.segments(req.offset, req.len as u64) {
-            let p = self.members[member].plan(IoReq { kind: req.kind, offset: off, len })?;
+            let p = self.members[member].plan(IoReq {
+                kind: req.kind,
+                offset: off,
+                len,
+            })?;
             service = service.max(p.service);
             completion = Some(match completion {
                 Some(prev) if prev >= p.completion => prev,
                 _ => p.completion,
             });
         }
-        Ok(IoPlan { completion: completion.expect("len > 0 produces segments"), service })
+        Ok(IoPlan {
+            completion: completion.expect("len > 0 produces segments"),
+            service,
+        })
     }
 
     fn stats(&self) -> DevStats {
-        self.members.iter().map(|m| m.stats()).fold(DevStats::default(), |acc, s| acc.combined(&s))
+        self.members
+            .iter()
+            .map(|m| m.stats())
+            .fold(DevStats::default(), |acc, s| acc.combined(&s))
     }
 
     fn model(&self) -> &str {
@@ -108,8 +126,10 @@ mod tests {
     fn raid(width: usize) -> Raid0 {
         let members: Vec<Arc<dyn BlockDev>> = (0..width)
             .map(|i| {
-                Arc::new(Ssd::new(SsdConfig { jitter: 0.0, ..SsdConfig::sata3().with_seed(i as u64) }))
-                    as Arc<dyn BlockDev>
+                Arc::new(Ssd::new(SsdConfig {
+                    jitter: 0.0,
+                    ..SsdConfig::sata3().with_seed(i as u64)
+                })) as Arc<dyn BlockDev>
             })
             .collect();
         Raid0::new(members, 64 * KIB).unwrap()
@@ -182,15 +202,19 @@ mod tests {
     #[test]
     fn invalid_construction() {
         assert!(Raid0::new(vec![], 64 * KIB).is_err());
-        let m: Vec<Arc<dyn BlockDev>> =
-            vec![Arc::new(Ssd::new(SsdConfig::sata3()))];
+        let m: Vec<Arc<dyn BlockDev>> = vec![Arc::new(Ssd::new(SsdConfig::sata3()))];
         assert!(Raid0::new(m, 0).is_err());
     }
 
     #[test]
     fn segments_cover_request_exactly() {
         let r = raid(3);
-        for (off, len) in [(0u64, 1u64), (63 * KIB, 2 * KIB), (5 * KIB, 300 * KIB), (191 * KIB, 66 * KIB)] {
+        for (off, len) in [
+            (0u64, 1u64),
+            (63 * KIB, 2 * KIB),
+            (5 * KIB, 300 * KIB),
+            (191 * KIB, 66 * KIB),
+        ] {
             let segs = r.segments(off, len);
             let total: u64 = segs.iter().map(|s| s.2 as u64).sum();
             assert_eq!(total, len, "off={off} len={len}");

@@ -85,7 +85,10 @@ impl SsdConfig {
 
     /// Same drive, pre-aged to the sustained state.
     pub fn sata3_sustained() -> Self {
-        SsdConfig { state: SsdState::Sustained, ..Self::sata3() }
+        SsdConfig {
+            state: SsdState::Sustained,
+            ..Self::sata3()
+        }
     }
 
     /// Set the capacity (builder style).
@@ -147,7 +150,8 @@ impl Ssd {
 
     /// Force the wear state (harnesses age drives between phases).
     pub fn set_state(&self, s: SsdState) {
-        self.state.store(matches!(s, SsdState::Sustained) as u8, Ordering::Relaxed);
+        self.state
+            .store(matches!(s, SsdState::Sustained) as u8, Ordering::Relaxed);
     }
 
     /// Fault-injection handle.
@@ -222,7 +226,10 @@ impl BlockDev for Ssd {
             }
             IoKind::Flush => self.stats.on_flush(service),
         }
-        Ok(IoPlan { completion, service })
+        Ok(IoPlan {
+            completion,
+            service,
+        })
     }
 
     fn stats(&self) -> DevStats {
@@ -257,7 +264,12 @@ mod tests {
         let aged = Ssd::new(quiet(SsdConfig::sata3_sustained()));
         let pc = clean.plan(IoReq::write(0, 4096)).unwrap();
         let pa = aged.plan(IoReq::write(0, 4096)).unwrap();
-        assert!(pa.service >= pc.service.mul_f64(2.5), "clean={:?} aged={:?}", pc.service, pa.service);
+        assert!(
+            pa.service >= pc.service.mul_f64(2.5),
+            "clean={:?} aged={:?}",
+            pc.service,
+            pa.service
+        );
     }
 
     #[test]
@@ -266,9 +278,13 @@ mod tests {
         cfg.gc_every = 4;
         cfg.gc_pause = Duration::from_millis(10);
         let ssd = Ssd::new(cfg);
-        let services: Vec<Duration> =
-            (0..8).map(|i| ssd.plan(IoReq::write(i * 8192, 4096)).unwrap().service).collect();
-        let stalled = services.iter().filter(|s| **s >= Duration::from_millis(10)).count();
+        let services: Vec<Duration> = (0..8)
+            .map(|i| ssd.plan(IoReq::write(i * 8192, 4096)).unwrap().service)
+            .collect();
+        let stalled = services
+            .iter()
+            .filter(|s| **s >= Duration::from_millis(10))
+            .count();
         assert_eq!(stalled, 2, "services={services:?}");
     }
 
@@ -278,7 +294,11 @@ mod tests {
         // Plan a large write that keeps the device busy, then read.
         ssd.plan(IoReq::write(0, 8 * MIB as u32)).unwrap();
         let p = ssd.plan(IoReq::read(0, 4096)).unwrap();
-        assert!(p.service >= Duration::from_micros(90 + 250), "service={:?}", p.service);
+        assert!(
+            p.service >= Duration::from_micros(90 + 250),
+            "service={:?}",
+            p.service
+        );
         assert_eq!(ssd.stats().interfered_reads, 1);
         // A read after the write completes is clean.
         std::thread::sleep(Duration::from_millis(25));
@@ -301,7 +321,9 @@ mod tests {
         cfg.channels = 4;
         let ssd = Ssd::new(cfg);
         let t0 = Instant::now();
-        let plans: Vec<IoPlan> = (0..4).map(|i| ssd.plan(IoReq::read(i * 4096, 4096)).unwrap()).collect();
+        let plans: Vec<IoPlan> = (0..4)
+            .map(|i| ssd.plan(IoReq::read(i * 4096, 4096)).unwrap())
+            .collect();
         for p in &plans {
             assert!(p.completion <= t0 + Duration::from_millis(2));
         }
@@ -361,15 +383,27 @@ mod motivation_tests {
     /// while sequential bandwidth stays comparable.
     #[test]
     fn ssd_vs_hdd_random_gap_dwarfs_sequential_gap() {
-        let ssd = Ssd::new(SsdConfig { jitter: 0.0, ..SsdConfig::sata3() });
-        let hdd = Hdd::new(HddConfig { jitter: 0.0, ..HddConfig::nearline_7k2() });
+        let ssd = Ssd::new(SsdConfig {
+            jitter: 0.0,
+            ..SsdConfig::sata3()
+        });
+        let hdd = Hdd::new(HddConfig {
+            jitter: 0.0,
+            ..HddConfig::nearline_7k2()
+        });
         // Random 4K service times, far-apart offsets.
         let mut ssd_rand = Duration::ZERO;
         let mut hdd_rand = Duration::ZERO;
         for i in 0..32u64 {
             let off = (i * 37 % 97) * (1 << 30);
-            ssd_rand += ssd.plan(IoReq::read(off % ssd.capacity(), 4096)).unwrap().service;
-            hdd_rand += hdd.plan(IoReq::read(off % hdd.capacity(), 4096)).unwrap().service;
+            ssd_rand += ssd
+                .plan(IoReq::read(off % ssd.capacity(), 4096))
+                .unwrap()
+                .service;
+            hdd_rand += hdd
+                .plan(IoReq::read(off % hdd.capacity(), 4096))
+                .unwrap()
+                .service;
         }
         // Sequential 1 MiB service times.
         let ssd_seq = ssd.plan(IoReq::read(0, 1 << 20)).unwrap().service;
@@ -377,7 +411,13 @@ mod motivation_tests {
         let random_gap = hdd_rand.as_secs_f64() / ssd_rand.as_secs_f64();
         let seq_gap = hdd_seq.as_secs_f64() / ssd_seq.as_secs_f64();
         assert!(random_gap > 20.0, "random gap only {random_gap:.1}x");
-        assert!(seq_gap < 8.0, "sequential gap unexpectedly large: {seq_gap:.1}x");
-        assert!(random_gap > 4.0 * seq_gap, "random should dominate: {random_gap:.1} vs {seq_gap:.1}");
+        assert!(
+            seq_gap < 8.0,
+            "sequential gap unexpectedly large: {seq_gap:.1}x"
+        );
+        assert!(
+            random_gap > 4.0 * seq_gap,
+            "random should dominate: {random_gap:.1} vs {seq_gap:.1}"
+        );
     }
 }

@@ -47,7 +47,8 @@ impl StatsCell {
     pub fn on_read(&self, len: u64, service: Duration, interfered: bool) {
         self.reads.fetch_add(1, Ordering::Relaxed);
         self.bytes_read.fetch_add(len, Ordering::Relaxed);
-        self.busy_us.fetch_add(service.as_micros() as u64, Ordering::Relaxed);
+        self.busy_us
+            .fetch_add(service.as_micros() as u64, Ordering::Relaxed);
         if interfered {
             self.interfered_reads.fetch_add(1, Ordering::Relaxed);
         }
@@ -57,13 +58,15 @@ impl StatsCell {
     pub fn on_write(&self, len: u64, service: Duration) {
         self.writes.fetch_add(1, Ordering::Relaxed);
         self.bytes_written.fetch_add(len, Ordering::Relaxed);
-        self.busy_us.fetch_add(service.as_micros() as u64, Ordering::Relaxed);
+        self.busy_us
+            .fetch_add(service.as_micros() as u64, Ordering::Relaxed);
     }
 
     /// Account a flush taking `service`.
     pub fn on_flush(&self, service: Duration) {
         self.flushes.fetch_add(1, Ordering::Relaxed);
-        self.busy_us.fetch_add(service.as_micros() as u64, Ordering::Relaxed);
+        self.busy_us
+            .fetch_add(service.as_micros() as u64, Ordering::Relaxed);
     }
 
     /// Take a consistent-enough snapshot (relaxed reads; counters only).
@@ -125,7 +128,15 @@ mod tests {
 
     #[test]
     fn combined_sums_fields() {
-        let a = DevStats { reads: 1, writes: 2, flushes: 3, bytes_read: 4, bytes_written: 5, busy_us: 6, interfered_reads: 7 };
+        let a = DevStats {
+            reads: 1,
+            writes: 2,
+            flushes: 3,
+            bytes_read: 4,
+            bytes_written: 5,
+            busy_us: 6,
+            interfered_reads: 7,
+        };
         let b = a;
         let c = a.combined(&b);
         assert_eq!(c.reads, 2);

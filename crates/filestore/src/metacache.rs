@@ -41,7 +41,10 @@ impl MetaCache {
     /// Create a cache holding up to `capacity` objects' metadata.
     pub fn new(capacity: usize) -> Self {
         MetaCache {
-            inner: Mutex::new(Inner { map: HashMap::new(), order: VecDeque::new() }),
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+            }),
             capacity: capacity.max(1),
             hits: Default::default(),
             misses: Default::default(),
@@ -109,7 +112,14 @@ mod tests {
     fn put_get_and_stats() {
         let c = MetaCache::new(10);
         assert!(c.get("a").is_none());
-        c.put("a", ObjectMeta { size: 42, version: 1, alloc_hint: false });
+        c.put(
+            "a",
+            ObjectMeta {
+                size: 42,
+                version: 1,
+                alloc_hint: false,
+            },
+        );
         assert_eq!(c.get("a").unwrap().size, 42);
         assert_eq!(c.stats(), (1, 1));
     }
@@ -118,7 +128,14 @@ mod tests {
     fn update_in_place_keeps_len() {
         let c = MetaCache::new(10);
         c.put("a", ObjectMeta::default());
-        c.put("a", ObjectMeta { size: 1, version: 2, alloc_hint: true });
+        c.put(
+            "a",
+            ObjectMeta {
+                size: 1,
+                version: 2,
+                alloc_hint: true,
+            },
+        );
         assert_eq!(c.len(), 1);
         assert_eq!(c.get("a").unwrap().version, 2);
     }
@@ -127,7 +144,13 @@ mod tests {
     fn eviction_is_fifo_and_bounded() {
         let c = MetaCache::new(3);
         for i in 0..5 {
-            c.put(&format!("o{i}"), ObjectMeta { size: i, ..Default::default() });
+            c.put(
+                &format!("o{i}"),
+                ObjectMeta {
+                    size: i,
+                    ..Default::default()
+                },
+            );
         }
         assert_eq!(c.len(), 3);
         assert!(c.get("o0").is_none());
@@ -153,7 +176,13 @@ mod tests {
                 s.spawn(move || {
                     for i in 0..500 {
                         let key = format!("o{}", (t * 13 + i) % 50);
-                        c.put(&key, ObjectMeta { size: i, ..Default::default() });
+                        c.put(
+                            &key,
+                            ObjectMeta {
+                                size: i,
+                                ..Default::default()
+                            },
+                        );
                         let _ = c.get(&key);
                     }
                 });

@@ -86,7 +86,11 @@ impl SimFs {
         self.syscall("sys.open");
         let mut files = self.files.write();
         files.entry(path.to_string()).or_insert_with(|| {
-            Arc::new(Mutex::new(FileNode { data: Vec::new(), xattrs: HashMap::new(), alloc_hint: false }))
+            Arc::new(Mutex::new(FileNode {
+                data: Vec::new(),
+                xattrs: HashMap::new(),
+                alloc_hint: false,
+            }))
         });
         Ok(())
     }
@@ -201,7 +205,11 @@ impl SimFs {
         while remaining > 0 {
             let chunk = remaining.min(1 << 20);
             let off = self.cursor.fetch_add(chunk, Relaxed) % cap.saturating_sub(chunk).max(1);
-            self.dev.submit(IoReq { kind, offset: off, len: chunk as u32 })?;
+            self.dev.submit(IoReq {
+                kind,
+                offset: off,
+                len: chunk as u32,
+            })?;
             remaining -= chunk;
         }
         Ok(())

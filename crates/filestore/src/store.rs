@@ -4,6 +4,7 @@ use crate::metacache::{MetaCache, ObjectMeta};
 use crate::simfs::SimFs;
 use crate::throttle::Throttle;
 use crate::txn::{Transaction, TxOp};
+use afc_common::lockdep;
 use afc_common::{AfcError, Result};
 use afc_device::BlockDev;
 use afc_kvstore::{Db, DbConfig, WriteBatch, WriteOptions};
@@ -220,6 +221,9 @@ impl FileStore {
     /// throttle when `queue_max_ops` transactions are in flight — the
     /// §2.4/Figure 4 backpressure point. `done` runs on an apply worker.
     pub fn queue_transaction(&self, txn: Transaction, done: ApplyFn) -> Result<()> {
+        // Blocks on the filestore queue throttle when the apply backlog is
+        // at `filestore_queue_max_ops` (the §3.2 stall this crate models).
+        lockdep::assert_blockable("filestore queue_transaction");
         let permit = self.throttle.acquire_owned(1)?;
         let done: ApplyFn = Box::new(move |r| {
             drop(permit);
@@ -228,7 +232,9 @@ impl FileStore {
         // Shard by the transaction's first object so same-object applies
         // are ordered (one worker = one sequence).
         let shard = match txn.ops().first() {
-            Some(op) => afc_common::rng::hash_bytes(op.object().as_bytes()) as usize % self.shards.len(),
+            Some(op) => {
+                afc_common::rng::hash_bytes(op.object().as_bytes()) as usize % self.shards.len()
+            }
             None => 0,
         };
         self.shards[shard]
@@ -239,10 +245,14 @@ impl FileStore {
     /// Queue and wait for application (tests, recovery replay).
     pub fn apply_sync(&self, txn: Transaction) -> Result<()> {
         let (tx, rx) = crossbeam::channel::bounded(1);
-        self.queue_transaction(txn, Box::new(move |r| {
-            let _ = tx.send(r);
-        }))?;
-        rx.recv().map_err(|_| AfcError::ShutDown("filestore".into()))?
+        self.queue_transaction(
+            txn,
+            Box::new(move |r| {
+                let _ = tx.send(r);
+            }),
+        )?;
+        rx.recv()
+            .map_err(|_| AfcError::ShutDown("filestore".into()))?
     }
 
     /// Read object data (charges the device).
@@ -258,7 +268,9 @@ impl FileStore {
             }
         }
         match self.kv.get(&meta_key(object))? {
-            Some(v) => decode_meta(&v).ok_or_else(|| AfcError::Corruption(format!("meta {object}"))),
+            Some(v) => {
+                decode_meta(&v).ok_or_else(|| AfcError::Corruption(format!("meta {object}")))
+            }
             None => Err(AfcError::NotFound(format!("object {object}"))),
         }
     }
@@ -383,12 +395,17 @@ fn apply_txn(ctx: &ApplyCtx, txn: Transaction) -> Result<()> {
             TxOp::Touch { object } => {
                 ensure_open(ctx, &mut opened, object, lightweight)?;
             }
-            TxOp::Write { object, offset, data } => {
+            TxOp::Write {
+                object,
+                offset,
+                data,
+            } => {
                 ensure_open(ctx, &mut opened, object, lightweight)?;
                 // Metadata read-modify-write (community) or cache (LWT).
                 let mut meta = read_meta_for_write(ctx, object, lightweight)?;
                 ctx.fs.write(object, *offset, data)?;
-                ctx.data_bytes.fetch_add(data.len() as u64, Ordering::Relaxed);
+                ctx.data_bytes
+                    .fetch_add(data.len() as u64, Ordering::Relaxed);
                 meta.size = meta.size.max(offset + data.len() as u64);
                 meta.version += 1;
                 let encoded = encode_meta(&meta);
@@ -397,7 +414,8 @@ fn apply_txn(ctx: &ApplyCtx, txn: Transaction) -> Result<()> {
                     ctx.cache.put(object, meta);
                 } else {
                     // Separate synchronous-ish KV commit + xattr write.
-                    ctx.kv.put(meta_key(object), encoded.clone(), WriteOptions::async_())?;
+                    ctx.kv
+                        .put(meta_key(object), encoded.clone(), WriteOptions::async_())?;
                     ctx.fs.setxattr(object, "_", encoded)?;
                 }
             }
@@ -412,7 +430,8 @@ fn apply_txn(ctx: &ApplyCtx, txn: Transaction) -> Result<()> {
                     batch.put(meta_key(object), encoded);
                     ctx.cache.put(object, meta);
                 } else {
-                    ctx.kv.put(meta_key(object), encoded, WriteOptions::async_())?;
+                    ctx.kv
+                        .put(meta_key(object), encoded, WriteOptions::async_())?;
                 }
             }
             TxOp::Remove { object } => {
@@ -446,7 +465,8 @@ fn apply_txn(ctx: &ApplyCtx, txn: Transaction) -> Result<()> {
                 } else {
                     // One KV commit per key — the pre-batching behaviour.
                     for (k, v) in keys {
-                        ctx.kv.put(omap_key(object, k), v.clone(), WriteOptions::async_())?;
+                        ctx.kv
+                            .put(omap_key(object, k), v.clone(), WriteOptions::async_())?;
                     }
                 }
             }
@@ -528,11 +548,19 @@ mod tests {
 
     fn write_txn(object: &str, n: usize, with_hint: bool) -> Transaction {
         let mut t = Transaction::new();
-        t.push(TxOp::Touch { object: object.into() });
+        t.push(TxOp::Touch {
+            object: object.into(),
+        });
         if with_hint {
-            t.push(TxOp::SetAllocHint { object: object.into() });
+            t.push(TxOp::SetAllocHint {
+                object: object.into(),
+            });
         }
-        t.push(TxOp::Write { object: object.into(), offset: 0, data: Bytes::from(vec![7u8; n]) });
+        t.push(TxOp::Write {
+            object: object.into(),
+            offset: 0,
+            data: Bytes::from(vec![7u8; n]),
+        });
         t.push(TxOp::OmapSetKeys {
             object: format!("pgmeta_{object}"),
             keys: vec![(Bytes::from_static(b"pglog.1"), Bytes::from(vec![1u8; 100]))],
@@ -553,7 +581,10 @@ mod tests {
         assert_eq!(meta.size, 4096);
         assert_eq!(meta.version, 1);
         assert_eq!(
-            fs.omap_get("pgmeta_obj", b"pglog.1").unwrap().unwrap().len(),
+            fs.omap_get("pgmeta_obj", b"pglog.1")
+                .unwrap()
+                .unwrap()
+                .len(),
             100
         );
         assert!(fs.getattr("obj", "snapset").unwrap().is_some());
@@ -578,14 +609,26 @@ mod tests {
             comm.apply_sync(write_txn("obj", 4096 + i, true)).unwrap();
             lwt.apply_sync(write_txn("obj", 4096 + i, true)).unwrap();
         }
-        let sys_comm: u64 = ["sys.open", "sys.stat", "sys.setxattr", "sys.fallocate", "sys.getxattr"]
-            .iter()
-            .map(|s| comm.fs().counters().get(s))
-            .sum();
-        let sys_lwt: u64 = ["sys.open", "sys.stat", "sys.setxattr", "sys.fallocate", "sys.getxattr"]
-            .iter()
-            .map(|s| lwt.fs().counters().get(s))
-            .sum();
+        let sys_comm: u64 = [
+            "sys.open",
+            "sys.stat",
+            "sys.setxattr",
+            "sys.fallocate",
+            "sys.getxattr",
+        ]
+        .iter()
+        .map(|s| comm.fs().counters().get(s))
+        .sum();
+        let sys_lwt: u64 = [
+            "sys.open",
+            "sys.stat",
+            "sys.setxattr",
+            "sys.fallocate",
+            "sys.getxattr",
+        ]
+        .iter()
+        .map(|s| lwt.fs().counters().get(s))
+        .sum();
         assert!(sys_lwt * 2 < sys_comm, "lwt={sys_lwt} comm={sys_comm}");
         assert!(
             lwt.kv_stats().commits * 2 <= comm.kv_stats().commits,
@@ -633,7 +676,10 @@ mod tests {
         let fs = nvram_store(FileStoreConfig::lightweight());
         fs.apply_sync(write_txn("o", 1000, false)).unwrap();
         let mut t = Transaction::new();
-        t.push(TxOp::Truncate { object: "o".into(), size: 10 });
+        t.push(TxOp::Truncate {
+            object: "o".into(),
+            size: 10,
+        });
         fs.apply_sync(t).unwrap();
         assert_eq!(fs.stat("o").unwrap().size, 10);
         assert_eq!(fs.read("o", 0, 100).unwrap().len(), 10);
@@ -652,7 +698,10 @@ mod tests {
         fs.apply_sync(t).unwrap();
         assert_eq!(fs.omap_scan("meta").unwrap().len(), 5);
         let mut t = Transaction::new();
-        t.push(TxOp::OmapRmKeys { object: "meta".into(), keys: vec![Bytes::from_static(b"k2")] });
+        t.push(TxOp::OmapRmKeys {
+            object: "meta".into(),
+            keys: vec![Bytes::from_static(b"k2")],
+        });
         fs.apply_sync(t).unwrap();
         let left = fs.omap_scan("meta").unwrap();
         assert_eq!(left.len(), 4);
@@ -662,12 +711,22 @@ mod tests {
     #[test]
     fn throttle_blocks_when_queue_full() {
         // Slow SSD + queue of 2: the third queue_transaction must wait.
-        let dev = Arc::new(Ssd::new(SsdConfig { jitter: 0.0, ..SsdConfig::sata3() }));
-        let cfg = FileStoreConfig { queue_max_ops: 2, apply_threads: 1, ..FileStoreConfig::community() };
+        let dev = Arc::new(Ssd::new(SsdConfig {
+            jitter: 0.0,
+            ..SsdConfig::sata3()
+        }));
+        let cfg = FileStoreConfig {
+            queue_max_ops: 2,
+            apply_threads: 1,
+            ..FileStoreConfig::community()
+        };
         let fs = FileStore::new(dev, cfg);
         for i in 0..12 {
-            fs.queue_transaction(write_txn(&format!("o{i}"), 32 * 1024, true), Box::new(|r| r.unwrap()))
-                .unwrap();
+            fs.queue_transaction(
+                write_txn(&format!("o{i}"), 32 * 1024, true),
+                Box::new(|r| r.unwrap()),
+            )
+            .unwrap();
         }
         fs.wait_idle();
         let s = fs.stats();
@@ -679,9 +738,12 @@ mod tests {
     fn queue_transaction_async_completion() {
         let fs = nvram_store(FileStoreConfig::lightweight());
         let (tx, rx) = crossbeam::channel::bounded(1);
-        fs.queue_transaction(write_txn("o", 64, false), Box::new(move |r| {
-            tx.send(r).unwrap();
-        }))
+        fs.queue_transaction(
+            write_txn("o", 64, false),
+            Box::new(move |r| {
+                tx.send(r).unwrap();
+            }),
+        )
         .unwrap();
         rx.recv().unwrap().unwrap();
         assert_eq!(fs.queue_len(), 0);

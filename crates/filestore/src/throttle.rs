@@ -8,11 +8,11 @@
 //! acquirers block, so harnesses can show exactly where HDD-sized limits
 //! bite.
 
+use afc_common::lockdep::{self, classes, TrackedCondvar, TrackedMutex};
 use afc_common::{AfcError, Result};
-use parking_lot::{Condvar, Mutex};
-use std::time::Instant;
 #[cfg(test)]
 use std::time::Duration;
+use std::time::Instant;
 
 struct State {
     in_use: u64,
@@ -23,8 +23,8 @@ struct State {
 /// A counting semaphore with wait accounting and a runtime-adjustable limit.
 pub struct Throttle {
     name: &'static str,
-    state: Mutex<State>,
-    cv: Condvar,
+    state: TrackedMutex<State>,
+    cv: TrackedCondvar,
     waits: std::sync::atomic::AtomicU64,
     wait_us: std::sync::atomic::AtomicU64,
 }
@@ -54,8 +54,15 @@ impl Throttle {
         assert!(max > 0, "throttle limit must be positive");
         Throttle {
             name,
-            state: Mutex::new(State { in_use: 0, max, closed: false }),
-            cv: Condvar::new(),
+            state: TrackedMutex::new(
+                &classes::THROTTLE,
+                State {
+                    in_use: 0,
+                    max,
+                    closed: false,
+                },
+            ),
+            cv: TrackedCondvar::new(),
             waits: Default::default(),
             wait_us: Default::default(),
         }
@@ -64,6 +71,9 @@ impl Throttle {
     /// Acquire `count` units, blocking while over the limit.
     pub fn acquire(&self, count: u64) -> Result<Permit<'_>> {
         use std::sync::atomic::Ordering::Relaxed;
+        // May park until another holder releases; callers must not hold
+        // any no-block lock class across this.
+        lockdep::assert_blockable("throttle acquire");
         let mut st = self.state.lock();
         if count > st.max {
             return Err(AfcError::InvalidArgument(format!(
@@ -86,17 +96,24 @@ impl Throttle {
             return Err(AfcError::ShutDown(format!("throttle {}", self.name)));
         }
         if let Some(t0) = waited {
-            self.wait_us.fetch_add(t0.elapsed().as_micros() as u64, Relaxed);
+            self.wait_us
+                .fetch_add(t0.elapsed().as_micros() as u64, Relaxed);
         }
         st.in_use += count;
-        Ok(Permit { throttle: self, count })
+        Ok(Permit {
+            throttle: self,
+            count,
+        })
     }
 
     /// Acquire `count` units as an owned, thread-movable permit.
     pub fn acquire_owned(self: &std::sync::Arc<Self>, count: u64) -> Result<OwnedPermit> {
         let permit = self.acquire(count)?;
         std::mem::forget(permit); // ownership transfers to the OwnedPermit
-        Ok(OwnedPermit { throttle: std::sync::Arc::clone(self), count })
+        Ok(OwnedPermit {
+            throttle: std::sync::Arc::clone(self),
+            count,
+        })
     }
 
     /// Try to acquire without blocking.
@@ -106,7 +123,10 @@ impl Throttle {
             return None;
         }
         st.in_use += count;
-        Some(Permit { throttle: self, count })
+        Some(Permit {
+            throttle: self,
+            count,
+        })
     }
 
     fn release(&self, count: u64) {

@@ -123,13 +123,17 @@ impl Transaction {
             n += 16 + op.object().len() as u64;
             n += match op {
                 TxOp::Write { data, .. } => data.len() as u64 + 16,
-                TxOp::SetAttrs { attrs, .. } => {
-                    attrs.iter().map(|(k, v)| k.len() as u64 + v.len() as u64 + 8).sum::<u64>()
+                TxOp::SetAttrs { attrs, .. } => attrs
+                    .iter()
+                    .map(|(k, v)| k.len() as u64 + v.len() as u64 + 8)
+                    .sum::<u64>(),
+                TxOp::OmapSetKeys { keys, .. } => keys
+                    .iter()
+                    .map(|(k, v)| k.len() as u64 + v.len() as u64 + 8)
+                    .sum::<u64>(),
+                TxOp::OmapRmKeys { keys, .. } => {
+                    keys.iter().map(|k| k.len() as u64 + 8).sum::<u64>()
                 }
-                TxOp::OmapSetKeys { keys, .. } => {
-                    keys.iter().map(|(k, v)| k.len() as u64 + v.len() as u64 + 8).sum::<u64>()
-                }
-                TxOp::OmapRmKeys { keys, .. } => keys.iter().map(|k| k.len() as u64 + 8).sum::<u64>(),
                 TxOp::Truncate { .. } => 8,
                 TxOp::Touch { .. } | TxOp::Remove { .. } | TxOp::SetAllocHint { .. } => 0,
             };
@@ -174,7 +178,10 @@ impl Transaction {
                     }
                 }
                 TxOp::SetAttrs { object, attrs } => {
-                    if let Some(TxOp::SetAttrs { object: prev_obj, attrs: prev }) = out
+                    if let Some(TxOp::SetAttrs {
+                        object: prev_obj,
+                        attrs: prev,
+                    }) = out
                         .iter_mut()
                         .rev()
                         .find(|o| matches!(o, TxOp::SetAttrs { object: po, .. } if *po == object))
@@ -192,7 +199,11 @@ impl Transaction {
                     }
                 }
                 TxOp::OmapSetKeys { object, keys } => {
-                    if let Some(TxOp::OmapSetKeys { object: po, keys: prev }) = out.last_mut() {
+                    if let Some(TxOp::OmapSetKeys {
+                        object: po,
+                        keys: prev,
+                    }) = out.last_mut()
+                    {
                         if *po == object {
                             prev.extend(keys);
                             continue;
@@ -212,7 +223,11 @@ mod tests {
     use super::*;
 
     fn w(obj: &str, n: usize) -> TxOp {
-        TxOp::Write { object: obj.into(), offset: 0, data: Bytes::from(vec![0u8; n]) }
+        TxOp::Write {
+            object: obj.into(),
+            offset: 0,
+            data: Bytes::from(vec![0u8; n]),
+        }
     }
 
     #[test]
@@ -220,7 +235,10 @@ mod tests {
         let mut t = Transaction::new();
         t.push(TxOp::Touch { object: "o".into() });
         t.push(w("o", 4096));
-        t.push(TxOp::SetAttrs { object: "o".into(), attrs: vec![("_".into(), Bytes::from_static(b"m"))] });
+        t.push(TxOp::SetAttrs {
+            object: "o".into(),
+            attrs: vec![("_".into(), Bytes::from_static(b"m"))],
+        });
         t.push(TxOp::OmapSetKeys {
             object: "o".into(),
             keys: vec![(Bytes::from_static(b"k"), Bytes::from_static(b"v"))],
@@ -238,10 +256,20 @@ mod tests {
             t.push(TxOp::Touch { object: "o".into() });
             t.push(TxOp::SetAllocHint { object: "o".into() });
         }
-        t.push(TxOp::Touch { object: "other".into() });
+        t.push(TxOp::Touch {
+            object: "other".into(),
+        });
         let d = t.dedup();
-        let touches = d.ops().iter().filter(|o| matches!(o, TxOp::Touch { .. })).count();
-        let hints = d.ops().iter().filter(|o| matches!(o, TxOp::SetAllocHint { .. })).count();
+        let touches = d
+            .ops()
+            .iter()
+            .filter(|o| matches!(o, TxOp::Touch { .. }))
+            .count();
+        let hints = d
+            .ops()
+            .iter()
+            .filter(|o| matches!(o, TxOp::SetAllocHint { .. }))
+            .count();
         assert_eq!(touches, 2);
         assert_eq!(hints, 1);
     }
@@ -251,9 +279,15 @@ mod tests {
         let mut t = Transaction::new();
         t.push(TxOp::SetAttrs {
             object: "o".into(),
-            attrs: vec![("a".into(), Bytes::from_static(b"1")), ("b".into(), Bytes::from_static(b"2"))],
+            attrs: vec![
+                ("a".into(), Bytes::from_static(b"1")),
+                ("b".into(), Bytes::from_static(b"2")),
+            ],
         });
-        t.push(TxOp::SetAttrs { object: "o".into(), attrs: vec![("a".into(), Bytes::from_static(b"9"))] });
+        t.push(TxOp::SetAttrs {
+            object: "o".into(),
+            attrs: vec![("a".into(), Bytes::from_static(b"9"))],
+        });
         let d = t.dedup();
         let attrs: Vec<_> = d
             .ops()
@@ -265,8 +299,14 @@ mod tests {
             .collect();
         assert_eq!(attrs.len(), 1);
         let merged = &attrs[0];
-        assert_eq!(merged.iter().find(|(k, _)| k == "a").unwrap().1.as_ref(), b"9");
-        assert_eq!(merged.iter().find(|(k, _)| k == "b").unwrap().1.as_ref(), b"2");
+        assert_eq!(
+            merged.iter().find(|(k, _)| k == "a").unwrap().1.as_ref(),
+            b"9"
+        );
+        assert_eq!(
+            merged.iter().find(|(k, _)| k == "b").unwrap().1.as_ref(),
+            b"2"
+        );
     }
 
     #[test]

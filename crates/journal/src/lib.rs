@@ -21,10 +21,10 @@ pub mod stats;
 
 pub use stats::JournalStats;
 
+use afc_common::lockdep::{self, classes, TrackedCondvar, TrackedMutex};
 use afc_common::{sleep_for, AfcError, Result};
 use afc_device::{BlockDev, IoReq};
 use bytes::Bytes;
-use parking_lot::{Condvar, Mutex};
 use stats::JournalStatsCell;
 use std::collections::VecDeque;
 use std::sync::atomic::Ordering;
@@ -92,14 +92,14 @@ struct RingState {
 struct Inner {
     cfg: JournalConfig,
     dev: Arc<dyn BlockDev>,
-    ring: Mutex<RingState>,
+    ring: TrackedMutex<RingState>,
     /// Writer thread wakeup.
-    work_cv: Condvar,
+    work_cv: TrackedCondvar,
     /// Space-available wakeup for blocked submitters.
-    space_cv: Condvar,
+    space_cv: TrackedCondvar,
     stats: JournalStatsCell,
     /// Channel to the completion thread.
-    done_tx: Mutex<Option<crossbeam::channel::Sender<(u64, CommitFn)>>>,
+    done_tx: TrackedMutex<Option<crossbeam::channel::Sender<(u64, CommitFn)>>>,
 }
 
 /// The write-ahead ring journal. See the crate docs.
@@ -113,23 +113,29 @@ impl Journal {
     /// Open a journal on `dev`. The configured capacity is clamped to the
     /// device size.
     pub fn new(dev: Arc<dyn BlockDev>, cfg: JournalConfig) -> Arc<Self> {
-        let cfg = JournalConfig { capacity: cfg.capacity.min(dev.capacity()), ..cfg };
+        let cfg = JournalConfig {
+            capacity: cfg.capacity.min(dev.capacity()),
+            ..cfg
+        };
         let (done_tx, done_rx) = crossbeam::channel::unbounded::<(u64, CommitFn)>();
         let inner = Arc::new(Inner {
             cfg,
             dev,
-            ring: Mutex::new(RingState {
-                pending: VecDeque::new(),
-                live: VecDeque::new(),
-                used: 0,
-                next_seq: 1,
-                write_cursor: 0,
-                shutdown: false,
-            }),
-            work_cv: Condvar::new(),
-            space_cv: Condvar::new(),
+            ring: TrackedMutex::new(
+                &classes::JOURNAL_RING,
+                RingState {
+                    pending: VecDeque::new(),
+                    live: VecDeque::new(),
+                    used: 0,
+                    next_seq: 1,
+                    write_cursor: 0,
+                    shutdown: false,
+                },
+            ),
+            work_cv: TrackedCondvar::new(),
+            space_cv: TrackedCondvar::new(),
             stats: JournalStatsCell::default(),
-            done_tx: Mutex::new(Some(done_tx)),
+            done_tx: TrackedMutex::new(&classes::JOURNAL_DONE_TX, Some(done_tx)),
         });
         let writer = {
             let inner = Arc::clone(&inner);
@@ -150,7 +156,11 @@ impl Journal {
                 })
                 .expect("spawn journal finisher")
         };
-        Arc::new(Journal { inner, writer: Some(writer), completer: Some(completer) })
+        Arc::new(Journal {
+            inner,
+            writer: Some(writer),
+            completer: Some(completer),
+        })
     }
 
     /// Aligned ring footprint of a payload (header + data, rounded up).
@@ -171,6 +181,11 @@ impl Journal {
             )));
         }
         let inner = &self.inner;
+        if !inner.cfg.fail_when_full {
+            // May park on space_cv until the filestore trims; callers must
+            // not hold any no-block lock class across this.
+            lockdep::assert_blockable("journal submit (ring-full wait)");
+        }
         let mut ring = inner.ring.lock();
         while ring.used + footprint > inner.cfg.capacity {
             if ring.shutdown {
@@ -193,7 +208,12 @@ impl Journal {
         let seq = ring.next_seq;
         ring.next_seq += 1;
         ring.used += footprint;
-        ring.pending.push_back(Pending { seq, footprint, payload, on_commit });
+        ring.pending.push_back(Pending {
+            seq,
+            footprint,
+            payload,
+            on_commit,
+        });
         inner.stats.submits.fetch_add(1, Ordering::Relaxed);
         inner.work_cv.notify_one();
         Ok(seq)
@@ -202,11 +222,16 @@ impl Journal {
     /// Submit and block until the entry is durable (convenience for tests
     /// and simple callers).
     pub fn submit_and_wait(&self, payload: Bytes) -> Result<u64> {
+        lockdep::assert_blockable("journal submit_and_wait");
         let (tx, rx) = crossbeam::channel::bounded(1);
-        let seq = self.submit(payload, Box::new(move |s| {
-            let _ = tx.send(s);
-        }))?;
-        rx.recv().map_err(|_| AfcError::ShutDown("journal".into()))?;
+        let seq = self.submit(
+            payload,
+            Box::new(move |s| {
+                let _ = tx.send(s);
+            }),
+        )?;
+        rx.recv()
+            .map_err(|_| AfcError::ShutDown("journal".into()))?;
         Ok(seq)
     }
 
@@ -225,7 +250,10 @@ impl Journal {
         }
         if freed > 0 {
             ring.used -= freed;
-            inner.stats.trimmed_bytes.fetch_add(freed, Ordering::Relaxed);
+            inner
+                .stats
+                .trimmed_bytes
+                .fetch_add(freed, Ordering::Relaxed);
             inner.space_cv.notify_all();
         }
     }
@@ -287,18 +315,29 @@ fn writer_loop(inner: Arc<Inner>) {
             (off, ring.write_cursor >= cap)
         };
         let _ = wrapped;
-        if inner.dev.submit(IoReq::write(offset, total.min(u32::MAX as u64) as u32)).is_err() {
+        if inner
+            .dev
+            .submit(IoReq::write(offset, total.min(u32::MAX as u64) as u32))
+            .is_err()
+        {
             // Injected device fault: entries are still accepted (NVRAM models
             // don't really fail mid-stream); account and continue.
             inner.stats.write_errors.fetch_add(1, Ordering::Relaxed);
         }
         inner.stats.batches.fetch_add(1, Ordering::Relaxed);
-        inner.stats.bytes_written.fetch_add(total, Ordering::Relaxed);
+        inner
+            .stats
+            .bytes_written
+            .fetch_add(total, Ordering::Relaxed);
         // Publish as live (replayable) and hand to the completion thread.
         let done_tx = inner.done_tx.lock().clone();
         let mut ring = inner.ring.lock();
         for p in batch {
-            ring.live.push_back(JournalEntry { seq: p.seq, footprint: p.footprint, payload: p.payload });
+            ring.live.push_back(JournalEntry {
+                seq: p.seq,
+                footprint: p.footprint,
+                payload: p.payload,
+            });
             if let Some(Some(tx)) = done_tx.as_ref().map(Some) {
                 let _ = tx.send((p.seq, p.on_commit));
             }
@@ -334,11 +373,18 @@ mod tests {
     use super::*;
     use afc_common::MIB;
     use afc_device::{Nvram, NvramConfig};
+    use parking_lot::Mutex;
     use std::sync::atomic::{AtomicU64, Ordering as AOrd};
 
     fn journal(capacity: u64) -> Arc<Journal> {
         let dev = Arc::new(Nvram::new(NvramConfig::pmc_8g()));
-        Journal::new(dev, JournalConfig { capacity, ..JournalConfig::default() })
+        Journal::new(
+            dev,
+            JournalConfig {
+                capacity,
+                ..JournalConfig::default()
+            },
+        )
     }
 
     fn payload(n: usize) -> Bytes {
@@ -351,9 +397,12 @@ mod tests {
         let fired = Arc::new(AtomicU64::new(0));
         let f = Arc::clone(&fired);
         let seq = j
-            .submit(payload(4096), Box::new(move |s| {
-                f.store(s, AOrd::SeqCst);
-            }))
+            .submit(
+                payload(4096),
+                Box::new(move |s| {
+                    f.store(s, AOrd::SeqCst);
+                }),
+            )
             .unwrap();
         j.quiesce();
         assert_eq!(fired.load(AOrd::SeqCst), seq);
@@ -369,7 +418,8 @@ mod tests {
         let order = Arc::new(Mutex::new(Vec::new()));
         for _ in 0..100 {
             let o = Arc::clone(&order);
-            j.submit(payload(100), Box::new(move |s| o.lock().push(s))).unwrap();
+            j.submit(payload(100), Box::new(move |s| o.lock().push(s)))
+                .unwrap();
         }
         j.quiesce();
         let o = order.lock();
@@ -385,7 +435,12 @@ mod tests {
         }
         j.quiesce();
         let s = j.stats();
-        assert!(s.batches < s.submits, "batches={} submits={}", s.batches, s.submits);
+        assert!(
+            s.batches < s.submits,
+            "batches={} submits={}",
+            s.batches,
+            s.submits
+        );
     }
 
     #[test]
@@ -417,7 +472,11 @@ mod tests {
         let dev = Arc::new(Nvram::new(NvramConfig::pmc_8g()));
         let j = Journal::new(
             dev,
-            JournalConfig { capacity: 16 * 1024, fail_when_full: true, ..JournalConfig::default() },
+            JournalConfig {
+                capacity: 16 * 1024,
+                fail_when_full: true,
+                ..JournalConfig::default()
+            },
         );
         let mut ok = 0;
         let mut full = 0;
@@ -436,7 +495,10 @@ mod tests {
         let j = journal(16 * MIB);
         let mut seqs = Vec::new();
         for i in 0..10 {
-            seqs.push(j.submit(Bytes::from(vec![i as u8; 64]), Box::new(|_| {})).unwrap());
+            seqs.push(
+                j.submit(Bytes::from(vec![i as u8; 64]), Box::new(|_| {}))
+                    .unwrap(),
+            );
         }
         j.quiesce();
         assert_eq!(j.replay().len(), 10);

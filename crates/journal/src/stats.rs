@@ -68,7 +68,11 @@ mod tests {
 
     #[test]
     fn avg_batch_math() {
-        let s = JournalStats { commits: 100, batches: 25, ..Default::default() };
+        let s = JournalStats {
+            commits: 100,
+            batches: 25,
+            ..Default::default()
+        };
         assert!((s.avg_batch() - 4.0).abs() < 1e-9);
         assert_eq!(JournalStats::default().avg_batch(), 0.0);
     }

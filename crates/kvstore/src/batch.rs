@@ -70,7 +70,9 @@ mod tests {
     #[test]
     fn batch_accumulates_in_order() {
         let mut b = WriteBatch::new();
-        b.put(&b"a"[..], &b"1"[..]).delete(&b"b"[..]).put(&b"c"[..], &b"33"[..]);
+        b.put(&b"a"[..], &b"1"[..])
+            .delete(&b"b"[..])
+            .put(&b"c"[..], &b"33"[..]);
         assert_eq!(b.len(), 3);
         assert!(!b.is_empty());
         assert_eq!(b.ops()[0].0.as_ref(), b"a");

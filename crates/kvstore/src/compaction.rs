@@ -6,8 +6,8 @@
 //! the paper's write-amplification and latency-instability observations
 //! come from.
 
-use crate::db::{Inner, State};
 use crate::db::DbConfig;
+use crate::db::{Inner, State};
 use crate::memtable::MemTable;
 use crate::sstable::{merge_runs, SsTable};
 use std::sync::atomic::Ordering;
@@ -71,8 +71,8 @@ pub(crate) fn run(inner: Arc<Inner>) {
                 wal.drop_through(mark);
             }
             CompactionJob::Compact(l0s, l1) => {
-                let read_bytes: u64 =
-                    l0s.iter().map(|t| t.bytes()).sum::<u64>() + l1.as_ref().map(|t| t.bytes()).unwrap_or(0);
+                let read_bytes: u64 = l0s.iter().map(|t| t.bytes()).sum::<u64>()
+                    + l1.as_ref().map(|t| t.bytes()).unwrap_or(0);
                 let _ = inner.charge_table_read(read_bytes);
                 // Newest first: L0 back-to-front, then L1.
                 let mut runs: Vec<&[_]> = l0s.iter().rev().map(|t| t.entries()).collect();
@@ -91,8 +91,14 @@ pub(crate) fn run(inner: Arc<Inner>) {
                     st.l1 = Some(Arc::new(table));
                 }
                 inner.stats.compactions.fetch_add(1, Ordering::Relaxed);
-                inner.stats.compact_read_bytes.fetch_add(read_bytes, Ordering::Relaxed);
-                inner.stats.compact_write_bytes.fetch_add(out_bytes, Ordering::Relaxed);
+                inner
+                    .stats
+                    .compact_read_bytes
+                    .fetch_add(read_bytes, Ordering::Relaxed);
+                inner
+                    .stats
+                    .compact_write_bytes
+                    .fetch_add(out_bytes, Ordering::Relaxed);
                 inner.stall_cv.notify_all();
             }
         }
@@ -109,13 +115,21 @@ mod tests {
     #[test]
     fn pick_job_prefers_flush() {
         let dev = Arc::new(Nvram::new(NvramConfig::pmc_8g()));
-        let cfg = DbConfig { memtable_bytes: 256, l0_compact_threshold: 1, ..DbConfig::default() };
+        let cfg = DbConfig {
+            memtable_bytes: 256,
+            l0_compact_threshold: 1,
+            ..DbConfig::default()
+        };
         let db = Db::open(dev, cfg);
         // Fill enough that a freeze happens; the worker may have already
         // drained it, so just assert the API doesn't wedge.
         for i in 0..50 {
-            db.put(Bytes::from(format!("k{i}")), Bytes::from(vec![0u8; 32]), WriteOptions::async_())
-                .unwrap();
+            db.put(
+                Bytes::from(format!("k{i}")),
+                Bytes::from(vec![0u8; 32]),
+                WriteOptions::async_(),
+            )
+            .unwrap();
         }
         let _ = db.pick_job_for_test();
         db.flush().unwrap();

@@ -97,8 +97,10 @@ impl Inner {
         let mut remaining = bytes;
         while remaining > 0 {
             let chunk = remaining.min(MIB);
-            let off = self.data_cursor.fetch_add(chunk, Ordering::Relaxed) % (region - chunk).max(1);
-            self.dev.submit(IoReq::write(self.data_base + off, chunk as u32))?;
+            let off =
+                self.data_cursor.fetch_add(chunk, Ordering::Relaxed) % (region - chunk).max(1);
+            self.dev
+                .submit(IoReq::write(self.data_base + off, chunk as u32))?;
             remaining -= chunk;
         }
         Ok(())
@@ -111,7 +113,8 @@ impl Inner {
         while remaining > 0 {
             let chunk = remaining.min(MIB);
             let off = self.data_cursor.load(Ordering::Relaxed) % (region - chunk).max(1);
-            self.dev.submit(IoReq::read(self.data_base + off, chunk as u32))?;
+            self.dev
+                .submit(IoReq::read(self.data_base + off, chunk as u32))?;
             remaining -= chunk;
         }
         Ok(())
@@ -159,7 +162,10 @@ impl Db {
                 .spawn(move || compaction::run(inner))
                 .expect("spawn compaction thread")
         };
-        Db { inner, worker: Some(worker) }
+        Db {
+            inner,
+            worker: Some(worker),
+        }
     }
 
     /// Open with default config.
@@ -196,7 +202,10 @@ impl Db {
         }
         self.stall_wait()?;
         let inner = &self.inner;
-        inner.stats.user_bytes.fetch_add(batch.payload_bytes(), Ordering::Relaxed);
+        inner
+            .stats
+            .user_bytes
+            .fetch_add(batch.payload_bytes(), Ordering::Relaxed);
         inner.stats.commits.fetch_add(1, Ordering::Relaxed);
         let mut wal = inner.commit.lock();
         let charged = if opts.sync {
@@ -220,7 +229,12 @@ impl Db {
     }
 
     /// Put a single key (one-op batch — the baseline filestore path).
-    pub fn put(&self, key: impl Into<Key>, value: impl Into<Value>, opts: WriteOptions) -> Result<()> {
+    pub fn put(
+        &self,
+        key: impl Into<Key>,
+        value: impl Into<Value>,
+        opts: WriteOptions,
+    ) -> Result<()> {
         let mut b = WriteBatch::new();
         b.put(key.into(), value.into());
         self.write_batch(&b, opts)
@@ -273,13 +287,20 @@ impl Db {
         let inner = &self.inner;
         let (mem_ops, imm_ops, l0, l1) = {
             let st = inner.state.lock();
-            let mem_ops: Vec<BatchOp> =
-                st.mem.range(lo, hi).map(|(k, v)| (k.clone(), v.clone())).collect();
+            let mem_ops: Vec<BatchOp> = st
+                .mem
+                .range(lo, hi)
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect();
             let imm_ops: Vec<Vec<BatchOp>> = st
                 .imms
                 .iter()
                 .rev()
-                .map(|im| im.range(lo, hi).map(|(k, v)| (k.clone(), v.clone())).collect())
+                .map(|im| {
+                    im.range(lo, hi)
+                        .map(|(k, v)| (k.clone(), v.clone()))
+                        .collect()
+                })
                 .collect();
             (mem_ops, imm_ops, st.l0.clone(), st.l1.clone())
         };
@@ -444,7 +465,10 @@ mod tests {
     }
 
     fn kv(i: usize) -> (Bytes, Bytes) {
-        (Bytes::from(format!("key{i:06}")), Bytes::from(format!("value-{i:06}")))
+        (
+            Bytes::from(format!("key{i:06}")),
+            Bytes::from(format!("value-{i:06}")),
+        )
     }
 
     #[test]
@@ -463,7 +487,10 @@ mod tests {
 
     #[test]
     fn delete_hides_key_across_levels() {
-        let cfg = DbConfig { memtable_bytes: 512, ..DbConfig::default() }; // frequent flushes
+        let cfg = DbConfig {
+            memtable_bytes: 512,
+            ..DbConfig::default()
+        }; // frequent flushes
         let db = fast_db(cfg);
         let (k, v) = kv(1);
         db.put(k.clone(), v, WriteOptions::sync()).unwrap();
@@ -493,7 +520,11 @@ mod tests {
 
     #[test]
     fn compaction_merges_l0_into_l1() {
-        let cfg = DbConfig { memtable_bytes: 2048, l0_compact_threshold: 2, ..DbConfig::default() };
+        let cfg = DbConfig {
+            memtable_bytes: 2048,
+            l0_compact_threshold: 2,
+            ..DbConfig::default()
+        };
         let db = fast_db(cfg);
         for i in 0..600 {
             let (k, v) = kv(i % 150);
@@ -513,7 +544,11 @@ mod tests {
 
     #[test]
     fn write_amplification_tracked() {
-        let cfg = DbConfig { memtable_bytes: 4096, l0_compact_threshold: 2, ..DbConfig::default() };
+        let cfg = DbConfig {
+            memtable_bytes: 4096,
+            l0_compact_threshold: 2,
+            ..DbConfig::default()
+        };
         let db = fast_db(cfg);
         for i in 0..2000 {
             let (k, v) = kv(i % 400);
@@ -523,7 +558,11 @@ mod tests {
         db.wait_idle();
         let s = db.stats();
         assert!(s.user_bytes > 0);
-        assert!(s.write_amplification() > 1.0, "wa={}", s.write_amplification());
+        assert!(
+            s.write_amplification() > 1.0,
+            "wa={}",
+            s.write_amplification()
+        );
         assert!(s.compact_write_bytes > 0);
     }
 
@@ -540,7 +579,10 @@ mod tests {
 
     #[test]
     fn scan_merges_all_sources() {
-        let cfg = DbConfig { memtable_bytes: 1024, ..DbConfig::default() };
+        let cfg = DbConfig {
+            memtable_bytes: 1024,
+            ..DbConfig::default()
+        };
         let db = fast_db(cfg);
         for i in 0..200 {
             let (k, v) = kv(i);
@@ -548,7 +590,8 @@ mod tests {
         }
         // Overwrite some in the (new) memtable after flush.
         db.flush().unwrap();
-        db.put(kv(10).0, Bytes::from("NEW"), WriteOptions::sync()).unwrap();
+        db.put(kv(10).0, Bytes::from("NEW"), WriteOptions::sync())
+            .unwrap();
         db.delete(kv(11).0, WriteOptions::sync()).unwrap();
         let all = db.scan_prefix(b"key").unwrap();
         assert_eq!(all.len(), 199);
@@ -563,12 +606,17 @@ mod tests {
     #[test]
     fn crash_recovers_synced_writes() {
         let db = fast_db(DbConfig::default());
-        db.put(&b"durable"[..], &b"1"[..], WriteOptions::sync()).unwrap();
-        db.put(&b"volatile"[..], &b"2"[..], WriteOptions::async_()).unwrap();
+        db.put(&b"durable"[..], &b"1"[..], WriteOptions::sync())
+            .unwrap();
+        db.put(&b"volatile"[..], &b"2"[..], WriteOptions::async_())
+            .unwrap();
         let replayed = db.crash_and_recover().unwrap();
         assert!(replayed >= 1);
         assert_eq!(db.get(b"durable").unwrap().unwrap().as_ref(), b"1");
-        assert!(db.get(b"volatile").unwrap().is_none(), "async write must be lost");
+        assert!(
+            db.get(b"volatile").unwrap().is_none(),
+            "async write must be lost"
+        );
     }
 
     #[test]
@@ -590,7 +638,10 @@ mod tests {
     fn stalls_engage_under_pressure() {
         // A slow SSD device + tiny thresholds force the writer to outrun
         // compaction and stall.
-        let dev = Arc::new(Ssd::new(SsdConfig { jitter: 0.0, ..SsdConfig::sata3() }));
+        let dev = Arc::new(Ssd::new(SsdConfig {
+            jitter: 0.0,
+            ..SsdConfig::sata3()
+        }));
         let cfg = DbConfig {
             memtable_bytes: 512,
             l0_compact_threshold: 1,
@@ -601,7 +652,8 @@ mod tests {
         let db = Db::open(dev, cfg);
         for i in 0..300 {
             let (k, _) = kv(i);
-            db.put(k, Bytes::from(vec![7u8; 64]), WriteOptions::async_()).unwrap();
+            db.put(k, Bytes::from(vec![7u8; 64]), WriteOptions::async_())
+                .unwrap();
         }
         let s = db.stats();
         assert!(s.stalls > 0, "expected stalls, got {s:?}");
@@ -616,7 +668,9 @@ mod tests {
             st.shutdown = true;
         }
         db.inner.stall_cv.notify_all();
-        let err = db.put(&b"k"[..], &b"v"[..], WriteOptions::sync()).unwrap_err();
+        let err = db
+            .put(&b"k"[..], &b"v"[..], WriteOptions::sync())
+            .unwrap_err();
         assert_eq!(err.kind(), "shut_down");
         // Reset so Drop's join completes normally.
     }
@@ -624,7 +678,8 @@ mod tests {
     #[test]
     fn scan_prefix_edge_cases() {
         let db = fast_db(DbConfig::default());
-        db.put(&b"\xff\xff"[..], &b"top"[..], WriteOptions::sync()).unwrap();
+        db.put(&b"\xff\xff"[..], &b"top"[..], WriteOptions::sync())
+            .unwrap();
         db.put(&b"a"[..], &b"1"[..], WriteOptions::sync()).unwrap();
         let all = db.scan_prefix(b"\xff").unwrap();
         assert_eq!(all.len(), 1);
@@ -634,11 +689,15 @@ mod tests {
 
     #[test]
     fn dump_equals_model() {
-        let db = fast_db(DbConfig { memtable_bytes: 1024, ..DbConfig::default() });
+        let db = fast_db(DbConfig {
+            memtable_bytes: 1024,
+            ..DbConfig::default()
+        });
         let mut model = BTreeMap::new();
         for i in 0..300 {
             let (k, v) = kv(i % 97);
-            db.put(k.clone(), v.clone(), WriteOptions::async_()).unwrap();
+            db.put(k.clone(), v.clone(), WriteOptions::async_())
+                .unwrap();
             model.insert(k, v);
         }
         for i in (0..97).step_by(3) {

@@ -45,7 +45,8 @@ impl MemTable {
 
     /// Entries with `lo <= key < hi`, in key order.
     pub fn range(&self, lo: &[u8], hi: &[u8]) -> impl Iterator<Item = (&Key, &Option<Value>)> {
-        self.map.range::<[u8], _>((Bound::Included(lo), Bound::Excluded(hi)))
+        self.map
+            .range::<[u8], _>((Bound::Included(lo), Bound::Excluded(hi)))
     }
 
     /// Number of entries (tombstones included).

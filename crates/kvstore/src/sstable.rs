@@ -23,14 +23,22 @@ impl SsTable {
     /// Build a table from sorted, deduplicated ops. Panics (debug) if the
     /// input is unsorted — callers construct from `BTreeMap` iterations.
     pub fn build(id: u64, entries: Vec<BatchOp>) -> Self {
-        debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0), "unsorted sstable input");
+        debug_assert!(
+            entries.windows(2).all(|w| w[0].0 < w[1].0),
+            "unsorted sstable input"
+        );
         let bytes = entries
             .iter()
             .map(|(k, v)| k.len() as u64 + v.as_ref().map(|v| v.len() as u64).unwrap_or(0) + 8)
             .sum();
         let mut filter: Vec<u64> = entries.iter().map(|(k, _)| hash_bytes(k)).collect();
         filter.sort_unstable();
-        SsTable { id, entries, filter, bytes }
+        SsTable {
+            id,
+            entries,
+            filter,
+            bytes,
+        }
     }
 
     /// Table id (monotonic; larger = newer).
@@ -91,7 +99,8 @@ impl SsTable {
 /// `drop_tombstones` is set when merging into the bottom level.
 pub fn merge_runs(newest_first: &[&[BatchOp]], drop_tombstones: bool) -> Vec<BatchOp> {
     // Newest-wins: insert older runs only where the key is absent.
-    let mut map: std::collections::BTreeMap<crate::Key, Option<Value>> = std::collections::BTreeMap::new();
+    let mut map: std::collections::BTreeMap<crate::Key, Option<Value>> =
+        std::collections::BTreeMap::new();
     for run in newest_first {
         for (k, v) in *run {
             map.entry(k.clone()).or_insert_with(|| v.clone());
@@ -108,7 +117,10 @@ mod tests {
     use bytes::Bytes;
 
     fn op(k: &str, v: Option<&str>) -> BatchOp {
-        (Bytes::copy_from_slice(k.as_bytes()), v.map(|v| Bytes::copy_from_slice(v.as_bytes())))
+        (
+            Bytes::copy_from_slice(k.as_bytes()),
+            v.map(|v| Bytes::copy_from_slice(v.as_bytes())),
+        )
     }
 
     fn table(id: u64, items: &[(&str, Option<&str>)]) -> SsTable {
@@ -128,7 +140,15 @@ mod tests {
 
     #[test]
     fn range_query() {
-        let t = table(1, &[("a", Some("1")), ("b", Some("2")), ("c", Some("3")), ("d", Some("4"))]);
+        let t = table(
+            1,
+            &[
+                ("a", Some("1")),
+                ("b", Some("2")),
+                ("c", Some("3")),
+                ("d", Some("4")),
+            ],
+        );
         let r = t.range(b"b", b"d");
         assert_eq!(r.len(), 2);
         assert_eq!(r[0].0.as_ref(), b"b");

@@ -96,7 +96,13 @@ mod tests {
 
     #[test]
     fn write_amplification_math() {
-        let s = DbStats { user_bytes: 100, wal_bytes: 120, flush_bytes: 100, compact_write_bytes: 80, ..Default::default() };
+        let s = DbStats {
+            user_bytes: 100,
+            wal_bytes: 120,
+            flush_bytes: 100,
+            compact_write_bytes: 80,
+            ..Default::default()
+        };
         assert_eq!(s.device_write_bytes(), 300);
         assert!((s.write_amplification() - 3.0).abs() < 1e-9);
         assert_eq!(s.extra_bytes(), 200);

@@ -81,7 +81,10 @@ impl Wal {
         let size = Self::encoded_size(ops) + self.pending_async;
         self.device_write(size)?;
         self.pending_async = 0;
-        self.records.push_back(Record { ops: ops.to_vec(), durable: true });
+        self.records.push_back(Record {
+            ops: ops.to_vec(),
+            durable: true,
+        });
         self.appended_records += 1;
         // Earlier async records ride along on this sync write (group commit).
         for r in self.records.iter_mut() {
@@ -95,7 +98,10 @@ impl Wal {
     /// bytes charged to the device (0 when only buffered).
     pub fn append_async(&mut self, ops: &[BatchOp], group_bytes: u64) -> Result<u64> {
         self.pending_async += Self::encoded_size(ops);
-        self.records.push_back(Record { ops: ops.to_vec(), durable: false });
+        self.records.push_back(Record {
+            ops: ops.to_vec(),
+            durable: false,
+        });
         self.appended_records += 1;
         if self.pending_async >= group_bytes {
             let size = self.pending_async;
@@ -179,7 +185,12 @@ mod tests {
 
     fn ops(n: usize) -> Vec<BatchOp> {
         (0..n)
-            .map(|i| (Bytes::from(format!("key{i:04}")), Some(Bytes::from(vec![0u8; 100]))))
+            .map(|i| {
+                (
+                    Bytes::from(format!("key{i:04}")),
+                    Some(Bytes::from(vec![0u8; 100])),
+                )
+            })
             .collect()
     }
 
@@ -270,7 +281,10 @@ mod tests {
     fn batched_record_smaller_than_singles() {
         let batch = ops(10);
         let batched = Wal::encoded_size(&batch);
-        let singles: u64 = batch.iter().map(|op| Wal::encoded_size(std::slice::from_ref(op))).sum();
+        let singles: u64 = batch
+            .iter()
+            .map(|op| Wal::encoded_size(std::slice::from_ref(op)))
+            .sum();
         assert_eq!(singles - batched, 9 * RECORD_HEADER);
     }
 }

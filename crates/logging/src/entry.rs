@@ -25,12 +25,22 @@ pub struct LogEntry {
 impl LogEntry {
     /// An entry with an owned, formatted message.
     pub fn new(level: Level, subsys: &'static str, msg: String) -> Self {
-        LogEntry { level, subsys, at: Instant::now(), msg: Msg::Owned(msg) }
+        LogEntry {
+            level,
+            subsys,
+            at: Instant::now(),
+            msg: Msg::Owned(msg),
+        }
     }
 
     /// An entry referencing an interned message (no allocation).
     pub fn cached(level: Level, subsys: &'static str, msg: Arc<str>) -> Self {
-        LogEntry { level, subsys, at: Instant::now(), msg: Msg::Cached(msg) }
+        LogEntry {
+            level,
+            subsys,
+            at: Instant::now(),
+            msg: Msg::Cached(msg),
+        }
     }
 
     /// Entry level.
@@ -74,7 +84,10 @@ pub struct LogRing {
 impl LogRing {
     /// Create a ring holding up to `capacity` entries.
     pub fn new(capacity: usize) -> Self {
-        LogRing { buf: Mutex::new(VecDeque::with_capacity(capacity.min(16_384))), capacity: capacity.max(1) }
+        LogRing {
+            buf: Mutex::new(VecDeque::with_capacity(capacity.min(16_384))),
+            capacity: capacity.max(1),
+        }
     }
 
     /// Append, evicting the oldest entry at capacity.

@@ -88,12 +88,19 @@ impl LogConfig {
 
     /// AFCeph defaults: non-blocking with two flushers.
     pub fn afceph() -> Self {
-        LogConfig { mode: LogMode::NonBlocking, flushers: 2, ..Self::community() }
+        LogConfig {
+            mode: LogMode::NonBlocking,
+            flushers: 2,
+            ..Self::community()
+        }
     }
 
     /// Logging off.
     pub fn off() -> Self {
-        LogConfig { mode: LogMode::Off, ..Self::community() }
+        LogConfig {
+            mode: LogMode::Off,
+            ..Self::community()
+        }
     }
 }
 
@@ -129,7 +136,12 @@ impl Logger {
                 &counters,
             )),
         };
-        Arc::new(Logger { cfg, backend, counters, cache: LogCache::new() })
+        Arc::new(Logger {
+            cfg,
+            backend,
+            counters,
+            cache: LogCache::new(),
+        })
     }
 
     /// Fast level check; callsites skip argument formatting when false.

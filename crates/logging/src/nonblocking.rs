@@ -26,7 +26,12 @@ pub struct NonBlockingLogger {
 
 impl NonBlockingLogger {
     /// Start `flushers` flusher threads over a queue of `queue_entries`.
-    pub fn new(ring_entries: usize, queue_entries: usize, flushers: usize, counters: &CounterSet) -> Self {
+    pub fn new(
+        ring_entries: usize,
+        queue_entries: usize,
+        flushers: usize,
+        counters: &CounterSet,
+    ) -> Self {
         let (tx, rx): (Sender<LogEntry>, Receiver<LogEntry>) = bounded(queue_entries.max(1));
         let ring = Arc::new(LogRing::new(ring_entries));
         let enqueued = Arc::new(AtomicU64::new(0));

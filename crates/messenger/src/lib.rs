@@ -24,7 +24,6 @@ pub mod addr;
 
 pub use addr::Addr;
 
-
 use afc_common::{sleep_for, AfcError, CounterSet, Result};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
@@ -90,7 +89,10 @@ impl Default for NetConfig {
 impl NetConfig {
     /// Community defaults: Nagle enabled (KRBD on CentOS 7.0, §3.2).
     pub fn community() -> Self {
-        NetConfig { nagle: true, ..Self::default() }
+        NetConfig {
+            nagle: true,
+            ..Self::default()
+        }
     }
 
     /// AFCeph tuning: Nagle disabled.
@@ -168,7 +170,11 @@ impl<M: Send + 'static> Network<M> {
     }
 
     /// Register an endpoint and get its sending handle.
-    pub fn register(self: &Arc<Self>, addr: Addr, dispatcher: Arc<dyn Dispatcher<M>>) -> Result<Messenger<M>> {
+    pub fn register(
+        self: &Arc<Self>,
+        addr: Addr,
+        dispatcher: Arc<dyn Dispatcher<M>>,
+    ) -> Result<Messenger<M>> {
         let mut inner = self.inner.lock();
         if inner.shutdown {
             return Err(AfcError::ShutDown("network".into()));
@@ -176,8 +182,17 @@ impl<M: Send + 'static> Network<M> {
         if inner.endpoints.contains_key(&addr) {
             return Err(AfcError::AlreadyExists(format!("endpoint {addr}")));
         }
-        inner.endpoints.insert(addr, EndpointState { dispatcher, conns: HashMap::new() });
-        Ok(Messenger { addr, net: Arc::clone(self) })
+        inner.endpoints.insert(
+            addr,
+            EndpointState {
+                dispatcher,
+                conns: HashMap::new(),
+            },
+        );
+        Ok(Messenger {
+            addr,
+            net: Arc::clone(self),
+        })
     }
 
     /// Remove an endpoint; its inbound connection threads wind down.
@@ -270,14 +285,20 @@ impl<M: Send + 'static> Network<M> {
                         .name(format!("msgr-{from}-{to}"))
                         .spawn(move || receive_loop(rx, cfg))
                         .expect("spawn connection thread");
-                    ConnHandle { tx, thread: Some(thread) }
+                    ConnHandle {
+                        tx,
+                        thread: Some(thread),
+                    }
                 });
                 conn.tx.clone()
             }
             Some(lane_tx) => {
                 state.conns.entry(from).or_insert_with(|| {
                     counters.counter("net.conns").inc();
-                    ConnHandle { tx: lane_tx.clone(), thread: None }
+                    ConnHandle {
+                        tx: lane_tx.clone(),
+                        thread: None,
+                    }
                 });
                 lane_tx
             }
@@ -290,8 +311,15 @@ impl<M: Send + 'static> Network<M> {
         }
         self.counters.counter("net.msgs").inc();
         self.counters.counter("net.bytes").add(wire_bytes as u64);
-        tx.send(WorkItem { env: Envelope { from, departed, msg }, dispatcher })
-            .map_err(|_| AfcError::Disconnected(format!("connection {from}->{to}")))
+        tx.send(WorkItem {
+            env: Envelope {
+                from,
+                departed,
+                msg,
+            },
+            dispatcher,
+        })
+        .map_err(|_| AfcError::Disconnected(format!("connection {from}->{to}")))
     }
 }
 
@@ -348,7 +376,10 @@ impl<M: Send + 'static> Messenger<M> {
 
 impl<M: Send + 'static> Clone for Messenger<M> {
     fn clone(&self) -> Self {
-        Messenger { addr: self.addr, net: Arc::clone(&self.net) }
+        Messenger {
+            addr: self.addr,
+            net: Arc::clone(&self.net),
+        }
     }
 }
 
@@ -371,11 +402,16 @@ mod tests {
         let net: Arc<Network<String>> = Network::new(NetConfig::default());
         let got = Arc::new(Mutex::new(Vec::new()));
         let g = Arc::clone(&got);
-        net.register(osd(0), Arc::new(move |from: Addr, m: String| {
-            g.lock().push((from, m));
-        }))
+        net.register(
+            osd(0),
+            Arc::new(move |from: Addr, m: String| {
+                g.lock().push((from, m));
+            }),
+        )
         .unwrap();
-        let m = net.register(client(1), Arc::new(|_, _: String| {})).unwrap();
+        let m = net
+            .register(client(1), Arc::new(|_, _: String| {}))
+            .unwrap();
         m.send(osd(0), "hello".into(), 100).unwrap();
         std::thread::sleep(Duration::from_millis(10));
         let got = got.lock();
@@ -389,7 +425,8 @@ mod tests {
         let net: Arc<Network<u64>> = Network::new(NetConfig::default());
         let got = Arc::new(Mutex::new(Vec::new()));
         let g = Arc::clone(&got);
-        net.register(osd(0), Arc::new(move |_, m: u64| g.lock().push(m))).unwrap();
+        net.register(osd(0), Arc::new(move |_, m: u64| g.lock().push(m)))
+            .unwrap();
         let m = net.register(client(1), Arc::new(|_, _: u64| {})).unwrap();
         for i in 0..500u64 {
             m.send(osd(0), i, 64).unwrap();
@@ -404,15 +441,24 @@ mod tests {
 
     #[test]
     fn nagle_delays_small_messages_only() {
-        let cfg = NetConfig { nagle: true, nagle_delay: Duration::from_millis(20), ..NetConfig::default() };
+        let cfg = NetConfig {
+            nagle: true,
+            nagle_delay: Duration::from_millis(20),
+            ..NetConfig::default()
+        };
         let net: Arc<Network<Instant>> = Network::new(cfg);
         let lat = Arc::new(Mutex::new(Vec::new()));
         let l = Arc::clone(&lat);
-        net.register(osd(0), Arc::new(move |_, sent: Instant| {
-            l.lock().push(sent.elapsed());
-        }))
+        net.register(
+            osd(0),
+            Arc::new(move |_, sent: Instant| {
+                l.lock().push(sent.elapsed());
+            }),
+        )
         .unwrap();
-        let m = net.register(client(1), Arc::new(|_, _: Instant| {})).unwrap();
+        let m = net
+            .register(client(1), Arc::new(|_, _: Instant| {}))
+            .unwrap();
         // Large first (direct), then small (nagled) — same FIFO connection.
         m.send(osd(0), Instant::now(), 64 * 1024).unwrap();
         m.send(osd(0), Instant::now(), 512).unwrap();
@@ -420,8 +466,16 @@ mod tests {
             std::thread::sleep(Duration::from_millis(1));
         }
         let lat = lat.lock();
-        assert!(lat[0] < Duration::from_millis(20), "large delayed: {:?}", lat[0]);
-        assert!(lat[1] >= Duration::from_millis(20), "small not delayed: {:?}", lat[1]);
+        assert!(
+            lat[0] < Duration::from_millis(20),
+            "large delayed: {:?}",
+            lat[0]
+        );
+        assert!(
+            lat[1] >= Duration::from_millis(20),
+            "small not delayed: {:?}",
+            lat[1]
+        );
         assert_eq!(net.counters().get("net.nagled"), 1);
         net.shutdown();
     }
@@ -470,9 +524,12 @@ mod tests {
         let net: Arc<Network<u64>> = Network::new(NetConfig::default());
         let count = Arc::new(AtomicUsize::new(0));
         let c = Arc::clone(&count);
-        net.register(osd(0), Arc::new(move |_, _: u64| {
-            c.fetch_add(1, Ordering::Relaxed);
-        }))
+        net.register(
+            osd(0),
+            Arc::new(move |_, _: u64| {
+                c.fetch_add(1, Ordering::Relaxed);
+            }),
+        )
         .unwrap();
         std::thread::scope(|s| {
             for t in 0..8u64 {
@@ -493,11 +550,15 @@ mod tests {
 
     #[test]
     fn async_mode_delivers_and_orders() {
-        let cfg = NetConfig { mode: MessengerMode::Async { workers: 3 }, ..NetConfig::default() };
+        let cfg = NetConfig {
+            mode: MessengerMode::Async { workers: 3 },
+            ..NetConfig::default()
+        };
         let net: Arc<Network<u64>> = Network::new(cfg);
         let got = Arc::new(Mutex::new(Vec::new()));
         let g = Arc::clone(&got);
-        net.register(osd(0), Arc::new(move |_, m: u64| g.lock().push(m))).unwrap();
+        net.register(osd(0), Arc::new(move |_, m: u64| g.lock().push(m)))
+            .unwrap();
         let m = net.register(client(1), Arc::new(|_, _: u64| {})).unwrap();
         for i in 0..300u64 {
             m.send(osd(0), i, 64).unwrap();
@@ -505,7 +566,10 @@ mod tests {
         while got.lock().len() < 300 {
             std::thread::sleep(Duration::from_millis(1));
         }
-        assert!(got.lock().windows(2).all(|w| w[0] < w[1]), "async lanes broke FIFO");
+        assert!(
+            got.lock().windows(2).all(|w| w[0] < w[1]),
+            "async lanes broke FIFO"
+        );
         // Fixed pool regardless of connection count.
         assert_eq!(net.counters().get("net.lanes"), 3);
         net.shutdown();
@@ -513,13 +577,19 @@ mod tests {
 
     #[test]
     fn async_mode_caps_thread_count_across_many_connections() {
-        let cfg = NetConfig { mode: MessengerMode::Async { workers: 2 }, ..NetConfig::default() };
+        let cfg = NetConfig {
+            mode: MessengerMode::Async { workers: 2 },
+            ..NetConfig::default()
+        };
         let net: Arc<Network<()>> = Network::new(cfg);
         let count = Arc::new(AtomicUsize::new(0));
         let c = Arc::clone(&count);
-        net.register(osd(0), Arc::new(move |_, ()| {
-            c.fetch_add(1, Ordering::Relaxed);
-        }))
+        net.register(
+            osd(0),
+            Arc::new(move |_, ()| {
+                c.fetch_add(1, Ordering::Relaxed);
+            }),
+        )
         .unwrap();
         for t in 0..12u64 {
             let m = net.register(client(t), Arc::new(|_, ()| {})).unwrap();
@@ -529,19 +599,30 @@ mod tests {
             std::thread::sleep(Duration::from_millis(1));
         }
         assert_eq!(net.counters().get("net.conns"), 12);
-        assert_eq!(net.counters().get("net.lanes"), 2, "pool must not grow with connections");
+        assert_eq!(
+            net.counters().get("net.lanes"),
+            2,
+            "pool must not grow with connections"
+        );
         net.shutdown();
     }
 
     #[test]
     fn cpu_burn_slows_delivery() {
-        let cfg = NetConfig { cpu_per_msg: Duration::from_micros(500), hop_latency: Duration::ZERO, ..NetConfig::default() };
+        let cfg = NetConfig {
+            cpu_per_msg: Duration::from_micros(500),
+            hop_latency: Duration::ZERO,
+            ..NetConfig::default()
+        };
         let net: Arc<Network<()>> = Network::new(cfg);
         let count = Arc::new(AtomicUsize::new(0));
         let c = Arc::clone(&count);
-        net.register(osd(0), Arc::new(move |_, ()| {
-            c.fetch_add(1, Ordering::Relaxed);
-        }))
+        net.register(
+            osd(0),
+            Arc::new(move |_, ()| {
+                c.fetch_add(1, Ordering::Relaxed);
+            }),
+        )
         .unwrap();
         let m = net.register(client(1), Arc::new(|_, ()| {})).unwrap();
         let t0 = Instant::now();
@@ -551,7 +632,11 @@ mod tests {
         while count.load(Ordering::Relaxed) < 20 {
             std::thread::sleep(Duration::from_micros(200));
         }
-        assert!(t0.elapsed() >= Duration::from_millis(10), "{:?}", t0.elapsed());
+        assert!(
+            t0.elapsed() >= Duration::from_millis(10),
+            "{:?}",
+            t0.elapsed()
+        );
         net.shutdown();
     }
 }

@@ -30,7 +30,11 @@ pub fn chunk_extents(off: u64, len: u64) -> Vec<ChunkExtent> {
         let index = cur / CHUNK;
         let within = cur % CHUNK;
         let take = (CHUNK - within).min(end - cur);
-        out.push(ChunkExtent { index, within, len: take });
+        out.push(ChunkExtent {
+            index,
+            within,
+            len: take,
+        });
         cur += take;
     }
     out
@@ -43,7 +47,14 @@ mod tests {
     #[test]
     fn aligned_single_chunk() {
         let e = chunk_extents(8192, 4096);
-        assert_eq!(e, vec![ChunkExtent { index: 2, within: 0, len: 4096 }]);
+        assert_eq!(
+            e,
+            vec![ChunkExtent {
+                index: 2,
+                within: 0,
+                len: 4096
+            }]
+        );
         assert!(e[0].is_full());
     }
 
@@ -51,8 +62,22 @@ mod tests {
     fn unaligned_spans_two_chunks() {
         let e = chunk_extents(1000, 4096);
         assert_eq!(e.len(), 2);
-        assert_eq!(e[0], ChunkExtent { index: 0, within: 1000, len: 3096 });
-        assert_eq!(e[1], ChunkExtent { index: 1, within: 0, len: 1000 });
+        assert_eq!(
+            e[0],
+            ChunkExtent {
+                index: 0,
+                within: 1000,
+                len: 3096
+            }
+        );
+        assert_eq!(
+            e[1],
+            ChunkExtent {
+                index: 1,
+                within: 0,
+                len: 1000
+            }
+        );
         assert!(!e[0].is_full());
         assert!(!e[1].is_full());
     }
@@ -69,6 +94,13 @@ mod tests {
     #[test]
     fn sub_chunk_write() {
         let e = chunk_extents(100, 50);
-        assert_eq!(e, vec![ChunkExtent { index: 0, within: 100, len: 50 }]);
+        assert_eq!(
+            e,
+            vec![ChunkExtent {
+                index: 0,
+                within: 100,
+                len: 50
+            }]
+        );
     }
 }

@@ -83,7 +83,9 @@ impl SfCluster {
     /// Build a cluster from `cfg`.
     pub fn new(cfg: SfConfig) -> Result<Arc<Self>> {
         if cfg.nodes == 0 || cfg.ssds_per_node == 0 {
-            return Err(AfcError::InvalidArgument("solidfire needs nodes and ssds".into()));
+            return Err(AfcError::InvalidArgument(
+                "solidfire needs nodes and ssds".into(),
+            ));
         }
         let mut nodes = Vec::new();
         for n in 0..cfg.nodes {
@@ -103,7 +105,9 @@ impl SfCluster {
     /// Create a volume.
     pub fn volume(self: &Arc<Self>, name: impl Into<String>, size: u64) -> Result<SfVolume> {
         if size == 0 {
-            return Err(AfcError::InvalidArgument("volume size must be positive".into()));
+            return Err(AfcError::InvalidArgument(
+                "volume size must be positive".into(),
+            ));
         }
         Ok(SfVolume {
             cluster: Arc::clone(self),
@@ -167,7 +171,7 @@ impl SfVolume {
     fn write_chunk(&self, index: u64, data: Bytes) -> Result<()> {
         debug_assert_eq!(data.len() as u64, CHUNK);
         let hash = hash_bytes(&data); // real dedup fingerprinting cost
-        // Per-chunk metadata-service update (LBA map + fingerprint table).
+                                      // Per-chunk metadata-service update (LBA map + fingerprint table).
         sleep_for(self.cluster.cfg.meta_hop);
         self.cluster.node_for(hash).put_chunk(hash, data.clone())?;
         if self.cluster.cfg.replicate && self.cluster.nodes.len() > 1 {
@@ -214,7 +218,11 @@ impl BlockTarget for SfVolume {
 
     fn read_at(&self, off: u64, len: usize) -> Result<Vec<u8>> {
         check_range(self.size, off, len as u64)?;
-        sleep_for(self.cluster.cfg.hop_latency + self.cluster.cfg.read_pipeline + self.cluster.cfg.meta_hop);
+        sleep_for(
+            self.cluster.cfg.hop_latency
+                + self.cluster.cfg.read_pipeline
+                + self.cluster.cfg.meta_hop,
+        );
         let mut out = Vec::with_capacity(len);
         for e in chunk_extents(off, len as u64) {
             let chunk = self.read_chunk(e.index)?;
@@ -233,7 +241,10 @@ mod tests {
         let cfg = SfConfig {
             nodes: 2,
             ssds_per_node: 2,
-            ssd: SsdConfig { jitter: 0.0, ..SsdConfig::sata3() },
+            ssd: SsdConfig {
+                jitter: 0.0,
+                ..SsdConfig::sata3()
+            },
             hop_latency: Duration::ZERO,
             meta_hop: Duration::ZERO,
             write_pipeline: Duration::ZERO,

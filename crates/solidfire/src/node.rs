@@ -44,12 +44,19 @@ pub struct SfNode {
 impl SfNode {
     /// Create a node over a flash device and an NVRAM card. `stage_limit`
     /// bounds NVRAM-staged chunks before writers feel flash backpressure.
-    pub fn new(data_dev: Arc<dyn BlockDev>, nvram: Arc<dyn BlockDev>, stage_limit: usize) -> Arc<Self> {
+    pub fn new(
+        data_dev: Arc<dyn BlockDev>,
+        nvram: Arc<dyn BlockDev>,
+        stage_limit: usize,
+    ) -> Arc<Self> {
         let (tx, rx): (Sender<u64>, Receiver<u64>) = bounded(stage_limit.max(1));
         let node = Arc::new(SfNode {
             data_dev,
             nvram,
-            state: Mutex::new(NodeState { chunks: HashMap::new(), staged: 0 }),
+            state: Mutex::new(NodeState {
+                chunks: HashMap::new(),
+                staged: 0,
+            }),
             log_head: AtomicU64::new(0),
             flush_tx: tx,
             flusher: Mutex::new(None),
@@ -91,7 +98,8 @@ impl SfNode {
     pub fn put_chunk(&self, hash: u64, data: Bytes) -> Result<()> {
         debug_assert_eq!(data.len() as u64, CHUNK);
         // Metadata (LBA map + fingerprint table) update in NVRAM.
-        self.nvram.submit(IoReq::write(hash % (self.nvram.capacity() - 256), 256))?;
+        self.nvram
+            .submit(IoReq::write(hash % (self.nvram.capacity() - 256), 256))?;
         let is_new = {
             let mut st = self.state.lock();
             match st.chunks.get_mut(&hash) {
@@ -101,7 +109,14 @@ impl SfNode {
                     false
                 }
                 None => {
-                    st.chunks.insert(hash, ChunkRec { data: data.clone(), refs: 1, log_off: None });
+                    st.chunks.insert(
+                        hash,
+                        ChunkRec {
+                            data: data.clone(),
+                            refs: 1,
+                            log_off: None,
+                        },
+                    );
                     st.staged += 1;
                     self.dedup_misses.fetch_add(1, Ordering::Relaxed);
                     true
@@ -110,8 +125,10 @@ impl SfNode {
         };
         if is_new {
             // Chunk payload into NVRAM (the fast ack), then queue the flush.
-            self.nvram
-                .submit(IoReq::write(hash % (self.nvram.capacity() - CHUNK), CHUNK as u32))?;
+            self.nvram.submit(IoReq::write(
+                hash % (self.nvram.capacity() - CHUNK),
+                CHUNK as u32,
+            ))?;
             self.flush_tx
                 .send(hash)
                 .map_err(|_| AfcError::ShutDown("solidfire node".into()))?;
@@ -157,7 +174,10 @@ impl SfNode {
 
     /// `(dedup hits, dedup misses)`.
     pub fn dedup_stats(&self) -> (u64, u64) {
-        (self.dedup_hits.load(Ordering::Relaxed), self.dedup_misses.load(Ordering::Relaxed))
+        (
+            self.dedup_hits.load(Ordering::Relaxed),
+            self.dedup_misses.load(Ordering::Relaxed),
+        )
     }
 
     /// Distinct chunks resident.
@@ -197,7 +217,10 @@ mod tests {
     use afc_device::{Nvram, NvramConfig, Ssd, SsdConfig};
 
     fn node() -> Arc<SfNode> {
-        let ssd = Arc::new(Ssd::new(SsdConfig { jitter: 0.0, ..SsdConfig::sata3() }));
+        let ssd = Arc::new(Ssd::new(SsdConfig {
+            jitter: 0.0,
+            ..SsdConfig::sata3()
+        }));
         let nv = Arc::new(Nvram::new(NvramConfig::pmc_8g()));
         SfNode::new(ssd, nv, 64)
     }

@@ -14,8 +14,16 @@ fn fast_cluster() -> std::sync::Arc<SfCluster> {
     SfCluster::new(SfConfig {
         nodes: 2,
         ssds_per_node: 2,
-        ssd: SsdConfig { jitter: 0.0, read_base: Duration::ZERO, write_base: Duration::ZERO, ..SsdConfig::sata3() },
-        nvram: NvramConfig { access: Duration::ZERO, ..NvramConfig::pmc_8g() },
+        ssd: SsdConfig {
+            jitter: 0.0,
+            read_base: Duration::ZERO,
+            write_base: Duration::ZERO,
+            ..SsdConfig::sata3()
+        },
+        nvram: NvramConfig {
+            access: Duration::ZERO,
+            ..NvramConfig::pmc_8g()
+        },
         stage_limit: 1024,
         hop_latency: Duration::ZERO,
         meta_hop: Duration::ZERO,

@@ -42,13 +42,17 @@ pub fn run(spec: &JobSpec, target: &(impl BlockTarget + ?Sized)) -> Report {
             let errors = &errors;
             let total_ops = &total_ops;
             handles.push(s.spawn(move || {
-                worker(spec, target, t, span, deadline, stop, sampler, errors, total_ops)
+                worker(
+                    spec, target, t, span, deadline, stop, sampler, errors, total_ops,
+                )
             }));
         }
         // Sampling loop on the coordinating thread.
         if let Some(interval) = spec.sample_interval {
             while Instant::now() < deadline && !stop.load(Ordering::Relaxed) {
-                std::thread::sleep(interval.min(deadline.saturating_duration_since(Instant::now())));
+                std::thread::sleep(
+                    interval.min(deadline.saturating_duration_since(Instant::now())),
+                );
                 sampler.sample();
             }
         }
@@ -183,7 +187,9 @@ mod tests {
     #[test]
     fn io_limit_caps_work() {
         let t = MemBlockTarget::new(1 << 20);
-        let spec = quick(Rw::RandRead).io_limit(10).runtime(Duration::from_secs(5));
+        let spec = quick(Rw::RandRead)
+            .io_limit(10)
+            .runtime(Duration::from_secs(5));
         let t0 = Instant::now();
         let r = run(&spec, &t);
         assert_eq!(r.ops, 4 * 10);

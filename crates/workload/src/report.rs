@@ -78,7 +78,11 @@ impl fmt::Display for Report {
             fmt_dur(self.lat.mean()),
             fmt_dur(self.lat.p50()),
             fmt_dur(self.lat.p99()),
-            if self.errors > 0 { format!(", {} ERRORS", self.errors) } else { String::new() },
+            if self.errors > 0 {
+                format!(", {} ERRORS", self.errors)
+            } else {
+                String::new()
+            },
         )
     }
 }
@@ -111,7 +115,10 @@ mod tests {
 
     #[test]
     fn zero_runtime_safe() {
-        let r = Report { runtime: Duration::ZERO, ..report(5, 1.0) };
+        let r = Report {
+            runtime: Duration::ZERO,
+            ..report(5, 1.0)
+        };
         assert_eq!(r.iops(), 0.0);
     }
 

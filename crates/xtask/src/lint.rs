@@ -1,0 +1,633 @@
+//! Static hygiene checks for the OSD hot path.
+//!
+//! Four rules, all textual (no rustc plumbing, so the pass runs in
+//! milliseconds and works offline):
+//!
+//! 1. **no-std-sync** — `std::sync::{Mutex, RwLock, Condvar}` are banned
+//!    everywhere except the lockdep module itself (whose checker must not
+//!    recurse through the tracked types) and `vendor/`. Production code
+//!    uses `parking_lot` or the `Tracked*` lockdep wrappers.
+//! 2. **no-unwrap-on-sync** — in `crates/{core,journal,filestore}`
+//!    non-test code, `.unwrap()` / `.expect()` on lock/channel/join
+//!    results is banned. Exceptions live in `lint-allow.txt`, which must
+//!    only shrink: a stale (over-)allowance fails the pass too.
+//! 3. **no-println-in-lib** — library crates log through `afc_logging` or
+//!    return errors; `println!`/`eprintln!` belong to binaries, the bench
+//!    harness and tests.
+//! 4. **pg-state-confinement** — `.state.lock()` / `.state.try_lock()`
+//!    in `crates/core/src/osd/` may appear only inside the pending-queue
+//!    entry points (`Pg::drain`, `Pg::lock_measured` in `pg.rs`): every
+//!    other path must go through the pending FIFO so per-PG ordering is
+//!    preserved.
+//!
+//! Rule scopes are declared as data below; fixture-snippet unit tests at
+//! the bottom cover each rule.
+
+use std::fmt;
+use std::path::Path;
+
+/// Directories (workspace-relative prefixes) never scanned.
+const SKIP_PREFIXES: &[&str] = &[
+    "vendor", // offline stand-in crates, not ours to police
+    "target",
+    "crates/xtask", // the linter itself (pattern literals would self-match)
+    "bench_results",
+];
+
+/// Path substrings marking non-production sources (integration tests,
+/// benches, examples) exempt from rules 2 and 3.
+const NON_PROD_MARKERS: &[&str] = &["/tests/", "/benches/", "/examples/", "/bin/"];
+
+/// Crates whose non-test sources must not unwrap lock/channel results.
+const UNWRAP_SCOPES: &[&str] = &[
+    "crates/core/src",
+    "crates/journal/src",
+    "crates/filestore/src",
+];
+
+/// Crates exempt from the println rule: the bench harness prints result
+/// tables by design.
+const PRINTLN_EXEMPT: &[&str] = &["crates/bench"];
+
+/// The one file allowed to use `std::sync` lock primitives.
+const STD_SYNC_EXEMPT: &[&str] = &["crates/common/src/lockdep.rs"];
+
+/// Receiver patterns that make a same-line `.unwrap()`/`.expect()` a
+/// lock/channel unwrap.
+const SYNC_RESULT_PATTERNS: &[&str] = &[
+    "lock()",
+    "try_lock()",
+    "recv()",
+    "try_recv()",
+    "send(",
+    "join()",
+];
+
+/// The allowlist for rule 2, workspace-relative. Format: one
+/// `path<whitespace>count` entry per line, `#` comments.
+const ALLOWLIST_PATH: &str = "crates/xtask/lint-allow.txt";
+
+/// One rule violation at one source line.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line, 0 for file-level findings.
+    pub line: usize,
+    /// Rule slug.
+    pub rule: &'static str,
+    /// Human explanation.
+    pub msg: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.msg
+        )
+    }
+}
+
+/// Run every rule over the workspace at `root`.
+pub fn run(root: &Path) -> Result<Vec<Violation>, String> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+    let mut violations = Vec::new();
+    let mut unwrap_counts: Vec<(String, usize)> = Vec::new();
+    for rel in &files {
+        let content =
+            std::fs::read_to_string(root.join(rel)).map_err(|e| format!("read {rel}: {e}"))?;
+        let rel_slash = rel.replace('\\', "/");
+        violations.extend(check_std_sync(&rel_slash, &content));
+        violations.extend(check_println(&rel_slash, &content));
+        violations.extend(check_pg_state_confinement(&rel_slash, &content));
+        let unwraps = find_sync_unwraps(&rel_slash, &content);
+        if !unwraps.is_empty() {
+            unwrap_counts.push((rel_slash.clone(), unwraps.len()));
+            violations.extend(unwraps);
+        }
+    }
+    let allow = std::fs::read_to_string(root.join(ALLOWLIST_PATH)).unwrap_or_default();
+    violations = apply_allowlist(violations, &unwrap_counts, &allow);
+    Ok(violations)
+}
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read_dir entry: {e}"))?;
+        let path = entry.path();
+        let rel = path
+            .strip_prefix(root)
+            .map_err(|e| e.to_string())?
+            .to_string_lossy()
+            .replace('\\', "/");
+        if path.is_dir() {
+            if SKIP_PREFIXES
+                .iter()
+                .any(|p| rel == *p || rel.starts_with(&format!("{p}/")))
+                || rel.starts_with('.')
+            {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if rel.ends_with(".rs") {
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+fn is_non_prod(path: &str) -> bool {
+    NON_PROD_MARKERS
+        .iter()
+        .any(|m| format!("/{path}").contains(m))
+}
+
+/// Line classification shared by the rules: per line, whether it falls
+/// inside a `#[cfg(test)]` module (tracked by brace depth).
+fn test_region_mask(content: &str) -> Vec<bool> {
+    let mut mask = Vec::new();
+    let mut in_test = false;
+    let mut depth: i64 = 0;
+    let mut pending_attr = false;
+    for line in content.lines() {
+        let code = strip_line_comment(line);
+        if !in_test {
+            if code.contains("#[cfg(test)]") {
+                pending_attr = true;
+                mask.push(false);
+                continue;
+            }
+            if pending_attr {
+                // Attributes may stack (`#[cfg(test)]` then `#[allow...]`).
+                if code.trim_start().starts_with("#[") {
+                    mask.push(false);
+                    continue;
+                }
+                if code.contains("mod ") {
+                    in_test = true;
+                    depth = 0;
+                }
+                pending_attr = false;
+            }
+        }
+        mask.push(in_test);
+        if in_test {
+            for c in code.chars() {
+                match c {
+                    '{' => depth += 1,
+                    '}' => depth -= 1,
+                    _ => {}
+                }
+            }
+            if depth <= 0 && code.contains('}') {
+                in_test = false;
+            }
+        }
+    }
+    mask
+}
+
+/// Drop `// ...` trailers so commentary never triggers a rule. (String
+/// literals containing `//` are rare enough in this codebase to ignore.)
+fn strip_line_comment(line: &str) -> &str {
+    match line.find("//") {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+// ---------------------------------------------------------------- //
+// Rule 1: no std::sync lock primitives outside lockdep
+// ---------------------------------------------------------------- //
+
+fn check_std_sync(path: &str, content: &str) -> Vec<Violation> {
+    if STD_SYNC_EXEMPT.contains(&path) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (i, line) in content.lines().enumerate() {
+        let code = strip_line_comment(line);
+        let direct = [
+            "std::sync::Mutex",
+            "std::sync::RwLock",
+            "std::sync::Condvar",
+        ]
+        .iter()
+        .find(|p| code.contains(*p));
+        let imported = code.trim_start().starts_with("use std::sync::")
+            && ["Mutex", "RwLock", "Condvar"]
+                .iter()
+                .any(|t| contains_word(code, t));
+        if let Some(p) = direct {
+            out.push(Violation {
+                file: path.to_string(),
+                line: i + 1,
+                rule: "no-std-sync",
+                msg: format!("{p} is banned: use parking_lot or afc_common::lockdep::Tracked*"),
+            });
+        } else if imported {
+            out.push(Violation {
+                file: path.to_string(),
+                line: i + 1,
+                rule: "no-std-sync",
+                msg: "importing std::sync lock primitives is banned: use parking_lot or \
+                      afc_common::lockdep::Tracked*"
+                    .to_string(),
+            });
+        }
+    }
+    out
+}
+
+fn contains_word(hay: &str, word: &str) -> bool {
+    let bytes = hay.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = hay[from..].find(word) {
+        let start = from + pos;
+        let end = start + word.len();
+        let pre_ok =
+            start == 0 || !(bytes[start - 1].is_ascii_alphanumeric() || bytes[start - 1] == b'_');
+        let post_ok =
+            end == hay.len() || !(bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_');
+        if pre_ok && post_ok {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+// ---------------------------------------------------------------- //
+// Rule 2: no unwrap/expect on lock/channel results (hot-path crates)
+// ---------------------------------------------------------------- //
+
+fn find_sync_unwraps(path: &str, content: &str) -> Vec<Violation> {
+    if !UNWRAP_SCOPES.iter().any(|s| path.starts_with(s)) || is_non_prod(path) {
+        return Vec::new();
+    }
+    let mask = test_region_mask(content);
+    let mut out = Vec::new();
+    for (i, line) in content.lines().enumerate() {
+        if mask.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        let code = strip_line_comment(line);
+        for needle in [".unwrap()", ".expect("] {
+            let Some(pos) = code.find(needle) else {
+                continue;
+            };
+            if SYNC_RESULT_PATTERNS.iter().any(|p| code[..pos].contains(p)) {
+                out.push(Violation {
+                    file: path.to_string(),
+                    line: i + 1,
+                    rule: "no-unwrap-on-sync",
+                    msg: format!(
+                        "{} on a lock/channel result in hot-path code: handle the error \
+                         (shutdown is not exceptional)",
+                        needle.trim_end_matches('(')
+                    ),
+                });
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Apply the must-only-shrink allowlist to the no-unwrap-on-sync findings.
+fn apply_allowlist(
+    violations: Vec<Violation>,
+    counts: &[(String, usize)],
+    allow: &str,
+) -> Vec<Violation> {
+    let mut allowed: Vec<(String, usize)> = Vec::new();
+    for line in allow.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        if let (Some(p), Some(n)) = (it.next(), it.next()) {
+            if let Ok(n) = n.parse::<usize>() {
+                allowed.push((p.to_string(), n));
+            }
+        }
+    }
+    let mut out: Vec<Violation> = Vec::new();
+    for v in violations {
+        if v.rule != "no-unwrap-on-sync" {
+            out.push(v);
+            continue;
+        }
+        let actual = counts
+            .iter()
+            .find(|(p, _)| *p == v.file)
+            .map(|(_, n)| *n)
+            .unwrap_or(0);
+        let budget = allowed
+            .iter()
+            .find(|(p, _)| *p == v.file)
+            .map(|(_, n)| *n)
+            .unwrap_or(0);
+        if actual > budget {
+            out.push(v);
+        }
+    }
+    // Stale allowances: the list may only shrink, so an entry above the
+    // actual count (or for a clean file) is itself a failure.
+    for (p, budget) in &allowed {
+        let actual = counts
+            .iter()
+            .find(|(f, _)| f == p)
+            .map(|(_, n)| *n)
+            .unwrap_or(0);
+        if actual < *budget {
+            out.push(Violation {
+                file: p.clone(),
+                line: 0,
+                rule: "no-unwrap-on-sync",
+                msg: format!(
+                    "allowlist entry permits {budget} unwrap(s) but only {actual} remain: \
+                     shrink {ALLOWLIST_PATH}"
+                ),
+            });
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------- //
+// Rule 3: no println!/eprintln! in library crates
+// ---------------------------------------------------------------- //
+
+fn check_println(path: &str, content: &str) -> Vec<Violation> {
+    if !path.starts_with("crates/")
+        || PRINTLN_EXEMPT.iter().any(|p| path.starts_with(p))
+        || is_non_prod(path)
+    {
+        return Vec::new();
+    }
+    let mask = test_region_mask(content);
+    let mut out = Vec::new();
+    for (i, line) in content.lines().enumerate() {
+        if mask.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        let code = strip_line_comment(line);
+        // `eprintln!` first: `println!` is a substring of it.
+        if let Some(m) = ["eprintln!", "println!"].iter().find(|m| code.contains(*m)) {
+            out.push(Violation {
+                file: path.to_string(),
+                line: i + 1,
+                rule: "no-println-in-lib",
+                msg: format!("{m} in library code: use afc_logging or return an error"),
+            });
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------- //
+// Rule 4: Pg::state lock confinement
+// ---------------------------------------------------------------- //
+
+fn check_pg_state_confinement(path: &str, content: &str) -> Vec<Violation> {
+    if !path.starts_with("crates/core/src/osd") {
+        return Vec::new();
+    }
+    let sanctioned = if path.ends_with("/pg.rs") || path == "crates/core/src/osd/pg.rs" {
+        fn_body_mask(content, &["drain", "lock_measured"])
+    } else {
+        vec![false; content.lines().count()]
+    };
+    let mut out = Vec::new();
+    for (i, line) in content.lines().enumerate() {
+        let code = strip_line_comment(line);
+        if !(code.contains(".state.lock(") || code.contains(".state.try_lock(")) {
+            continue;
+        }
+        if sanctioned.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        out.push(Violation {
+            file: path.to_string(),
+            line: i + 1,
+            rule: "pg-state-confinement",
+            msg: "direct Pg::state lock outside Pg::drain/Pg::lock_measured: go through \
+                  the pending queue so per-PG ordering is preserved"
+                .to_string(),
+        });
+    }
+    out
+}
+
+/// Per-line mask: true inside the body of any `fn <name>` in `names`.
+fn fn_body_mask(content: &str, names: &[&str]) -> Vec<bool> {
+    let mut mask = Vec::new();
+    let mut inside = false;
+    let mut depth: i64 = 0;
+    for line in content.lines() {
+        let code = strip_line_comment(line);
+        if !inside
+            && names
+                .iter()
+                .any(|n| code.contains(&format!("fn {n}(")) || code.contains(&format!("fn {n} (")))
+        {
+            inside = true;
+            depth = 0;
+        }
+        mask.push(inside);
+        if inside {
+            for c in code.chars() {
+                match c {
+                    '{' => depth += 1,
+                    '}' => depth -= 1,
+                    _ => {}
+                }
+            }
+            if depth <= 0 && code.contains('}') {
+                inside = false;
+            }
+        }
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // -------- rule 1 fixtures -------- //
+
+    #[test]
+    fn std_sync_mutex_is_flagged() {
+        let src = "use std::sync::Mutex;\nstatic S: Mutex<u32> = Mutex::new(0);\n";
+        let v = check_std_sync("crates/core/src/foo.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "no-std-sync");
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn std_sync_fully_qualified_is_flagged_anywhere() {
+        let src = "fn f() { let m = std::sync::RwLock::new(5); }\n";
+        let v = check_std_sync("crates/device/src/lib.rs", src);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn std_sync_atomics_and_arc_are_fine() {
+        let src = "use std::sync::Arc;\nuse std::sync::atomic::AtomicU64;\nuse std::sync::mpsc;\n";
+        assert!(check_std_sync("crates/core/src/foo.rs", src).is_empty());
+    }
+
+    #[test]
+    fn lockdep_itself_may_use_std_sync() {
+        let src = "use std::sync::Mutex; // sanctioned\n";
+        assert!(check_std_sync("crates/common/src/lockdep.rs", src).is_empty());
+    }
+
+    #[test]
+    fn commented_mention_is_not_flagged() {
+        let src = "// std::sync::Mutex would poison here\nfn f() {}\n";
+        assert!(check_std_sync("crates/core/src/foo.rs", src).is_empty());
+    }
+
+    // -------- rule 2 fixtures -------- //
+
+    #[test]
+    fn unwrap_on_lock_result_is_flagged() {
+        let src = "fn f(m: &std::sync::Mutex<u32>) {\n    let g = m.lock().unwrap();\n}\n";
+        let v = find_sync_unwraps("crates/core/src/osd/foo.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "no-unwrap-on-sync");
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn expect_on_channel_result_is_flagged() {
+        let src = "fn f(rx: Receiver<u32>) {\n    let x = rx.recv().expect(\"alive\");\n}\n";
+        assert_eq!(find_sync_unwraps("crates/journal/src/lib.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn unwrap_in_test_module_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { h.join().unwrap(); }\n}\n";
+        assert!(find_sync_unwraps("crates/filestore/src/store.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_outside_scoped_crates_is_exempt() {
+        let src = "fn f() { h.join().unwrap(); }\n";
+        assert!(find_sync_unwraps("crates/workload/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_on_parse_is_not_a_sync_unwrap() {
+        let src = "fn f(s: &str) -> u64 { s.parse().unwrap() }\n";
+        assert!(find_sync_unwraps("crates/core/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allowlist_budget_suppresses_and_must_shrink() {
+        let v = vec![Violation {
+            file: "crates/core/src/x.rs".into(),
+            line: 3,
+            rule: "no-unwrap-on-sync",
+            msg: "m".into(),
+        }];
+        let counts = vec![("crates/core/src/x.rs".to_string(), 1)];
+        // Exact budget: suppressed.
+        assert!(apply_allowlist(filter_clone(&v), &counts, "crates/core/src/x.rs 1\n").is_empty());
+        // No budget: reported.
+        assert_eq!(apply_allowlist(filter_clone(&v), &counts, "").len(), 1);
+        // Over-budget (stale entry): reported as a must-shrink failure.
+        let stale = apply_allowlist(filter_clone(&v), &counts, "crates/core/src/x.rs 5\n");
+        assert_eq!(stale.len(), 1);
+        assert!(stale[0].msg.contains("shrink"), "{}", stale[0].msg);
+    }
+
+    fn filter_clone(v: &[Violation]) -> Vec<Violation> {
+        v.iter()
+            .map(|x| Violation {
+                file: x.file.clone(),
+                line: x.line,
+                rule: x.rule,
+                msg: x.msg.clone(),
+            })
+            .collect()
+    }
+
+    // -------- rule 3 fixtures -------- //
+
+    #[test]
+    fn println_in_lib_is_flagged() {
+        let src = "pub fn f() {\n    println!(\"debug\");\n}\n";
+        let v = check_println("crates/journal/src/lib.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "no-println-in-lib");
+    }
+
+    #[test]
+    fn eprintln_in_lib_is_flagged() {
+        let src = "pub fn f() { eprintln!(\"oops\"); }\n";
+        assert_eq!(check_println("crates/kvstore/src/db.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn println_in_bench_harness_bin_and_tests_is_exempt() {
+        let src = "pub fn f() { println!(\"table\"); }\n";
+        assert!(check_println("crates/bench/src/lib.rs", src).is_empty());
+        assert!(check_println("crates/core/src/bin/tool.rs", src).is_empty());
+        let test_src = "#[cfg(test)]\nmod tests {\n    fn t() { println!(\"dbg\"); }\n}\n";
+        assert!(check_println("crates/core/src/lib.rs", test_src).is_empty());
+    }
+
+    // -------- rule 4 fixtures -------- //
+
+    #[test]
+    fn pg_state_lock_outside_entry_points_is_flagged() {
+        let src = "fn sneaky(pg: &Pg) {\n    let g = pg.state.lock();\n}\n";
+        let v = check_pg_state_confinement("crates/core/src/osd/mod.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "pg-state-confinement");
+    }
+
+    #[test]
+    fn pg_state_lock_inside_drain_and_lock_measured_is_sanctioned() {
+        let src = "impl Pg {\n    pub fn drain(&self) {\n        let g = self.state.try_lock();\n    }\n    pub fn lock_measured(&self) {\n        let g = self.state.lock();\n    }\n}\n";
+        assert!(check_pg_state_confinement("crates/core/src/osd/pg.rs", src).is_empty());
+    }
+
+    #[test]
+    fn pg_state_lock_elsewhere_in_pg_rs_is_flagged() {
+        let src = "impl Pg {\n    pub fn backdoor(&self) {\n        let g = self.state.lock();\n    }\n}\n";
+        assert_eq!(
+            check_pg_state_confinement("crates/core/src/osd/pg.rs", src).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn pg_state_rule_scoped_to_osd_dir() {
+        let src = "fn f(t: &Throttle) { let g = t.state.lock(); }\n";
+        assert!(check_pg_state_confinement("crates/filestore/src/throttle.rs", src).is_empty());
+    }
+
+    // -------- shared machinery -------- //
+
+    #[test]
+    fn test_region_mask_tracks_nested_braces() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn t() {\n        if x { y(); }\n    }\n}\nfn b() {}\n";
+        let mask = test_region_mask(src);
+        assert!(!mask[0]); // fn a
+        assert!(mask[3]); // fn t
+        assert!(mask[4]); // nested braces
+        assert!(!mask[7]); // fn b after the mod closes
+    }
+}

@@ -1,0 +1,58 @@
+//! Workspace automation. Run as `cargo xtask <command>` (see
+//! `.cargo/config.toml` for the alias).
+//!
+//! Commands:
+//!
+//! - `lint` — the concurrency/static hygiene pass over the workspace
+//!   sources (see [`lint`] for the rules). Exits non-zero on violations,
+//!   so CI and pre-commit hooks can gate on it.
+
+mod lint;
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    // crates/xtask/ → workspace root is two levels up.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap_or_else(|e| {
+            eprintln!("xtask: cannot resolve workspace root: {e}");
+            std::process::exit(2);
+        })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => {
+            let root = workspace_root();
+            let violations = match lint::run(&root) {
+                Ok(v) => v,
+                Err(e) => {
+                    eprintln!("xtask lint: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            if violations.is_empty() {
+                println!("xtask lint: clean");
+                ExitCode::SUCCESS
+            } else {
+                for v in &violations {
+                    println!("{v}");
+                }
+                println!("xtask lint: {} violation(s)", violations.len());
+                ExitCode::FAILURE
+            }
+        }
+        Some(other) => {
+            eprintln!("xtask: unknown command '{other}' (expected: lint)");
+            ExitCode::from(2)
+        }
+        None => {
+            eprintln!("usage: cargo xtask lint");
+            ExitCode::from(2)
+        }
+    }
+}

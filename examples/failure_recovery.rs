@@ -30,13 +30,19 @@ fn main() -> afcstore::common::Result<()> {
     for i in 0..32 {
         client.write_object(&format!("obj{i}"), 0, format!("payload-{i}").as_bytes())?;
     }
-    println!("phase 1: 32 objects written, epoch {}", cluster.monitor().epoch());
+    println!(
+        "phase 1: 32 objects written, epoch {}",
+        cluster.monitor().epoch()
+    );
 
     // Phase 2: kill an OSD; acked data must stay readable via replicas,
     // and new writes must remap around the dead OSD.
     let victim = OsdId(0);
     cluster.monitor().mark_down(victim);
-    println!("phase 2: {victim} marked down, epoch {}", cluster.monitor().epoch());
+    println!(
+        "phase 2: {victim} marked down, epoch {}",
+        cluster.monitor().epoch()
+    );
     let mut reread = 0;
     for i in 0..32 {
         let data = client.read_object(&format!("obj{i}"), 0, 10)?;
@@ -49,9 +55,15 @@ fn main() -> afcstore::common::Result<()> {
     }
     println!("  16 new objects written around the dead OSD");
     for pg_seq in 0..64 {
-        let pg = afcstore::common::PgId { pool: cluster.pool(), seq: pg_seq };
+        let pg = afcstore::common::PgId {
+            pool: cluster.pool(),
+            seq: pg_seq,
+        };
         let acting = cluster.monitor().map().pg_acting(pg)?;
-        assert!(!acting.contains(&victim), "pg {pg} still maps to the dead OSD");
+        assert!(
+            !acting.contains(&victim),
+            "pg {pg} still maps to the dead OSD"
+        );
     }
     println!("  no PG maps to {victim} anymore");
 

@@ -17,7 +17,11 @@ fn main() -> afcstore::common::Result<()> {
         .tuning(OsdTuning::afceph())
         .devices(DeviceProfile::clean())
         .build()?;
-    println!("cluster up: {} OSDs, epoch {}", cluster.osds().len(), cluster.monitor().epoch());
+    println!(
+        "cluster up: {} OSDs, epoch {}",
+        cluster.osds().len(),
+        cluster.monitor().epoch()
+    );
 
     // --- Object API (RADOS-style) ------------------------------------
     let client = cluster.client()?;
@@ -40,7 +44,11 @@ fn main() -> afcstore::common::Result<()> {
         if s.client_ops > 0 || s.repops > 0 {
             println!(
                 "{id}: {} client ops ({} writes, {} reads), {} repops, journal avg batch {:.1}",
-                s.client_ops, s.writes, s.reads, s.repops, s.journal.avg_batch()
+                s.client_ops,
+                s.writes,
+                s.reads,
+                s.repops,
+                s.journal.avg_batch()
             );
         }
     }

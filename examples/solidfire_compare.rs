@@ -25,7 +25,11 @@ fn main() -> afcstore::common::Result<()> {
     let img = cluster.create_image("vm0", 64 * MIB)?;
 
     // --- SolidFire volume ------------------------------------------------
-    let sf = SfCluster::new(SfConfig { nodes: 2, ssds_per_node: 3, ..SfConfig::paper() })?;
+    let sf = SfCluster::new(SfConfig {
+        nodes: 2,
+        ssds_per_node: 3,
+        ..SfConfig::paper()
+    })?;
     let vol = sf.volume("vol0", 64 * MIB)?;
 
     // Prefill both with the same unique-per-chunk content.
@@ -46,7 +50,12 @@ fn main() -> afcstore::common::Result<()> {
     // SolidFire's pipeline is deep (iSCSI + dual replication + dedup): it
     // needs offered parallelism, exactly like the paper's VM fleets. Use a
     // queue depth of 8 for both systems.
-    let spec = |rw, bs: u64| JobSpec::new(rw).bs(bs).iodepth(8).runtime(Duration::from_secs(2));
+    let spec = |rw, bs: u64| {
+        JobSpec::new(rw)
+            .bs(bs)
+            .iodepth(8)
+            .runtime(Duration::from_secs(2))
+    };
     println!("single-volume comparison (fleet-scale, where SolidFire's deep");
     println!("pipeline overlaps and leads 4K random writes, is Figure 11):");
     println!("{:24} {:>10} {:>12}", "workload", "afceph", "solidfire");
@@ -60,7 +69,11 @@ fn main() -> afcstore::common::Result<()> {
         let a = afcstore::workload::run(&spec(rw, bs), &img);
         let s = afcstore::workload::run(&spec(rw, bs), &vol);
         if seq {
-            println!("{name:24} {:>7.0} MiB/s {:>9.0} MiB/s", a.mibps(), s.mibps());
+            println!(
+                "{name:24} {:>7.0} MiB/s {:>9.0} MiB/s",
+                a.mibps(),
+                s.mibps()
+            );
         } else {
             println!("{name:24} {:>7.0} IOPS  {:>9.0} IOPS", a.iops(), s.iops());
         }

@@ -17,8 +17,9 @@ const VMS: usize = 8;
 const IMAGE: u64 = 64 << 20;
 
 fn fleet(cluster: &Cluster) -> Vec<Arc<RbdImage>> {
-    let images: Vec<Arc<RbdImage>> =
-        (0..VMS).map(|i| Arc::new(cluster.create_image(&format!("vm{i}"), IMAGE).unwrap())).collect();
+    let images: Vec<Arc<RbdImage>> = (0..VMS)
+        .map(|i| Arc::new(cluster.create_image(&format!("vm{i}"), IMAGE).unwrap()))
+        .collect();
     // Lay the images out (and warm the connections) before measuring.
     std::thread::scope(|s| {
         for img in &images {
@@ -37,7 +38,10 @@ fn fleet(cluster: &Cluster) -> Vec<Arc<RbdImage>> {
 }
 
 fn run(images: &[Arc<RbdImage>], rw: Rw) -> afcstore::workload::Report {
-    let spec = JobSpec::new(rw).bs(4096).iodepth(2).runtime(Duration::from_secs(3));
+    let spec = JobSpec::new(rw)
+        .bs(4096)
+        .iodepth(2)
+        .runtime(Duration::from_secs(3));
     let mut reports = Vec::new();
     std::thread::scope(|s| {
         let hs: Vec<_> = images
@@ -63,7 +67,10 @@ fn run(images: &[Arc<RbdImage>], rw: Rw) -> afcstore::workload::Report {
 
 fn main() {
     let mut table = Table::new(vec!["config", "pattern", "IOPS", "mean lat", "p99"]);
-    for (name, tuning) in [("community", OsdTuning::community()), ("afceph", OsdTuning::afceph())] {
+    for (name, tuning) in [
+        ("community", OsdTuning::community()),
+        ("afceph", OsdTuning::afceph()),
+    ] {
         let cluster = Cluster::builder()
             .nodes(4)
             .osds_per_node(2)
@@ -85,7 +92,8 @@ fn main() {
         }
         // The counters behind the story.
         let stats = cluster.osd_stats();
-        let sum = |f: &dyn Fn(&afcstore::OsdStats) -> u64| stats.iter().map(|(_, s)| f(s)).sum::<u64>();
+        let sum =
+            |f: &dyn Fn(&afcstore::OsdStats) -> u64| stats.iter().map(|(_, s)| f(s)).sum::<u64>();
         println!(
             "[{name}] pg-lock wait {} ms | blocking-log wait {} ms | meta reads {} | throttle blocks {}",
             sum(&|s| s.pg_lock_wait_us) / 1000,

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# CI gate: static hygiene + format + clippy + tests.
+#
+# Everything here must pass before merge. Run locally from the workspace
+# root:   ./scripts/check.sh        (or: bash scripts/check.sh)
+#
+# Steps degrade gracefully: if a toolchain component (rustfmt, clippy) is
+# not installed, that step is skipped with a warning instead of failing —
+# the xtask lint and the test suite always run.
+
+set -u
+cd "$(dirname "$0")/.."
+
+failures=0
+
+step() {
+    echo
+    echo "==> $*"
+    if "$@"; then
+        echo "    OK"
+    else
+        echo "    FAILED: $*"
+        failures=$((failures + 1))
+    fi
+}
+
+maybe_step() {
+    # maybe_step <probe...> -- <cmd...>: skip (warn) if the probe fails.
+    local probe=()
+    while [ "$1" != "--" ]; do probe+=("$1"); shift; done
+    shift
+    if "${probe[@]}" >/dev/null 2>&1; then
+        step "$@"
+    else
+        echo
+        echo "==> $* — SKIPPED (${probe[*]} unavailable)"
+    fi
+}
+
+# 1. Concurrency/static hygiene pass (crates/xtask). Dependency-free, so
+#    it works even when the rest of the workspace is broken.
+step cargo run --quiet --package xtask -- lint
+
+# 2. Formatting.
+maybe_step cargo fmt --version -- cargo fmt --all --check
+
+# 3. Clippy, warnings as errors.
+maybe_step cargo clippy --version -- cargo clippy --workspace --all-targets --quiet -- -D warnings
+
+# 4. Build + tests (includes the lockdep stress tests and the PG
+#    contention tests in the default debug profile, where lockdep is
+#    active).
+step cargo build --workspace --quiet
+step cargo test --workspace --quiet
+
+echo
+if [ "$failures" -ne 0 ]; then
+    echo "check.sh: $failures step(s) failed"
+    exit 1
+fi
+echo "check.sh: all checks passed"

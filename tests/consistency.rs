@@ -25,7 +25,13 @@ fn tunings() -> Vec<(&'static str, OsdTuning)> {
     vec![
         ("community", OsdTuning::community()),
         ("afceph", OsdTuning::afceph()),
-        ("afceph+ordered", OsdTuning { ordered_acks: true, ..OsdTuning::afceph() }),
+        (
+            "afceph+ordered",
+            OsdTuning {
+                ordered_acks: true,
+                ..OsdTuning::afceph()
+            },
+        ),
     ]
 }
 
@@ -36,8 +42,12 @@ fn read_your_writes_across_configs() {
         let client = cluster.client().unwrap();
         for i in 0..40 {
             let body = format!("object-{i}-payload");
-            client.write_object(&format!("o{i}"), 0, body.as_bytes()).unwrap();
-            let back = client.read_object(&format!("o{i}"), 0, body.len() as u32).unwrap();
+            client
+                .write_object(&format!("o{i}"), 0, body.as_bytes())
+                .unwrap();
+            let back = client
+                .read_object(&format!("o{i}"), 0, body.len() as u32)
+                .unwrap();
             assert_eq!(back, body.as_bytes(), "{name}: o{i}");
         }
         cluster.shutdown();
@@ -65,7 +75,11 @@ fn pipelined_writes_to_one_object_apply_in_order() {
         let client = cluster.client().unwrap();
         // Issue 30 async overwrites of the same object without waiting.
         let handles: Vec<_> = (0..30u8)
-            .map(|v| client.write_object_async("seq", 0, Bytes::from(vec![v; 512])).unwrap())
+            .map(|v| {
+                client
+                    .write_object_async("seq", 0, Bytes::from(vec![v; 512]))
+                    .unwrap()
+            })
             .collect();
         for h in handles {
             h.wait().unwrap();
@@ -90,7 +104,10 @@ fn concurrent_clients_distinct_objects() {
                     let name = format!("t{t}-o{i}");
                     let body = format!("{t}/{i}");
                     client.write_object(&name, 0, body.as_bytes()).unwrap();
-                    assert_eq!(client.read_object(&name, 0, body.len() as u32).unwrap(), body.as_bytes());
+                    assert_eq!(
+                        client.read_object(&name, 0, body.len() as u32).unwrap(),
+                        body.as_bytes()
+                    );
                 }
             });
         }
@@ -102,7 +119,9 @@ fn concurrent_clients_distinct_objects() {
 fn data_is_on_both_replicas() {
     let cluster = cluster(OsdTuning::afceph());
     let client = cluster.client().unwrap();
-    client.write_object("replicated", 0, b"twice-stored").unwrap();
+    client
+        .write_object("replicated", 0, b"twice-stored")
+        .unwrap();
     cluster.quiesce();
     // Find the object's acting set and check each OSD's filestore.
     let obj = afcstore::common::ObjectId::new(cluster.pool(), "replicated");
@@ -135,7 +154,11 @@ fn rbd_image_data_integrity_random_pattern() {
     for check in 0..20 {
         let off = (check * 793 * 1024) % (16 * MIB - 4096);
         let got = img.read_at(off, 4096).unwrap();
-        assert_eq!(got, model[off as usize..off as usize + 4096], "mismatch at {off}");
+        assert_eq!(
+            got,
+            model[off as usize..off as usize + 4096],
+            "mismatch at {off}"
+        );
     }
     cluster.shutdown();
 }
@@ -171,17 +194,31 @@ fn async_messenger_cluster_is_equivalent() {
     let client = cluster.client().unwrap();
     for i in 0..30 {
         let body = format!("async-{i}");
-        client.write_object(&format!("am{i}"), 0, body.as_bytes()).unwrap();
-        assert_eq!(client.read_object(&format!("am{i}"), 0, body.len() as u32).unwrap(), body.as_bytes());
+        client
+            .write_object(&format!("am{i}"), 0, body.as_bytes())
+            .unwrap();
+        assert_eq!(
+            client
+                .read_object(&format!("am{i}"), 0, body.len() as u32)
+                .unwrap(),
+            body.as_bytes()
+        );
     }
     // Pipelined overwrites stay ordered through the shared lanes.
     let handles: Vec<_> = (0..20u8)
-        .map(|v| client.write_object_async("am-seq", 0, Bytes::from(vec![v; 256])).unwrap())
+        .map(|v| {
+            client
+                .write_object_async("am-seq", 0, Bytes::from(vec![v; 256]))
+                .unwrap()
+        })
         .collect();
     for h in handles {
         h.wait().unwrap();
     }
-    assert_eq!(client.read_object("am-seq", 0, 256).unwrap(), vec![19u8; 256]);
+    assert_eq!(
+        client.read_object("am-seq", 0, 256).unwrap(),
+        vec![19u8; 256]
+    );
     cluster.quiesce();
     assert!(cluster.deep_scrub().unwrap().is_clean());
     assert_eq!(cluster.network().counters().get("net.lanes"), 3);

@@ -5,10 +5,10 @@
 //! properties drive randomized operation sequences through both
 //! configurations and demand identical observable state.
 
+use afc_device::{Nvram, NvramConfig};
 use afc_filestore::{FileStore, FileStoreConfig, Transaction, TxOp};
 use afcstore::common::{BlockTarget, MIB};
 use afcstore::{Cluster, DeviceProfile, OsdTuning};
-use afc_device::{Nvram, NvramConfig};
 use bytes::Bytes;
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -16,16 +16,36 @@ use std::sync::Arc;
 /// A randomized filestore operation.
 #[derive(Debug, Clone)]
 enum FsOp {
-    Write { obj: u8, off: u16, fill: u8, len: u16 },
-    Truncate { obj: u8, size: u16 },
-    Remove { obj: u8 },
-    Omap { obj: u8, key: u8, val: u8 },
+    Write {
+        obj: u8,
+        off: u16,
+        fill: u8,
+        len: u16,
+    },
+    Truncate {
+        obj: u8,
+        size: u16,
+    },
+    Remove {
+        obj: u8,
+    },
+    Omap {
+        obj: u8,
+        key: u8,
+        val: u8,
+    },
 }
 
 fn fsop() -> impl Strategy<Value = FsOp> {
     prop_oneof![
-        (0u8..4, 0u16..8192, any::<u8>(), 1u16..2048)
-            .prop_map(|(obj, off, fill, len)| FsOp::Write { obj, off, fill, len }),
+        (0u8..4, 0u16..8192, any::<u8>(), 1u16..2048).prop_map(|(obj, off, fill, len)| {
+            FsOp::Write {
+                obj,
+                off,
+                fill,
+                len,
+            }
+        }),
         (0u8..4, 0u16..8192).prop_map(|(obj, size)| FsOp::Truncate { obj, size }),
         (0u8..4).prop_map(|obj| FsOp::Remove { obj }),
         (0u8..4, any::<u8>(), any::<u8>()).prop_map(|(obj, key, val)| FsOp::Omap { obj, key, val }),
@@ -36,9 +56,16 @@ fn apply(fs: &FileStore, ops: &[FsOp]) {
     for op in ops {
         let mut t = Transaction::new();
         match op {
-            FsOp::Write { obj, off, fill, len } => {
+            FsOp::Write {
+                obj,
+                off,
+                fill,
+                len,
+            } => {
                 let name = format!("obj{obj}");
-                t.push(TxOp::Touch { object: name.clone() });
+                t.push(TxOp::Touch {
+                    object: name.clone(),
+                });
                 t.push(TxOp::Write {
                     object: name,
                     offset: *off as u64,
@@ -50,7 +77,10 @@ fn apply(fs: &FileStore, ops: &[FsOp]) {
                 if !fs.exists(&name) {
                     continue;
                 }
-                t.push(TxOp::Truncate { object: name, size: *size as u64 });
+                t.push(TxOp::Truncate {
+                    object: name,
+                    size: *size as u64,
+                });
             }
             FsOp::Remove { obj } => {
                 let name = format!("obj{obj}");

@@ -1,8 +1,8 @@
 //! Deep-scrub integration tests: replica verification and corruption
 //! detection.
 
-use afcstore::{Cluster, DeviceProfile, OsdTuning};
 use afcstore::filestore::{Transaction, TxOp};
+use afcstore::{Cluster, DeviceProfile, OsdTuning};
 use bytes::Bytes;
 
 fn cluster() -> Cluster {
@@ -22,11 +22,17 @@ fn scrub_clean_cluster_reports_clean() {
     let c = cluster();
     let client = c.client().unwrap();
     for i in 0..30 {
-        client.write_object(&format!("s{i}"), 0, format!("scrub-payload-{i}").as_bytes()).unwrap();
+        client
+            .write_object(&format!("s{i}"), 0, format!("scrub-payload-{i}").as_bytes())
+            .unwrap();
     }
     c.quiesce();
     let report = c.deep_scrub().unwrap();
-    assert!(report.is_clean(), "unexpected inconsistencies: {:?}", report.inconsistent);
+    assert!(
+        report.is_clean(),
+        "unexpected inconsistencies: {:?}",
+        report.inconsistent
+    );
     assert_eq!(report.objects_checked, 30);
     assert_eq!(report.pgs_checked, 32);
     c.shutdown();
@@ -36,7 +42,9 @@ fn scrub_clean_cluster_reports_clean() {
 fn scrub_detects_injected_corruption() {
     let c = cluster();
     let client = c.client().unwrap();
-    client.write_object("victim", 0, b"pristine-content").unwrap();
+    client
+        .write_object("victim", 0, b"pristine-content")
+        .unwrap();
     for i in 0..10 {
         client.write_object(&format!("ok{i}"), 0, b"fine").unwrap();
     }
@@ -46,7 +54,11 @@ fn scrub_detects_injected_corruption() {
     let (_pg, acting) = c.monitor().map().object_placement(&obj).unwrap();
     let replica = c.osd(acting[1]).unwrap();
     let mut t = Transaction::new();
-    t.push(TxOp::Write { object: obj.to_string(), offset: 0, data: Bytes::from_static(b"CORRUPTED!") });
+    t.push(TxOp::Write {
+        object: obj.to_string(),
+        offset: 0,
+        data: Bytes::from_static(b"CORRUPTED!"),
+    });
     replica.store().apply_sync(t).unwrap();
     let report = c.deep_scrub().unwrap();
     assert_eq!(report.inconsistent.len(), 1, "{:?}", report.inconsistent);
@@ -64,7 +76,9 @@ fn scrub_detects_missing_replica() {
     let (_pg, acting) = c.monitor().map().object_placement(&obj).unwrap();
     let replica = c.osd(acting[1]).unwrap();
     let mut t = Transaction::new();
-    t.push(TxOp::Remove { object: obj.to_string() });
+    t.push(TxOp::Remove {
+        object: obj.to_string(),
+    });
     replica.store().apply_sync(t).unwrap();
     let report = c.deep_scrub().unwrap();
     assert_eq!(report.inconsistent.len(), 1);

@@ -33,8 +33,17 @@ fn all_patterns_run_clean() {
     let c = cluster(OsdTuning::afceph());
     let img = c.create_image("wl", 32 * MIB).unwrap();
     prefill(&img);
-    for rw in [Rw::RandWrite, Rw::RandRead, Rw::SeqWrite, Rw::SeqRead, Rw::RandRw { read_pct: 70 }] {
-        let spec = JobSpec::new(rw).bs(4096).iodepth(2).runtime(Duration::from_millis(600));
+    for rw in [
+        Rw::RandWrite,
+        Rw::RandRead,
+        Rw::SeqWrite,
+        Rw::SeqRead,
+        Rw::RandRw { read_pct: 70 },
+    ] {
+        let spec = JobSpec::new(rw)
+            .bs(4096)
+            .iodepth(2)
+            .runtime(Duration::from_millis(600));
         let r = workload::run(&spec, &img);
         assert_eq!(r.errors, 0, "{rw:?} had errors");
         assert!(r.ops > 10, "{rw:?} too few ops: {}", r.ops);
@@ -49,14 +58,25 @@ fn large_blocks_give_more_bandwidth_fewer_iops() {
     let img = c.create_image("bw", 32 * MIB).unwrap();
     prefill(&img);
     let small = workload::run(
-        &JobSpec::new(Rw::SeqRead).bs(4096).iodepth(2).runtime(Duration::from_secs(1)),
+        &JobSpec::new(Rw::SeqRead)
+            .bs(4096)
+            .iodepth(2)
+            .runtime(Duration::from_secs(1)),
         &img,
     );
     let large = workload::run(
-        &JobSpec::new(Rw::SeqRead).bs(MIB).iodepth(2).runtime(Duration::from_secs(1)),
+        &JobSpec::new(Rw::SeqRead)
+            .bs(MIB)
+            .iodepth(2)
+            .runtime(Duration::from_secs(1)),
         &img,
     );
-    assert!(large.bandwidth() > small.bandwidth(), "large {} <= small {}", large.bandwidth(), small.bandwidth());
+    assert!(
+        large.bandwidth() > small.bandwidth(),
+        "large {} <= small {}",
+        large.bandwidth(),
+        small.bandwidth()
+    );
     assert!(large.iops() < small.iops());
     c.shutdown();
 }
@@ -70,7 +90,11 @@ fn afceph_beats_community_on_small_random_writes() {
         let c = cluster(tuning);
         let img = c.create_image("cmp", 32 * MIB).unwrap();
         prefill(&img);
-        let spec = JobSpec::new(Rw::RandWrite).bs(4096).numjobs(2).iodepth(2).runtime(Duration::from_secs(2));
+        let spec = JobSpec::new(Rw::RandWrite)
+            .bs(4096)
+            .numjobs(2)
+            .iodepth(2)
+            .runtime(Duration::from_secs(2));
         let r = workload::run(&spec, &img);
         assert_eq!(r.errors, 0);
         results.push((r.iops(), r.mean_lat()));
@@ -83,16 +107,26 @@ fn afceph_beats_community_on_small_random_writes() {
         afceph.0,
         community.0
     );
-    assert!(afceph.1 < community.1, "afceph latency {:?} not below community {:?}", afceph.1, community.1);
+    assert!(
+        afceph.1 < community.1,
+        "afceph latency {:?} not below community {:?}",
+        afceph.1,
+        community.1
+    );
 }
 
 #[test]
 fn nagle_disabled_cuts_single_stream_latency() {
     let mut lats = Vec::new();
     for nagle in [true, false] {
-        let c = cluster(OsdTuning { nagle, ..OsdTuning::community() });
+        let c = cluster(OsdTuning {
+            nagle,
+            ..OsdTuning::community()
+        });
         let img = c.create_image("ng", 16 * MIB).unwrap();
-        let spec = JobSpec::new(Rw::RandWrite).bs(4096).runtime(Duration::from_secs(1));
+        let spec = JobSpec::new(Rw::RandWrite)
+            .bs(4096)
+            .runtime(Duration::from_secs(1));
         let r = workload::run(&spec, &img);
         lats.push(r.mean_lat());
         c.shutdown();

@@ -1,0 +1,198 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Supports the structural API the workspace's micro-benchmarks use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], and the
+//! `criterion_group!` / `criterion_main!` macros. Instead of statistical
+//! sampling it runs a fixed warm-up plus a timed window and prints a
+//! mean ns/iter line, which is enough for the repo's "does the hot path
+//! regress by an order of magnitude" smoke usage.
+
+use std::time::{Duration, Instant};
+
+/// Batch sizing hint; the stand-in treats all variants identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Prevent the optimizer from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Configure per-benchmark measurement window (builder style).
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let measurement_time = self.measurement_time;
+        BenchmarkGroup {
+            _c: self,
+            name: name.to_string(),
+            measurement_time,
+        }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let t = self.measurement_time;
+        run_one(name, t, f);
+        self
+    }
+
+    /// No-op in the stand-in (real criterion prints a summary).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set this group's measurement window.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Accepted for compatibility; the stand-in ignores sample counts.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let label = format!("{}/{}", self.name, name);
+        run_one(&label, self.measurement_time, f);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, window: Duration, mut f: F) {
+    let mut b = Bencher {
+        window,
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = if b.iters == 0 {
+        0.0
+    } else {
+        b.elapsed.as_nanos() as f64 / b.iters as f64
+    };
+    println!(
+        "bench {label:<40} {per_iter:>12.1} ns/iter ({} iters)",
+        b.iters
+    );
+}
+
+/// Passed to each benchmark closure; drives the timed loop.
+pub struct Bencher {
+    window: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly for the measurement window.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up to get code/caches hot before the measured window.
+        for _ in 0..16 {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < self.window {
+            black_box(routine());
+            iters += 1;
+        }
+        self.iters += iters;
+        self.elapsed += start.elapsed();
+    }
+
+    /// Time `routine` over fresh inputs from `setup`; setup time excluded.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        for _ in 0..16 {
+            black_box(routine(setup()));
+        }
+        let deadline = Instant::now() + self.window;
+        while Instant::now() < deadline {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+/// Bundle benchmark functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emit a `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_counts_iters() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(5));
+        let mut g = c.benchmark_group("g");
+        g.measurement_time(Duration::from_millis(5)).sample_size(10);
+        let mut ran = 0u64;
+        g.bench_function("inc", |b| b.iter(|| ran = ran.wrapping_add(1)));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| 3u64, |x| x * 2, BatchSize::SmallInput)
+        });
+        g.finish();
+        assert!(ran > 0);
+    }
+}

@@ -1,0 +1,225 @@
+//! Offline stand-in for the `rand` crate (0.9 API names).
+//!
+//! Provides [`rngs::StdRng`] (a splitmix64 generator — statistically fine
+//! for workload shaping and tests, not cryptographic), the [`Rng`] extension
+//! trait with `random`/`random_range`/`random_bool`, and [`SeedableRng`].
+
+use std::ops::{Bound, RangeBounds};
+
+/// Low-level generator interface.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let v = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
+    }
+}
+
+/// Types constructible from a stream of random bits (the `random::<T>()`
+/// family).
+pub trait FromRandom {
+    /// Draw a value from `rng`.
+    fn from_random<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! from_random_int {
+    ($($t:ty),*) => {$(
+        impl FromRandom for $t {
+            fn from_random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+from_random_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl FromRandom for u128 {
+    fn from_random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl FromRandom for bool {
+    fn from_random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl FromRandom for f64 {
+    fn from_random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl FromRandom for f32 {
+    fn from_random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Integer types usable with `random_range`.
+pub trait SampleUniform: Copy {
+    /// Widen to i128 for uniform arithmetic.
+    fn to_i128(self) -> i128;
+    /// Narrow from i128 (value guaranteed in range).
+    fn from_i128(v: i128) -> Self;
+    /// Inclusive maximum of the type.
+    fn max_value() -> i128;
+}
+
+macro_rules! sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn to_i128(self) -> i128 { self as i128 }
+            fn from_i128(v: i128) -> Self { v as $t }
+            fn max_value() -> i128 { <$t>::MAX as i128 }
+        }
+    )*};
+}
+
+sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// User-facing generator extension methods (rand 0.9 naming).
+pub trait Rng: RngCore {
+    /// A uniformly random `T`.
+    fn random<T: FromRandom>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_random(self)
+    }
+
+    /// Uniform draw from an integer range (`start..end` or `start..=end`).
+    fn random_range<T: SampleUniform, B: RangeBounds<T>>(&mut self, range: B) -> T
+    where
+        Self: Sized,
+    {
+        let lo = match range.start_bound() {
+            Bound::Included(&v) => v.to_i128(),
+            Bound::Excluded(&v) => v.to_i128() + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&v) => v.to_i128(),
+            Bound::Excluded(&v) => v.to_i128() - 1,
+            Bound::Unbounded => T::max_value(),
+        };
+        assert!(lo <= hi, "random_range: empty range {lo}..={hi}");
+        let span = (hi - lo + 1) as u128;
+        // Modulo bias is < 2^-64 for any span that fits the workspace's uses.
+        let draw = ((self.next_u64() as u128) << 64 | self.next_u64() as u128) % span;
+        T::from_i128(lo + draw as i128)
+    }
+
+    /// `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::from_random(self) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// The standard generator: splitmix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            StdRng { state }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.random::<u64>(), c.random::<u64>());
+    }
+
+    #[test]
+    fn range_draws_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v: u64 = r.random_range(10..20);
+            assert!((10..20).contains(&v));
+            let w: i64 = r.random_range(-5..=5);
+            assert!((-5..=5).contains(&w));
+            let u: usize = r.random_range(0..1);
+            assert_eq!(u, 0);
+        }
+    }
+
+    #[test]
+    fn range_covers_all_values() {
+        let mut r = StdRng::seed_from_u64(2);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[r.random_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn random_bool_probability_rough() {
+        let mut r = StdRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| r.random_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "hits={hits}");
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut r = StdRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            let f: f64 = r.random();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+}
