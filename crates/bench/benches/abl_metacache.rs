@@ -28,7 +28,7 @@ fn main() {
         let mut cfg = FileStoreConfig::lightweight();
         cfg.meta_cache_entries = cache;
         cfg.queue_max_ops = 5000;
-        let fs = FileStore::new(dev, cfg);
+        let fs = FileStore::new(dev, cfg).expect("open filestore");
         for i in 0..WRITES {
             let obj = format!("obj.{:08x}", (i * 2654435761) % OBJECTS); // scattered reuse
             let mut t = Transaction::new();

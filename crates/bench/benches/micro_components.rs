@@ -19,7 +19,7 @@ fn bench_kvstore(c: &mut Criterion) {
     let mut g = c.benchmark_group("kvstore");
     g.measurement_time(Duration::from_secs(2)).sample_size(20);
     let dev = Arc::new(Nvram::new(NvramConfig::pmc_8g()));
-    let db = Db::open(dev, DbConfig::default());
+    let db = Db::open(dev, DbConfig::default()).expect("open db");
     let mut i = 0u64;
     g.bench_function("put_async", |b| {
         b.iter(|| {

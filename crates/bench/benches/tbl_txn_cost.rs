@@ -64,7 +64,7 @@ fn main() {
             jitter: 0.0,
             ..SsdConfig::sata3()
         }));
-        let fs = FileStore::new(dev, cfg);
+        let fs = FileStore::new(dev, cfg).expect("open filestore");
         for i in 0..N {
             fs.apply_sync(txn(i)).unwrap();
         }

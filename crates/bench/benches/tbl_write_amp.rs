@@ -19,7 +19,7 @@ fn drive(bs: u64, total: u64, profile: FileStoreConfig) -> (u64, u64, f64) {
     // Fast device so the table generates quickly; WA is a byte ratio and
     // does not depend on device speed.
     let dev = Arc::new(Nvram::new(NvramConfig::pmc_8g()));
-    let fs = FileStore::new(dev, profile);
+    let fs = FileStore::new(dev, profile).expect("open filestore");
     let mut written = 0u64;
     let mut seq = 0u64;
     while written < total {

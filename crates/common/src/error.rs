@@ -28,6 +28,10 @@ pub enum AfcError {
     Timeout(String),
     /// The peer/connection went away mid-operation.
     Disconnected(String),
+    /// A write tore mid-transfer: an unspecified prefix reached media, the
+    /// tail did not. Surfaced by device models under fault injection; the
+    /// journal converts it into a checksum-invalid tail entry.
+    TornWrite(String),
 }
 
 impl AfcError {
@@ -43,7 +47,18 @@ impl AfcError {
             AfcError::Corruption(_) => "corruption",
             AfcError::Timeout(_) => "timeout",
             AfcError::Disconnected(_) => "disconnected",
+            AfcError::TornWrite(_) => "torn_write",
         }
+    }
+
+    /// Whether a client may transparently retry the operation. Transient
+    /// transport/device failures are retryable; semantic errors (missing
+    /// object, bad argument, corruption) are terminal and must surface.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            AfcError::Io(_) | AfcError::Timeout(_) | AfcError::Disconnected(_)
+        )
     }
 }
 
@@ -59,6 +74,7 @@ impl fmt::Display for AfcError {
             AfcError::Corruption(m) => write!(f, "corruption: {m}"),
             AfcError::Timeout(m) => write!(f, "timeout: {m}"),
             AfcError::Disconnected(m) => write!(f, "disconnected: {m}"),
+            AfcError::TornWrite(m) => write!(f, "torn write: {m}"),
         }
     }
 }
@@ -90,11 +106,23 @@ mod tests {
             AfcError::Corruption(String::new()),
             AfcError::Timeout(String::new()),
             AfcError::Disconnected(String::new()),
+            AfcError::TornWrite(String::new()),
         ];
         let mut kinds: Vec<_> = all.iter().map(|e| e.kind()).collect();
         kinds.sort_unstable();
         kinds.dedup();
         assert_eq!(kinds.len(), all.len());
+    }
+
+    #[test]
+    fn retryability_split() {
+        assert!(AfcError::Io(String::new()).is_retryable());
+        assert!(AfcError::Timeout(String::new()).is_retryable());
+        assert!(AfcError::Disconnected(String::new()).is_retryable());
+        assert!(!AfcError::NotFound(String::new()).is_retryable());
+        assert!(!AfcError::Corruption(String::new()).is_retryable());
+        assert!(!AfcError::TornWrite(String::new()).is_retryable());
+        assert!(!AfcError::ShutDown(String::new()).is_retryable());
     }
 
     #[test]

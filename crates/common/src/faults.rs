@@ -1,0 +1,363 @@
+//! Deterministic, seed-reproducible fault injection.
+//!
+//! A fault schedule is plain data: a [`FaultPlan`] is a seed plus a list of
+//! [`FaultSpec`]s, each naming an injection *site* (a dotted string like
+//! `"osd3.journal.write"`), a [`FaultKind`], and a counter window (`after`
+//! matching hits pass through, then the next `count` fire). Components that
+//! can fail hold an `Arc<FaultRegistry>` and ask [`FaultRegistry::check`] at
+//! their injection sites; the registry replays the schedule deterministically,
+//! so any failure observed in a test is reproducible from the plan alone.
+//!
+//! The hot path is free when no faults are loaded: `check` is a single
+//! relaxed atomic load before touching any lock, and the registry disarms
+//! itself once every spec is exhausted.
+
+use crate::lockdep::{classes, TrackedMutex};
+use crate::rng;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// What happens when a fault fires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Fail the operation with a (retryable) I/O error.
+    Error,
+    /// Add a latency spike of the given duration.
+    Delay(Duration),
+    /// Tear the write: a prefix reaches media, the tail is garbage.
+    /// Only meaningful at device/journal write sites.
+    Torn,
+    /// Silently drop the message. Only meaningful at messenger sites.
+    Drop,
+    /// Deliver the message twice. Only meaningful at messenger sites.
+    Duplicate,
+}
+
+/// One scheduled fault: plain data, freely cloned and printed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Injection site this spec arms, e.g. `"osd0.journal.write"`.
+    pub site: String,
+    /// Effect when it fires.
+    pub kind: FaultKind,
+    /// Matching hits to let through unharmed before the first firing.
+    pub after: u64,
+    /// Firings before the spec is exhausted (`u64::MAX` = permanent).
+    pub count: u64,
+}
+
+impl FaultSpec {
+    /// A spec firing on the first matching hit, exactly once.
+    pub fn new(site: impl Into<String>, kind: FaultKind) -> Self {
+        FaultSpec {
+            site: site.into(),
+            kind,
+            after: 0,
+            count: 1,
+        }
+    }
+
+    /// Let the first `n` matching hits through before firing.
+    #[must_use]
+    pub fn after(mut self, n: u64) -> Self {
+        self.after = n;
+        self
+    }
+
+    /// Fire `n` times before exhausting.
+    #[must_use]
+    pub fn times(mut self, n: u64) -> Self {
+        self.count = n;
+        self
+    }
+
+    /// Fire on every matching hit, forever (a permanent fault).
+    #[must_use]
+    pub fn forever(mut self) -> Self {
+        self.count = u64::MAX;
+        self
+    }
+}
+
+/// A complete, replayable fault schedule: seed + specs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed for any randomized decisions a harness derives from this plan.
+    pub seed: u64,
+    /// The scheduled faults.
+    pub specs: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// An empty plan with the given seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            specs: Vec::new(),
+        }
+    }
+
+    /// Append a spec (builder style).
+    #[must_use]
+    pub fn with(mut self, spec: FaultSpec) -> Self {
+        self.specs.push(spec);
+        self
+    }
+}
+
+/// A loaded spec plus its firing counters.
+#[derive(Debug)]
+struct ArmedSpec {
+    spec: FaultSpec,
+    /// Matching hits observed so far (fired or not).
+    seen: u64,
+    /// Times this spec has fired.
+    fired: u64,
+}
+
+impl ArmedSpec {
+    fn exhausted(&self) -> bool {
+        self.fired >= self.spec.count
+    }
+}
+
+#[derive(Debug, Default)]
+struct RegState {
+    specs: Vec<ArmedSpec>,
+    /// Fires per site (the spec's own site string), for test assertions.
+    hits: HashMap<String, u64>,
+}
+
+/// The runtime registry components consult at their injection sites.
+///
+/// With no specs loaded, [`check`](Self::check) is one relaxed atomic load.
+pub struct FaultRegistry {
+    armed: AtomicBool,
+    seed: u64,
+    state: TrackedMutex<RegState>,
+}
+
+impl Default for FaultRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FaultRegistry {
+    /// An empty, disarmed registry (seed 0).
+    pub fn new() -> Self {
+        FaultRegistry {
+            armed: AtomicBool::new(false),
+            seed: 0,
+            state: TrackedMutex::new(&classes::FAULTS, RegState::default()),
+        }
+    }
+
+    /// A registry pre-loaded from a plan.
+    pub fn from_plan(plan: &FaultPlan) -> Self {
+        let reg = FaultRegistry {
+            seed: plan.seed,
+            ..Self::new()
+        };
+        for spec in &plan.specs {
+            reg.install(spec.clone());
+        }
+        reg
+    }
+
+    /// The plan's seed, for harnesses deriving randomized decisions.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Deterministic child RNG for stream `stream` of this plan's seed.
+    pub fn rng(&self, stream: u64) -> rand::rngs::StdRng {
+        rng::seeded(rng::child_seed(self.seed, stream))
+    }
+
+    /// Arm one spec.
+    pub fn install(&self, spec: FaultSpec) {
+        let mut st = self.state.lock();
+        st.specs.push(ArmedSpec {
+            spec,
+            seen: 0,
+            fired: 0,
+        });
+        self.armed.store(true, Ordering::Release);
+    }
+
+    /// Remove every spec (hit counts are preserved for assertions).
+    pub fn clear(&self) {
+        let mut st = self.state.lock();
+        st.specs.clear();
+        self.armed.store(false, Ordering::Release);
+    }
+
+    /// Whether any spec may still fire.
+    pub fn is_armed(&self) -> bool {
+        self.armed.load(Ordering::Relaxed)
+    }
+
+    /// Consult the schedule at `site`. Returns the fault to apply, if one
+    /// fires. Free (one relaxed load) when nothing is armed.
+    #[inline]
+    pub fn check(&self, site: &str) -> Option<FaultKind> {
+        if !self.armed.load(Ordering::Relaxed) {
+            return None;
+        }
+        self.check_io(site, "")
+    }
+
+    /// Like [`check`](Self::check), but matches specs written either as the
+    /// bare `base` site or as `base.op` — devices use this so one spec can
+    /// target all I/O at a site (`"osd0.data"`) or one verb
+    /// (`"osd0.data.write"`).
+    #[inline]
+    pub fn check_io(&self, base: &str, op: &str) -> Option<FaultKind> {
+        if !self.armed.load(Ordering::Relaxed) {
+            return None;
+        }
+        self.check_slow(base, op)
+    }
+
+    fn check_slow(&self, base: &str, op: &str) -> Option<FaultKind> {
+        let mut st = self.state.lock();
+        let mut fired: Option<(String, FaultKind)> = None;
+        let mut live = false;
+        for armed in &mut st.specs {
+            let matches = armed.spec.site == base
+                || (!op.is_empty()
+                    && armed
+                        .spec
+                        .site
+                        .strip_prefix(base)
+                        .and_then(|r| r.strip_prefix('.'))
+                        .is_some_and(|r| r == op));
+            if matches && !armed.exhausted() {
+                armed.seen += 1;
+                if fired.is_none() && armed.seen > armed.spec.after && !armed.exhausted() {
+                    armed.fired += 1;
+                    fired = Some((armed.spec.site.clone(), armed.spec.kind.clone()));
+                }
+            }
+            live |= !armed.exhausted();
+        }
+        if let Some((site, _)) = &fired {
+            *st.hits.entry(site.clone()).or_insert(0) += 1;
+        }
+        if !live {
+            // Everything exhausted: restore the zero-cost happy path.
+            self.armed.store(false, Ordering::Release);
+        }
+        fired.map(|(_, kind)| kind)
+    }
+
+    /// Times any spec declared at exactly `site` has fired.
+    pub fn hits(&self, site: &str) -> u64 {
+        self.state.lock().hits.get(site).copied().unwrap_or(0)
+    }
+
+    /// Total fires across all sites.
+    pub fn total_hits(&self) -> u64 {
+        self.state.lock().hits.values().sum()
+    }
+}
+
+impl std::fmt::Debug for FaultRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultRegistry")
+            .field("armed", &self.is_armed())
+            .field("seed", &self.seed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_registry_never_fires() {
+        let reg = FaultRegistry::new();
+        assert!(!reg.is_armed());
+        assert_eq!(reg.check("anything"), None);
+        assert_eq!(reg.total_hits(), 0);
+    }
+
+    #[test]
+    fn after_and_count_window() {
+        let reg = FaultRegistry::new();
+        reg.install(FaultSpec::new("s", FaultKind::Error).after(2).times(2));
+        assert_eq!(reg.check("s"), None);
+        assert_eq!(reg.check("s"), None);
+        assert_eq!(reg.check("s"), Some(FaultKind::Error));
+        assert_eq!(reg.check("s"), Some(FaultKind::Error));
+        assert_eq!(reg.check("s"), None, "exhausted");
+        assert!(!reg.is_armed(), "registry disarms once exhausted");
+        assert_eq!(reg.hits("s"), 2);
+    }
+
+    #[test]
+    fn sites_are_independent() {
+        let reg = FaultRegistry::new();
+        reg.install(FaultSpec::new("a", FaultKind::Error).forever());
+        assert_eq!(reg.check("b"), None);
+        assert_eq!(reg.check("a"), Some(FaultKind::Error));
+        assert_eq!(reg.hits("a"), 1);
+        assert_eq!(reg.hits("b"), 0);
+        assert!(reg.is_armed(), "forever specs never exhaust");
+    }
+
+    #[test]
+    fn io_suffix_matching() {
+        let reg = FaultRegistry::new();
+        reg.install(FaultSpec::new("dev.write", FaultKind::Torn).forever());
+        reg.install(FaultSpec::new("dev", FaultKind::Delay(Duration::from_millis(1))).forever());
+        // Bare-base spec matches any verb; suffixed spec only its own.
+        assert_eq!(reg.check_io("dev", "write"), Some(FaultKind::Torn));
+        assert_eq!(
+            reg.check_io("dev", "read"),
+            Some(FaultKind::Delay(Duration::from_millis(1)))
+        );
+        // Exact-site check does not see the suffixed spec.
+        assert_eq!(reg.check("dev.read"), None);
+    }
+
+    #[test]
+    fn plan_replays_identically() {
+        let plan = FaultPlan::new(7)
+            .with(FaultSpec::new("x", FaultKind::Error).after(1).times(3))
+            .with(FaultSpec::new("y", FaultKind::Drop));
+        let run = |plan: &FaultPlan| {
+            let reg = FaultRegistry::from_plan(plan);
+            let mut out = Vec::new();
+            for _ in 0..6 {
+                out.push(reg.check("x"));
+                out.push(reg.check("y"));
+            }
+            out
+        };
+        assert_eq!(run(&plan), run(&plan));
+        assert_eq!(plan.seed, 7);
+    }
+
+    #[test]
+    fn clear_disarms() {
+        let reg = FaultRegistry::new();
+        reg.install(FaultSpec::new("s", FaultKind::Error).forever());
+        assert_eq!(reg.check("s"), Some(FaultKind::Error));
+        reg.clear();
+        assert!(!reg.is_armed());
+        assert_eq!(reg.check("s"), None);
+        assert_eq!(reg.hits("s"), 1, "hit history survives clear");
+    }
+
+    #[test]
+    fn registry_rng_is_deterministic() {
+        use rand::Rng;
+        let a = FaultRegistry::from_plan(&FaultPlan::new(42));
+        let b = FaultRegistry::from_plan(&FaultPlan::new(42));
+        assert_eq!(a.rng(3).random::<u64>(), b.rng(3).random::<u64>());
+    }
+}

@@ -4,6 +4,8 @@
 //! the plumbing the rest of the workspace is built from:
 //!
 //! - [`error`]: the workspace-wide error type.
+//! - [`faults`]: deterministic fault-injection schedules and the runtime
+//!   registry components consult at their injection sites.
 //! - [`ids`]: strongly-typed identifiers (OSDs, PGs, objects, clients, epochs).
 //! - [`hist`]: a log-bucketed latency histogram (HdrHistogram-style, no deps).
 //! - [`series`]: wall-clock time-series recording for fluctuation plots.
@@ -21,6 +23,7 @@ pub mod blocktarget;
 pub mod bytesize;
 pub mod counters;
 pub mod error;
+pub mod faults;
 pub mod hist;
 pub mod ids;
 pub mod lockdep;
@@ -33,6 +36,7 @@ pub use blocktarget::BlockTarget;
 pub use bytesize::{GIB, KIB, MIB, TIB};
 pub use counters::CounterSet;
 pub use error::{AfcError, Result};
+pub use faults::{FaultKind, FaultPlan, FaultRegistry, FaultSpec};
 pub use hist::LatencyHist;
 pub use ids::{ClientId, Epoch, NodeId, ObjectId, OpId, OsdId, PgId, PoolId};
 pub use lockdep::{

@@ -102,6 +102,12 @@ pub mod classes {
         rank: 400,
         no_block_while_held: true,
     };
+    /// `OsdInner::rep_seen` — replica-side rep_id dedup window.
+    pub static REP_SEEN: LockClass = LockClass {
+        name: "osd.rep_seen",
+        rank: 405,
+        no_block_while_held: true,
+    };
     /// `OsdInner::pending_apply` — journal seq → transaction awaiting apply.
     pub static PENDING_APPLY: LockClass = LockClass {
         name: "osd.pending_apply",
@@ -175,6 +181,13 @@ pub mod classes {
         rank: 900,
         no_block_while_held: false,
     };
+    /// `FaultRegistry::state` — leaf lock consulted at injection sites,
+    /// potentially while holding any hot-path lock.
+    pub static FAULTS: LockClass = LockClass {
+        name: "common.faults",
+        rank: 950,
+        no_block_while_held: true,
+    };
 }
 
 /// The declared hierarchy as data, lowest rank first. Tests assert it is
@@ -186,6 +199,7 @@ pub static DECLARED_ORDER: &[&LockClass] = &[
     &classes::PG_STATE,
     &classes::PG_PENDING,
     &classes::REP_WAITS,
+    &classes::REP_SEEN,
     &classes::PENDING_APPLY,
     &classes::APPLY_GATE,
     &classes::TRIM,
@@ -198,6 +212,7 @@ pub static DECLARED_ORDER: &[&LockClass] = &[
     &classes::JOURNAL_DONE_TX,
     &classes::THROTTLE,
     &classes::OSD_WORKERS,
+    &classes::FAULTS,
 ];
 
 impl fmt::Debug for LockClass {

@@ -129,17 +129,34 @@ impl RadosClient {
         Ok(OpHandle { rx })
     }
 
-    /// Submit and wait, retrying misdirected ops against a refreshed map.
+    /// Submit and wait, retrying transient failures with exponential
+    /// backoff: misdirected ops (stale map — refreshed map next attempt)
+    /// and [`AfcError::is_retryable`] transport/timeout errors (lost
+    /// message, injected drop, replica-ack timeout). Permanent errors —
+    /// `NotFound`, `Corruption`, a device `Io` surfaced through the OSD —
+    /// propagate typed after the bounded retries; nothing panics.
     pub fn execute(&self, object: &str, op: ObjectOp) -> Result<OpOutcome> {
         let mut last = AfcError::Timeout("no attempt".into());
         for attempt in 0..self.max_retries {
-            let handle = self.submit(object, op.clone())?;
+            let handle = match self.submit(object, op.clone()) {
+                Ok(h) => h,
+                Err(e) if e.is_retryable() => {
+                    last = e;
+                    std::thread::sleep(Duration::from_millis(1 << attempt.min(6)));
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
             match handle.wait() {
                 Ok(o) => return Ok(o),
                 Err(AfcError::InvalidArgument(m)) if m.starts_with("misdirected") => {
                     last = AfcError::InvalidArgument(m);
                     // Map is shared; a short pause lets the monitor publish.
-                    std::thread::sleep(Duration::from_millis(2 << attempt));
+                    std::thread::sleep(Duration::from_millis(2 << attempt.min(6)));
+                }
+                Err(e) if e.is_retryable() => {
+                    last = e;
+                    std::thread::sleep(Duration::from_millis(1 << attempt.min(6)));
                 }
                 Err(e) => return Err(e),
             }

@@ -11,7 +11,10 @@ use crate::messages::OsdMsg;
 use crate::monitor::Monitor;
 use crate::osd::{Osd, OsdParams, OsdStats};
 use crate::tuning::OsdTuning;
-use afc_common::{AfcError, ClientId, NodeId, ObjectId, OsdId, PgId, PoolId, Result, GIB, KIB};
+use afc_common::{
+    AfcError, ClientId, FaultPlan, FaultRegistry, NodeId, ObjectId, OsdId, PgId, PoolId, Result,
+    GIB, KIB,
+};
 use afc_crush::osdmap::PoolSpec;
 use afc_crush::CrushMap;
 use afc_device::{BlockDev, Nvram, NvramConfig, Raid0, Ssd, SsdConfig};
@@ -94,6 +97,7 @@ pub struct ClusterBuilder {
     msgr_cpu: Duration,
     msgr_mode: MessengerMode,
     seed: u64,
+    faults: Option<FaultPlan>,
 }
 
 impl Default for ClusterBuilder {
@@ -109,6 +113,7 @@ impl Default for ClusterBuilder {
             msgr_cpu: Duration::ZERO,
             msgr_mode: MessengerMode::Simple,
             seed: 0xafc_5eed,
+            faults: None,
         }
     }
 }
@@ -186,6 +191,20 @@ impl ClusterBuilder {
         self
     }
 
+    /// Install a deterministic fault-injection plan. Sites the cluster
+    /// wires up:
+    /// - `net.request` / `net.reply` / `net.replicate` / `net.repack`
+    ///   (messenger, per message class),
+    /// - `osd{id}.data.{read,write}` (every SSD member under that OSD's
+    ///   RAID-0),
+    /// - `node{n}.journal.{read,write}` (the node's shared NVRAM card),
+    /// - `osd{id}.fs.{apply,mid_apply}` (filestore apply path).
+    #[must_use]
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
     /// Assemble and start the cluster.
     pub fn build(self) -> Result<Cluster> {
         if self.nodes == 0 || self.osds_per_node == 0 {
@@ -206,6 +225,23 @@ impl ClusterBuilder {
             mode: self.msgr_mode,
             ..NetConfig::default()
         });
+        let faults = self
+            .faults
+            .as_ref()
+            .map(|p| Arc::new(FaultRegistry::from_plan(p)));
+        if let Some(reg) = &faults {
+            net.attach_faults(Arc::clone(reg), |_from, _to, msg: &OsdMsg| {
+                Some(
+                    match msg {
+                        OsdMsg::Request(_) => "net.request",
+                        OsdMsg::Reply(_) => "net.reply",
+                        OsdMsg::Replicate(_) => "net.replicate",
+                        OsdMsg::RepAck(_) => "net.repack",
+                    }
+                    .to_string(),
+                )
+            });
+        }
         let crush = CrushMap::uniform(self.nodes, self.osds_per_node);
         let monitor = Monitor::new(crush);
         let pool = PoolId(0);
@@ -221,14 +257,25 @@ impl ClusterBuilder {
         let mut osds = Vec::new();
         for node in 0..self.nodes {
             // One NVRAM card per node, shared by its OSDs' journals.
-            let nvram: Arc<dyn BlockDev> = Arc::new(Nvram::new(self.devices.nvram.clone()));
+            let nvram = Arc::new(Nvram::new(self.devices.nvram.clone()));
+            if let Some(reg) = &faults {
+                nvram
+                    .faults()
+                    .attach(Arc::clone(reg), format!("node{node}.journal"));
+            }
             for o in 0..self.osds_per_node {
                 let id = OsdId(node * self.osds_per_node + o);
                 let members: Vec<Arc<dyn BlockDev>> = (0..self.devices.ssds_per_osd.max(1))
                     .map(|d| {
                         let seed = self.seed ^ ((id.0 as u64) << 16) ^ d as u64;
-                        Arc::new(Ssd::new(self.devices.ssd.clone().with_seed(seed)))
-                            as Arc<dyn BlockDev>
+                        let ssd = Ssd::new(self.devices.ssd.clone().with_seed(seed));
+                        if let Some(reg) = &faults {
+                            // Attach to every member: RAID-0 fans a request
+                            // out, so any member can surface the fault.
+                            ssd.faults()
+                                .attach(Arc::clone(reg), format!("osd{}.data", id.0));
+                        }
+                        Arc::new(ssd) as Arc<dyn BlockDev>
                     })
                     .collect();
                 let data_dev: Arc<dyn BlockDev> =
@@ -237,15 +284,20 @@ impl ClusterBuilder {
                     .devices
                     .journal_capacity
                     .min(self.devices.nvram.capacity / self.osds_per_node as u64);
-                osds.push(Osd::spawn(OsdParams {
+                let osd = Osd::spawn(OsdParams {
                     id,
                     tuning: self.tuning.clone(),
                     data_dev,
-                    journal_dev: Arc::clone(&nvram),
+                    journal_dev: Arc::clone(&nvram) as Arc<dyn BlockDev>,
                     journal_capacity,
                     map: monitor.shared_map(),
                     net: Arc::clone(&net),
-                })?);
+                })?;
+                if let Some(reg) = &faults {
+                    osd.store()
+                        .attach_faults(Arc::clone(reg), format!("osd{}.fs", id.0));
+                }
+                osds.push(osd);
             }
         }
         Ok(Cluster {
@@ -254,6 +306,7 @@ impl ClusterBuilder {
             osds,
             pool,
             tuning: self.tuning,
+            faults,
             next_client: AtomicU64::new(1),
             stopped: AtomicBool::new(false),
         })
@@ -267,6 +320,7 @@ pub struct Cluster {
     osds: Vec<Arc<Osd>>,
     pool: PoolId,
     tuning: OsdTuning,
+    faults: Option<Arc<FaultRegistry>>,
     next_client: AtomicU64,
     stopped: AtomicBool,
 }
@@ -317,6 +371,13 @@ impl Cluster {
     /// The tuning the cluster was built with.
     pub fn tuning(&self) -> &OsdTuning {
         &self.tuning
+    }
+
+    /// The fault registry, when the cluster was built with a fault plan.
+    /// Tests use it to install/clear faults mid-run and to read hit
+    /// counters.
+    pub fn fault_registry(&self) -> Option<&Arc<FaultRegistry>> {
+        self.faults.as_ref()
     }
 
     /// Node hosting an OSD.

@@ -43,7 +43,7 @@ use pg::{Pg, PgState};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use trace::{StageRecorder, TraceTimes};
 use trim::TrimTracker;
 
@@ -98,6 +98,11 @@ pub struct OsdStats {
     pub log_submitted: u64,
     /// Debug-log submit wait, microseconds (blocking mode).
     pub log_wait_us: u64,
+    /// Filestore applies that failed (injected/device faults). The journal
+    /// entry is retained for `replay_journal` to re-apply.
+    pub apply_failures: u64,
+    /// Replication sub-ops retransmitted after an ack timeout.
+    pub rep_resends: u64,
 }
 
 struct Progress {
@@ -117,6 +122,46 @@ struct WriteOp {
     permit: TrackedMutex<Option<OwnedPermit>>,
     trace: Option<TrackedMutex<TraceTimes>>,
     ack_lane: Option<u64>,
+}
+
+/// Primary-side record of one outstanding `Replicate`, kept until its
+/// `RepAck` arrives. Carries everything needed to retransmit on timeout.
+struct RepWait {
+    op: Arc<WriteOp>,
+    to: Addr,
+    rep: RepOp,
+    sent: Instant,
+    resends: u32,
+}
+
+/// Replica-side dedup window so a retransmitted (or network-duplicated)
+/// `Replicate` is re-acked, never re-journaled/re-applied. Bounded FIFO.
+/// Keyed by (primary addr, rep_id): rep_ids are only unique per primary.
+struct RepSeen {
+    /// (primary, rep_id) → committed? (false: journal submit in flight).
+    state: HashMap<(Addr, u64), bool>,
+    order: VecDeque<(Addr, u64)>,
+}
+
+impl RepSeen {
+    const CAP: usize = 8192;
+
+    fn new() -> Self {
+        RepSeen {
+            state: HashMap::new(),
+            order: VecDeque::new(),
+        }
+    }
+
+    fn insert(&mut self, key: (Addr, u64)) {
+        self.state.insert(key, false);
+        self.order.push_back(key);
+        while self.order.len() > Self::CAP {
+            if let Some(old) = self.order.pop_front() {
+                self.state.remove(&old);
+            }
+        }
+    }
 }
 
 enum CompletionEvent {
@@ -208,6 +253,13 @@ impl ApplyGate {
     fn wait_ordered(&self, object: &str) {
         self.wait_target(object, self.snapshot(object));
     }
+
+    /// Drop all gate state and release every waiter (crash simulation:
+    /// the gate is volatile bookkeeping).
+    fn reset(&self) {
+        self.objects.lock().clear();
+        self.cv.notify_all();
+    }
 }
 
 /// A read handed off to the disk-reader pool (§3.1/§4.3: with the pending
@@ -234,7 +286,8 @@ struct OsdInner {
     pgs: TrackedRwLock<HashMap<PgId, Arc<Pg>>>,
     opq: OpQueue,
     client_throttle: Arc<Throttle>,
-    rep_waits: TrackedMutex<HashMap<u64, Arc<WriteOp>>>,
+    rep_waits: TrackedMutex<HashMap<u64, RepWait>>,
+    rep_seen: TrackedMutex<RepSeen>,
     next_rep_id: AtomicU64,
     trim: TrackedMutex<TrimTracker>,
     pending_apply: TrackedMutex<HashMap<u64, Transaction>>,
@@ -250,6 +303,8 @@ struct OsdInner {
     reads: AtomicU64,
     repops: AtomicU64,
     repacks: AtomicU64,
+    apply_failures: AtomicU64,
+    rep_resends: AtomicU64,
 }
 
 /// A running OSD daemon.
@@ -280,7 +335,7 @@ impl Osd {
                 FileStoreConfig::community()
             }
         };
-        let store = FileStore::new(Arc::clone(&params.data_dev), fs_cfg);
+        let store = FileStore::new(Arc::clone(&params.data_dev), fs_cfg)?;
         let journal = Journal::new(
             Arc::clone(&params.journal_dev),
             JournalConfig {
@@ -305,6 +360,7 @@ impl Osd {
                 tuning.client_message_cap(),
             )),
             rep_waits: TrackedMutex::new(&classes::REP_WAITS, HashMap::new()),
+            rep_seen: TrackedMutex::new(&classes::REP_SEEN, RepSeen::new()),
             next_rep_id: AtomicU64::new(1),
             trim: TrackedMutex::new(&classes::TRIM, TrimTracker::new()),
             pending_apply: TrackedMutex::new(&classes::PENDING_APPLY, HashMap::new()),
@@ -319,6 +375,8 @@ impl Osd {
             reads: AtomicU64::new(0),
             repops: AtomicU64::new(0),
             repacks: AtomicU64::new(0),
+            apply_failures: AtomicU64::new(0),
+            rep_resends: AtomicU64::new(0),
             tuning,
         });
         let msgr = params.net.register(
@@ -371,6 +429,21 @@ impl Osd {
                 workers.push(spawn_worker(
                     format!("{}-completion", params.id),
                     Box::new(move || completion_worker_loop(inner2, rx)),
+                )?);
+            }
+            // Replication retransmit ticker: sweeps rep_waits for sub-ops
+            // whose ack is overdue (lost Replicate or RepAck) and resends,
+            // failing the op after rep_max_resends attempts.
+            {
+                let inner2 = Arc::clone(&inner);
+                workers.push(spawn_worker(
+                    format!("{}-reptimer", params.id),
+                    Box::new(move || {
+                        while !inner2.shutdown.load(Ordering::Relaxed) {
+                            std::thread::sleep(Duration::from_millis(10));
+                            inner2.resend_expired_reps();
+                        }
+                    }),
                 )?);
             }
             Ok(())
@@ -442,24 +515,56 @@ impl Osd {
             device: inner.store.fs().device().stats(),
             log_submitted: inner.logger.counters().get("log.submitted"),
             log_wait_us: inner.logger.counters().get("log.block_wait_us"),
+            apply_failures: inner.apply_failures.load(Ordering::Relaxed),
+            rep_resends: inner.rep_resends.load(Ordering::Relaxed),
         }
     }
 
     /// Re-apply journal entries that had not reached the filestore (crash
-    /// recovery). Safe to call repeatedly: writes are idempotent replays.
+    /// recovery). Decodes every surviving (valid, untrimmed) journal entry
+    /// plus any in-memory pending applies and re-runs them in sequence
+    /// order. Safe to call repeatedly: each successful pass trims what it
+    /// applied, so a second pass is a no-op.
     pub fn replay_journal(&self) -> Result<usize> {
-        let pending: Vec<(u64, Transaction)> = {
+        let entries = self.inner.journal.replay();
+        // A crash loses the trim tracker; resynchronize it to the oldest
+        // surviving journal sequence so post-replay trims can advance.
+        if let Some(first) = entries.first() {
+            let mut t = self.inner.trim.lock();
+            if t.watermark() + 1 < first.seq {
+                *t = TrimTracker::resume_from(first.seq - 1);
+            }
+        }
+        let mut todo: Vec<(u64, Transaction)> = Vec::with_capacity(entries.len());
+        for e in &entries {
+            todo.push((e.seq, Transaction::decode(&e.payload)?));
+        }
+        {
             let p = self.inner.pending_apply.lock();
-            let mut v: Vec<_> = p.iter().map(|(s, t)| (*s, t.clone())).collect();
-            v.sort_by_key(|(s, _)| *s);
-            v
-        };
-        let n = pending.len();
-        for (seq, txn) in pending {
+            for (s, t) in p.iter() {
+                if !todo.iter().any(|(s2, _)| s2 == s) {
+                    todo.push((*s, t.clone()));
+                }
+            }
+        }
+        todo.sort_by_key(|(s, _)| *s);
+        let n = todo.len();
+        for (seq, txn) in todo {
             self.inner.store.apply_sync(txn)?;
             self.inner.on_applied(seq);
         }
         Ok(n)
+    }
+
+    /// Simulate a process crash + restart of this OSD's storage stack:
+    /// volatile state (pending-apply bookkeeping, read gates, unsynced
+    /// filestore KV records, metadata cache) is lost; the NVRAM journal
+    /// ring and applied object data survive. Call [`Self::replay_journal`]
+    /// afterwards, exactly as OSD init does after a real crash.
+    pub fn simulate_crash(&self) -> Result<usize> {
+        self.inner.pending_apply.lock().clear();
+        self.inner.apply_gate.reset();
+        self.inner.store.crash_volatile()
     }
 
     /// Drain in-flight work (test/bench helper): waits until the filestore
@@ -478,6 +583,18 @@ impl Osd {
         *self.inner.completion_tx.lock() = None;
         *self.inner.reader_tx.lock() = None;
         self.inner.client_throttle.close();
+        // Fail writes still waiting on replica acks (e.g. acks lost to
+        // injected faults) so nothing blocks on them across shutdown, and
+        // release any readers parked on their apply gates.
+        let stranded: Vec<Arc<WriteOp>> = {
+            let mut w = self.inner.rep_waits.lock();
+            w.drain().map(|(_, rw)| rw.op).collect()
+        };
+        for op in stranded {
+            self.inner
+                .fail_op(&op, AfcError::ShutDown("osd stopping".into()));
+        }
+        self.inner.apply_gate.reset();
         // Take the handles out first: joining while holding the workers
         // lock would block concurrent shutdown() callers on a lock held
         // across thread exit instead of on join itself.
@@ -574,6 +691,7 @@ fn completion_worker_loop(inner: Arc<OsdInner>, rx: crossbeam::channel::Receiver
                     ..
                 } => {
                     inner.enqueue_filestore(jseq, txn);
+                    inner.mark_rep_done(primary, rep_id);
                     inner.send(
                         primary,
                         OsdMsg::RepAck(RepOpReply {
@@ -801,25 +919,24 @@ impl OsdInner {
         // Later reads of this object must wait for the apply (gate is
         // released in on_applied).
         self.apply_gate.add(&obj_name);
-        // Replicate before journaling (splay replication, Figure 2).
-        for (i, r) in replicas.iter().enumerate() {
+        // Replicate before journaling (splay replication, Figure 2). Each
+        // sub-op is remembered with its wire form so the retransmit ticker
+        // can resend it if the ack never arrives.
+        for r in replicas.iter() {
             let rep_id = self.next_rep_id.fetch_add(1, Ordering::Relaxed);
-            self.rep_waits.lock().insert(rep_id, Arc::clone(&op));
             self.log("send repop");
-            let _ = i;
-            self.send(
-                Addr::Osd(*r),
-                OsdMsg::Replicate(RepOp {
-                    rep_id,
-                    pg: pg.id(),
-                    object: object.clone(),
-                    op: ObjectOp::Write {
-                        offset,
-                        data: data.clone(),
-                    },
-                    pg_seq,
-                }),
-            );
+            let rep = RepOp {
+                rep_id,
+                pg: pg.id(),
+                object: object.clone(),
+                op: ObjectOp::Write {
+                    offset,
+                    data: data.clone(),
+                },
+                pg_seq,
+            };
+            self.track_rep(rep_id, &op, Addr::Osd(*r), rep.clone());
+            self.send(Addr::Osd(*r), OsdMsg::Replicate(rep));
         }
         if let Some(t) = &op.trace {
             t.lock().jsubmit = Some(Instant::now());
@@ -828,7 +945,9 @@ impl OsdInner {
         self.log("waiting for subops");
         let inner = Arc::clone(self);
         let pgc = Arc::clone(pg);
-        let payload = Bytes::from(vec![0u8; txn.encoded_bytes().min(1 << 20) as usize]);
+        // The journal carries the real transaction encoding: replay after a
+        // crash decodes and re-applies exactly what was acknowledged.
+        let payload = txn.encode();
         let opc = Arc::clone(&op);
         let res = self.journal.submit(
             payload,
@@ -866,22 +985,20 @@ impl OsdInner {
         self.apply_gate.add(&obj_name);
         for r in replicas {
             let rep_id = self.next_rep_id.fetch_add(1, Ordering::Relaxed);
-            self.rep_waits.lock().insert(rep_id, Arc::clone(&op));
-            self.send(
-                Addr::Osd(*r),
-                OsdMsg::Replicate(RepOp {
-                    rep_id,
-                    pg: pg.id(),
-                    object: object.clone(),
-                    op: ObjectOp::Delete,
-                    pg_seq,
-                }),
-            );
+            let rep = RepOp {
+                rep_id,
+                pg: pg.id(),
+                object: object.clone(),
+                op: ObjectOp::Delete,
+                pg_seq,
+            };
+            self.track_rep(rep_id, &op, Addr::Osd(*r), rep.clone());
+            self.send(Addr::Osd(*r), OsdMsg::Replicate(rep));
         }
         let inner = Arc::clone(self);
         let pgc = Arc::clone(pg);
         let opc = Arc::clone(&op);
-        let payload = Bytes::from(vec![0u8; txn.encoded_bytes().min(1 << 20) as usize]);
+        let payload = txn.encode();
         let res = self.journal.submit(
             payload,
             Box::new(move |jseq| {
@@ -1031,6 +1148,7 @@ impl OsdInner {
         st.last_committed = st.last_committed.max(pg_seq);
         drop(st);
         self.log("replica commit ack");
+        self.mark_rep_done(primary, rep_id);
         self.send(
             primary,
             OsdMsg::RepAck(RepOpReply {
@@ -1040,22 +1158,104 @@ impl OsdInner {
         );
     }
 
+    /// Flip a replica-side rep_id to "committed" so retransmits re-ack.
+    fn mark_rep_done(&self, primary: Addr, rep_id: u64) {
+        self.rep_seen.lock().state.insert((primary, rep_id), true);
+    }
+
+    /// Remember an outstanding replication sub-op for ack tracking and
+    /// timeout-driven retransmission.
+    fn track_rep(&self, rep_id: u64, op: &Arc<WriteOp>, to: Addr, rep: RepOp) {
+        self.rep_waits.lock().insert(
+            rep_id,
+            RepWait {
+                op: Arc::clone(op),
+                to,
+                rep,
+                sent: Instant::now(),
+                resends: 0,
+            },
+        );
+    }
+
+    /// Retransmit sub-ops whose ack is overdue; give up (typed failure to
+    /// the client) after `rep_max_resends` attempts. Runs on the reptimer
+    /// thread every few milliseconds; sends happen outside the lock.
+    fn resend_expired_reps(&self) {
+        let timeout = Duration::from_millis(self.tuning.rep_resend_after_ms.max(1));
+        let now = Instant::now();
+        let mut resend: Vec<(Addr, RepOp)> = Vec::new();
+        let mut gave_up: Vec<Arc<WriteOp>> = Vec::new();
+        {
+            let mut waits = self.rep_waits.lock();
+            let mut dead: Vec<u64> = Vec::new();
+            for (id, w) in waits.iter_mut() {
+                if now.duration_since(w.sent) < timeout {
+                    continue;
+                }
+                if w.resends >= self.tuning.rep_max_resends {
+                    dead.push(*id);
+                } else {
+                    w.resends += 1;
+                    w.sent = now;
+                    resend.push((w.to, w.rep.clone()));
+                }
+            }
+            for id in dead {
+                if let Some(w) = waits.remove(&id) {
+                    gave_up.push(w.op);
+                }
+            }
+        }
+        for (to, rep) in resend {
+            self.rep_resends.fetch_add(1, Ordering::Relaxed);
+            self.log("resend repop");
+            self.send(to, OsdMsg::Replicate(rep));
+        }
+        for op in gave_up {
+            self.fail_op(
+                &op,
+                AfcError::Timeout("replica ack timeout (resends exhausted)".into()),
+            );
+        }
+    }
+
     fn enqueue_filestore(self: &Arc<Self>, jseq: u64, txn: Transaction) {
         self.pending_apply.lock().insert(jseq, txn.clone());
         let inner = Arc::clone(self);
         let res = self.store.queue_transaction(
             txn,
-            Box::new(move |r| {
-                if let Err(e) = r {
+            Box::new(move |r| match r {
+                Ok(()) => inner.on_applied(jseq),
+                Err(e) => {
                     inner
                         .logger
                         .logf(Level::Error, "osd", || format!("apply failed: {e}"));
+                    inner.apply_failures.fetch_add(1, Ordering::Relaxed);
+                    inner.on_apply_failed(jseq);
                 }
-                inner.on_applied(jseq);
             }),
         );
-        if res.is_err() {
-            self.pending_apply.lock().remove(&jseq);
+        if let Err(e) = res {
+            self.logger
+                .logf(Level::Error, "osd", || format!("apply enqueue failed: {e}"));
+            self.apply_failures.fetch_add(1, Ordering::Relaxed);
+            self.on_apply_failed(jseq);
+        }
+    }
+
+    /// A filestore apply failed. Keep the txn in `pending_apply` (journal
+    /// replay after a crash/recover re-applies it) and don't trim, but
+    /// release the apply gate fail-open so readers of the object aren't
+    /// wedged behind a txn that will never complete on this incarnation.
+    fn on_apply_failed(&self, jseq: u64) {
+        let obj = self
+            .pending_apply
+            .lock()
+            .get(&jseq)
+            .and_then(|t| t.ops().first().map(|o| o.object().to_string()));
+        if let Some(obj) = obj {
+            self.apply_gate.done(&obj);
         }
     }
 
@@ -1080,6 +1280,29 @@ impl OsdInner {
     fn handle_repop(self: &Arc<Self>, from: Addr, rep: RepOp) {
         self.repops.fetch_add(1, Ordering::Relaxed);
         self.log("handle repop");
+        // Retransmit/duplicate dedup: a rep_id we already committed gets a
+        // fresh ack (the original was lost); one still in flight is
+        // ignored (its commit will ack); only new ids are journaled.
+        {
+            let key = (from, rep.rep_id);
+            let mut seen = self.rep_seen.lock();
+            match seen.state.get(&key) {
+                Some(true) => {
+                    drop(seen);
+                    self.log("re-ack duplicate repop");
+                    self.send(
+                        from,
+                        OsdMsg::RepAck(RepOpReply {
+                            rep_id: rep.rep_id,
+                            from: self.id,
+                        }),
+                    );
+                    return;
+                }
+                Some(false) => return,
+                None => seen.insert(key),
+            }
+        }
         let pg = self.pg(rep.pg);
         let inner = Arc::clone(self);
         let pgc = Arc::clone(&pg);
@@ -1105,7 +1328,7 @@ impl OsdInner {
                 };
                 let inner2 = Arc::clone(&inner);
                 let pgc2 = Arc::clone(&pgc);
-                let payload = Bytes::from(vec![0u8; txn.encoded_bytes().min(1 << 20) as usize]);
+                let payload = txn.encode();
                 let pg_seq = rep.pg_seq;
                 let rep_id = rep.rep_id;
                 let _ = inner.journal.submit(
@@ -1124,9 +1347,10 @@ impl OsdInner {
 
     fn handle_repack(self: &Arc<Self>, ack: RepOpReply) {
         self.repacks.fetch_add(1, Ordering::Relaxed);
-        let Some(op) = self.rep_waits.lock().remove(&ack.rep_id) else {
-            return;
+        let Some(wait) = self.rep_waits.lock().remove(&ack.rep_id) else {
+            return; // duplicate ack (retransmit raced the original)
         };
+        let op = wait.op;
         if self.tuning.fast_ack {
             // §3.1: "ack messages are processed right away without
             // enqueueing them to the PG queue."

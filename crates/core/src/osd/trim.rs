@@ -21,6 +21,16 @@ impl TrimTracker {
         Self::default()
     }
 
+    /// Create a tracker that treats everything `<= watermark` as already
+    /// trimmed (crash recovery: sequences below the journal's oldest
+    /// surviving entry were trimmed before the crash).
+    pub fn resume_from(watermark: u64) -> Self {
+        TrimTracker {
+            trimmed: watermark,
+            done: BTreeSet::new(),
+        }
+    }
+
     /// Mark `seq` applied. Returns the new watermark if it advanced.
     pub fn mark(&mut self, seq: u64) -> Option<u64> {
         if seq <= self.trimmed {
@@ -67,6 +77,15 @@ mod tests {
         assert_eq!(t.mark(1), Some(3));
         assert_eq!(t.stranded(), 0);
         assert_eq!(t.watermark(), 3);
+    }
+
+    #[test]
+    fn resume_from_skips_pre_crash_prefix() {
+        let mut t = TrimTracker::resume_from(41);
+        assert_eq!(t.watermark(), 41);
+        assert_eq!(t.mark(41), None, "pre-crash seq is a duplicate");
+        assert_eq!(t.mark(43), None);
+        assert_eq!(t.mark(42), Some(43));
     }
 
     #[test]

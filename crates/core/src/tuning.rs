@@ -109,6 +109,14 @@ pub struct OsdTuning {
     pub op_threads: usize,
     /// Filestore apply threads per OSD.
     pub apply_threads: usize,
+    /// Primary-side replication sub-op timeout, milliseconds: a `Replicate`
+    /// without a matching `RepAck` for this long is retransmitted (lost-ack
+    /// recovery). Generous next to healthy in-process RTTs so it never
+    /// fires outside fault injection.
+    pub rep_resend_after_ms: u64,
+    /// Retransmits per sub-op before the primary gives up and fails the
+    /// client op with a typed `Timeout`.
+    pub rep_max_resends: u32,
 }
 
 impl OsdTuning {
@@ -126,6 +134,8 @@ impl OsdTuning {
             lightweight_txn: false,
             op_threads: 2,
             apply_threads: 2,
+            rep_resend_after_ms: 150,
+            rep_max_resends: 5,
         }
     }
 
@@ -143,6 +153,8 @@ impl OsdTuning {
             lightweight_txn: true,
             op_threads: 2,
             apply_threads: 2,
+            rep_resend_after_ms: 150,
+            rep_max_resends: 5,
         }
     }
 

@@ -9,9 +9,10 @@
 //! cleanly. Lockdep wrappers are live throughout, so any lock-order
 //! regression on this path fails these tests too.
 
-use afc_common::{PgId, PoolId};
+use afc_common::{FaultKind, FaultPlan, FaultSpec, PgId, PoolId};
 use afc_core::osd::pg::Pg;
 use afc_core::{Cluster, DeviceProfile, OsdTuning};
+use bytes::Bytes;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Barrier};
 use std::thread;
@@ -164,4 +165,60 @@ fn cluster_survives_concurrent_writers_and_quiesce() {
     s1.join().expect("first shutdown must join cleanly");
     s2.join().expect("second shutdown must join cleanly");
     cluster.shutdown();
+}
+
+#[test]
+fn shutdown_drains_inflight_faulted_ops_without_hanging() {
+    // Every replica ack is dropped and resends never exhaust, so the
+    // write below is permanently stranded waiting on its RepAck.
+    // Shutdown must fail it out of `rep_waits` and join all workers —
+    // the pre-fix behaviour was a quiesce/join hang on the stuck op.
+    let cluster = Arc::new(
+        Cluster::builder()
+            .nodes(2)
+            .osds_per_node(1)
+            .replication(2)
+            .pg_num(8)
+            .tuning(OsdTuning {
+                rep_resend_after_ms: 20,
+                rep_max_resends: u32::MAX,
+                ..OsdTuning::afceph()
+            })
+            .devices(DeviceProfile::clean())
+            .faults(FaultPlan::new(0xDEAD))
+            .build()
+            .unwrap(),
+    );
+    let reg = cluster.fault_registry().unwrap().clone();
+    let client = cluster.client().unwrap();
+
+    client.write_object("pre_fault", 0, b"fine").unwrap();
+    reg.install(FaultSpec::new("net.repack", FaultKind::Drop).forever());
+    let stuck = client
+        .write_object_async("stranded", 0, Bytes::from_static(b"never acked"))
+        .unwrap();
+    // Let the op reach the primary and start burning resend attempts.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let resends: u64 = cluster.osd_stats().iter().map(|(_, s)| s.rep_resends).sum();
+        if resends >= 2 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "resend machinery never engaged");
+        thread::sleep(Duration::from_millis(5));
+    }
+    assert!(
+        stuck.try_wait().is_none(),
+        "stranded op acked unexpectedly?"
+    );
+
+    let (done_tx, done_rx) = std::sync::mpsc::channel();
+    let c = Arc::clone(&cluster);
+    thread::spawn(move || {
+        c.shutdown();
+        let _ = done_tx.send(());
+    });
+    done_rx
+        .recv_timeout(Duration::from_secs(10))
+        .expect("shutdown hung on an in-flight faulted op");
 }

@@ -114,9 +114,9 @@ impl BlockDev for Hdd {
 
     fn plan(&self, req: IoReq) -> Result<IoPlan> {
         validate(&req, self.cfg.capacity)?;
-        self.faults.check()?;
+        let spike = self.faults.check(&req)?.unwrap_or_default();
         let op_n = self.op_seq.fetch_add(1, Ordering::Relaxed);
-        let service = self.service_time(&req, op_n);
+        let service = self.service_time(&req, op_n) + spike;
         let completion = match req.kind {
             IoKind::Flush => self.pool.reserve_barrier(service),
             _ => self.pool.reserve(service),

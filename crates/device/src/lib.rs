@@ -32,8 +32,10 @@ pub use raid::Raid0;
 pub use ssd::{Ssd, SsdConfig, SsdState};
 pub use stats::DevStats;
 
+use afc_common::faults::{FaultKind, FaultRegistry};
 use afc_common::{sleep_for, AfcError, Result};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 /// The kind of a device request.
@@ -125,11 +127,18 @@ pub trait BlockDev: Send + Sync {
     fn model(&self) -> &str;
 }
 
-/// Shared fault-injection hook: devices fail the next `n` requests with
-/// an I/O error. Used by failure-injection tests (journal replay, recovery).
+/// Per-device fault-injection hook.
+///
+/// Two sources feed it: a legacy countdown ([`inject`](Self::inject) fails
+/// the next `n` requests — kept for simple unit tests), and an optional
+/// [`FaultRegistry`] attached with a site name, which drives kind-aware
+/// faults (errors, latency spikes, torn writes) from a deterministic
+/// [`afc_common::faults::FaultPlan`]. Unattached or disarmed, the check
+/// costs one atomic load.
 #[derive(Debug, Default)]
 pub struct FaultInjector {
     remaining: AtomicU64,
+    registry: OnceLock<(Arc<FaultRegistry>, String)>,
 }
 
 impl FaultInjector {
@@ -138,24 +147,49 @@ impl FaultInjector {
         Self::default()
     }
 
-    /// Fail the next `n` requests.
+    /// Fail the next `n` requests (legacy countdown, kind-blind).
     pub fn inject(&self, n: u64) {
         self.remaining.store(n, Ordering::SeqCst);
     }
 
-    /// Consume one fault if armed; returns an error to propagate if so.
-    pub fn check(&self) -> Result<()> {
+    /// Attach a fault registry under `site`. Specs may target the bare site
+    /// (`"osd0.journal"`, all I/O) or a verb (`"osd0.journal.write"`).
+    /// A second attach is ignored (first one wins).
+    pub fn attach(&self, registry: Arc<FaultRegistry>, site: impl Into<String>) {
+        let _ = self.registry.set((registry, site.into()));
+    }
+
+    /// Consult both fault sources for `req`. `Ok(Some(d))` asks the caller
+    /// to stretch the request's service time by `d` (latency spike);
+    /// `Err(..)` fails the request — [`AfcError::TornWrite`] for torn
+    /// writes, [`AfcError::Io`] otherwise.
+    pub fn check(&self, req: &IoReq) -> Result<Option<Duration>> {
         let mut cur = self.remaining.load(Ordering::SeqCst);
-        loop {
-            if cur == 0 {
-                return Ok(());
-            }
+        while cur != 0 {
             match self
                 .remaining
                 .compare_exchange(cur, cur - 1, Ordering::SeqCst, Ordering::SeqCst)
             {
                 Ok(_) => return Err(AfcError::Io("injected device fault".into())),
                 Err(actual) => cur = actual,
+            }
+        }
+        let Some((reg, site)) = self.registry.get() else {
+            return Ok(None);
+        };
+        let verb = match req.kind {
+            IoKind::Read => "read",
+            IoKind::Write => "write",
+            IoKind::Flush => "flush",
+        };
+        match reg.check_io(site, verb) {
+            None | Some(FaultKind::Drop) | Some(FaultKind::Duplicate) => Ok(None),
+            Some(FaultKind::Delay(d)) => Ok(Some(d)),
+            Some(FaultKind::Torn) if req.kind == IoKind::Write => Err(AfcError::TornWrite(
+                format!("injected torn write at {site}"),
+            )),
+            Some(FaultKind::Torn) | Some(FaultKind::Error) => {
+                Err(AfcError::Io(format!("injected fault at {site}")))
             }
         }
     }
@@ -190,11 +224,36 @@ mod tests {
     #[test]
     fn fault_injector_counts_down() {
         let f = FaultInjector::new();
-        assert!(f.check().is_ok());
+        let r = IoReq::read(0, 4096);
+        assert!(f.check(&r).is_ok());
         f.inject(2);
-        assert!(f.check().is_err());
-        assert!(f.check().is_err());
-        assert!(f.check().is_ok());
+        assert!(f.check(&r).is_err());
+        assert!(f.check(&r).is_err());
+        assert!(f.check(&r).is_ok());
+    }
+
+    #[test]
+    fn registry_driven_faults_by_kind() {
+        use afc_common::faults::{FaultKind, FaultRegistry, FaultSpec};
+        let f = FaultInjector::new();
+        let reg = Arc::new(FaultRegistry::new());
+        f.attach(Arc::clone(&reg), "dev0");
+        // Disarmed registry: free pass.
+        assert_eq!(f.check(&IoReq::write(0, 512)).unwrap(), None);
+        reg.install(FaultSpec::new("dev0.write", FaultKind::Torn).forever());
+        reg.install(FaultSpec::new(
+            "dev0.read",
+            FaultKind::Delay(Duration::from_millis(3)),
+        ));
+        let torn = f.check(&IoReq::write(0, 512)).unwrap_err();
+        assert!(matches!(torn, AfcError::TornWrite(_)), "{torn}");
+        assert_eq!(
+            f.check(&IoReq::read(0, 512)).unwrap(),
+            Some(Duration::from_millis(3))
+        );
+        // Torn spec targets writes only; reads pass once the delay spec is spent.
+        assert_eq!(f.check(&IoReq::read(0, 512)).unwrap(), None);
+        assert!(reg.hits("dev0.write") >= 1);
     }
 
     #[test]

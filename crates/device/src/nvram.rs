@@ -75,9 +75,9 @@ impl BlockDev for Nvram {
 
     fn plan(&self, req: IoReq) -> Result<IoPlan> {
         validate(&req, self.cfg.capacity)?;
-        self.faults.check()?;
+        let spike = self.faults.check(&req)?.unwrap_or_default();
         let xfer = Duration::from_secs_f64(req.len as f64 / self.cfg.bandwidth as f64);
-        let service = self.cfg.access + xfer;
+        let service = self.cfg.access + xfer + spike;
         let completion = match req.kind {
             IoKind::Flush => self.pool.reserve_barrier(self.cfg.access),
             _ => self.pool.reserve(service),

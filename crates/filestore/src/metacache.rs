@@ -87,6 +87,13 @@ impl MetaCache {
         inner.order.retain(|o| o != object);
     }
 
+    /// Drop every entry (simulated crash: the cache is volatile state).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.map.clear();
+        inner.order.clear();
+    }
+
     /// Current entry count.
     pub fn len(&self) -> usize {
         self.inner.lock().map.len()

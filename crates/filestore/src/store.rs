@@ -4,6 +4,7 @@ use crate::metacache::{MetaCache, ObjectMeta};
 use crate::simfs::SimFs;
 use crate::throttle::Throttle;
 use crate::txn::{Transaction, TxOp};
+use afc_common::faults::{FaultKind, FaultRegistry};
 use afc_common::lockdep;
 use afc_common::{AfcError, Result};
 use afc_device::BlockDev;
@@ -12,7 +13,12 @@ use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+/// Late-bound fault hookup shared between the store and its apply workers.
+/// Workers are spawned in `new()` before any registry can be attached, so
+/// the handle is a `OnceLock` they all observe once `attach_faults` runs.
+type FaultHandle = Arc<OnceLock<(Arc<FaultRegistry>, String)>>;
 
 /// Transaction execution profile (§3.4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,6 +100,9 @@ pub struct FileStoreStats {
     pub cache_hits: u64,
     /// Metadata cache misses (LWT).
     pub cache_misses: u64,
+    /// Transactions whose application failed (injected or device faults).
+    /// These are surfaced to the `done` callback, never swallowed.
+    pub apply_errors: u64,
 }
 
 /// The object store backend. One per OSD, over that OSD's RAID-0 device
@@ -110,10 +119,12 @@ pub struct FileStore {
     /// sequencer).
     shards: Vec<Sender<Job>>,
     workers: Vec<std::thread::JoinHandle<()>>,
+    faults: FaultHandle,
     txns_applied: Arc<AtomicU64>,
     data_bytes: Arc<AtomicU64>,
     meta_reads: Arc<AtomicU64>,
     hints_skipped: Arc<AtomicU64>,
+    apply_errors: Arc<AtomicU64>,
 }
 
 /// Everything the apply path needs, shared with worker threads.
@@ -122,6 +133,7 @@ struct ApplyCtx {
     fs: Arc<SimFs>,
     kv: Arc<Db>,
     cache: Arc<MetaCache>,
+    faults: FaultHandle,
     txns_applied: Arc<AtomicU64>,
     data_bytes: Arc<AtomicU64>,
     meta_reads: Arc<AtomicU64>,
@@ -166,15 +178,17 @@ fn decode_meta(b: &[u8]) -> Option<ObjectMeta> {
 
 impl FileStore {
     /// Open a filestore over `dev` with `cfg`. The KV DB shares the device.
-    pub fn new(dev: Arc<dyn BlockDev>, cfg: FileStoreConfig) -> Arc<Self> {
+    pub fn new(dev: Arc<dyn BlockDev>, cfg: FileStoreConfig) -> Result<Arc<Self>> {
         let fs = Arc::new(SimFs::new(Arc::clone(&dev)));
-        let kv = Arc::new(Db::open(dev, cfg.kv.clone()));
+        let kv = Arc::new(Db::open(dev, cfg.kv.clone())?);
         let throttle = Arc::new(Throttle::new("filestore_queue_max_ops", cfg.queue_max_ops));
         let cache = Arc::new(MetaCache::new(cfg.meta_cache_entries.max(1)));
+        let faults: FaultHandle = Arc::new(OnceLock::new());
         let txns_applied = Arc::new(AtomicU64::new(0));
         let data_bytes = Arc::new(AtomicU64::new(0));
         let meta_reads = Arc::new(AtomicU64::new(0));
         let hints_skipped = Arc::new(AtomicU64::new(0));
+        let apply_errors = Arc::new(AtomicU64::new(0));
         let mut workers = Vec::new();
         let mut shards = Vec::new();
         for i in 0..cfg.apply_threads.max(1) {
@@ -185,24 +199,29 @@ impl FileStore {
                 fs: Arc::clone(&fs),
                 kv: Arc::clone(&kv),
                 cache: Arc::clone(&cache),
+                faults: Arc::clone(&faults),
                 txns_applied: Arc::clone(&txns_applied),
                 data_bytes: Arc::clone(&data_bytes),
                 meta_reads: Arc::clone(&meta_reads),
                 hints_skipped: Arc::clone(&hints_skipped),
             };
+            let errs = Arc::clone(&apply_errors);
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("fs-apply-{i}"))
                     .spawn(move || {
                         while let Ok(job) = rx.recv() {
                             let res = apply_txn(&ctx, job.txn);
+                            if res.is_err() {
+                                errs.fetch_add(1, Ordering::Relaxed);
+                            }
                             (job.done)(res);
                         }
                     })
-                    .expect("spawn apply worker"),
+                    .map_err(|e| AfcError::Io(format!("spawn apply worker: {e}")))?,
             );
         }
-        Arc::new(FileStore {
+        Ok(Arc::new(FileStore {
             cfg,
             fs,
             kv,
@@ -210,11 +229,32 @@ impl FileStore {
             cache,
             shards,
             workers,
+            faults,
             txns_applied,
             data_bytes,
             meta_reads,
             hints_skipped,
-        })
+            apply_errors,
+        }))
+    }
+
+    /// Wire a fault registry into the apply path. `site` is the base name;
+    /// the workers consult `{site}.apply` (fail the whole transaction up
+    /// front) and `{site}.mid_apply` (fail between ops, leaving a partial
+    /// apply behind for recovery to clean up). First attach wins.
+    pub fn attach_faults(&self, registry: Arc<FaultRegistry>, site: impl Into<String>) {
+        let _ = self.faults.set((registry, site.into()));
+    }
+
+    /// Simulate power loss on the backing store: volatile KV state (open
+    /// memtables and unsynced WAL records) is discarded and the DB reopens
+    /// from its durable image. Object data in [`SimFs`] models the on-disk
+    /// files and survives. Journal replay after this restores whatever the
+    /// lost KV records described. Returns the number of WAL records the KV
+    /// recovery replayed.
+    pub fn crash_volatile(&self) -> Result<usize> {
+        self.cache.clear();
+        self.kv.crash_and_recover()
     }
 
     /// Queue a transaction for application. Blocks on the filestore
@@ -351,6 +391,7 @@ impl FileStore {
             throttle_wait_us: twu,
             cache_hits: ch,
             cache_misses: cm,
+            apply_errors: self.apply_errors.load(Ordering::Relaxed),
         }
     }
 
@@ -383,14 +424,42 @@ impl Drop for FileStore {
     }
 }
 
+/// Consult the attached fault registry (if any) at `{base}.{point}`.
+/// `Error` and `Torn` both fail the apply; `Delay` stalls the worker;
+/// `Drop`/`Duplicate` have no meaning here and are ignored.
+fn check_apply_fault(ctx: &ApplyCtx, point: &str) -> Result<()> {
+    let Some((reg, site)) = ctx.faults.get() else {
+        return Ok(());
+    };
+    match reg.check_io(site, point) {
+        None | Some(FaultKind::Drop) | Some(FaultKind::Duplicate) => Ok(()),
+        Some(FaultKind::Delay(d)) => {
+            std::thread::sleep(d);
+            Ok(())
+        }
+        Some(FaultKind::Error) | Some(FaultKind::Torn) => Err(AfcError::Io(format!(
+            "injected apply fault at {site}.{point}"
+        ))),
+    }
+}
+
 fn apply_txn(ctx: &ApplyCtx, txn: Transaction) -> Result<()> {
+    // Fail before any op touches state: the clean "apply never started"
+    // fault. Recovery just re-applies the journaled transaction.
+    check_apply_fault(ctx, "apply")?;
     let lightweight = ctx.cfg.profile == TxnProfile::Lightweight;
     let txn = if lightweight { txn.dedup() } else { txn };
     // LWT: FD cache (first open wins) and one KV batch for the whole txn.
     let mut opened: HashSet<String> = HashSet::new();
     let mut batch = WriteBatch::new();
     let small_txn = txn.data_bytes() < ctx.cfg.small_write_threshold;
-    for op in txn.ops() {
+    for (ops_done, op) in txn.ops().iter().enumerate() {
+        if ops_done > 0 {
+            // The dirty fault: some ops already hit the store. Surfaced so
+            // the caller keeps the journal entry and re-applies after
+            // recovery (applies are idempotent by construction).
+            check_apply_fault(ctx, "mid_apply")?;
+        }
         match op {
             TxOp::Touch { object } => {
                 ensure_open(ctx, &mut opened, object, lightweight)?;
@@ -543,7 +612,7 @@ mod tests {
     use afc_device::{Nvram, NvramConfig, Ssd, SsdConfig};
 
     fn nvram_store(cfg: FileStoreConfig) -> Arc<FileStore> {
-        FileStore::new(Arc::new(Nvram::new(NvramConfig::pmc_8g())), cfg)
+        FileStore::new(Arc::new(Nvram::new(NvramConfig::pmc_8g())), cfg).expect("open filestore")
     }
 
     fn write_txn(object: &str, n: usize, with_hint: bool) -> Transaction {
@@ -720,7 +789,7 @@ mod tests {
             apply_threads: 1,
             ..FileStoreConfig::community()
         };
-        let fs = FileStore::new(dev, cfg);
+        let fs = FileStore::new(dev, cfg).expect("open filestore");
         for i in 0..12 {
             fs.queue_transaction(
                 write_txn(&format!("o{i}"), 32 * 1024, true),
@@ -747,6 +816,51 @@ mod tests {
         .unwrap();
         rx.recv().unwrap().unwrap();
         assert_eq!(fs.queue_len(), 0);
+    }
+
+    #[test]
+    fn injected_apply_fault_surfaces_and_counts() {
+        use afc_common::faults::{FaultRegistry, FaultSpec};
+        let fs = nvram_store(FileStoreConfig::lightweight());
+        let reg = Arc::new(FaultRegistry::new());
+        fs.attach_faults(Arc::clone(&reg), "fs0");
+        reg.install(FaultSpec::new(
+            "fs0.apply",
+            afc_common::faults::FaultKind::Error,
+        ));
+        let err = fs.apply_sync(write_txn("o", 64, false)).unwrap_err();
+        assert_eq!(err.kind(), "io");
+        assert_eq!(fs.stats().apply_errors, 1);
+        assert_eq!(fs.stats().txns_applied, 0);
+        // One-shot spec is exhausted: the retry applies cleanly.
+        fs.apply_sync(write_txn("o", 64, false)).unwrap();
+        assert_eq!(fs.stats().txns_applied, 1);
+        assert_eq!(reg.hits("fs0.apply"), 1);
+    }
+
+    #[test]
+    fn mid_apply_fault_leaves_reapplicable_state() {
+        use afc_common::faults::{FaultKind, FaultRegistry, FaultSpec};
+        let fs = nvram_store(FileStoreConfig::lightweight());
+        let reg = Arc::new(FaultRegistry::new());
+        fs.attach_faults(Arc::clone(&reg), "fs0");
+        reg.install(FaultSpec::new("fs0.mid_apply", FaultKind::Error));
+        assert!(fs.apply_sync(write_txn("o", 64, false)).is_err());
+        // Some ops landed, some didn't. Re-applying the journaled txn in
+        // full is the recovery contract and must converge.
+        fs.apply_sync(write_txn("o", 64, false)).unwrap();
+        assert_eq!(fs.read("o", 0, 64).unwrap(), vec![7u8; 64]);
+        assert_eq!(fs.stat("o").unwrap().size, 64);
+    }
+
+    #[test]
+    fn crash_volatile_preserves_synced_state() {
+        let fs = nvram_store(FileStoreConfig::lightweight());
+        fs.apply_sync(write_txn("o", 128, false)).unwrap();
+        fs.sync().unwrap();
+        fs.crash_volatile().unwrap();
+        assert_eq!(fs.read("o", 0, 128).unwrap().len(), 128);
+        assert_eq!(fs.stat("o").unwrap().size, 128);
     }
 
     #[test]

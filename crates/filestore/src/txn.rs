@@ -7,6 +7,7 @@
 //! transaction **deduplicates** redundant ops before queuing
 //! ([`Transaction::dedup`]).
 
+use afc_common::{AfcError, Result};
 use bytes::Bytes;
 
 /// One operation within a transaction.
@@ -152,6 +153,134 @@ impl Transaction {
             .sum()
     }
 
+    /// Serialize for journaling. The wire format is self-delimiting
+    /// (tag + length-prefixed fields) so [`Transaction::decode`] can
+    /// reconstruct the exact op list during crash replay.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = Vec::with_capacity(self.encoded_bytes() as usize);
+        put_u32(&mut buf, self.ops.len() as u32);
+        for op in &self.ops {
+            match op {
+                TxOp::Touch { object } => {
+                    buf.extend_from_slice(&[0]);
+                    put_str(&mut buf, object);
+                }
+                TxOp::Write {
+                    object,
+                    offset,
+                    data,
+                } => {
+                    buf.extend_from_slice(&[1]);
+                    put_str(&mut buf, object);
+                    buf.extend_from_slice(&offset.to_le_bytes());
+                    put_bytes(&mut buf, data);
+                }
+                TxOp::Truncate { object, size } => {
+                    buf.extend_from_slice(&[2]);
+                    put_str(&mut buf, object);
+                    buf.extend_from_slice(&size.to_le_bytes());
+                }
+                TxOp::Remove { object } => {
+                    buf.extend_from_slice(&[3]);
+                    put_str(&mut buf, object);
+                }
+                TxOp::SetAttrs { object, attrs } => {
+                    buf.extend_from_slice(&[4]);
+                    put_str(&mut buf, object);
+                    put_u32(&mut buf, attrs.len() as u32);
+                    for (k, v) in attrs {
+                        put_str(&mut buf, k);
+                        put_bytes(&mut buf, v);
+                    }
+                }
+                TxOp::OmapSetKeys { object, keys } => {
+                    buf.extend_from_slice(&[5]);
+                    put_str(&mut buf, object);
+                    put_u32(&mut buf, keys.len() as u32);
+                    for (k, v) in keys {
+                        put_bytes(&mut buf, k);
+                        put_bytes(&mut buf, v);
+                    }
+                }
+                TxOp::OmapRmKeys { object, keys } => {
+                    buf.extend_from_slice(&[6]);
+                    put_str(&mut buf, object);
+                    put_u32(&mut buf, keys.len() as u32);
+                    for k in keys {
+                        put_bytes(&mut buf, k);
+                    }
+                }
+                TxOp::SetAllocHint { object } => {
+                    buf.extend_from_slice(&[7]);
+                    put_str(&mut buf, object);
+                }
+            }
+        }
+        Bytes::from(buf)
+    }
+
+    /// Decode a serialized transaction (journal replay). Fails with
+    /// [`AfcError::Corruption`] on any structural damage.
+    pub fn decode(buf: &[u8]) -> Result<Transaction> {
+        let mut cur = Cursor { buf, pos: 0 };
+        let n = cur.u32()? as usize;
+        let mut ops = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            let tag = cur.u8()?;
+            let object = cur.string()?;
+            let op = match tag {
+                0 => TxOp::Touch { object },
+                1 => TxOp::Write {
+                    object,
+                    offset: cur.u64()?,
+                    data: cur.bytes()?,
+                },
+                2 => TxOp::Truncate {
+                    object,
+                    size: cur.u64()?,
+                },
+                3 => TxOp::Remove { object },
+                4 => {
+                    let n = cur.u32()? as usize;
+                    let mut attrs = Vec::with_capacity(n.min(1024));
+                    for _ in 0..n {
+                        attrs.push((cur.string()?, cur.bytes()?));
+                    }
+                    TxOp::SetAttrs { object, attrs }
+                }
+                5 => {
+                    let n = cur.u32()? as usize;
+                    let mut keys = Vec::with_capacity(n.min(1024));
+                    for _ in 0..n {
+                        keys.push((cur.bytes()?, cur.bytes()?));
+                    }
+                    TxOp::OmapSetKeys { object, keys }
+                }
+                6 => {
+                    let n = cur.u32()? as usize;
+                    let mut keys = Vec::with_capacity(n.min(1024));
+                    for _ in 0..n {
+                        keys.push(cur.bytes()?);
+                    }
+                    TxOp::OmapRmKeys { object, keys }
+                }
+                7 => TxOp::SetAllocHint { object },
+                t => {
+                    return Err(AfcError::Corruption(format!("unknown txn op tag {t}")));
+                }
+            };
+            ops.push(op);
+        }
+        if cur.pos != buf.len() {
+            return Err(AfcError::Corruption(format!(
+                "trailing garbage in txn encoding: {} of {} bytes consumed",
+                cur.pos,
+                buf.len()
+            )));
+        }
+        Ok(Transaction { ops })
+    }
+
     /// The light-weight transaction's op minimization (§3.4: "The redundancy
     /// is removed and operations in this transaction is minimized"):
     /// duplicate `Touch`/`SetAllocHint` per object collapse to one, repeated
@@ -215,6 +344,61 @@ impl Transaction {
             }
         }
         Transaction { ops: out }
+    }
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn put_bytes(buf: &mut Vec<u8>, b: &[u8]) {
+    put_u32(buf, b.len() as u32);
+    buf.extend_from_slice(b);
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| AfcError::Corruption("truncated txn encoding".into()))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn bytes(&mut self) -> Result<Bytes> {
+        let n = self.u32()? as usize;
+        Ok(Bytes::copy_from_slice(self.take(n)?))
+    }
+
+    fn string(&mut self) -> Result<String> {
+        let n = self.u32()? as usize;
+        String::from_utf8(self.take(n)?.to_vec())
+            .map_err(|_| AfcError::Corruption("non-UTF-8 object name in txn".into()))
     }
 }
 
@@ -341,6 +525,59 @@ mod tests {
             }
             _ => panic!("writes reordered"),
         }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let mut t = Transaction::new();
+        t.push(TxOp::Touch { object: "o".into() });
+        t.push(TxOp::SetAllocHint { object: "o".into() });
+        t.push(TxOp::Write {
+            object: "o".into(),
+            offset: 512,
+            data: Bytes::from(vec![9u8; 1000]),
+        });
+        t.push(TxOp::Truncate {
+            object: "o".into(),
+            size: 700,
+        });
+        t.push(TxOp::SetAttrs {
+            object: "o".into(),
+            attrs: vec![("snapset".into(), Bytes::from_static(b"{}"))],
+        });
+        t.push(TxOp::OmapSetKeys {
+            object: "pgmeta_3".into(),
+            keys: vec![(Bytes::from_static(b"pglog.1"), Bytes::from(vec![1u8; 64]))],
+        });
+        t.push(TxOp::OmapRmKeys {
+            object: "pgmeta_3".into(),
+            keys: vec![Bytes::from_static(b"pglog.0")],
+        });
+        t.push(TxOp::Remove {
+            object: "stale".into(),
+        });
+        let enc = t.encode();
+        let d = Transaction::decode(&enc).unwrap();
+        assert_eq!(d.len(), t.len());
+        assert_eq!(format!("{:?}", d.ops()), format!("{:?}", t.ops()));
+    }
+
+    #[test]
+    fn decode_rejects_damage() {
+        let mut t = Transaction::new();
+        t.push(w("obj", 100));
+        let enc = t.encode();
+        // Truncation, trailing garbage, and a bad tag all fail loudly.
+        assert!(Transaction::decode(&enc[..enc.len() - 3]).is_err());
+        let mut garbage = enc.to_vec();
+        garbage.push(0xff);
+        assert!(Transaction::decode(&garbage).is_err());
+        let mut bad_tag = enc.to_vec();
+        bad_tag[4] = 0x7f;
+        assert!(Transaction::decode(&bad_tag).is_err());
+        // Empty txn round-trips.
+        let e = Transaction::new().encode();
+        assert_eq!(Transaction::decode(&e).unwrap().len(), 0);
     }
 
     #[test]

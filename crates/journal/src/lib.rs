@@ -16,6 +16,19 @@
 //!   until some of data in journal is flushed to filestore").
 //! - **Replay**: untrimmed entries survive a crash (NVRAM is persistent) and
 //!   [`Journal::replay`] returns them oldest-first for filestore re-apply.
+//!
+//! # Torn-write contract
+//!
+//! Every entry carries a checksum over `(seq, payload)`. When the backing
+//! device reports a torn write ([`AfcError::TornWrite`], fault injection
+//! modeling power loss mid-transfer), the batch's tail entry reached media
+//! only partially: it is published with a poisoned checksum and its commit
+//! callback is **dropped** — the write was never durable, so it must never
+//! be acknowledged. [`Journal::replay`] validates checksums oldest-first and
+//! truncates the log at the first invalid entry; garbage past a tear is
+//! never replayed. [`Journal::crash_image`] + [`Journal::recover`] model a
+//! crash/restart: the image holds exactly the media-durable entries
+//! (in-flight submissions are lost, like DRAM contents at power loss).
 
 pub mod stats;
 
@@ -68,6 +81,21 @@ pub struct JournalEntry {
     pub footprint: u64,
     /// The serialized transaction payload.
     pub payload: Bytes,
+    /// Checksum over `(seq, payload)`; a mismatch marks a torn tail.
+    pub checksum: u64,
+}
+
+/// Checksum binding an entry's payload to its sequence number, so a stale
+/// payload at a reused ring offset can never validate under a new seq.
+pub fn entry_checksum(seq: u64, payload: &[u8]) -> u64 {
+    afc_common::rng::hash_bytes(payload) ^ afc_common::rng::mix64(seq)
+}
+
+impl JournalEntry {
+    /// Whether the stored checksum matches the payload.
+    pub fn is_valid(&self) -> bool {
+        self.checksum == entry_checksum(self.seq, &self.payload)
+    }
 }
 
 struct Pending {
@@ -259,8 +287,55 @@ impl Journal {
     }
 
     /// Committed-but-untrimmed entries, oldest first (crash replay set).
+    ///
+    /// Checksums are validated oldest-first and the log is truncated at the
+    /// first invalid entry: a torn tail (and anything structurally after
+    /// it) is discarded, never handed back for re-apply. Truncation frees
+    /// the garbage's ring space, so a second call returns the same valid
+    /// prefix — replay is idempotent.
     pub fn replay(&self) -> Vec<JournalEntry> {
+        let inner = &self.inner;
+        let mut ring = inner.ring.lock();
+        let valid = ring.live.iter().take_while(|e| e.is_valid()).count();
+        if valid < ring.live.len() {
+            let dropped = (ring.live.len() - valid) as u64;
+            let mut freed = 0u64;
+            while ring.live.len() > valid {
+                freed += ring.live.pop_back().map(|e| e.footprint).unwrap_or(0);
+            }
+            ring.used -= freed;
+            inner
+                .stats
+                .replay_truncated
+                .fetch_add(dropped, Ordering::Relaxed);
+            inner.space_cv.notify_all();
+        }
+        ring.live.iter().cloned().collect()
+    }
+
+    /// The media-durable entry set as of *now*: what survives a simulated
+    /// power loss. In-flight (pending) submissions are excluded — they were
+    /// still in DRAM. A torn tail is included as-written (bad checksum);
+    /// [`Journal::replay`] on the recovered journal truncates it.
+    pub fn crash_image(&self) -> Vec<JournalEntry> {
         self.inner.ring.lock().live.iter().cloned().collect()
+    }
+
+    /// Re-open a journal from a crash image (see [`Journal::crash_image`]).
+    /// Sequencing resumes after the highest recovered entry.
+    pub fn recover(
+        dev: Arc<dyn BlockDev>,
+        cfg: JournalConfig,
+        image: Vec<JournalEntry>,
+    ) -> Arc<Self> {
+        let j = Journal::new(dev, cfg);
+        {
+            let mut ring = j.inner.ring.lock();
+            ring.used = image.iter().map(|e| e.footprint).sum();
+            ring.next_seq = image.iter().map(|e| e.seq).max().unwrap_or(0) + 1;
+            ring.live = image.into();
+        }
+        j
     }
 
     /// Fraction of the ring currently occupied.
@@ -274,11 +349,12 @@ impl Journal {
         self.inner.stats.snapshot()
     }
 
-    /// Block until every submitted entry has committed (test helper).
+    /// Block until every submitted entry has committed — or, for torn
+    /// tails, been dropped (their callbacks never fire). Test helper.
     pub fn quiesce(&self) {
         loop {
             let s = self.inner.stats.snapshot();
-            if s.commits >= s.submits {
+            if s.commits + s.torn_writes >= s.submits {
                 return;
             }
             sleep_for(Duration::from_micros(200));
@@ -315,15 +391,24 @@ fn writer_loop(inner: Arc<Inner>) {
             (off, ring.write_cursor >= cap)
         };
         let _ = wrapped;
-        if inner
+        let torn = match inner
             .dev
             .submit(IoReq::write(offset, total.min(u32::MAX as u64) as u32))
-            .is_err()
         {
-            // Injected device fault: entries are still accepted (NVRAM models
-            // don't really fail mid-stream); account and continue.
-            inner.stats.write_errors.fetch_add(1, Ordering::Relaxed);
-        }
+            Ok(_) => false,
+            Err(AfcError::TornWrite(_)) => {
+                // Power-loss model: a prefix of the batch reached media, the
+                // tail entry tore. Handled below when publishing.
+                inner.stats.torn_writes.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            Err(_) => {
+                // Injected device fault: entries are still accepted (NVRAM
+                // models don't really fail mid-stream); account and continue.
+                inner.stats.write_errors.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        };
         inner.stats.batches.fetch_add(1, Ordering::Relaxed);
         inner
             .stats
@@ -331,13 +416,27 @@ fn writer_loop(inner: Arc<Inner>) {
             .fetch_add(total, Ordering::Relaxed);
         // Publish as live (replayable) and hand to the completion thread.
         let done_tx = inner.done_tx.lock().clone();
+        let n = batch.len();
         let mut ring = inner.ring.lock();
-        for p in batch {
+        for (i, p) in batch.into_iter().enumerate() {
+            let tail_torn = torn && i + 1 == n;
+            let mut checksum = entry_checksum(p.seq, &p.payload);
+            if tail_torn {
+                // The tail is garbage on media: poison its checksum so
+                // replay truncates it.
+                checksum = !checksum;
+            }
             ring.live.push_back(JournalEntry {
                 seq: p.seq,
                 footprint: p.footprint,
                 payload: p.payload,
+                checksum,
             });
+            if tail_torn {
+                // Never durable, so never acknowledged: the commit callback
+                // is dropped, not fired.
+                continue;
+            }
             if let Some(Some(tx)) = done_tx.as_ref().map(Some) {
                 let _ = tx.send((p.seq, p.on_commit));
             }
@@ -559,7 +658,79 @@ mod tests {
 #[cfg(test)]
 mod fault_tests {
     use super::*;
+    use afc_common::faults::{FaultKind, FaultRegistry, FaultSpec};
     use afc_device::{Nvram, NvramConfig};
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn entry_checksum_binds_seq_and_payload() {
+        let p = Bytes::from_static(b"payload");
+        let e = JournalEntry {
+            seq: 9,
+            footprint: 4096,
+            payload: p.clone(),
+            checksum: entry_checksum(9, &p),
+        };
+        assert!(e.is_valid());
+        assert!(!JournalEntry {
+            seq: 10,
+            ..e.clone()
+        }
+        .is_valid());
+        assert!(!JournalEntry {
+            payload: Bytes::from_static(b"payloae"),
+            ..e
+        }
+        .is_valid());
+    }
+
+    #[test]
+    fn torn_tail_never_acks_and_replay_truncates() {
+        let dev = Arc::new(Nvram::new(NvramConfig::pmc_8g()));
+        let reg = Arc::new(FaultRegistry::new());
+        dev.faults().attach(Arc::clone(&reg), "jdev");
+        let j = Journal::new(dev, JournalConfig::default());
+        for i in 0..3u8 {
+            j.submit_and_wait(Bytes::from(vec![i; 256])).unwrap();
+        }
+        // The next device write tears: the entry lands with a poisoned
+        // checksum and its commit callback must never fire.
+        reg.install(FaultSpec::new("jdev.write", FaultKind::Torn));
+        let acked = Arc::new(AtomicU64::new(0));
+        let a = Arc::clone(&acked);
+        j.submit(
+            Bytes::from(vec![9u8; 256]),
+            Box::new(move |_| {
+                a.fetch_add(1, Ordering::SeqCst);
+            }),
+        )
+        .unwrap();
+        j.quiesce();
+        assert_eq!(acked.load(Ordering::SeqCst), 0, "torn write was acked");
+        assert_eq!(j.stats().torn_writes, 1);
+
+        // Crash: the image keeps the torn tail as-written...
+        let image = j.crash_image();
+        assert_eq!(image.len(), 4);
+        assert!(!image[3].is_valid());
+        drop(j);
+
+        // ...and replay on the recovered journal truncates it, idempotently.
+        let dev2 = Arc::new(Nvram::new(NvramConfig::pmc_8g()));
+        let j2 = Journal::recover(dev2, JournalConfig::default(), image);
+        let r1 = j2.replay();
+        assert_eq!(r1.len(), 3, "garbage tail must not be replayed");
+        assert!(r1.iter().all(JournalEntry::is_valid));
+        assert_eq!(j2.stats().replay_truncated, 1);
+        let r2 = j2.replay();
+        assert_eq!(
+            r1.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            r2.iter().map(|e| e.seq).collect::<Vec<_>>()
+        );
+        // Sequencing resumes after the highest recovered entry.
+        let seq = j2.submit_and_wait(Bytes::from_static(b"next")).unwrap();
+        assert_eq!(seq, 5);
+    }
 
     #[test]
     fn injected_device_faults_are_absorbed_and_counted() {

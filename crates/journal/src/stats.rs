@@ -21,6 +21,11 @@ pub struct JournalStats {
     pub full_stall_us: u64,
     /// Device write errors absorbed (fault injection).
     pub write_errors: u64,
+    /// Torn device writes: the batch tail was poisoned and its commit
+    /// callback dropped (fault injection / power-loss model).
+    pub torn_writes: u64,
+    /// Entries discarded by replay checksum validation (torn tails).
+    pub replay_truncated: u64,
 }
 
 impl JournalStats {
@@ -44,6 +49,8 @@ pub struct JournalStatsCell {
     pub(crate) full_stalls: AtomicU64,
     pub(crate) full_stall_us: AtomicU64,
     pub(crate) write_errors: AtomicU64,
+    pub(crate) torn_writes: AtomicU64,
+    pub(crate) replay_truncated: AtomicU64,
 }
 
 impl JournalStatsCell {
@@ -58,6 +65,8 @@ impl JournalStatsCell {
             full_stalls: self.full_stalls.load(Ordering::Relaxed),
             full_stall_us: self.full_stall_us.load(Ordering::Relaxed),
             write_errors: self.write_errors.load(Ordering::Relaxed),
+            torn_writes: self.torn_writes.load(Ordering::Relaxed),
+            replay_truncated: self.replay_truncated.load(Ordering::Relaxed),
         }
     }
 }

@@ -54,10 +54,12 @@ pub(crate) fn run(inner: Arc<Inner>) {
                 let id = inner.table_seq.fetch_add(1, Ordering::Relaxed);
                 let table = SsTable::build(id, ops);
                 let bytes = table.bytes();
-                // Device charge can only fail on injected faults; drop the
-                // flush work on the floor is wrong, so keep the data and
-                // retry accounting-free (the table is in memory regardless).
-                let _ = inner.charge_table_write(bytes);
+                // Device charge can only fail on injected faults. The table
+                // is built in memory regardless, so the flush proceeds — but
+                // the failure is accounted, never silently discarded.
+                if inner.charge_table_write(bytes).is_err() {
+                    inner.stats.table_io_errors.fetch_add(1, Ordering::Relaxed);
+                }
                 {
                     let mut st = inner.state.lock();
                     st.l0.push(Arc::new(table));
@@ -73,7 +75,9 @@ pub(crate) fn run(inner: Arc<Inner>) {
             CompactionJob::Compact(l0s, l1) => {
                 let read_bytes: u64 = l0s.iter().map(|t| t.bytes()).sum::<u64>()
                     + l1.as_ref().map(|t| t.bytes()).unwrap_or(0);
-                let _ = inner.charge_table_read(read_bytes);
+                if inner.charge_table_read(read_bytes).is_err() {
+                    inner.stats.table_io_errors.fetch_add(1, Ordering::Relaxed);
+                }
                 // Newest first: L0 back-to-front, then L1.
                 let mut runs: Vec<&[_]> = l0s.iter().rev().map(|t| t.entries()).collect();
                 if let Some(l1) = &l1 {
@@ -83,7 +87,9 @@ pub(crate) fn run(inner: Arc<Inner>) {
                 let id = inner.table_seq.fetch_add(1, Ordering::Relaxed);
                 let table = SsTable::build(id, merged);
                 let out_bytes = table.bytes();
-                let _ = inner.charge_table_write(out_bytes);
+                if inner.charge_table_write(out_bytes).is_err() {
+                    inner.stats.table_io_errors.fetch_add(1, Ordering::Relaxed);
+                }
                 {
                     let mut st = inner.state.lock();
                     let taken: Vec<u64> = l0s.iter().map(|t| t.id()).collect();
@@ -120,7 +126,7 @@ mod tests {
             l0_compact_threshold: 1,
             ..DbConfig::default()
         };
-        let db = Db::open(dev, cfg);
+        let db = Db::open(dev, cfg).unwrap();
         // Fill enough that a freeze happens; the worker may have already
         // drained it, so just assert the API doesn't wedge.
         for i in 0..50 {

@@ -132,8 +132,9 @@ pub struct Db {
 }
 
 impl Db {
-    /// Open a store on `dev` with `cfg`.
-    pub fn open(dev: Arc<dyn BlockDev>, cfg: DbConfig) -> Self {
+    /// Open a store on `dev` with `cfg`. Fails if the background
+    /// compaction worker cannot be spawned.
+    pub fn open(dev: Arc<dyn BlockDev>, cfg: DbConfig) -> Result<Self> {
         let wal = Wal::new(Arc::clone(&dev), cfg.wal_region);
         let data_base = cfg.wal_region.min(dev.capacity() / 2);
         let inner = Arc::new(Inner {
@@ -160,16 +161,16 @@ impl Db {
             std::thread::Builder::new()
                 .name("kv-compact".into())
                 .spawn(move || compaction::run(inner))
-                .expect("spawn compaction thread")
+                .map_err(|e| AfcError::Io(format!("spawn compaction thread: {e}")))?
         };
-        Db {
+        Ok(Db {
             inner,
             worker: Some(worker),
-        }
+        })
     }
 
     /// Open with default config.
-    pub fn open_default(dev: Arc<dyn BlockDev>) -> Self {
+    pub fn open_default(dev: Arc<dyn BlockDev>) -> Result<Self> {
         Self::open(dev, DbConfig::default())
     }
 
@@ -461,7 +462,7 @@ mod tests {
 
     fn fast_db(cfg: DbConfig) -> Db {
         let dev = Arc::new(Nvram::new(NvramConfig::pmc_8g()));
-        Db::open(dev, cfg)
+        Db::open(dev, cfg).expect("open db")
     }
 
     fn kv(i: usize) -> (Bytes, Bytes) {
@@ -649,7 +650,7 @@ mod tests {
             max_imm: 1,
             ..DbConfig::default()
         };
-        let db = Db::open(dev, cfg);
+        let db = Db::open(dev, cfg).unwrap();
         for i in 0..300 {
             let (k, _) = kv(i);
             db.put(k, Bytes::from(vec![7u8; 64]), WriteOptions::async_())

@@ -29,6 +29,10 @@ pub struct DbStats {
     pub gets: u64,
     /// SSTable probes that charged a device read.
     pub table_reads: u64,
+    /// Background table I/O charges that failed (injected device faults).
+    /// The data itself is safe (tables are built in memory before the
+    /// charge), so the worker proceeds — but loudly, not silently.
+    pub table_io_errors: u64,
 }
 
 impl DbStats {
@@ -68,6 +72,7 @@ pub struct DbStatsCell {
     pub(crate) stall_us: AtomicU64,
     pub(crate) gets: AtomicU64,
     pub(crate) table_reads: AtomicU64,
+    pub(crate) table_io_errors: AtomicU64,
 }
 
 impl DbStatsCell {
@@ -86,6 +91,7 @@ impl DbStatsCell {
             stall_us: self.stall_us.load(Ordering::Relaxed),
             gets: self.gets.load(Ordering::Relaxed),
             table_reads: self.table_reads.load(Ordering::Relaxed),
+            table_io_errors: self.table_io_errors.load(Ordering::Relaxed),
         }
     }
 }

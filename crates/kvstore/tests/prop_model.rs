@@ -46,7 +46,7 @@ fn tiny_db() -> Db {
         max_imm: 2,
         ..DbConfig::default()
     };
-    Db::open(dev, cfg)
+    Db::open(dev, cfg).expect("open db")
 }
 
 proptest! {

@@ -24,11 +24,12 @@ pub mod addr;
 
 pub use addr::Addr;
 
+use afc_common::faults::{FaultKind, FaultRegistry};
 use afc_common::{sleep_for, AfcError, CounterSet, Result};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Network timing/behaviour configuration.
@@ -147,11 +148,24 @@ struct NetInner<M> {
     shutdown: bool,
 }
 
+/// Fault-injection hookup for a fabric: a registry plus a classifier that
+/// maps each in-flight message to a fault site (or `None` to exempt it).
+/// The fabric itself is message-type-agnostic, so the owner supplies the
+/// classification (e.g. `afc-core` maps `OsdMsg::RepAck` → `"net.repack"`).
+type ClassifyFn<M> = Box<dyn Fn(Addr, Addr, &M) -> Option<String> + Send + Sync>;
+
+struct FaultHook<M> {
+    registry: Arc<FaultRegistry>,
+    classify: ClassifyFn<M>,
+    clone_msg: Box<dyn Fn(&M) -> M + Send + Sync>,
+}
+
 /// The in-process network fabric.
 pub struct Network<M: Send + 'static> {
     cfg: NetConfig,
     inner: Mutex<NetInner<M>>,
     counters: CounterSet,
+    faults: OnceLock<FaultHook<M>>,
 }
 
 impl<M: Send + 'static> Network<M> {
@@ -166,7 +180,27 @@ impl<M: Send + 'static> Network<M> {
                 shutdown: false,
             }),
             counters: CounterSet::new(),
+            faults: OnceLock::new(),
         })
+    }
+
+    /// Wire a fault registry into message delivery. `classify` names the
+    /// fault site for each message (return `None` to exempt it). Matching
+    /// specs then drop, delay, duplicate, or error the send. First attach
+    /// wins; with no registry (or a disarmed one) delivery cost is a single
+    /// relaxed atomic load.
+    pub fn attach_faults(
+        &self,
+        registry: Arc<FaultRegistry>,
+        classify: impl Fn(Addr, Addr, &M) -> Option<String> + Send + Sync + 'static,
+    ) where
+        M: Clone,
+    {
+        let _ = self.faults.set(FaultHook {
+            registry,
+            classify: Box::new(classify),
+            clone_msg: Box::new(M::clone),
+        });
     }
 
     /// Register an endpoint and get its sending handle.
@@ -239,6 +273,33 @@ impl<M: Send + 'static> Network<M> {
     }
 
     fn deliver(&self, from: Addr, to: Addr, msg: M, wire_bytes: u32) -> Result<()> {
+        // Fault injection happens "on the wire": a Drop is invisible to the
+        // sender (it believes the send succeeded), a Delay stretches the
+        // hop, a Duplicate arrives twice on the same FIFO lane, and an
+        // Error is a hard connection failure surfaced to the sender.
+        let mut extra_delay = Duration::ZERO;
+        let mut duplicate = None;
+        if let Some(hook) = self.faults.get() {
+            if hook.registry.is_armed() {
+                if let Some(site) = (hook.classify)(from, to, &msg) {
+                    match hook.registry.check(&site) {
+                        None => {}
+                        Some(FaultKind::Drop) => {
+                            self.counters.counter("net.dropped").inc();
+                            return Ok(());
+                        }
+                        Some(FaultKind::Delay(d)) => extra_delay = d,
+                        Some(FaultKind::Duplicate) => {
+                            self.counters.counter("net.duplicated").inc();
+                            duplicate = Some((hook.clone_msg)(&msg));
+                        }
+                        Some(FaultKind::Error) | Some(FaultKind::Torn) => {
+                            return Err(AfcError::Io(format!("injected network fault at {site}")));
+                        }
+                    }
+                }
+            }
+        }
         let mut inner = self.inner.lock();
         if inner.shutdown {
             return Err(AfcError::ShutDown("network".into()));
@@ -303,7 +364,7 @@ impl<M: Send + 'static> Network<M> {
                 lane_tx
             }
         };
-        let mut departed = Instant::now();
+        let mut departed = Instant::now() + extra_delay;
         if self.cfg.nagle && wire_bytes <= self.cfg.nagle_threshold {
             // Small payload held back by the coalescing window.
             departed += self.cfg.nagle_delay;
@@ -317,9 +378,22 @@ impl<M: Send + 'static> Network<M> {
                 departed,
                 msg,
             },
-            dispatcher,
+            dispatcher: Arc::clone(&dispatcher),
         })
-        .map_err(|_| AfcError::Disconnected(format!("connection {from}->{to}")))
+        .map_err(|_| AfcError::Disconnected(format!("connection {from}->{to}")))?;
+        if let Some(copy) = duplicate {
+            // Best-effort second copy on the same FIFO lane; if the lane
+            // closed after the first send the duplicate is moot.
+            let _ = tx.send(WorkItem {
+                env: Envelope {
+                    from,
+                    departed,
+                    msg: copy,
+                },
+                dispatcher,
+            });
+        }
+        Ok(())
     }
 }
 
@@ -604,6 +678,51 @@ mod tests {
             2,
             "pool must not grow with connections"
         );
+        net.shutdown();
+    }
+
+    #[test]
+    fn injected_drop_dup_delay_and_error() {
+        use afc_common::faults::{FaultKind, FaultRegistry, FaultSpec};
+        let net: Arc<Network<u64>> = Network::new(NetConfig {
+            hop_latency: Duration::ZERO,
+            ..NetConfig::default()
+        });
+        let got = Arc::new(Mutex::new(Vec::new()));
+        let g = Arc::clone(&got);
+        net.register(osd(0), Arc::new(move |_, m: u64| g.lock().push(m)))
+            .unwrap();
+        let m = net.register(client(1), Arc::new(|_, _: u64| {})).unwrap();
+        let reg = Arc::new(FaultRegistry::new());
+        // Only odd payloads are injectable; evens are exempt (classify
+        // returning None must bypass the registry entirely).
+        net.attach_faults(Arc::clone(&reg), |_, _, m: &u64| {
+            (m % 2 == 1).then(|| "net.test".to_string())
+        });
+        reg.install(FaultSpec::new("net.test", FaultKind::Drop));
+        m.send(osd(0), 1, 64).unwrap(); // dropped silently
+        m.send(osd(0), 2, 64).unwrap(); // exempt, delivered
+        reg.install(FaultSpec::new("net.test", FaultKind::Duplicate));
+        m.send(osd(0), 3, 64).unwrap(); // delivered twice
+        reg.install(FaultSpec::new("net.test", FaultKind::Error));
+        assert!(m.send(osd(0), 5, 64).is_err()); // surfaced to sender
+        reg.install(FaultSpec::new(
+            "net.test",
+            FaultKind::Delay(Duration::from_millis(30)),
+        ));
+        let t0 = Instant::now();
+        m.send(osd(0), 7, 64).unwrap();
+        while got.lock().len() < 4 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(
+            t0.elapsed() >= Duration::from_millis(30),
+            "delay not applied"
+        );
+        assert_eq!(*got.lock(), vec![2, 3, 3, 7]);
+        assert_eq!(net.counters().get("net.dropped"), 1);
+        assert_eq!(net.counters().get("net.duplicated"), 1);
+        assert!(!reg.is_armed(), "all specs exhausted");
         net.shutdown();
     }
 

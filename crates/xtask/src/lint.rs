@@ -1,13 +1,13 @@
 //! Static hygiene checks for the OSD hot path.
 //!
-//! Four rules, all textual (no rustc plumbing, so the pass runs in
+//! Five rules, all textual (no rustc plumbing, so the pass runs in
 //! milliseconds and works offline):
 //!
 //! 1. **no-std-sync** — `std::sync::{Mutex, RwLock, Condvar}` are banned
 //!    everywhere except the lockdep module itself (whose checker must not
 //!    recurse through the tracked types) and `vendor/`. Production code
 //!    uses `parking_lot` or the `Tracked*` lockdep wrappers.
-//! 2. **no-unwrap-on-sync** — in `crates/{core,journal,filestore}`
+//! 2. **no-unwrap-on-sync** — in `crates/{core,journal,filestore,kvstore}`
 //!    non-test code, `.unwrap()` / `.expect()` on lock/channel/join
 //!    results is banned. Exceptions live in `lint-allow.txt`, which must
 //!    only shrink: a stale (over-)allowance fails the pass too.
@@ -19,6 +19,11 @@
 //!    entry points (`Pg::drain`, `Pg::lock_measured` in `pg.rs`): every
 //!    other path must go through the pending FIFO so per-PG ordering is
 //!    preserved.
+//! 5. **no-discarded-io** — in `crates/{journal,filestore,device}`
+//!    non-test code, `let _ = <fallible I/O call>` is banned: a dropped
+//!    `Result` from a submit/read/write/sync/apply hides torn writes and
+//!    device errors that the fault-injection contract requires callers to
+//!    surface. Propagating with `?` on the same line is fine.
 //!
 //! Rule scopes are declared as data below; fixture-snippet unit tests at
 //! the bottom cover each rule.
@@ -43,6 +48,33 @@ const UNWRAP_SCOPES: &[&str] = &[
     "crates/core/src",
     "crates/journal/src",
     "crates/filestore/src",
+    "crates/kvstore/src",
+];
+
+/// Crates whose non-test sources must not discard fallible I/O results
+/// with `let _ =` (rule 5).
+const DISCARD_IO_SCOPES: &[&str] = &[
+    "crates/journal/src",
+    "crates/filestore/src",
+    "crates/device/src",
+];
+
+/// Call patterns that make a discarded result an I/O result. Channel
+/// sends, thread joins and OnceLock sets stay legal to discard.
+const IO_CALL_PATTERNS: &[&str] = &[
+    ".submit(",
+    ".submit_and_wait(",
+    ".queue_transaction(",
+    ".apply_sync(",
+    ".read(",
+    ".write(",
+    ".write_at(",
+    ".sync(",
+    ".flush(",
+    ".setxattr(",
+    ".getxattr(",
+    ".omap_set(",
+    ".truncate(",
 ];
 
 /// Crates exempt from the println rule: the bench harness prints result
@@ -104,6 +136,7 @@ pub fn run(root: &Path) -> Result<Vec<Violation>, String> {
         violations.extend(check_std_sync(&rel_slash, &content));
         violations.extend(check_println(&rel_slash, &content));
         violations.extend(check_pg_state_confinement(&rel_slash, &content));
+        violations.extend(check_discarded_io(&rel_slash, &content));
         let unwraps = find_sync_unwraps(&rel_slash, &content);
         if !unwraps.is_empty() {
             unwrap_counts.push((rel_slash.clone(), unwraps.len()));
@@ -393,6 +426,46 @@ fn check_println(path: &str, content: &str) -> Vec<Violation> {
 }
 
 // ---------------------------------------------------------------- //
+// Rule 5: no `let _ =` on fallible I/O calls (storage crates)
+// ---------------------------------------------------------------- //
+
+fn check_discarded_io(path: &str, content: &str) -> Vec<Violation> {
+    if !DISCARD_IO_SCOPES.iter().any(|s| path.starts_with(s)) || is_non_prod(path) {
+        return Vec::new();
+    }
+    let mask = test_region_mask(content);
+    let mut out = Vec::new();
+    for (i, line) in content.lines().enumerate() {
+        if mask.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        let code = strip_line_comment(line);
+        let Some(pos) = code.find("let _ =") else {
+            continue;
+        };
+        let rest = &code[pos + "let _ =".len()..];
+        // `let _ = io()?;` propagates the error — only the success value
+        // is discarded, which is fine.
+        if rest.contains('?') {
+            continue;
+        }
+        if let Some(p) = IO_CALL_PATTERNS.iter().find(|p| rest.contains(*p)) {
+            out.push(Violation {
+                file: path.to_string(),
+                line: i + 1,
+                rule: "no-discarded-io",
+                msg: format!(
+                    "`let _ =` discards the Result of {}...): handle or propagate it — \
+                     swallowed I/O errors defeat the torn-write/fault-injection contract",
+                    p.trim_end_matches('(')
+                ),
+            });
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------- //
 // Rule 4: Pg::state lock confinement
 // ---------------------------------------------------------------- //
 
@@ -586,6 +659,53 @@ mod tests {
         assert!(check_println("crates/core/src/bin/tool.rs", src).is_empty());
         let test_src = "#[cfg(test)]\nmod tests {\n    fn t() { println!(\"dbg\"); }\n}\n";
         assert!(check_println("crates/core/src/lib.rs", test_src).is_empty());
+    }
+
+    // -------- rule 5 fixtures -------- //
+
+    #[test]
+    fn discarded_journal_submit_is_flagged() {
+        let src = "fn f(j: &Journal) {\n    let _ = j.submit(p, cb);\n}\n";
+        let v = check_discarded_io("crates/journal/src/lib.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "no-discarded-io");
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn discarded_device_write_is_flagged() {
+        let src = "fn f(d: &Ssd) { let _ = d.write(req); }\n";
+        assert_eq!(check_discarded_io("crates/device/src/ssd.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn discarded_queue_transaction_is_flagged() {
+        let src = "fn f(fs: &FileStore) { let _ = fs.queue_transaction(txn, cb); }\n";
+        assert_eq!(
+            check_discarded_io("crates/filestore/src/store.rs", src).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn question_mark_propagation_is_exempt() {
+        let src = "fn f(fs: &SimFs) -> Result<()> {\n    let _ = fs.getxattr(o, \"_\")?;\n    Ok(())\n}\n";
+        assert!(check_discarded_io("crates/filestore/src/store.rs", src).is_empty());
+    }
+
+    #[test]
+    fn discarded_channel_send_and_join_are_exempt() {
+        let src = "fn f() {\n    let _ = tx.send(1);\n    let _ = h.join();\n    let _ = cell.set(v);\n}\n";
+        assert!(check_discarded_io("crates/journal/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn discarded_io_in_tests_and_foreign_crates_is_exempt() {
+        let test_src = "#[cfg(test)]\nmod tests {\n    fn t() { let _ = j.submit(p, cb); }\n}\n";
+        assert!(check_discarded_io("crates/journal/src/lib.rs", test_src).is_empty());
+        let src = "fn f() { let _ = j.submit(p, cb); }\n";
+        assert!(check_discarded_io("crates/core/src/osd/mod.rs", src).is_empty());
+        assert!(check_discarded_io("crates/journal/tests/replay.rs", src).is_empty());
     }
 
     // -------- rule 4 fixtures -------- //

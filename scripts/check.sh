@@ -53,6 +53,11 @@ maybe_step cargo clippy --version -- cargo clippy --workspace --all-targets --qu
 step cargo build --workspace --quiet
 step cargo test --workspace --quiet
 
+# 5. Fault matrix: the crash-recovery harness and injected-fault suite
+#    run as an explicit pass so a fault-handling regression is named in
+#    CI output even when the workspace test step is green-but-skipped.
+step cargo test --quiet --package afc-core --test crash_recovery --test fault_matrix
+
 echo
 if [ "$failures" -ne 0 ]; then
     echo "check.sh: $failures step(s) failed"

@@ -131,6 +131,7 @@ proptest! {
     fn filestore_profiles_equivalent(ops in proptest::collection::vec(fsop(), 1..40)) {
         let mk = |cfg: FileStoreConfig| {
             FileStore::new(Arc::new(Nvram::new(NvramConfig::pmc_8g())), cfg)
+                .expect("open filestore")
         };
         let community = mk(FileStoreConfig::community());
         let lwt = mk(FileStoreConfig::lightweight());
