@@ -44,7 +44,7 @@ fn main() {
             fs_.to_string(),
             (fsu / 1000).to_string(),
         ]);
-        rows.push(FigRow::from_report("journal_size", cap as f64, &r, false));
+        rows.push(FigRow::from_report("journal_size", cap as f64, &r, false).with_tuning("afceph"));
         cluster.shutdown();
     }
     println!("== Ablation: journal capacity vs 32K random-write fluctuation ==");

@@ -46,7 +46,7 @@ fn main() {
                 c.get("net.conns")
             },
         );
-        rows.push(FigRow::from_report(name, i as f64, &r, false));
+        rows.push(FigRow::from_report(name, i as f64, &r, false).with_tuning("afceph"));
         cluster.shutdown();
     }
     print_rows(

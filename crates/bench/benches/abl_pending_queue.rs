@@ -44,6 +44,7 @@ fn main() {
     ];
     let mut rows = Vec::new();
     for (i, (name, tuning)) in variants.into_iter().enumerate() {
+        let tlabel = tuning.label();
         // Few PGs → heavy PG-lock contention, the regime these fixes target.
         let cluster = afc_core::Cluster::builder()
             .nodes(2)
@@ -63,7 +64,7 @@ fn main() {
             .map(|(_, s)| s.pg_lock_wait_us)
             .sum();
         println!("  total PG-lock wait: {} ms", waits / 1000);
-        rows.push(FigRow::from_report(name, i as f64, &r, false));
+        rows.push(FigRow::from_report(name, i as f64, &r, false).with_tuning(tlabel));
         cluster.shutdown();
     }
     print_rows(

@@ -48,7 +48,7 @@ fn main() {
             tw.to_string(),
             (twu / 1000).to_string(),
         ]);
-        rows.push(FigRow::from_report("throttle", cap as f64, &r, false));
+        rows.push(FigRow::from_report("throttle", cap as f64, &r, false).with_tuning("afceph"));
         cluster.shutdown();
     }
     println!("== Ablation: filestore_queue_max_ops (HDD-sized caps strangle flash) ==");

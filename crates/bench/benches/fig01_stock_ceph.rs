@@ -23,7 +23,7 @@ fn main() {
             let spec = fio(rw, 4096, t).label(format!("{} t={t}", rw.name()));
             let r = run_fleet(&images, &spec);
             println!("  {r}");
-            rows.push(FigRow::from_report(rw.name(), t as f64, &r, false));
+            rows.push(FigRow::from_report(rw.name(), t as f64, &r, false).with_tuning("community"));
         }
     }
     print_rows(

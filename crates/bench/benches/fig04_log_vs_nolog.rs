@@ -26,6 +26,7 @@ fn main() {
             lightweight_txn: false,
             ..tuning
         };
+        let tlabel = tuning.label();
         // Sustained flash plus a journal small enough that the
         // journal→filestore imbalance (the paper's point B) can appear
         // within the bench window.
@@ -48,6 +49,7 @@ fn main() {
                 lat_ms: 0.0,
                 p99_ms: 0.0,
                 unit: "IOPS(window)".into(),
+                tuning: tlabel.into(),
             });
         }
         println!(

@@ -21,6 +21,7 @@ fn main() {
     ];
     let mut rows = Vec::new();
     for (i, (name, tuning)) in steps.into_iter().enumerate() {
+        let tlabel = tuning.label();
         let cluster = build_cluster(4, 2, tuning, DeviceProfile::clean());
         // Clean-state devices; images are laid out (and connections warmed)
         // before measuring, as the paper's 100 GB images were created first.
@@ -30,7 +31,7 @@ fn main() {
         // law); the paper's fio sweep also reports best-of moderate loads.
         let r = run_fleet(&images, &fio(Rw::RandWrite, 4096, 2).label(name));
         println!("{r}");
-        rows.push(FigRow::from_report(name, i as f64, &r, false));
+        rows.push(FigRow::from_report(name, i as f64, &r, false).with_tuning(tlabel));
         cluster.shutdown();
     }
     print_rows(

@@ -49,12 +49,10 @@ fn main() {
                 let subset: Vec<Arc<_>> = images.iter().take(vms).cloned().collect();
                 let r = run_fleet(&subset, &spec);
                 println!("{r}");
-                all_rows.push(FigRow::from_report(
-                    &format!("{cfg_name}/{panel}"),
-                    vms as f64,
-                    &r,
-                    seq,
-                ));
+                all_rows.push(
+                    FigRow::from_report(&format!("{cfg_name}/{panel}"), vms as f64, &r, seq)
+                        .with_tuning(cfg_name),
+                );
             }
         }
         let stats = cluster.osd_stats();

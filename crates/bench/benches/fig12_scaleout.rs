@@ -38,7 +38,7 @@ fn main() {
         for (panel, rw, bs, seq) in panels {
             let r = run_fleet(&images, &fio(rw, bs, 2).label(format!("n{nodes}/{panel}")));
             println!("{r}");
-            rows.push(FigRow::from_report(panel, nodes as f64, &r, seq));
+            rows.push(FigRow::from_report(panel, nodes as f64, &r, seq).with_tuning("afceph"));
         }
         cluster.shutdown();
     }

@@ -1,0 +1,415 @@
+//! Machine-readable performance baseline (`BENCH_baseline.json`).
+//!
+//! A short deterministic smoke workload runs against a small cluster and
+//! distils the metric snapshot into a [`BaselineRecord`]: IOPS, write
+//! amplification, and p50/p95/p99 per write-path stage (the Figure 3
+//! breakdown, aggregated across OSDs). The record round-trips through a
+//! stable JSON encoding so a committed baseline can gate regressions:
+//! `cargo xtask bench-check` re-runs the smoke workload and fails when any
+//! stage (or IOPS, or write amplification) regresses by more than the
+//! tolerance against the committed file.
+//!
+//! The workload is deterministic (fixed op count, object layout and write
+//! pattern); wall-clock numbers still vary run to run, which is why
+//! [`compare`] applies both a relative tolerance and a small absolute
+//! slack per stage.
+
+use afc_common::faults::FaultPlan;
+use afc_common::metrics::HistSnapshot;
+use afc_core::{Cluster, DeviceProfile, OsdTuning};
+use std::time::Instant;
+
+/// Schema tag written into every baseline record.
+pub const SCHEMA: &str = "afc-bench-baseline/1";
+
+/// Write-path stages captured per record, in pipeline order. These are the
+/// `osdN.stage.*` histogram names from the cluster metric registry.
+pub const STAGES: [&str; 7] = [
+    "messenger",
+    "pg_queue",
+    "submit",
+    "journal",
+    "apply",
+    "ack",
+    "total",
+];
+
+/// Relative regression tolerance (`AFC_BENCH_TOLERANCE` overrides).
+pub fn tolerance() -> f64 {
+    std::env::var("AFC_BENCH_TOLERANCE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.20)
+}
+
+/// Absolute per-stage slack in µs: stages cheaper than this can double
+/// without tripping the gate, keeping sub-scheduler-quantum stages from
+/// flapping the check.
+pub const STAGE_SLACK_US: u64 = 200;
+
+/// Latency quantiles of one write-path stage, µs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageQuantiles {
+    /// Stage name (one of [`STAGES`]).
+    pub stage: String,
+    /// Median.
+    pub p50_us: u64,
+    /// 95th percentile.
+    pub p95_us: u64,
+    /// 99th percentile.
+    pub p99_us: u64,
+}
+
+/// One self-describing baseline measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineRecord {
+    /// Schema tag ([`SCHEMA`]).
+    pub schema: String,
+    /// `git rev-parse --short HEAD` at measurement time (or `"unknown"`).
+    pub commit: String,
+    /// Tuning profile label the smoke cluster ran with.
+    pub tuning: String,
+    /// Client write ops issued.
+    pub ops: u64,
+    /// Client-observed write IOPS over the whole run.
+    pub iops: f64,
+    /// (data-SSD bytes + journal-device bytes) / client payload bytes.
+    pub write_amplification: f64,
+    /// Per-stage latency quantiles, aggregated across every OSD.
+    pub stages: Vec<StageQuantiles>,
+}
+
+/// Parameters of the smoke run.
+#[derive(Debug, Clone)]
+pub struct SmokeOpts {
+    /// Client write ops to issue (`AFC_SMOKE_OPS` overrides the default
+    /// 2000 when built via [`Default`]).
+    pub ops: u64,
+    /// Optional fault plan, for regression-detection tests.
+    pub faults: Option<FaultPlan>,
+}
+
+impl Default for SmokeOpts {
+    fn default() -> Self {
+        SmokeOpts {
+            ops: std::env::var("AFC_SMOKE_OPS")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(2000),
+            faults: None,
+        }
+    }
+}
+
+const SMOKE_BS: u64 = 4096;
+const SMOKE_OBJECTS: u64 = 32;
+
+/// Run the deterministic smoke workload and distil a [`BaselineRecord`].
+///
+/// Shape: 2 nodes × 2 OSDs, replication 2, 64 PGs, `afceph` tuning, clean
+/// devices. The client issues `opts.ops` sequential-per-object 4 KiB
+/// writes round-robined over 32 objects, quiesces, then reads the metric
+/// snapshot.
+pub fn run_smoke(opts: &SmokeOpts) -> BaselineRecord {
+    let tuning = OsdTuning::afceph();
+    let tuning_label = tuning.label().to_string();
+    let mut builder = Cluster::builder()
+        .nodes(2)
+        .osds_per_node(2)
+        .replication(2)
+        .pg_num(64)
+        .tuning(tuning)
+        .devices(DeviceProfile::clean());
+    if let Some(plan) = &opts.faults {
+        builder = builder.faults(plan.clone());
+    }
+    let cluster = builder.build().expect("smoke cluster build");
+    let client = cluster.client().expect("smoke client");
+    let buf = vec![0xb5u8; SMOKE_BS as usize];
+    let start = Instant::now();
+    for i in 0..opts.ops {
+        let obj = format!("smoke{}", i % SMOKE_OBJECTS);
+        let off = (i / SMOKE_OBJECTS) * SMOKE_BS;
+        client.write_object(&obj, off, &buf).expect("smoke write");
+    }
+    cluster.quiesce();
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    let snap = cluster.metrics_snapshot();
+    cluster.shutdown();
+
+    // Device-side bytes: every RAID-0 data member sums under
+    // `osdN.data.bytes_written`; the per-node NVRAM card under
+    // `nodeN.journal.dev.bytes_written`.
+    let sum_counters = |pred: &dyn Fn(&str) -> bool| -> u64 {
+        snap.iter()
+            .filter_map(|(id, v)| match v {
+                afc_common::metrics::MetricValue::Counter(c) if pred(id.name()) => Some(*c),
+                _ => None,
+            })
+            .sum()
+    };
+    let data_bytes = sum_counters(&|n| n.starts_with("osd") && n.ends_with(".data.bytes_written"));
+    let journal_bytes =
+        sum_counters(&|n| n.starts_with("node") && n.ends_with(".journal.dev.bytes_written"));
+    let payload = (opts.ops * SMOKE_BS) as f64;
+    let write_amplification = (data_bytes + journal_bytes) as f64 / payload;
+
+    let stages = STAGES
+        .iter()
+        .map(|stage| {
+            let suffix = format!(".stage.{stage}");
+            let mut merged = HistSnapshot {
+                buckets: Vec::new(),
+                count: 0,
+                sum_us: 0,
+            };
+            for (id, v) in snap.iter() {
+                if let afc_common::metrics::MetricValue::Histogram(h) = v {
+                    if id.name().ends_with(&suffix) {
+                        merged.merge(h);
+                    }
+                }
+            }
+            StageQuantiles {
+                stage: stage.to_string(),
+                p50_us: merged.p50_us(),
+                p95_us: merged.p95_us(),
+                p99_us: merged.p99_us(),
+            }
+        })
+        .collect();
+
+    BaselineRecord {
+        schema: SCHEMA.to_string(),
+        commit: crate::commit_hash(),
+        tuning: tuning_label,
+        ops: opts.ops,
+        iops: opts.ops as f64 / elapsed,
+        write_amplification,
+        stages,
+    }
+}
+
+/// Compare `current` against `baseline`; returns one message per detected
+/// regression (empty = pass).
+///
+/// Gates, with relative tolerance `tol` (see [`tolerance`]):
+///
+/// - IOPS must not drop below `baseline × (1 − tol)`.
+/// - Write amplification must not exceed `baseline × (1 + tol) + 0.1`.
+/// - Every stage's p95 must not exceed
+///   `baseline × (1 + tol) + STAGE_SLACK_US`.
+pub fn compare(baseline: &BaselineRecord, current: &BaselineRecord, tol: f64) -> Vec<String> {
+    let mut out = Vec::new();
+    let floor = baseline.iops * (1.0 - tol);
+    if current.iops < floor {
+        out.push(format!(
+            "iops regressed: {:.0} < {:.0} (baseline {:.0}, tol {:.0}%)",
+            current.iops,
+            floor,
+            baseline.iops,
+            tol * 100.0
+        ));
+    }
+    let wa_ceiling = baseline.write_amplification * (1.0 + tol) + 0.1;
+    if current.write_amplification > wa_ceiling {
+        out.push(format!(
+            "write amplification regressed: {:.2} > {:.2} (baseline {:.2})",
+            current.write_amplification, wa_ceiling, baseline.write_amplification
+        ));
+    }
+    for b in &baseline.stages {
+        let Some(c) = current.stages.iter().find(|c| c.stage == b.stage) else {
+            out.push(format!("stage {} missing from current run", b.stage));
+            continue;
+        };
+        let ceiling = (b.p95_us as f64 * (1.0 + tol)) as u64 + STAGE_SLACK_US;
+        if c.p95_us > ceiling {
+            out.push(format!(
+                "stage {} p95 regressed: {}us > {}us (baseline {}us, tol {:.0}% + {}us)",
+                b.stage,
+                c.p95_us,
+                ceiling,
+                b.p95_us,
+                tol * 100.0,
+                STAGE_SLACK_US
+            ));
+        }
+    }
+    out
+}
+
+/// Encode a record as pretty-printed JSON (stable key order, one stage
+/// object per line — the format [`parse`] understands).
+pub fn to_json(r: &BaselineRecord) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!(
+        "  \"schema\": \"{}\",\n",
+        crate::json_escape(&r.schema)
+    ));
+    s.push_str(&format!(
+        "  \"commit\": \"{}\",\n",
+        crate::json_escape(&r.commit)
+    ));
+    s.push_str(&format!(
+        "  \"tuning\": \"{}\",\n",
+        crate::json_escape(&r.tuning)
+    ));
+    s.push_str(&format!("  \"ops\": {},\n", r.ops));
+    s.push_str(&format!("  \"iops\": {},\n", crate::json_num(r.iops)));
+    s.push_str(&format!(
+        "  \"write_amplification\": {},\n",
+        crate::json_num(r.write_amplification)
+    ));
+    s.push_str("  \"stages\": [\n");
+    for (i, st) in r.stages.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"stage\": \"{}\", \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}}}{}\n",
+            crate::json_escape(&st.stage),
+            st.p50_us,
+            st.p95_us,
+            st.p99_us,
+            if i + 1 == r.stages.len() { "" } else { "," },
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Parse the JSON written by [`to_json`]. Line-oriented: top-level fields
+/// one per line, stage objects one per line. Returns `None` on any missing
+/// field or schema mismatch.
+pub fn parse(s: &str) -> Option<BaselineRecord> {
+    let mut schema = None;
+    let mut commit = None;
+    let mut tuning = None;
+    let mut ops = None;
+    let mut iops = None;
+    let mut wa = None;
+    let mut stages = Vec::new();
+    for line in s.lines() {
+        let line = line.trim();
+        if line.contains("\"stage\":") {
+            stages.push(StageQuantiles {
+                stage: field_str(line, "stage")?,
+                p50_us: field_num(line, "p50_us")? as u64,
+                p95_us: field_num(line, "p95_us")? as u64,
+                p99_us: field_num(line, "p99_us")? as u64,
+            });
+        } else if line.starts_with("\"schema\"") {
+            schema = field_str(line, "schema");
+        } else if line.starts_with("\"commit\"") {
+            commit = field_str(line, "commit");
+        } else if line.starts_with("\"tuning\"") {
+            tuning = field_str(line, "tuning");
+        } else if line.starts_with("\"ops\"") {
+            ops = field_num(line, "ops").map(|v| v as u64);
+        } else if line.starts_with("\"iops\"") {
+            iops = field_num(line, "iops");
+        } else if line.starts_with("\"write_amplification\"") {
+            wa = field_num(line, "write_amplification");
+        }
+    }
+    let schema = schema?;
+    if schema != SCHEMA {
+        return None;
+    }
+    Some(BaselineRecord {
+        schema,
+        commit: commit?,
+        tuning: tuning?,
+        ops: ops?,
+        iops: iops?,
+        write_amplification: wa?,
+        stages,
+    })
+}
+
+/// Extract the string value of `"key": "..."` from `line`.
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":");
+    let rest = &line[line.find(&pat)? + pat.len()..];
+    let rest = rest.trim_start();
+    let rest = rest.strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// Extract the numeric value of `"key": <num>` from `line`.
+fn field_num(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let rest = &line[line.find(&pat)? + pat.len()..];
+    let num: String = rest
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'))
+        .collect();
+    num.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> BaselineRecord {
+        BaselineRecord {
+            schema: SCHEMA.into(),
+            commit: "abc1234".into(),
+            tuning: "afceph".into(),
+            ops: 2000,
+            iops: 5123.75,
+            write_amplification: 2.31,
+            stages: STAGES
+                .iter()
+                .enumerate()
+                .map(|(i, s)| StageQuantiles {
+                    stage: s.to_string(),
+                    p50_us: 10 * (i as u64 + 1),
+                    p95_us: 20 * (i as u64 + 1),
+                    p99_us: 30 * (i as u64 + 1),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_is_exact() {
+        let r = record();
+        let parsed = parse(&to_json(&r)).expect("parse");
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn parse_rejects_other_schemas() {
+        let json = to_json(&record()).replace(SCHEMA, "afc-bench-baseline/99");
+        assert!(parse(&json).is_none());
+    }
+
+    #[test]
+    fn compare_passes_identical_runs() {
+        let r = record();
+        assert!(compare(&r, &r, 0.20).is_empty());
+    }
+
+    #[test]
+    fn compare_flags_iops_and_stage_regressions() {
+        let base = record();
+        let mut cur = record();
+        cur.iops = base.iops * 0.5;
+        cur.stages[3].p95_us = base.stages[3].p95_us * 10 + 10_000; // journal
+        let msgs = compare(&base, &cur, 0.20);
+        assert!(msgs.iter().any(|m| m.starts_with("iops regressed")));
+        assert!(msgs.iter().any(|m| m.contains("stage journal")));
+    }
+
+    #[test]
+    fn compare_allows_small_noise() {
+        let base = record();
+        let mut cur = record();
+        cur.iops = base.iops * 0.9;
+        for s in &mut cur.stages {
+            s.p95_us = (s.p95_us as f64 * 1.1) as u64 + 50;
+        }
+        assert!(compare(&base, &cur, 0.20).is_empty());
+    }
+}

@@ -1,0 +1,92 @@
+//! Generate or check the committed performance baseline.
+//!
+//! ```text
+//! cargo run --release -p afc-bench --bin baseline -- --write [path]
+//! cargo run --release -p afc-bench --bin baseline -- --check [path]
+//! ```
+//!
+//! With no mode flag the smoke workload runs and the record prints to
+//! stdout. `path` defaults to `BENCH_baseline.json` at the workspace root.
+//! `--check` exits non-zero when the fresh run regresses against the
+//! committed record (see `afc_bench::baseline::compare`).
+
+use afc_bench::baseline::{self, SmokeOpts};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn default_path() -> PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_baseline.json")
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mode = args.first().map(String::as_str);
+    let path = args.get(1).map(PathBuf::from).unwrap_or_else(default_path);
+    match mode {
+        Some("--write") => {
+            let record = baseline::run_smoke(&SmokeOpts::default());
+            let json = baseline::to_json(&record);
+            if let Err(e) = std::fs::write(&path, &json) {
+                eprintln!("baseline: cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            print!("{json}");
+            println!("(wrote {})", path.display());
+            ExitCode::SUCCESS
+        }
+        Some("--check") => {
+            let committed = match std::fs::read_to_string(&path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("baseline: cannot read {}: {e}", path.display());
+                    eprintln!("baseline: run with --write to create it");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let Some(committed) = baseline::parse(&committed) else {
+                eprintln!(
+                    "baseline: {} is not a valid {} record",
+                    path.display(),
+                    baseline::SCHEMA
+                );
+                return ExitCode::FAILURE;
+            };
+            let current = baseline::run_smoke(&SmokeOpts::default());
+            let tol = baseline::tolerance();
+            let regressions = baseline::compare(&committed, &current, tol);
+            println!(
+                "baseline: committed {:.0} IOPS (commit {}), current {:.0} IOPS",
+                committed.iops, committed.commit, current.iops
+            );
+            for st in &current.stages {
+                let b = committed.stages.iter().find(|b| b.stage == st.stage);
+                println!(
+                    "  {:<10} p50 {:>6}us  p95 {:>6}us  p99 {:>6}us  (baseline p95 {}us)",
+                    st.stage,
+                    st.p50_us,
+                    st.p95_us,
+                    st.p99_us,
+                    b.map(|b| b.p95_us).unwrap_or(0),
+                );
+            }
+            if regressions.is_empty() {
+                println!("baseline: OK (tolerance {:.0}%)", tol * 100.0);
+                ExitCode::SUCCESS
+            } else {
+                for r in &regressions {
+                    eprintln!("baseline: REGRESSION: {r}");
+                }
+                ExitCode::FAILURE
+            }
+        }
+        None => {
+            let record = baseline::run_smoke(&SmokeOpts::default());
+            print!("{}", baseline::to_json(&record));
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("baseline: unknown mode '{other}' (expected --write or --check)");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -10,11 +10,28 @@
 //! `AFC_BENCH_SECS` to lengthen each measurement window and
 //! `AFC_BENCH_VMS_MAX` to raise the fleet sizes.
 
+pub mod baseline;
+
 use afc_common::{BlockTarget, LatencyHist, Table, MIB};
 use afc_core::{Cluster, DeviceProfile, OsdTuning, RbdImage};
 use afc_workload::{JobSpec, Report};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// `git rev-parse --short HEAD`, or `"unknown"` outside a work tree;
+/// stamped into every saved result row and baseline record so JSON files
+/// are self-describing.
+pub fn commit_hash() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into())
+}
 
 /// Per-run measurement window (seconds); `AFC_BENCH_SECS` overrides.
 pub fn bench_secs() -> f64 {
@@ -143,6 +160,11 @@ pub struct FigRow {
     pub p99_ms: f64,
     /// Unit of `value`.
     pub unit: String,
+    /// OSD tuning profile label the row was measured under (e.g.
+    /// "community", "afceph", "custom"). Defaults to the series name;
+    /// override with [`FigRow::with_tuning`] when the series encodes
+    /// something else (an ablation parameter, an rw mix, ...).
+    pub tuning: String,
 }
 
 impl FigRow {
@@ -159,7 +181,15 @@ impl FigRow {
             } else {
                 "IOPS".into()
             },
+            tuning: series.to_string(),
         }
+    }
+
+    /// Tag the row with the tuning profile it was measured under.
+    #[must_use]
+    pub fn with_tuning(mut self, tuning: &str) -> FigRow {
+        self.tuning = tuning.to_string();
+        self
     }
 }
 
@@ -198,7 +228,7 @@ pub fn save_rows(name: &str, rows: &[FigRow]) {
     }
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -214,7 +244,7 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-fn json_num(v: f64) -> String {
+pub(crate) fn json_num(v: f64) -> String {
     // JSON has no NaN/Infinity; clamp to null-adjacent zero.
     if v.is_finite() {
         format!("{v}")
@@ -224,16 +254,21 @@ fn json_num(v: f64) -> String {
 }
 
 fn rows_to_json(rows: &[FigRow]) -> String {
+    // Each record carries the commit and tuning profile so BENCH_*.json
+    // files stay interpretable after the run that produced them.
+    let commit = commit_hash();
     let mut s = String::from("[\n");
     for (i, r) in rows.iter().enumerate() {
         s.push_str(&format!(
-            "  {{\n    \"series\": \"{}\",\n    \"x\": {},\n    \"value\": {},\n    \"lat_ms\": {},\n    \"p99_ms\": {},\n    \"unit\": \"{}\"\n  }}{}\n",
+            "  {{\n    \"series\": \"{}\",\n    \"x\": {},\n    \"value\": {},\n    \"lat_ms\": {},\n    \"p99_ms\": {},\n    \"unit\": \"{}\",\n    \"tuning\": \"{}\",\n    \"commit\": \"{}\"\n  }}{}\n",
             json_escape(&r.series),
             json_num(r.x),
             json_num(r.value),
             json_num(r.lat_ms),
             json_num(r.p99_ms),
             json_escape(&r.unit),
+            json_escape(&r.tuning),
+            json_escape(&commit),
             if i + 1 == rows.len() { "" } else { "," },
         ));
     }

@@ -1,0 +1,55 @@
+//! The baseline gate must catch a genuinely slowed cluster: a delay fault
+//! on every node's journal device inflates the `journal` stage (and the
+//! end-to-end numbers), and `compare` must flag it against a clean run.
+
+use afc_bench::baseline::{compare, run_smoke, SmokeOpts, STAGES};
+use afc_common::faults::{FaultKind, FaultPlan, FaultSpec};
+use std::time::Duration;
+
+const TEST_OPS: u64 = 400;
+
+#[test]
+fn delay_fault_is_detected_as_regression() {
+    let clean = run_smoke(&SmokeOpts {
+        ops: TEST_OPS,
+        faults: None,
+    });
+    assert_eq!(clean.ops, TEST_OPS);
+    assert_eq!(clean.stages.len(), STAGES.len());
+    assert!(clean.iops > 0.0);
+    assert!(
+        clean.write_amplification >= 2.0,
+        "replication 2 writes every byte at least twice (got {})",
+        clean.write_amplification
+    );
+
+    // 5 ms on every journal-device write, on both nodes, forever.
+    let mut plan = FaultPlan::new(0x5ee1);
+    for node in 0..2 {
+        plan = plan.with(
+            FaultSpec::new(
+                format!("node{node}.journal.write"),
+                FaultKind::Delay(Duration::from_millis(5)),
+            )
+            .forever(),
+        );
+    }
+    let slowed = run_smoke(&SmokeOpts {
+        ops: TEST_OPS,
+        faults: Some(plan),
+    });
+
+    let regressions = compare(&clean, &slowed, 0.20);
+    assert!(
+        !regressions.is_empty(),
+        "a 5ms journal delay must trip the gate"
+    );
+    assert!(
+        regressions.iter().any(|m| m.contains("journal")),
+        "the journal stage must be among the flagged regressions: {regressions:?}"
+    );
+
+    // And the gate is not trigger-happy: a run compared against itself
+    // passes at any tolerance.
+    assert!(compare(&clean, &clean, 0.0).is_empty());
+}

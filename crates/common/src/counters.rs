@@ -11,10 +11,17 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A handle to a single counter. Cheap to clone; all clones share the cell.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct Counter(Arc<AtomicU64>);
 
 impl Counter {
+    /// Create a detached counter at zero. Use this for cells that live in
+    /// a component's stats struct and are registered into a
+    /// [`crate::metrics::Metrics`] registry separately.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
     /// Increment by `n`.
     #[inline]
     pub fn add(&self, n: u64) {

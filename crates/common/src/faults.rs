@@ -11,6 +11,17 @@
 //! The hot path is free when no faults are loaded: `check` is a single
 //! relaxed atomic load before touching any lock, and the registry disarms
 //! itself once every spec is exhausted.
+//!
+//! ```
+//! use afc_common::faults::{FaultKind, FaultPlan, FaultRegistry, FaultSpec};
+//!
+//! let plan = FaultPlan::new(42)
+//!     .with(FaultSpec::new("osd0.journal.write", FaultKind::Error).after(1));
+//! let reg = FaultRegistry::from_plan(&plan);
+//! assert_eq!(reg.check("osd0.journal.write"), None); // first hit passes
+//! assert_eq!(reg.check("osd0.journal.write"), Some(FaultKind::Error));
+//! assert_eq!(reg.hits("osd0.journal.write"), 1);
+//! ```
 
 use crate::lockdep::{classes, TrackedMutex};
 use crate::rng;
@@ -49,6 +60,13 @@ pub struct FaultSpec {
 
 impl FaultSpec {
     /// A spec firing on the first matching hit, exactly once.
+    ///
+    /// ```
+    /// use afc_common::faults::{FaultKind, FaultSpec};
+    /// let spec = FaultSpec::new("osd0.data.write", FaultKind::Torn);
+    /// assert_eq!(spec.after, 0);
+    /// assert_eq!(spec.count, 1);
+    /// ```
     pub fn new(site: impl Into<String>, kind: FaultKind) -> Self {
         FaultSpec {
             site: site.into(),
@@ -59,6 +77,13 @@ impl FaultSpec {
     }
 
     /// Let the first `n` matching hits through before firing.
+    ///
+    /// ```
+    /// use afc_common::faults::{FaultKind, FaultSpec};
+    /// // Fail the third write, then recover.
+    /// let spec = FaultSpec::new("osd0.data.write", FaultKind::Error).after(2);
+    /// assert_eq!(spec.after, 2);
+    /// ```
     #[must_use]
     pub fn after(mut self, n: u64) -> Self {
         self.after = n;
@@ -66,6 +91,12 @@ impl FaultSpec {
     }
 
     /// Fire `n` times before exhausting.
+    ///
+    /// ```
+    /// use afc_common::faults::{FaultKind, FaultSpec};
+    /// let spec = FaultSpec::new("net.request", FaultKind::Drop).times(3);
+    /// assert_eq!(spec.count, 3);
+    /// ```
     #[must_use]
     pub fn times(mut self, n: u64) -> Self {
         self.count = n;
@@ -73,6 +104,12 @@ impl FaultSpec {
     }
 
     /// Fire on every matching hit, forever (a permanent fault).
+    ///
+    /// ```
+    /// use afc_common::faults::{FaultKind, FaultSpec};
+    /// let spec = FaultSpec::new("osd1.fs.apply", FaultKind::Error).forever();
+    /// assert_eq!(spec.count, u64::MAX);
+    /// ```
     #[must_use]
     pub fn forever(mut self) -> Self {
         self.count = u64::MAX;
@@ -91,6 +128,13 @@ pub struct FaultPlan {
 
 impl FaultPlan {
     /// An empty plan with the given seed.
+    ///
+    /// ```
+    /// use afc_common::faults::FaultPlan;
+    /// let plan = FaultPlan::new(7);
+    /// assert_eq!(plan.seed, 7);
+    /// assert!(plan.specs.is_empty());
+    /// ```
     pub fn new(seed: u64) -> Self {
         FaultPlan {
             seed,
@@ -99,6 +143,14 @@ impl FaultPlan {
     }
 
     /// Append a spec (builder style).
+    ///
+    /// ```
+    /// use afc_common::faults::{FaultKind, FaultPlan, FaultSpec};
+    /// let plan = FaultPlan::new(7)
+    ///     .with(FaultSpec::new("a", FaultKind::Error))
+    ///     .with(FaultSpec::new("b", FaultKind::Drop));
+    /// assert_eq!(plan.specs.len(), 2);
+    /// ```
     #[must_use]
     pub fn with(mut self, spec: FaultSpec) -> Self {
         self.specs.push(spec);
@@ -213,6 +265,14 @@ impl FaultRegistry {
     /// bare `base` site or as `base.op` — devices use this so one spec can
     /// target all I/O at a site (`"osd0.data"`) or one verb
     /// (`"osd0.data.write"`).
+    ///
+    /// ```
+    /// use afc_common::faults::{FaultKind, FaultRegistry, FaultSpec};
+    /// let reg = FaultRegistry::new();
+    /// reg.install(FaultSpec::new("osd0.data.write", FaultKind::Torn).forever());
+    /// assert_eq!(reg.check_io("osd0.data", "write"), Some(FaultKind::Torn));
+    /// assert_eq!(reg.check_io("osd0.data", "read"), None);
+    /// ```
     #[inline]
     pub fn check_io(&self, base: &str, op: &str) -> Option<FaultKind> {
         if !self.armed.load(Ordering::Relaxed) {

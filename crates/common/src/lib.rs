@@ -10,6 +10,8 @@
 //! - [`hist`]: a log-bucketed latency histogram (HdrHistogram-style, no deps).
 //! - [`series`]: wall-clock time-series recording for fluctuation plots.
 //! - [`counters`]: cheap named atomic counters used for instrumentation.
+//! - [`metrics`]: the unified, label-aware cluster metric registry
+//!   (counters, gauges, latency histograms, Prometheus export).
 //! - [`rng`]: seeded RNG construction and a fast 64-bit mixing hash.
 //! - [`timeutil`]: sleeping helpers and stopwatches used by device models.
 //! - [`table`]: fixed-width table rendering for benchmark harness output.
@@ -27,6 +29,7 @@ pub mod faults;
 pub mod hist;
 pub mod ids;
 pub mod lockdep;
+pub mod metrics;
 pub mod rng;
 pub mod series;
 pub mod table;
@@ -39,6 +42,8 @@ pub use error::{AfcError, Result};
 pub use faults::{FaultKind, FaultPlan, FaultRegistry, FaultSpec};
 pub use hist::LatencyHist;
 pub use ids::{ClientId, Epoch, NodeId, ObjectId, OpId, OsdId, PgId, PoolId};
+pub use metrics::{Gauge, Histogram, MetricId, MetricValue, Metrics, MetricsSnapshot};
+
 pub use lockdep::{
     TrackedCondvar, TrackedMutex, TrackedMutexGuard, TrackedRwLock, TrackedRwLockReadGuard,
     TrackedRwLockWriteGuard,

@@ -1,0 +1,1087 @@
+//! Unified, label-aware metric registry for the whole cluster.
+//!
+//! Every subsystem (devices, journal, filestore, kvstore, messenger,
+//! logging, the OSD op path) registers its counters, gauges and latency
+//! histograms into one [`Metrics`] registry under dotted site names that
+//! follow the same convention as [`crate::faults`] injection sites
+//! (`osd3.data.writes`, `node0.journal.commits`, `net.bytes`, ...).
+//!
+//! The hot path is lock-free: a metric handle ([`Counter`], [`Gauge`],
+//! [`Histogram`]) is a cheap `Arc` around atomics, fetched once at
+//! construction time; updating it is one relaxed atomic op (same cost model
+//! as the `faults` armed-flag fast path). The registry itself is only
+//! touched at registration and snapshot time.
+//!
+//! Snapshots are a stable, sorted tree ([`MetricsSnapshot`]) that can be
+//! diffed, queried by name, or rendered to the Prometheus text exposition
+//! format ([`MetricsSnapshot::to_prometheus`]) and parsed back
+//! ([`MetricsSnapshot::from_prometheus`]) without loss.
+//!
+//! ```
+//! use afc_common::metrics::Metrics;
+//! use std::time::Duration;
+//!
+//! let m = Metrics::new();
+//! let writes = m.counter("osd0.data.writes");
+//! let lat = m.histogram("osd0.stage.journal");
+//! writes.add(3);
+//! lat.observe(Duration::from_micros(250));
+//!
+//! let snap = m.snapshot();
+//! assert_eq!(snap.counter("osd0.data.writes"), Some(3));
+//! let h = snap.histogram("osd0.stage.journal").unwrap();
+//! assert_eq!(h.count, 1);
+//! ```
+
+pub use crate::counters::Counter;
+use crate::counters::CounterSet;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Buckets per octave (16 sub-buckets bounds relative error at ~6%).
+const SUB_BITS: u32 = 4;
+const SUB: usize = 1 << SUB_BITS;
+/// Octaves above the linear range: 1 µs · 2^26 ≈ 67 s.
+const OCTAVES: usize = 26;
+const NBUCKETS: usize = SUB * (OCTAVES + 1);
+
+/// A signed gauge for instantaneous values (queue depths, bytes in flight).
+///
+/// Cheap to clone; all clones share the cell. Updates are one relaxed
+/// atomic op.
+///
+/// ```
+/// use afc_common::metrics::Gauge;
+/// let g = Gauge::new();
+/// g.add(5);
+/// g.sub(2);
+/// assert_eq!(g.get(), 3);
+/// g.set(-1);
+/// assert_eq!(g.get(), -1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Create a detached gauge at zero (register it with
+    /// [`Metrics::register_gauge`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Add `n` (may be negative).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtract `n`.
+    #[inline]
+    pub fn sub(&self, n: i64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A thread-safe latency histogram with geometric buckets (µs resolution).
+///
+/// Unlike [`crate::hist::LatencyHist`] (which is single-owner and merged at
+/// the end of a run), this histogram is shared: recording is one relaxed
+/// `fetch_add` on the owning bucket plus one on the running µs sum, so it
+/// can sit on the write path. The sample count is derived from the buckets,
+/// which keeps snapshots internally consistent even while writers are
+/// racing the snapshot.
+///
+/// ```
+/// use afc_common::metrics::Histogram;
+/// use std::time::Duration;
+///
+/// let h = Histogram::new();
+/// for us in [100u64, 200, 400, 800] {
+///     h.observe_us(us);
+/// }
+/// h.observe(Duration::from_millis(5));
+/// let snap = h.snapshot();
+/// assert_eq!(snap.count, 5);
+/// assert!(snap.quantile_us(0.5) >= 200 && snap.quantile_us(0.5) <= 450);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistCells>);
+
+#[derive(Debug)]
+struct HistCells {
+    buckets: Vec<AtomicU64>,
+    sum_us: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Create a detached, empty histogram (register it with
+    /// [`Metrics::register_histogram`]).
+    pub fn new() -> Self {
+        let mut buckets = Vec::with_capacity(NBUCKETS);
+        buckets.resize_with(NBUCKETS, AtomicU64::default);
+        Histogram(Arc::new(HistCells {
+            buckets,
+            sum_us: AtomicU64::new(0),
+        }))
+    }
+
+    #[inline]
+    fn bucket_of(us: u64) -> usize {
+        if us < SUB as u64 {
+            return us as usize;
+        }
+        // v >= SUB: normalize so (v >> shift) lands in [SUB, 2*SUB).
+        let msb = 63 - us.leading_zeros();
+        let shift = msb - SUB_BITS;
+        let sub = ((us >> shift) as usize) - SUB;
+        let idx = SUB + shift as usize * SUB + sub;
+        idx.min(NBUCKETS - 1)
+    }
+
+    /// Inclusive upper bound (µs) of bucket `idx`; the final bucket is
+    /// unbounded and reported as `u64::MAX` (`+Inf` in Prometheus terms).
+    fn bucket_le(idx: usize) -> u64 {
+        if idx >= NBUCKETS - 1 {
+            return u64::MAX;
+        }
+        if idx < SUB {
+            return idx as u64;
+        }
+        let shift = ((idx - SUB) / SUB) as u32;
+        let sub = ((idx - SUB) % SUB) as u64;
+        let low = (SUB as u64 + sub) << shift;
+        low + (1u64 << shift) - 1
+    }
+
+    /// Record one latency sample.
+    #[inline]
+    pub fn observe(&self, d: Duration) {
+        self.observe_us(d.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Record a latency expressed in microseconds.
+    #[inline]
+    pub fn observe_us(&self, us: u64) {
+        self.0.buckets[Self::bucket_of(us)].fetch_add(1, Ordering::Relaxed);
+        self.0.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples (sum over buckets).
+    pub fn count(&self) -> u64 {
+        self.0
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    fn load_raw(&self) -> (Vec<u64>, u64) {
+        let buckets = self
+            .0
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        (buckets, self.0.sum_us.load(Ordering::Relaxed))
+    }
+
+    /// Point-in-time snapshot of this histogram alone.
+    pub fn snapshot(&self) -> HistSnapshot {
+        let (raw, sum_us) = self.load_raw();
+        HistSnapshot::from_raw(&raw, sum_us)
+    }
+}
+
+/// A metric's identity: a dotted site name plus optional key/value labels.
+///
+/// Site names follow the fault-injection convention: subsystem instances
+/// are path components (`osd2.fs.txns_applied`, `node0.journal.commits`).
+/// Labels are for orthogonal dimensions (e.g. an operation kind) and are
+/// kept sorted so identity is stable.
+///
+/// ```
+/// use afc_common::metrics::MetricId;
+/// let id = MetricId::new("osd0.op.writes").with_label("kind", "4k");
+/// assert_eq!(id.name(), "osd0.op.writes");
+/// assert_eq!(id.labels(), &[("kind".to_string(), "4k".to_string())]);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MetricId {
+    name: String,
+    labels: Vec<(String, String)>,
+}
+
+impl MetricId {
+    /// Identity with no labels.
+    pub fn new(name: impl Into<String>) -> Self {
+        MetricId {
+            name: name.into(),
+            labels: Vec::new(),
+        }
+    }
+
+    /// Add one label, keeping the label list sorted by key.
+    pub fn with_label(mut self, k: impl Into<String>, v: impl Into<String>) -> Self {
+        self.labels.push((k.into(), v.into()));
+        self.labels.sort();
+        self
+    }
+
+    /// The dotted site name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The sorted label pairs.
+    pub fn labels(&self) -> &[(String, String)] {
+        &self.labels
+    }
+}
+
+impl From<&str> for MetricId {
+    fn from(s: &str) -> Self {
+        MetricId::new(s)
+    }
+}
+
+impl From<String> for MetricId {
+    fn from(s: String) -> Self {
+        MetricId::new(s)
+    }
+}
+
+enum Source {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// The cluster-wide metric registry.
+///
+/// Components register shared handles at construction time; the registry
+/// is never touched on the hot path. Multiple registrations under the same
+/// [`MetricId`] are **summed/merged at snapshot time** — this is how the
+/// two SSD members of an OSD's RAID-0 data target appear as one
+/// `osdN.data.*` series, mirroring how they share one fault site.
+///
+/// ```
+/// use afc_common::metrics::{Counter, Metrics};
+///
+/// let m = Metrics::new();
+/// // Two members share the site name; the snapshot sums them.
+/// let a = m.counter("osd0.data.writes");
+/// let b = Counter::new();
+/// m.register_counter("osd0.data.writes", &b);
+/// a.add(2);
+/// b.add(3);
+/// assert_eq!(m.snapshot().counter("osd0.data.writes"), Some(5));
+/// ```
+#[derive(Default)]
+pub struct Metrics {
+    sources: RwLock<BTreeMap<MetricId, Vec<Source>>>,
+    sets: RwLock<Vec<(String, CounterSet)>>,
+}
+
+impl Metrics {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create and register a new counter cell under `id`.
+    pub fn counter(&self, id: impl Into<MetricId>) -> Counter {
+        let c = Counter::new();
+        self.register_counter(id, &c);
+        c
+    }
+
+    /// Register an existing counter cell under `id` (the cell keeps
+    /// working wherever it already lives; snapshots will read it).
+    pub fn register_counter(&self, id: impl Into<MetricId>, c: &Counter) {
+        self.sources
+            .write()
+            .entry(id.into())
+            .or_default()
+            .push(Source::Counter(c.clone()));
+    }
+
+    /// Create and register a new gauge cell under `id`.
+    pub fn gauge(&self, id: impl Into<MetricId>) -> Gauge {
+        let g = Gauge::new();
+        self.register_gauge(id, &g);
+        g
+    }
+
+    /// Register an existing gauge cell under `id`.
+    pub fn register_gauge(&self, id: impl Into<MetricId>, g: &Gauge) {
+        self.sources
+            .write()
+            .entry(id.into())
+            .or_default()
+            .push(Source::Gauge(g.clone()));
+    }
+
+    /// Create and register a new histogram cell under `id`.
+    pub fn histogram(&self, id: impl Into<MetricId>) -> Histogram {
+        let h = Histogram::new();
+        self.register_histogram(id, &h);
+        h
+    }
+
+    /// Register an existing histogram cell under `id`.
+    pub fn register_histogram(&self, id: impl Into<MetricId>, h: &Histogram) {
+        self.sources
+            .write()
+            .entry(id.into())
+            .or_default()
+            .push(Source::Histogram(h.clone()));
+    }
+
+    /// Attach a live [`CounterSet`] (messenger `net.*`, logging `log.*`):
+    /// every counter in the set appears in snapshots as
+    /// `<prefix>.<counter-name>` (or bare `<counter-name>` when `prefix`
+    /// is empty).
+    ///
+    /// ```
+    /// use afc_common::{metrics::Metrics, CounterSet};
+    /// let set = CounterSet::new();
+    /// set.counter("log.dropped").add(4);
+    /// let m = Metrics::new();
+    /// m.attach_set("osd1", &set);
+    /// assert_eq!(m.snapshot().counter("osd1.log.dropped"), Some(4));
+    /// ```
+    pub fn attach_set(&self, prefix: &str, set: &CounterSet) {
+        self.sets.write().push((prefix.to_string(), set.clone()));
+    }
+
+    /// Point-in-time snapshot of every registered metric, as a stable
+    /// sorted tree. Duplicate registrations are summed (counters, gauges)
+    /// or merged (histograms).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut out: BTreeMap<MetricId, MetricValue> = BTreeMap::new();
+        for (id, sources) in self.sources.read().iter() {
+            let mut counter_sum: Option<u64> = None;
+            let mut gauge_sum: Option<i64> = None;
+            let mut hist_raw: Option<(Vec<u64>, u64)> = None;
+            for s in sources {
+                match s {
+                    Source::Counter(c) => {
+                        counter_sum = Some(counter_sum.unwrap_or(0) + c.get());
+                    }
+                    Source::Gauge(g) => {
+                        gauge_sum = Some(gauge_sum.unwrap_or(0) + g.get());
+                    }
+                    Source::Histogram(h) => {
+                        let (raw, sum_us) = h.load_raw();
+                        match &mut hist_raw {
+                            None => hist_raw = Some((raw, sum_us)),
+                            Some((acc, acc_sum)) => {
+                                for (a, b) in acc.iter_mut().zip(&raw) {
+                                    *a += *b;
+                                }
+                                *acc_sum += sum_us;
+                            }
+                        }
+                    }
+                }
+            }
+            // A single id should hold a single kind; if kinds were mixed,
+            // histograms win, then counters — deterministic either way.
+            let value = if let Some((raw, sum_us)) = hist_raw {
+                MetricValue::Histogram(HistSnapshot::from_raw(&raw, sum_us))
+            } else if let Some(v) = counter_sum {
+                MetricValue::Counter(v)
+            } else if let Some(v) = gauge_sum {
+                MetricValue::Gauge(v)
+            } else {
+                continue;
+            };
+            out.insert(id.clone(), value);
+        }
+        for (prefix, set) in self.sets.read().iter() {
+            for (name, v) in set.snapshot() {
+                let full = if prefix.is_empty() {
+                    name
+                } else {
+                    format!("{prefix}.{name}")
+                };
+                // On a name collision with a non-counter registration the
+                // typed registration wins.
+                if let MetricValue::Counter(c) = out
+                    .entry(MetricId::new(full))
+                    .or_insert(MetricValue::Counter(0))
+                {
+                    *c += v;
+                }
+            }
+        }
+        MetricsSnapshot { metrics: out }
+    }
+}
+
+impl std::fmt::Debug for Metrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Metrics")
+            .field("registered", &self.sources.read().len())
+            .field("sets", &self.sets.read().len())
+            .finish()
+    }
+}
+
+/// One metric's value inside a snapshot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MetricValue {
+    /// Monotonic event count.
+    Counter(u64),
+    /// Instantaneous signed value.
+    Gauge(i64),
+    /// Latency distribution.
+    Histogram(HistSnapshot),
+}
+
+/// Frozen histogram state: sparse cumulative buckets plus totals.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// `(le_us, cumulative_count)` for every non-empty bucket, ascending;
+    /// `le_us == u64::MAX` is the unbounded (`+Inf`) bucket.
+    pub buckets: Vec<(u64, u64)>,
+    /// Total recorded samples.
+    pub count: u64,
+    /// Sum of all recorded values, µs.
+    pub sum_us: u64,
+}
+
+impl HistSnapshot {
+    fn from_raw(raw: &[u64], sum_us: u64) -> HistSnapshot {
+        let mut buckets = Vec::new();
+        let mut cum = 0u64;
+        for (idx, &c) in raw.iter().enumerate() {
+            if c > 0 {
+                cum += c;
+                buckets.push((Histogram::bucket_le(idx), cum));
+            }
+        }
+        HistSnapshot {
+            buckets,
+            count: cum,
+            sum_us,
+        }
+    }
+
+    /// Value (µs) at quantile `q` in `[0, 1]`: the inclusive upper bound
+    /// of the first bucket containing the ranked sample. Returns 0 when
+    /// empty.
+    ///
+    /// ```
+    /// use afc_common::metrics::Histogram;
+    /// let h = Histogram::new();
+    /// for _ in 0..99 { h.observe_us(100); }
+    /// h.observe_us(10_000);
+    /// let s = h.snapshot();
+    /// assert!(s.quantile_us(0.5) < 120);
+    /// assert!(s.quantile_us(0.999) >= 10_000);
+    /// ```
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        for &(le, cum) in &self.buckets {
+            if cum >= rank {
+                return le;
+            }
+        }
+        self.buckets.last().map(|&(le, _)| le).unwrap_or(0)
+    }
+
+    /// Median, µs.
+    pub fn p50_us(&self) -> u64 {
+        self.quantile_us(0.50)
+    }
+
+    /// 95th percentile, µs.
+    pub fn p95_us(&self) -> u64 {
+        self.quantile_us(0.95)
+    }
+
+    /// 99th percentile, µs.
+    pub fn p99_us(&self) -> u64 {
+        self.quantile_us(0.99)
+    }
+
+    /// Arithmetic mean, µs (0 when empty).
+    pub fn mean_us(&self) -> u64 {
+        self.sum_us.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Fold `other` into `self`, bucket by bucket.
+    ///
+    /// All histograms share one fixed bucket layout, so snapshots from
+    /// different sources (e.g. the same stage on every OSD) merge exactly:
+    /// counts add per bucket and quantiles of the merged snapshot reflect
+    /// the combined population.
+    ///
+    /// ```
+    /// use afc_common::metrics::Histogram;
+    /// let (a, b) = (Histogram::new(), Histogram::new());
+    /// a.observe_us(100);
+    /// b.observe_us(100_000);
+    /// let mut merged = a.snapshot();
+    /// merged.merge(&b.snapshot());
+    /// assert_eq!(merged.count, 2);
+    /// assert!(merged.quantile_us(1.0) >= 100_000);
+    /// ```
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        let decum = |b: &[(u64, u64)]| {
+            let mut prev = 0;
+            b.iter()
+                .map(|&(le, cum)| {
+                    let c = cum - prev;
+                    prev = cum;
+                    (le, c)
+                })
+                .collect::<Vec<_>>()
+        };
+        let mut per: BTreeMap<u64, u64> = BTreeMap::new();
+        for (le, c) in decum(&self.buckets)
+            .into_iter()
+            .chain(decum(&other.buckets))
+        {
+            *per.entry(le).or_insert(0) += c;
+        }
+        let mut cum = 0;
+        self.buckets = per
+            .into_iter()
+            .map(|(le, c)| {
+                cum += c;
+                (le, cum)
+            })
+            .collect();
+        self.count = cum;
+        self.sum_us += other.sum_us;
+    }
+}
+
+/// A stable, sorted point-in-time view of every metric in a registry.
+///
+/// Obtained from [`Metrics::snapshot`]; query it by name, iterate it, or
+/// render/parse the Prometheus text format.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricsSnapshot {
+    metrics: BTreeMap<MetricId, MetricValue>,
+}
+
+impl MetricsSnapshot {
+    /// Look up the value registered under the unlabeled `name`.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.metrics.get(&MetricId::new(name))
+    }
+
+    /// Look up a metric by full identity (name + labels).
+    pub fn get_id(&self, id: &MetricId) -> Option<&MetricValue> {
+        self.metrics.get(id)
+    }
+
+    /// Counter value under `name`, if present and a counter.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.get(name) {
+            Some(MetricValue::Counter(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Gauge value under `name`, if present and a gauge.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        match self.get(name) {
+            Some(MetricValue::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Histogram under `name`, if present and a histogram.
+    pub fn histogram(&self, name: &str) -> Option<&HistSnapshot> {
+        match self.get(name) {
+            Some(MetricValue::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Iterate all `(identity, value)` pairs in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = (&MetricId, &MetricValue)> {
+        self.metrics.iter()
+    }
+
+    /// Number of metrics in the snapshot.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// True when the snapshot holds no metrics.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// Render the snapshot in the Prometheus text exposition format.
+    ///
+    /// Dotted site names are not valid Prometheus metric names, so each
+    /// series gets a sanitized name (dots → underscores) and carries the
+    /// exact site name in a `site` label; [`Self::from_prometheus`]
+    /// rebuilds the original identities from that label, making the
+    /// encoding lossless. Histogram `le` bounds and sums are microseconds.
+    ///
+    /// ```
+    /// use afc_common::metrics::Metrics;
+    /// let m = Metrics::new();
+    /// m.counter("net.bytes").add(7);
+    /// let text = m.snapshot().to_prometheus();
+    /// assert!(text.contains("net_bytes{site=\"net.bytes\"} 7"));
+    /// ```
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (id, v) in &self.metrics {
+            let san = sanitize(id.name());
+            let labels = render_labels(id);
+            match v {
+                MetricValue::Counter(c) => {
+                    let _ = writeln!(out, "# TYPE {san} counter");
+                    let _ = writeln!(out, "{san}{{{labels}}} {c}");
+                }
+                MetricValue::Gauge(g) => {
+                    let _ = writeln!(out, "# TYPE {san} gauge");
+                    let _ = writeln!(out, "{san}{{{labels}}} {g}");
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = writeln!(out, "# TYPE {san} histogram");
+                    for &(le, cum) in &h.buckets {
+                        let le_s = if le == u64::MAX {
+                            "+Inf".to_string()
+                        } else {
+                            le.to_string()
+                        };
+                        let _ = writeln!(out, "{san}_bucket{{{labels},le=\"{le_s}\"}} {cum}");
+                    }
+                    if h.buckets.last().map(|&(le, _)| le) != Some(u64::MAX) {
+                        let _ = writeln!(out, "{san}_bucket{{{labels},le=\"+Inf\"}} {}", h.count);
+                    }
+                    let _ = writeln!(out, "{san}_sum{{{labels}}} {}", h.sum_us);
+                    let _ = writeln!(out, "{san}_count{{{labels}}} {}", h.count);
+                }
+            }
+        }
+        out
+    }
+
+    /// Parse text produced by [`Self::to_prometheus`] back into a
+    /// snapshot. Series identity comes from the `site` label, so the
+    /// round trip is exact: `from_prometheus(s.to_prometheus()) == s`.
+    pub fn from_prometheus(text: &str) -> crate::Result<MetricsSnapshot> {
+        use crate::AfcError;
+        // Buckets, sum and count of a histogram under (re)construction.
+        type PartialHist = (Vec<(u64, u64)>, u64, u64);
+        let mut kinds: BTreeMap<String, String> = BTreeMap::new();
+        let mut hists: BTreeMap<MetricId, PartialHist> = BTreeMap::new();
+        let mut metrics: BTreeMap<MetricId, MetricValue> = BTreeMap::new();
+        let bad = |line: &str| AfcError::InvalidArgument(format!("bad prometheus line: {line}"));
+
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut it = rest.split_whitespace();
+                if let (Some(name), Some(kind)) = (it.next(), it.next()) {
+                    kinds.insert(name.to_string(), kind.to_string());
+                }
+                continue;
+            }
+            if line.starts_with('#') {
+                continue;
+            }
+            let brace = line.find('{').ok_or_else(|| bad(line))?;
+            let close = line.rfind('}').ok_or_else(|| bad(line))?;
+            let series = &line[..brace];
+            let label_str = &line[brace + 1..close];
+            let value_str = line[close + 1..].trim();
+            let mut site = None;
+            let mut le = None;
+            let mut labels = Vec::new();
+            for part in split_labels(label_str) {
+                let (k, v) = part.ok_or_else(|| bad(line))?;
+                match k.as_str() {
+                    "site" => site = Some(v),
+                    "le" => le = Some(v),
+                    _ => labels.push((k, v)),
+                }
+            }
+            let site = site.ok_or_else(|| bad(line))?;
+            labels.sort();
+            let mut id = MetricId::new(site);
+            id.labels = labels;
+
+            // Histogram series carry a suffix on the sanitized name.
+            let kind_of = |series: &str, suffix: &str| {
+                series
+                    .strip_suffix(suffix)
+                    .map(|base| kinds.get(base).map(|k| k == "histogram").unwrap_or(false))
+                    .unwrap_or(false)
+            };
+            if kind_of(series, "_bucket") {
+                let le = le.ok_or_else(|| bad(line))?;
+                let le_us = if le == "+Inf" {
+                    u64::MAX
+                } else {
+                    le.parse().map_err(|_| bad(line))?
+                };
+                let cum: u64 = value_str.parse().map_err(|_| bad(line))?;
+                hists.entry(id).or_default().0.push((le_us, cum));
+            } else if kind_of(series, "_sum") {
+                let v: u64 = value_str.parse().map_err(|_| bad(line))?;
+                hists.entry(id).or_default().1 = v;
+            } else if kind_of(series, "_count") {
+                let v: u64 = value_str.parse().map_err(|_| bad(line))?;
+                hists.entry(id).or_default().2 = v;
+            } else {
+                let kind = kinds.get(series).map(String::as_str).unwrap_or("counter");
+                let value = match kind {
+                    "gauge" => MetricValue::Gauge(value_str.parse().map_err(|_| bad(line))?),
+                    _ => MetricValue::Counter(value_str.parse().map_err(|_| bad(line))?),
+                };
+                metrics.insert(id, value);
+            }
+        }
+        for (id, (mut buckets, sum_us, count)) in hists {
+            buckets.sort();
+            // Drop a synthetic +Inf bucket that merely repeats the count.
+            if let Some(&(le, cum)) = buckets.last() {
+                if le == u64::MAX {
+                    // Real overflow buckets strictly increase the running
+                    // count; a repeat (or lone zero) is synthetic.
+                    let prev = buckets
+                        .len()
+                        .checked_sub(2)
+                        .map(|i| buckets[i].1)
+                        .unwrap_or(0);
+                    if prev == cum {
+                        buckets.pop();
+                    }
+                }
+            }
+            metrics.insert(
+                id,
+                MetricValue::Histogram(HistSnapshot {
+                    buckets,
+                    count,
+                    sum_us,
+                }),
+            );
+        }
+        Ok(MetricsSnapshot { metrics })
+    }
+}
+
+/// Sanitize a dotted site name into a Prometheus-legal metric name.
+fn sanitize(name: &str) -> String {
+    let mut s: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if s.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        s.insert(0, '_');
+    }
+    s
+}
+
+fn render_labels(id: &MetricId) -> String {
+    let mut out = format!("site=\"{}\"", escape_label(id.name()));
+    for (k, v) in id.labels() {
+        let _ = write!(out, ",{}=\"{}\"", sanitize(k), escape_label(v));
+    }
+    out
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Split `k="v",k2="v2"` into pairs, honouring escaped quotes.
+fn split_labels(s: &str) -> impl Iterator<Item = Option<(String, String)>> + '_ {
+    let mut rest = s;
+    std::iter::from_fn(move || {
+        rest = rest.trim_start_matches(',').trim();
+        if rest.is_empty() {
+            return None;
+        }
+        let eq = match rest.find('=') {
+            Some(i) => i,
+            None => {
+                rest = "";
+                return Some(None);
+            }
+        };
+        let key = rest[..eq].trim().to_string();
+        let after = &rest[eq + 1..];
+        if !after.starts_with('"') {
+            rest = "";
+            return Some(None);
+        }
+        let body = &after[1..];
+        let mut val = String::new();
+        let mut chars = body.char_indices();
+        let mut end = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => {
+                    if let Some((_, n)) = chars.next() {
+                        val.push(n);
+                    }
+                }
+                '"' => {
+                    end = Some(i);
+                    break;
+                }
+                c => val.push(c),
+            }
+        }
+        match end {
+            Some(i) => {
+                rest = &body[i + 1..];
+                Some(Some((key, val)))
+            }
+            None => {
+                rest = "";
+                Some(None)
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip_values() {
+        let m = Metrics::new();
+        let c = m.counter("a.b.c");
+        let g = m.gauge("a.b.depth");
+        c.add(41);
+        c.inc();
+        g.add(10);
+        g.sub(3);
+        let s = m.snapshot();
+        assert_eq!(s.counter("a.b.c"), Some(42));
+        assert_eq!(s.gauge("a.b.depth"), Some(7));
+        assert_eq!(s.counter("missing"), None);
+        assert_eq!(s.gauge("a.b.c"), None);
+    }
+
+    #[test]
+    fn duplicate_registrations_sum() {
+        let m = Metrics::new();
+        let a = m.counter("osd0.data.writes");
+        let b = Counter::new();
+        m.register_counter("osd0.data.writes", &b);
+        a.add(2);
+        b.add(5);
+        assert_eq!(m.snapshot().counter("osd0.data.writes"), Some(7));
+
+        let h1 = m.histogram("osd0.stage.journal");
+        let h2 = Histogram::new();
+        m.register_histogram("osd0.stage.journal", &h2);
+        h1.observe_us(100);
+        h2.observe_us(100);
+        h2.observe_us(1000);
+        let s = m.snapshot();
+        assert_eq!(s.histogram("osd0.stage.journal").unwrap().count, 3);
+    }
+
+    #[test]
+    fn labels_distinguish_series() {
+        let m = Metrics::new();
+        let a = m.counter(MetricId::new("ops").with_label("kind", "read"));
+        let b = m.counter(MetricId::new("ops").with_label("kind", "write"));
+        a.add(1);
+        b.add(2);
+        let s = m.snapshot();
+        assert_eq!(
+            s.get_id(&MetricId::new("ops").with_label("kind", "read")),
+            Some(&MetricValue::Counter(1))
+        );
+        assert_eq!(
+            s.get_id(&MetricId::new("ops").with_label("kind", "write")),
+            Some(&MetricValue::Counter(2))
+        );
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn attached_sets_appear_with_prefix() {
+        let m = Metrics::new();
+        let set = CounterSet::new();
+        set.counter("net.bytes").add(11);
+        m.attach_set("", &set);
+        let set2 = CounterSet::new();
+        set2.counter("log.dropped").add(3);
+        m.attach_set("osd1", &set2);
+        let s = m.snapshot();
+        assert_eq!(s.counter("net.bytes"), Some(11));
+        assert_eq!(s.counter("osd1.log.dropped"), Some(3));
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        // Exact values below SUB get exact buckets.
+        for us in 0..SUB as u64 {
+            let h = Histogram::new();
+            h.observe_us(us);
+            let s = h.snapshot();
+            assert_eq!(s.buckets, vec![(us, 1)], "us={us}");
+            assert_eq!(s.quantile_us(1.0), us);
+        }
+        // Power-of-two boundaries: value falls in a bucket whose le bound
+        // is >= the value and within the ~6% relative-error budget.
+        for us in [16u64, 17, 31, 32, 1 << 10, (1 << 20) + 123, 1 << 25] {
+            let h = Histogram::new();
+            h.observe_us(us);
+            let le = h.snapshot().quantile_us(1.0);
+            assert!(le >= us, "us={us} le={le}");
+            assert!((le - us) as f64 / us as f64 <= 0.07, "us={us} le={le}");
+        }
+        // Saturation: beyond the covered range lands in the +Inf bucket.
+        let h = Histogram::new();
+        h.observe_us(u64::MAX / 2);
+        let s = h.snapshot();
+        assert_eq!(s.buckets, vec![(u64::MAX, 1)]);
+        assert_eq!(s.quantile_us(0.5), u64::MAX);
+        assert_eq!(s.count, 1);
+    }
+
+    #[test]
+    fn histogram_quantiles_track_distribution() {
+        let h = Histogram::new();
+        for i in 1..=10_000u64 {
+            h.observe_us(i);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 10_000);
+        let p50 = s.p50_us() as f64;
+        let p99 = s.p99_us() as f64;
+        assert!((p50 - 5_000.0).abs() / 5_000.0 < 0.08, "p50={p50}");
+        assert!((p99 - 9_900.0).abs() / 9_900.0 < 0.08, "p99={p99}");
+        assert!((s.mean_us() as f64 - 5_000.0).abs() / 5_000.0 < 0.01);
+    }
+
+    #[test]
+    fn prometheus_roundtrip_is_lossless() {
+        let m = Metrics::new();
+        m.counter("osd0.data.writes").add(12);
+        m.counter(MetricId::new("osd0.op.client_ops").with_label("kind", "4k\"quoted\""))
+            .add(9);
+        let g = m.gauge("node0.journal.depth");
+        g.set(-4);
+        let h = m.histogram("osd0.stage.journal");
+        for us in [3u64, 90, 90, 1500, 700_000] {
+            h.observe_us(us);
+        }
+        // An empty histogram must also survive the trip.
+        m.histogram("osd0.stage.ack");
+        let snap = m.snapshot();
+        let text = snap.to_prometheus();
+        let back = MetricsSnapshot::from_prometheus(&text).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn prometheus_rejects_garbage() {
+        assert!(MetricsSnapshot::from_prometheus("what is this").is_err());
+        assert!(MetricsSnapshot::from_prometheus("x{le=\"3\"} 1").is_err());
+        // Valid empty input parses to an empty snapshot.
+        let s = MetricsSnapshot::from_prometheus("# just a comment\n").unwrap();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn snapshot_while_writing_is_consistent() {
+        use std::sync::atomic::AtomicBool;
+        let m = Arc::new(Metrics::new());
+        let h = m.histogram("x.lat");
+        let stop = Arc::new(AtomicBool::new(false));
+        let writer = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut i = 1u64;
+                while !stop.load(Ordering::Relaxed) {
+                    h.observe_us(i % 10_000);
+                    i += 1;
+                }
+                i - 1
+            })
+        };
+        for _ in 0..50 {
+            let s = m.snapshot();
+            if let Some(hs) = s.histogram("x.lat") {
+                // Cumulative counts are monotone and end at `count`.
+                let mut prev = 0;
+                for &(_, cum) in &hs.buckets {
+                    assert!(cum >= prev);
+                    prev = cum;
+                }
+                assert_eq!(hs.count, prev);
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        let written = writer.join().unwrap();
+        assert_eq!(m.snapshot().histogram("x.lat").unwrap().count, written);
+    }
+
+    #[test]
+    fn histogram_merge_matches_combined_population() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let combined = Histogram::new();
+        for i in 0..500u64 {
+            a.observe_us(i * 7 % 3000);
+            combined.observe_us(i * 7 % 3000);
+        }
+        for i in 0..300u64 {
+            b.observe_us(10_000 + i * 13 % 5000);
+            combined.observe_us(10_000 + i * 13 % 5000);
+        }
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m, combined.snapshot());
+        // Merging an empty snapshot is the identity.
+        let before = m.clone();
+        m.merge(&Histogram::new().snapshot());
+        assert_eq!(m, before);
+    }
+}

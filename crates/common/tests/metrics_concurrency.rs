@@ -1,0 +1,85 @@
+//! Concurrent-update correctness for the metric registry: hot-path
+//! updates are relaxed atomics, so totals must still be exact once the
+//! writers join, across many threads hammering many metrics at once.
+
+use afc_common::metrics::Metrics;
+use std::sync::Arc;
+
+const THREADS: usize = 8;
+const METRICS: usize = 16;
+const OPS_PER_THREAD: u64 = 5_000;
+
+#[test]
+fn concurrent_counter_totals_are_exact() {
+    let m = Arc::new(Metrics::new());
+    // Every thread gets its own handle to every metric, exercising the
+    // shared-cell path (same MetricId → same underlying cell).
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let m = Arc::clone(&m);
+            s.spawn(move || {
+                let counters: Vec<_> = (0..METRICS)
+                    .map(|i| m.counter(format!("osd{i}.op.writes")))
+                    .collect();
+                for op in 0..OPS_PER_THREAD {
+                    counters[(t + op as usize) % METRICS].inc();
+                }
+            });
+        }
+    });
+    let snap = m.snapshot();
+    let total: u64 = (0..METRICS)
+        .map(|i| snap.counter(&format!("osd{i}.op.writes")).unwrap())
+        .sum();
+    assert_eq!(total, THREADS as u64 * OPS_PER_THREAD);
+}
+
+#[test]
+fn concurrent_histogram_counts_are_exact() {
+    let m = Arc::new(Metrics::new());
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let m = Arc::clone(&m);
+            s.spawn(move || {
+                let hists: Vec<_> = (0..METRICS)
+                    .map(|i| m.histogram(format!("osd{i}.stage.journal")))
+                    .collect();
+                for op in 0..OPS_PER_THREAD {
+                    hists[(t * 3 + op as usize) % METRICS].observe_us(op % 10_000);
+                }
+            });
+        }
+    });
+    let snap = m.snapshot();
+    let mut total = 0;
+    for i in 0..METRICS {
+        let h = snap
+            .histogram(&format!("osd{i}.stage.journal"))
+            .expect("histogram registered");
+        // Bucket cumulative counts are internally consistent.
+        assert_eq!(h.buckets.last().map(|&(_, c)| c).unwrap_or(0), h.count);
+        total += h.count;
+    }
+    assert_eq!(total, THREADS as u64 * OPS_PER_THREAD);
+}
+
+#[test]
+fn concurrent_gauge_adds_balance_out() {
+    let m = Arc::new(Metrics::new());
+    std::thread::scope(|s| {
+        for _ in 0..THREADS {
+            let m = Arc::clone(&m);
+            s.spawn(move || {
+                let g = m.gauge("osd0.fs.queue_depth");
+                for _ in 0..OPS_PER_THREAD {
+                    g.add(3);
+                    g.sub(2);
+                }
+            });
+        }
+    });
+    assert_eq!(
+        m.snapshot().gauge("osd0.fs.queue_depth").unwrap(),
+        (THREADS as u64 * OPS_PER_THREAD) as i64
+    );
+}

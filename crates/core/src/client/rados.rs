@@ -1,6 +1,6 @@
 //! The RADOS-style object client.
 //!
-//! Clients need no metadata server: the shared [`OsdMap`] plus CRUSH
+//! Clients need no metadata server: the shared [`afc_crush::OsdMap`] plus CRUSH
 //! determine each object's PG and primary OSD, requests go straight to the
 //! primary, and misdirected ops (stale map during failures/expansion) are
 //! retried after a map refresh.

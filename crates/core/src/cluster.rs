@@ -11,6 +11,7 @@ use crate::messages::OsdMsg;
 use crate::monitor::Monitor;
 use crate::osd::{Osd, OsdParams, OsdStats};
 use crate::tuning::OsdTuning;
+use afc_common::metrics::{Metrics, MetricsSnapshot};
 use afc_common::{
     AfcError, ClientId, FaultPlan, FaultRegistry, NodeId, ObjectId, OsdId, PgId, PoolId, Result,
     GIB, KIB,
@@ -242,6 +243,8 @@ impl ClusterBuilder {
                 )
             });
         }
+        let metrics = Arc::new(Metrics::new());
+        net.attach_metrics(&metrics);
         let crush = CrushMap::uniform(self.nodes, self.osds_per_node);
         let monitor = Monitor::new(crush);
         let pool = PoolId(0);
@@ -263,6 +266,9 @@ impl ClusterBuilder {
                     .faults()
                     .attach(Arc::clone(reg), format!("node{node}.journal"));
             }
+            // The card's device-level counters; ring-level journal stats
+            // land under `node{n}.journal.*` via each OSD's journal.
+            nvram.register_metrics(&metrics, &format!("node{node}.journal.dev"));
             for o in 0..self.osds_per_node {
                 let id = OsdId(node * self.osds_per_node + o);
                 let members: Vec<Arc<dyn BlockDev>> = (0..self.devices.ssds_per_osd.max(1))
@@ -275,6 +281,9 @@ impl ClusterBuilder {
                             ssd.faults()
                                 .attach(Arc::clone(reg), format!("osd{}.data", id.0));
                         }
+                        // Every member registers under the OSD's data site;
+                        // snapshots sum them (the RAID-0 aggregate view).
+                        ssd.register_metrics(&metrics, &format!("osd{}.data", id.0));
                         Arc::new(ssd) as Arc<dyn BlockDev>
                     })
                     .collect();
@@ -297,6 +306,7 @@ impl ClusterBuilder {
                     osd.store()
                         .attach_faults(Arc::clone(reg), format!("osd{}.fs", id.0));
                 }
+                osd.attach_metrics(&metrics, &format!("node{node}.journal"));
                 osds.push(osd);
             }
         }
@@ -307,6 +317,7 @@ impl ClusterBuilder {
             pool,
             tuning: self.tuning,
             faults,
+            metrics,
             next_client: AtomicU64::new(1),
             stopped: AtomicBool::new(false),
         })
@@ -321,6 +332,7 @@ pub struct Cluster {
     pool: PoolId,
     tuning: OsdTuning,
     faults: Option<Arc<FaultRegistry>>,
+    metrics: Arc<Metrics>,
     next_client: AtomicU64,
     stopped: AtomicBool,
 }
@@ -388,6 +400,23 @@ impl Cluster {
     /// Per-OSD statistics.
     pub fn osd_stats(&self) -> Vec<(OsdId, OsdStats)> {
         self.osds.iter().map(|o| (o.id(), o.stats())).collect()
+    }
+
+    /// The cluster-wide metric registry. Every subsystem registers into
+    /// it at build time: device counters (`osdN.data.*`,
+    /// `nodeN.journal.dev.*`), journal rings (`nodeN.journal.*`),
+    /// filestore (`osdN.fs.*`), KV DBs (`osdN.kv.*`), per-OSD op counters
+    /// (`osdN.op.*`), write-path stage histograms (`osdN.stage.*`),
+    /// loggers (`osdN.log.*`) and the fabric (`net.*`).
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    /// Point-in-time snapshot of every metric in the cluster, as a
+    /// stable sorted tree (see [`MetricsSnapshot`]); use
+    /// [`MetricsSnapshot::to_prometheus`] for a text export.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
     }
 
     /// Drain in-flight work across the cluster (benchmark epilogue).

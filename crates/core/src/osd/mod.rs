@@ -29,6 +29,7 @@ use crate::monitor::SharedMap;
 use crate::tuning::OsdTuning;
 use ack::OrderedAcker;
 use afc_common::lockdep::{classes, TrackedCondvar, TrackedMutex, TrackedRwLock};
+use afc_common::metrics::{Counter as MetricCounter, Metrics};
 use afc_common::{AfcError, ClientId, ObjectId, OpId, OsdId, PgId, Result};
 use afc_device::BlockDev;
 use afc_filestore::throttle::OwnedPermit;
@@ -44,7 +45,7 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
-use trace::{StageRecorder, TraceTimes};
+use trace::{StageHists, StageRecorder, TraceTimes};
 use trim::TrimTracker;
 
 /// Parameters for spawning an OSD.
@@ -297,14 +298,14 @@ struct OsdInner {
     recorder: StageRecorder,
     acker: OrderedAcker,
     shutdown: AtomicBool,
-    // counters
-    client_ops: AtomicU64,
-    writes: AtomicU64,
-    reads: AtomicU64,
-    repops: AtomicU64,
-    repacks: AtomicU64,
-    apply_failures: AtomicU64,
-    rep_resends: AtomicU64,
+    // counters (shared metric cells, registrable into a cluster registry)
+    client_ops: MetricCounter,
+    writes: MetricCounter,
+    reads: MetricCounter,
+    repops: MetricCounter,
+    repacks: MetricCounter,
+    apply_failures: MetricCounter,
+    rep_resends: MetricCounter,
 }
 
 /// A running OSD daemon.
@@ -370,13 +371,13 @@ impl Osd {
             recorder: StageRecorder::new(16, 4096),
             acker: OrderedAcker::new(),
             shutdown: AtomicBool::new(false),
-            client_ops: AtomicU64::new(0),
-            writes: AtomicU64::new(0),
-            reads: AtomicU64::new(0),
-            repops: AtomicU64::new(0),
-            repacks: AtomicU64::new(0),
-            apply_failures: AtomicU64::new(0),
-            rep_resends: AtomicU64::new(0),
+            client_ops: MetricCounter::new(),
+            writes: MetricCounter::new(),
+            reads: MetricCounter::new(),
+            repops: MetricCounter::new(),
+            repacks: MetricCounter::new(),
+            apply_failures: MetricCounter::new(),
+            rep_resends: MetricCounter::new(),
             tuning,
         });
         let msgr = params.net.register(
@@ -489,6 +490,50 @@ impl Osd {
         self.inner.recorder.samples()
     }
 
+    /// Register this OSD's instrumentation into a cluster metric
+    /// registry:
+    ///
+    /// - op counters under `osd<N>.op.*` (plus client-throttle waits
+    ///   under `osd<N>.op.client_throttle.*`),
+    /// - write-path stage histograms under `osd<N>.stage.*` (fed from
+    ///   the sampled stage recorder),
+    /// - filestore under `osd<N>.fs.*`, its KV DB under `osd<N>.kv.*`,
+    /// - the debug logger's counters as `osd<N>.log.*`,
+    /// - the journal's counters under `<journal_prefix>.*` (the caller
+    ///   picks the node-scoped name, e.g. `node0.journal`).
+    pub fn attach_metrics(&self, m: &Metrics, journal_prefix: &str) {
+        let inner = &self.inner;
+        let op = format!("osd{}.op", inner.id.0);
+        let fields: [(&str, &MetricCounter); 7] = [
+            ("client_ops", &inner.client_ops),
+            ("writes", &inner.writes),
+            ("reads", &inner.reads),
+            ("repops", &inner.repops),
+            ("repacks", &inner.repacks),
+            ("apply_failures", &inner.apply_failures),
+            ("rep_resends", &inner.rep_resends),
+        ];
+        for (name, cell) in fields {
+            m.register_counter(format!("{op}.{name}"), cell);
+        }
+        inner
+            .client_throttle
+            .register_into(m, &format!("{op}.client_throttle"));
+        inner
+            .recorder
+            .attach_hists(StageHists::register(m, &format!("osd{}.stage", inner.id.0)));
+        inner
+            .store
+            .register_metrics(m, &format!("osd{}.fs", inner.id.0));
+        inner
+            .store
+            .register_kv_metrics(m, &format!("osd{}.kv", inner.id.0));
+        inner
+            .logger
+            .attach_metrics(m, &format!("osd{}", inner.id.0));
+        inner.journal.register_metrics(m, journal_prefix);
+    }
+
     /// Aggregated statistics.
     pub fn stats(&self) -> OsdStats {
         let inner = &self.inner;
@@ -500,11 +545,11 @@ impl Osd {
         };
         let (ctw, ctwu) = inner.client_throttle.wait_stats();
         OsdStats {
-            client_ops: inner.client_ops.load(Ordering::Relaxed),
-            writes: inner.writes.load(Ordering::Relaxed),
-            reads: inner.reads.load(Ordering::Relaxed),
-            repops: inner.repops.load(Ordering::Relaxed),
-            repacks: inner.repacks.load(Ordering::Relaxed),
+            client_ops: inner.client_ops.get(),
+            writes: inner.writes.get(),
+            reads: inner.reads.get(),
+            repops: inner.repops.get(),
+            repacks: inner.repacks.get(),
             pg_lock_waits: plw,
             pg_lock_wait_us: plwu,
             client_throttle_waits: ctw,
@@ -515,8 +560,8 @@ impl Osd {
             device: inner.store.fs().device().stats(),
             log_submitted: inner.logger.counters().get("log.submitted"),
             log_wait_us: inner.logger.counters().get("log.block_wait_us"),
-            apply_failures: inner.apply_failures.load(Ordering::Relaxed),
-            rep_resends: inner.rep_resends.load(Ordering::Relaxed),
+            apply_failures: inner.apply_failures.get(),
+            rep_resends: inner.rep_resends.get(),
         }
     }
 
@@ -758,7 +803,7 @@ impl OsdInner {
     // ---------------------------------------------------------------- //
 
     fn handle_request(self: &Arc<Self>, from: Addr, op: ClientOp) {
-        self.client_ops.fetch_add(1, Ordering::Relaxed);
+        self.client_ops.inc();
         self.log("ms_fast_dispatch client op");
         // osd_client_message_cap: blocks this client's connection thread
         // when the OSD has too many undispatched messages (§3.2).
@@ -818,6 +863,9 @@ impl OsdInner {
                 let object = op.object;
                 let replicas: Vec<OsdId> = acting.into_iter().skip(1).collect();
                 let pgc = Arc::clone(&pg);
+                if let Some(t) = &wop.trace {
+                    t.lock().queued = Some(Instant::now());
+                }
                 self.queue_pg(
                     pg,
                     Box::new(move |st| {
@@ -852,6 +900,9 @@ impl OsdInner {
                 let object = op.object;
                 let replicas: Vec<OsdId> = acting.into_iter().skip(1).collect();
                 let pgc = Arc::clone(&pg);
+                if let Some(t) = &wop.trace {
+                    t.lock().queued = Some(Instant::now());
+                }
                 self.queue_pg(
                     pg,
                     Box::new(move |st| {
@@ -962,7 +1013,7 @@ impl OsdInner {
             self.apply_gate.done(&obj_name);
             self.fail_op(&op, e);
         }
-        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.writes.inc();
     }
 
     fn process_delete(
@@ -1024,7 +1075,7 @@ impl OsdInner {
     ) {
         self.log("do_op: read");
         self.alloc_overhead();
-        self.reads.fetch_add(1, Ordering::Relaxed);
+        self.reads.inc();
         let obj_name = object.to_string();
         let gate_target = self.apply_gate.snapshot(&obj_name);
         let job = ReadJob {
@@ -1208,7 +1259,7 @@ impl OsdInner {
             }
         }
         for (to, rep) in resend {
-            self.rep_resends.fetch_add(1, Ordering::Relaxed);
+            self.rep_resends.inc();
             self.log("resend repop");
             self.send(to, OsdMsg::Replicate(rep));
         }
@@ -1231,7 +1282,7 @@ impl OsdInner {
                     inner
                         .logger
                         .logf(Level::Error, "osd", || format!("apply failed: {e}"));
-                    inner.apply_failures.fetch_add(1, Ordering::Relaxed);
+                    inner.apply_failures.inc();
                     inner.on_apply_failed(jseq);
                 }
             }),
@@ -1239,7 +1290,7 @@ impl OsdInner {
         if let Err(e) = res {
             self.logger
                 .logf(Level::Error, "osd", || format!("apply enqueue failed: {e}"));
-            self.apply_failures.fetch_add(1, Ordering::Relaxed);
+            self.apply_failures.inc();
             self.on_apply_failed(jseq);
         }
     }
@@ -1278,7 +1329,7 @@ impl OsdInner {
     // ---------------------------------------------------------------- //
 
     fn handle_repop(self: &Arc<Self>, from: Addr, rep: RepOp) {
-        self.repops.fetch_add(1, Ordering::Relaxed);
+        self.repops.inc();
         self.log("handle repop");
         // Retransmit/duplicate dedup: a rep_id we already committed gets a
         // fresh ack (the original was lost); one still in flight is
@@ -1346,7 +1397,7 @@ impl OsdInner {
     // ---------------------------------------------------------------- //
 
     fn handle_repack(self: &Arc<Self>, ack: RepOpReply) {
-        self.repacks.fetch_add(1, Ordering::Relaxed);
+        self.repacks.inc();
         let Some(wait) = self.rep_waits.lock().remove(&ack.rep_id) else {
             return; // duplicate ack (retransmit raced the original)
         };

@@ -6,8 +6,10 @@
 //! journal submit (PG lock + replication send + metadata read) → journal
 //! commit → completion hand-off → replica-ack handling → client reply.
 
+use afc_common::metrics::{Histogram, Metrics};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 /// Raw per-op stage timestamps.
@@ -15,6 +17,8 @@ use std::time::{Duration, Instant};
 pub struct TraceTimes {
     /// Message received by the messenger dispatch.
     pub recv: Instant,
+    /// Enqueued on the PG op queue (messenger dispatch work done).
+    pub queued: Option<Instant>,
     /// Dequeued by an op worker (PG work started).
     pub dequeue: Option<Instant>,
     /// Journal submit issued.
@@ -34,6 +38,7 @@ impl TraceTimes {
     pub fn start() -> Self {
         TraceTimes {
             recv: Instant::now(),
+            queued: None,
             dequeue: None,
             jsubmit: None,
             jcommit: None,
@@ -47,7 +52,10 @@ impl TraceTimes {
 /// Per-stage durations of one completed write.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct StageSample {
-    /// (1) receive → op-queue dequeue.
+    /// (1a) receive → PG-queue enqueue (messenger dispatch: primary
+    /// check, throttle, op setup).
+    pub dispatch: Duration,
+    /// (1b) enqueue → op-queue dequeue (pure PG-queue wait).
     pub queue: Duration,
     /// (2) dequeue → journal submit (PG lock, logging, metadata read,
     /// replication send).
@@ -73,9 +81,12 @@ impl StageSample {
         let reply = t.reply?;
         // Replica acks may land before or after local completion handling.
         let replicas = t.replicas.unwrap_or(handled);
+        // Traces predating the enqueue mark fold dispatch into queue.
+        let queued = t.queued.unwrap_or(t.recv);
         let sat = |a: Instant, b: Instant| b.checked_duration_since(a).unwrap_or_default();
         Some(StageSample {
-            queue: sat(t.recv, dequeue),
+            dispatch: sat(t.recv, queued),
+            queue: sat(queued, dequeue),
             submit: sat(dequeue, jsubmit),
             journal: sat(jsubmit, jcommit),
             completion: sat(jcommit, handled),
@@ -93,6 +104,7 @@ impl StageSample {
         let n = samples.len() as u32;
         let sum = |f: fn(&StageSample) -> Duration| samples.iter().map(f).sum::<Duration>() / n;
         StageSample {
+            dispatch: sum(|s| s.dispatch),
             queue: sum(|s| s.queue),
             submit: sum(|s| s.submit),
             journal: sum(|s| s.journal),
@@ -104,12 +116,61 @@ impl StageSample {
     }
 }
 
+/// Latency histograms for the Figure 3 write-path stages, registered
+/// under `<prefix>.<stage>` (e.g. `osd0.stage.journal`). Fed from the
+/// sampled stage recorder, so counts reflect traced ops only.
+pub struct StageHists {
+    /// `messenger`: receive → PG-queue enqueue.
+    pub messenger: Histogram,
+    /// `pg_queue`: enqueue → op-worker dequeue.
+    pub pg_queue: Histogram,
+    /// `submit`: dequeue → journal submit (PG lock, logging, metadata
+    /// read, replication send).
+    pub submit: Histogram,
+    /// `journal`: journal submit → commit.
+    pub journal: Histogram,
+    /// `apply`: journal commit → completion handled.
+    pub apply: Histogram,
+    /// `ack`: completion handled → client reply (replica wait + reply).
+    pub ack: Histogram,
+    /// `total`: end-to-end.
+    pub total: Histogram,
+}
+
+impl StageHists {
+    /// Create the stage histograms registered under `<prefix>.<stage>`.
+    pub fn register(m: &Metrics, prefix: &str) -> StageHists {
+        let h = |stage: &str| m.histogram(format!("{prefix}.{stage}"));
+        StageHists {
+            messenger: h("messenger"),
+            pg_queue: h("pg_queue"),
+            submit: h("submit"),
+            journal: h("journal"),
+            apply: h("apply"),
+            ack: h("ack"),
+            total: h("total"),
+        }
+    }
+
+    /// Record one completed sample into every stage histogram.
+    pub fn record(&self, s: &StageSample) {
+        self.messenger.observe(s.dispatch);
+        self.pg_queue.observe(s.queue);
+        self.submit.observe(s.submit);
+        self.journal.observe(s.journal);
+        self.apply.observe(s.completion);
+        self.ack.observe(s.replica_wait + s.reply);
+        self.total.observe(s.total);
+    }
+}
+
 /// Sampling recorder: every `every`-th write op carries a trace.
 pub struct StageRecorder {
     every: u64,
     seq: AtomicU64,
     samples: Mutex<Vec<StageSample>>,
     cap: usize,
+    hists: OnceLock<StageHists>,
 }
 
 impl StageRecorder {
@@ -120,7 +181,14 @@ impl StageRecorder {
             seq: AtomicU64::new(0),
             samples: Mutex::new(Vec::new()),
             cap,
+            hists: OnceLock::new(),
         }
+    }
+
+    /// Attach per-stage metric histograms; every finished trace is also
+    /// recorded there (first attach wins).
+    pub fn attach_hists(&self, hists: StageHists) {
+        let _ = self.hists.set(hists);
     }
 
     /// Should the next op be traced?
@@ -133,6 +201,9 @@ impl StageRecorder {
     /// Finalize a trace into a sample.
     pub fn finish(&self, times: &TraceTimes) {
         if let Some(s) = StageSample::from_times(times) {
+            if let Some(h) = self.hists.get() {
+                h.record(&s);
+            }
             let mut v = self.samples.lock();
             if v.len() < self.cap {
                 v.push(s);
@@ -155,6 +226,7 @@ mod tests {
         let at = |ms: u64| base + Duration::from_millis(ms);
         TraceTimes {
             recv: at(marks[0]),
+            queued: None,
             dequeue: Some(at(marks[1])),
             jsubmit: Some(at(marks[2])),
             jcommit: Some(at(marks[3])),
@@ -168,6 +240,8 @@ mod tests {
     fn sample_deltas() {
         let t = times_ms([0, 1, 4, 12, 13, 15, 16]);
         let s = StageSample::from_times(&t).unwrap();
+        // No enqueue mark: dispatch folds into zero, queue = recv→dequeue.
+        assert_eq!(s.dispatch, Duration::ZERO);
         assert_eq!(s.queue, Duration::from_millis(1));
         assert_eq!(s.submit, Duration::from_millis(3));
         assert_eq!(s.journal, Duration::from_millis(8));
@@ -192,6 +266,43 @@ mod tests {
         let mut t = TraceTimes::start();
         t.dequeue = Some(Instant::now());
         assert!(StageSample::from_times(&t).is_none());
+    }
+
+    #[test]
+    fn queued_mark_splits_dispatch_from_queue_wait() {
+        let mut t = times_ms([0, 5, 6, 7, 8, 9, 10]);
+        t.queued = Some(t.recv + Duration::from_millis(2));
+        let s = StageSample::from_times(&t).unwrap();
+        assert_eq!(s.dispatch, Duration::from_millis(2));
+        assert_eq!(s.queue, Duration::from_millis(3));
+        assert_eq!(s.total, Duration::from_millis(10));
+    }
+
+    #[test]
+    fn attached_hists_receive_samples() {
+        let m = Metrics::new();
+        let r = StageRecorder::new(1, 8);
+        r.attach_hists(StageHists::register(&m, "osd0.stage"));
+        for _ in 0..12 {
+            r.finish(&times_ms([0, 1, 2, 3, 4, 5, 6]));
+        }
+        let snap = m.snapshot();
+        for stage in [
+            "messenger",
+            "pg_queue",
+            "submit",
+            "journal",
+            "apply",
+            "ack",
+            "total",
+        ] {
+            let h = snap
+                .histogram(&format!("osd0.stage.{stage}"))
+                .unwrap_or_else(|| panic!("missing {stage}"));
+            // Histograms keep counting past the sample cap.
+            assert_eq!(h.count, 12, "{stage}");
+        }
+        assert_eq!(r.samples().len(), 8);
     }
 
     #[test]

@@ -79,6 +79,12 @@ impl Hdd {
         &self.faults
     }
 
+    /// Register this device's stat counters into a cluster metric
+    /// registry under `<prefix>.<field>` (e.g. `osd0.data.writes`).
+    pub fn register_metrics(&self, m: &afc_common::metrics::Metrics, prefix: &str) {
+        self.stats.register_into(m, prefix);
+    }
+
     fn jitter_mul(&self, n: u64) -> f64 {
         if self.cfg.jitter == 0.0 {
             return 1.0;

@@ -66,6 +66,12 @@ impl Nvram {
     pub fn faults(&self) -> &FaultInjector {
         &self.faults
     }
+
+    /// Register this device's stat counters into a cluster metric
+    /// registry under `<prefix>.<field>` (e.g. `osd0.data.writes`).
+    pub fn register_metrics(&self, m: &afc_common::metrics::Metrics, prefix: &str) {
+        self.stats.register_into(m, prefix);
+    }
 }
 
 impl BlockDev for Nvram {

@@ -159,6 +159,12 @@ impl Ssd {
         &self.faults
     }
 
+    /// Register this device's stat counters into a cluster metric
+    /// registry under `<prefix>.<field>` (e.g. `osd0.data.writes`).
+    pub fn register_metrics(&self, m: &afc_common::metrics::Metrics, prefix: &str) {
+        self.stats.register_into(m, prefix);
+    }
+
     /// Deterministic jitter multiplier in `[1-j, 1+j]` for op `n`.
     fn jitter_mul(&self, n: u64) -> f64 {
         if self.cfg.jitter == 0.0 {

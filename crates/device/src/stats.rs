@@ -1,6 +1,6 @@
 //! Accumulated device statistics.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use afc_common::metrics::{Counter, Metrics};
 use std::time::Duration;
 
 /// Snapshot of device activity counters.
@@ -24,16 +24,18 @@ pub struct DevStats {
     pub interfered_reads: u64,
 }
 
-/// Thread-safe accumulator backing [`DevStats`].
+/// Thread-safe accumulator backing [`DevStats`]. Fields are shared
+/// metric cells so device counters can be registered into a cluster
+/// [`Metrics`] registry ([`StatsCell::register_into`]).
 #[derive(Debug, Default)]
 pub struct StatsCell {
-    reads: AtomicU64,
-    writes: AtomicU64,
-    flushes: AtomicU64,
-    bytes_read: AtomicU64,
-    bytes_written: AtomicU64,
-    busy_us: AtomicU64,
-    interfered_reads: AtomicU64,
+    reads: Counter,
+    writes: Counter,
+    flushes: Counter,
+    bytes_read: Counter,
+    bytes_written: Counter,
+    busy_us: Counter,
+    interfered_reads: Counter,
 }
 
 impl StatsCell {
@@ -45,40 +47,55 @@ impl StatsCell {
     /// Account a read of `len` bytes taking `service`; `interfered` marks a
     /// read planned while writes were in flight.
     pub fn on_read(&self, len: u64, service: Duration, interfered: bool) {
-        self.reads.fetch_add(1, Ordering::Relaxed);
-        self.bytes_read.fetch_add(len, Ordering::Relaxed);
-        self.busy_us
-            .fetch_add(service.as_micros() as u64, Ordering::Relaxed);
+        self.reads.inc();
+        self.bytes_read.add(len);
+        self.busy_us.add(service.as_micros() as u64);
         if interfered {
-            self.interfered_reads.fetch_add(1, Ordering::Relaxed);
+            self.interfered_reads.inc();
         }
     }
 
     /// Account a write of `len` bytes taking `service`.
     pub fn on_write(&self, len: u64, service: Duration) {
-        self.writes.fetch_add(1, Ordering::Relaxed);
-        self.bytes_written.fetch_add(len, Ordering::Relaxed);
-        self.busy_us
-            .fetch_add(service.as_micros() as u64, Ordering::Relaxed);
+        self.writes.inc();
+        self.bytes_written.add(len);
+        self.busy_us.add(service.as_micros() as u64);
     }
 
     /// Account a flush taking `service`.
     pub fn on_flush(&self, service: Duration) {
-        self.flushes.fetch_add(1, Ordering::Relaxed);
-        self.busy_us
-            .fetch_add(service.as_micros() as u64, Ordering::Relaxed);
+        self.flushes.inc();
+        self.busy_us.add(service.as_micros() as u64);
     }
 
     /// Take a consistent-enough snapshot (relaxed reads; counters only).
     pub fn snapshot(&self) -> DevStats {
         DevStats {
-            reads: self.reads.load(Ordering::Relaxed),
-            writes: self.writes.load(Ordering::Relaxed),
-            flushes: self.flushes.load(Ordering::Relaxed),
-            bytes_read: self.bytes_read.load(Ordering::Relaxed),
-            bytes_written: self.bytes_written.load(Ordering::Relaxed),
-            busy_us: self.busy_us.load(Ordering::Relaxed),
-            interfered_reads: self.interfered_reads.load(Ordering::Relaxed),
+            reads: self.reads.get(),
+            writes: self.writes.get(),
+            flushes: self.flushes.get(),
+            bytes_read: self.bytes_read.get(),
+            bytes_written: self.bytes_written.get(),
+            busy_us: self.busy_us.get(),
+            interfered_reads: self.interfered_reads.get(),
+        }
+    }
+
+    /// Register every cell under `<prefix>.<field>` (e.g.
+    /// `osd0.data.writes`). RAID-0 members registered under one prefix
+    /// are summed in snapshots, matching [`DevStats::combined`].
+    pub fn register_into(&self, m: &Metrics, prefix: &str) {
+        let fields: [(&str, &Counter); 7] = [
+            ("reads", &self.reads),
+            ("writes", &self.writes),
+            ("flushes", &self.flushes),
+            ("bytes_read", &self.bytes_read),
+            ("bytes_written", &self.bytes_written),
+            ("busy_us", &self.busy_us),
+            ("interfered_reads", &self.interfered_reads),
+        ];
+        for (name, cell) in fields {
+            m.register_counter(format!("{prefix}.{name}"), cell);
         }
     }
 }

@@ -33,8 +33,8 @@ struct Inner {
 pub struct MetaCache {
     inner: Mutex<Inner>,
     capacity: usize,
-    hits: std::sync::atomic::AtomicU64,
-    misses: std::sync::atomic::AtomicU64,
+    hits: afc_common::metrics::Counter,
+    misses: afc_common::metrics::Counter,
 }
 
 impl MetaCache {
@@ -53,15 +53,14 @@ impl MetaCache {
 
     /// Look up an object's metadata.
     pub fn get(&self, object: &str) -> Option<ObjectMeta> {
-        use std::sync::atomic::Ordering::Relaxed;
         let inner = self.inner.lock();
         match inner.map.get(object) {
             Some(m) => {
-                self.hits.fetch_add(1, Relaxed);
+                self.hits.inc();
                 Some(m.clone())
             }
             None => {
-                self.misses.fetch_add(1, Relaxed);
+                self.misses.inc();
                 None
             }
         }
@@ -106,8 +105,14 @@ impl MetaCache {
 
     /// `(hits, misses)`.
     pub fn stats(&self) -> (u64, u64) {
-        use std::sync::atomic::Ordering::Relaxed;
-        (self.hits.load(Relaxed), self.misses.load(Relaxed))
+        (self.hits.get(), self.misses.get())
+    }
+
+    /// Register hit/miss counters under `<prefix>.cache_hits` /
+    /// `<prefix>.cache_misses`.
+    pub fn register_into(&self, m: &afc_common::metrics::Metrics, prefix: &str) {
+        m.register_counter(format!("{prefix}.cache_hits"), &self.hits);
+        m.register_counter(format!("{prefix}.cache_misses"), &self.misses);
     }
 }
 

@@ -6,13 +6,13 @@ use crate::throttle::Throttle;
 use crate::txn::{Transaction, TxOp};
 use afc_common::faults::{FaultKind, FaultRegistry};
 use afc_common::lockdep;
+use afc_common::metrics::{Counter, Metrics};
 use afc_common::{AfcError, Result};
 use afc_device::BlockDev;
 use afc_kvstore::{Db, DbConfig, WriteBatch, WriteOptions};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::collections::HashSet;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 /// Late-bound fault hookup shared between the store and its apply workers.
@@ -120,11 +120,11 @@ pub struct FileStore {
     shards: Vec<Sender<Job>>,
     workers: Vec<std::thread::JoinHandle<()>>,
     faults: FaultHandle,
-    txns_applied: Arc<AtomicU64>,
-    data_bytes: Arc<AtomicU64>,
-    meta_reads: Arc<AtomicU64>,
-    hints_skipped: Arc<AtomicU64>,
-    apply_errors: Arc<AtomicU64>,
+    txns_applied: Counter,
+    data_bytes: Counter,
+    meta_reads: Counter,
+    hints_skipped: Counter,
+    apply_errors: Counter,
 }
 
 /// Everything the apply path needs, shared with worker threads.
@@ -134,10 +134,10 @@ struct ApplyCtx {
     kv: Arc<Db>,
     cache: Arc<MetaCache>,
     faults: FaultHandle,
-    txns_applied: Arc<AtomicU64>,
-    data_bytes: Arc<AtomicU64>,
-    meta_reads: Arc<AtomicU64>,
-    hints_skipped: Arc<AtomicU64>,
+    txns_applied: Counter,
+    data_bytes: Counter,
+    meta_reads: Counter,
+    hints_skipped: Counter,
 }
 
 fn meta_key(object: &str) -> Bytes {
@@ -184,11 +184,11 @@ impl FileStore {
         let throttle = Arc::new(Throttle::new("filestore_queue_max_ops", cfg.queue_max_ops));
         let cache = Arc::new(MetaCache::new(cfg.meta_cache_entries.max(1)));
         let faults: FaultHandle = Arc::new(OnceLock::new());
-        let txns_applied = Arc::new(AtomicU64::new(0));
-        let data_bytes = Arc::new(AtomicU64::new(0));
-        let meta_reads = Arc::new(AtomicU64::new(0));
-        let hints_skipped = Arc::new(AtomicU64::new(0));
-        let apply_errors = Arc::new(AtomicU64::new(0));
+        let txns_applied = Counter::new();
+        let data_bytes = Counter::new();
+        let meta_reads = Counter::new();
+        let hints_skipped = Counter::new();
+        let apply_errors = Counter::new();
         let mut workers = Vec::new();
         let mut shards = Vec::new();
         for i in 0..cfg.apply_threads.max(1) {
@@ -200,12 +200,12 @@ impl FileStore {
                 kv: Arc::clone(&kv),
                 cache: Arc::clone(&cache),
                 faults: Arc::clone(&faults),
-                txns_applied: Arc::clone(&txns_applied),
-                data_bytes: Arc::clone(&data_bytes),
-                meta_reads: Arc::clone(&meta_reads),
-                hints_skipped: Arc::clone(&hints_skipped),
+                txns_applied: txns_applied.clone(),
+                data_bytes: data_bytes.clone(),
+                meta_reads: meta_reads.clone(),
+                hints_skipped: hints_skipped.clone(),
             };
-            let errs = Arc::clone(&apply_errors);
+            let errs = apply_errors.clone();
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("fs-apply-{i}"))
@@ -213,7 +213,7 @@ impl FileStore {
                         while let Ok(job) = rx.recv() {
                             let res = apply_txn(&ctx, job.txn);
                             if res.is_err() {
-                                errs.fetch_add(1, Ordering::Relaxed);
+                                errs.inc();
                             }
                             (job.done)(res);
                         }
@@ -383,16 +383,43 @@ impl FileStore {
         let (tw, twu) = self.throttle.wait_stats();
         let (ch, cm) = self.cache.stats();
         FileStoreStats {
-            txns_applied: self.txns_applied.load(Ordering::Relaxed),
-            data_bytes: self.data_bytes.load(Ordering::Relaxed),
-            meta_reads: self.meta_reads.load(Ordering::Relaxed),
-            hints_skipped: self.hints_skipped.load(Ordering::Relaxed),
+            txns_applied: self.txns_applied.get(),
+            data_bytes: self.data_bytes.get(),
+            meta_reads: self.meta_reads.get(),
+            hints_skipped: self.hints_skipped.get(),
             throttle_waits: tw,
             throttle_wait_us: twu,
             cache_hits: ch,
             cache_misses: cm,
-            apply_errors: self.apply_errors.load(Ordering::Relaxed),
+            apply_errors: self.apply_errors.get(),
         }
+    }
+
+    /// Register the filestore's counters into a cluster metric registry:
+    /// apply-path counters, throttle waits and metadata-cache hit/miss
+    /// under `<prefix>.<field>` (e.g. `osd0.fs.txns_applied`,
+    /// `osd0.fs.throttle.waits`, `osd0.fs.cache_hits`).
+    pub fn register_metrics(&self, m: &Metrics, prefix: &str) {
+        let fields: [(&str, &Counter); 5] = [
+            ("txns_applied", &self.txns_applied),
+            ("data_bytes", &self.data_bytes),
+            ("meta_reads", &self.meta_reads),
+            ("hints_skipped", &self.hints_skipped),
+            ("apply_errors", &self.apply_errors),
+        ];
+        for (name, cell) in fields {
+            m.register_counter(format!("{prefix}.{name}"), cell);
+        }
+        self.throttle
+            .register_into(m, &format!("{prefix}.throttle"));
+        self.cache.register_into(m, prefix);
+    }
+
+    /// Register the backing KV database's counters under `<kv_prefix>`
+    /// (e.g. `osd0.kv.wal_bytes`); kept separate from the filestore's own
+    /// prefix because write amplification is a KV-level measure.
+    pub fn register_kv_metrics(&self, m: &Metrics, kv_prefix: &str) {
+        self.kv.register_metrics(m, kv_prefix);
     }
 
     /// The KV DB (write-amplification stats for the §3.4 analysis).
@@ -473,8 +500,7 @@ fn apply_txn(ctx: &ApplyCtx, txn: Transaction) -> Result<()> {
                 // Metadata read-modify-write (community) or cache (LWT).
                 let mut meta = read_meta_for_write(ctx, object, lightweight)?;
                 ctx.fs.write(object, *offset, data)?;
-                ctx.data_bytes
-                    .fetch_add(data.len() as u64, Ordering::Relaxed);
+                ctx.data_bytes.add(data.len() as u64);
                 meta.size = meta.size.max(offset + data.len() as u64);
                 meta.version += 1;
                 let encoded = encode_meta(&meta);
@@ -552,7 +578,7 @@ fn apply_txn(ctx: &ApplyCtx, txn: Transaction) -> Result<()> {
             }
             TxOp::SetAllocHint { object } => {
                 if lightweight && small_txn {
-                    ctx.hints_skipped.fetch_add(1, Ordering::Relaxed);
+                    ctx.hints_skipped.inc();
                 } else {
                     ensure_open(ctx, &mut opened, object, lightweight)?;
                     ctx.fs.fallocate_hint(object)?;
@@ -563,7 +589,7 @@ fn apply_txn(ctx: &ApplyCtx, txn: Transaction) -> Result<()> {
     if !batch.is_empty() {
         ctx.kv.write_batch(&batch, WriteOptions::async_())?;
     }
-    ctx.txns_applied.fetch_add(1, Ordering::Relaxed);
+    ctx.txns_applied.inc();
     Ok(())
 }
 
@@ -593,7 +619,7 @@ fn read_meta_for_write(ctx: &ApplyCtx, object: &str, lightweight: bool) -> Resul
             return Ok(m);
         }
     }
-    ctx.meta_reads.fetch_add(1, Ordering::Relaxed);
+    ctx.meta_reads.inc();
     let from_kv = ctx.kv.get(&meta_key(object))?.and_then(|v| decode_meta(&v));
     if !lightweight {
         // xattr fetch (device read) — part of the community RMW.

@@ -9,6 +9,7 @@
 //! bite.
 
 use afc_common::lockdep::{self, classes, TrackedCondvar, TrackedMutex};
+use afc_common::metrics::{Counter, Metrics};
 use afc_common::{AfcError, Result};
 #[cfg(test)]
 use std::time::Duration;
@@ -25,8 +26,8 @@ pub struct Throttle {
     name: &'static str,
     state: TrackedMutex<State>,
     cv: TrackedCondvar,
-    waits: std::sync::atomic::AtomicU64,
-    wait_us: std::sync::atomic::AtomicU64,
+    waits: Counter,
+    wait_us: Counter,
 }
 
 /// RAII permit; releases on drop.
@@ -70,7 +71,6 @@ impl Throttle {
 
     /// Acquire `count` units, blocking while over the limit.
     pub fn acquire(&self, count: u64) -> Result<Permit<'_>> {
-        use std::sync::atomic::Ordering::Relaxed;
         // May park until another holder releases; callers must not hold
         // any no-block lock class across this.
         lockdep::assert_blockable("throttle acquire");
@@ -88,7 +88,7 @@ impl Throttle {
             }
             if waited.is_none() {
                 waited = Some(Instant::now());
-                self.waits.fetch_add(1, Relaxed);
+                self.waits.inc();
             }
             self.cv.wait(&mut st);
         }
@@ -96,8 +96,7 @@ impl Throttle {
             return Err(AfcError::ShutDown(format!("throttle {}", self.name)));
         }
         if let Some(t0) = waited {
-            self.wait_us
-                .fetch_add(t0.elapsed().as_micros() as u64, Relaxed);
+            self.wait_us.add(t0.elapsed().as_micros() as u64);
         }
         st.in_use += count;
         Ok(Permit {
@@ -161,8 +160,14 @@ impl Throttle {
 
     /// `(block events, total blocked µs)`.
     pub fn wait_stats(&self) -> (u64, u64) {
-        use std::sync::atomic::Ordering::Relaxed;
-        (self.waits.load(Relaxed), self.wait_us.load(Relaxed))
+        (self.waits.get(), self.wait_us.get())
+    }
+
+    /// Register the wait accounting under `<prefix>.waits` /
+    /// `<prefix>.wait_us`.
+    pub fn register_into(&self, m: &Metrics, prefix: &str) {
+        m.register_counter(format!("{prefix}.waits"), &self.waits);
+        m.register_counter(format!("{prefix}.wait_us"), &self.wait_us);
     }
 }
 

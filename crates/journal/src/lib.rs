@@ -40,7 +40,6 @@ use afc_device::{BlockDev, IoReq};
 use bytes::Bytes;
 use stats::JournalStatsCell;
 use std::collections::VecDeque;
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -178,7 +177,7 @@ impl Journal {
                 .name("journal-finisher".into())
                 .spawn(move || {
                     while let Ok((seq, cb)) = done_rx.recv() {
-                        stats.stats.commits.fetch_add(1, Ordering::Relaxed);
+                        stats.stats.commits.inc();
                         cb(seq);
                     }
                 })
@@ -222,13 +221,13 @@ impl Journal {
             if inner.cfg.fail_when_full {
                 return Err(AfcError::Full("journal ring".into()));
             }
-            inner.stats.full_stalls.fetch_add(1, Ordering::Relaxed);
+            inner.stats.full_stalls.inc();
             let t0 = Instant::now();
             inner.space_cv.wait(&mut ring);
             inner
                 .stats
                 .full_stall_us
-                .fetch_add(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
+                .add(t0.elapsed().as_micros() as u64);
         }
         if ring.shutdown {
             return Err(AfcError::ShutDown("journal".into()));
@@ -242,7 +241,7 @@ impl Journal {
             payload,
             on_commit,
         });
-        inner.stats.submits.fetch_add(1, Ordering::Relaxed);
+        inner.stats.submits.inc();
         inner.work_cv.notify_one();
         Ok(seq)
     }
@@ -278,10 +277,7 @@ impl Journal {
         }
         if freed > 0 {
             ring.used -= freed;
-            inner
-                .stats
-                .trimmed_bytes
-                .fetch_add(freed, Ordering::Relaxed);
+            inner.stats.trimmed_bytes.add(freed);
             inner.space_cv.notify_all();
         }
     }
@@ -304,10 +300,7 @@ impl Journal {
                 freed += ring.live.pop_back().map(|e| e.footprint).unwrap_or(0);
             }
             ring.used -= freed;
-            inner
-                .stats
-                .replay_truncated
-                .fetch_add(dropped, Ordering::Relaxed);
+            inner.stats.replay_truncated.add(dropped);
             inner.space_cv.notify_all();
         }
         ring.live.iter().cloned().collect()
@@ -347,6 +340,12 @@ impl Journal {
     /// Statistics snapshot.
     pub fn stats(&self) -> JournalStats {
         self.inner.stats.snapshot()
+    }
+
+    /// Register this journal's stat counters into a cluster metric
+    /// registry under `<prefix>.<field>` (e.g. `node0.journal.commits`).
+    pub fn register_metrics(&self, m: &afc_common::metrics::Metrics, prefix: &str) {
+        self.inner.stats.register_into(m, prefix);
     }
 
     /// Block until every submitted entry has committed — or, for torn
@@ -399,21 +398,18 @@ fn writer_loop(inner: Arc<Inner>) {
             Err(AfcError::TornWrite(_)) => {
                 // Power-loss model: a prefix of the batch reached media, the
                 // tail entry tore. Handled below when publishing.
-                inner.stats.torn_writes.fetch_add(1, Ordering::Relaxed);
+                inner.stats.torn_writes.inc();
                 true
             }
             Err(_) => {
                 // Injected device fault: entries are still accepted (NVRAM
                 // models don't really fail mid-stream); account and continue.
-                inner.stats.write_errors.fetch_add(1, Ordering::Relaxed);
+                inner.stats.write_errors.inc();
                 false
             }
         };
-        inner.stats.batches.fetch_add(1, Ordering::Relaxed);
-        inner
-            .stats
-            .bytes_written
-            .fetch_add(total, Ordering::Relaxed);
+        inner.stats.batches.inc();
+        inner.stats.bytes_written.add(total);
         // Publish as live (replayable) and hand to the completion thread.
         let done_tx = inner.done_tx.lock().clone();
         let n = batch.len();
@@ -660,7 +656,7 @@ mod fault_tests {
     use super::*;
     use afc_common::faults::{FaultKind, FaultRegistry, FaultSpec};
     use afc_device::{Nvram, NvramConfig};
-    use std::sync::atomic::AtomicU64;
+    use std::sync::atomic::{AtomicU64, Ordering as AOrd};
 
     #[test]
     fn entry_checksum_binds_seq_and_payload() {
@@ -701,12 +697,12 @@ mod fault_tests {
         j.submit(
             Bytes::from(vec![9u8; 256]),
             Box::new(move |_| {
-                a.fetch_add(1, Ordering::SeqCst);
+                a.fetch_add(1, AOrd::SeqCst);
             }),
         )
         .unwrap();
         j.quiesce();
-        assert_eq!(acked.load(Ordering::SeqCst), 0, "torn write was acked");
+        assert_eq!(acked.load(AOrd::SeqCst), 0, "torn write was acked");
         assert_eq!(j.stats().torn_writes, 1);
 
         // Crash: the image keeps the torn tail as-written...

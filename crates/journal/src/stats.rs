@@ -1,6 +1,6 @@
 //! Journal statistics.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use afc_common::metrics::{Counter, Metrics};
 
 /// Snapshot of journal activity.
 #[derive(Debug, Clone, Copy, Default)]
@@ -38,35 +38,58 @@ impl JournalStats {
     }
 }
 
-/// Thread-safe accumulator behind [`JournalStats`].
+/// Thread-safe accumulator behind [`JournalStats`]. Each field is a
+/// shared metric cell, so the same counters the journal mutates on its
+/// hot path can be registered into a cluster [`Metrics`] registry.
 #[derive(Debug, Default)]
 pub struct JournalStatsCell {
-    pub(crate) submits: AtomicU64,
-    pub(crate) commits: AtomicU64,
-    pub(crate) batches: AtomicU64,
-    pub(crate) bytes_written: AtomicU64,
-    pub(crate) trimmed_bytes: AtomicU64,
-    pub(crate) full_stalls: AtomicU64,
-    pub(crate) full_stall_us: AtomicU64,
-    pub(crate) write_errors: AtomicU64,
-    pub(crate) torn_writes: AtomicU64,
-    pub(crate) replay_truncated: AtomicU64,
+    pub(crate) submits: Counter,
+    pub(crate) commits: Counter,
+    pub(crate) batches: Counter,
+    pub(crate) bytes_written: Counter,
+    pub(crate) trimmed_bytes: Counter,
+    pub(crate) full_stalls: Counter,
+    pub(crate) full_stall_us: Counter,
+    pub(crate) write_errors: Counter,
+    pub(crate) torn_writes: Counter,
+    pub(crate) replay_truncated: Counter,
 }
 
 impl JournalStatsCell {
     /// Snapshot current values.
     pub fn snapshot(&self) -> JournalStats {
         JournalStats {
-            submits: self.submits.load(Ordering::Relaxed),
-            commits: self.commits.load(Ordering::Relaxed),
-            batches: self.batches.load(Ordering::Relaxed),
-            bytes_written: self.bytes_written.load(Ordering::Relaxed),
-            trimmed_bytes: self.trimmed_bytes.load(Ordering::Relaxed),
-            full_stalls: self.full_stalls.load(Ordering::Relaxed),
-            full_stall_us: self.full_stall_us.load(Ordering::Relaxed),
-            write_errors: self.write_errors.load(Ordering::Relaxed),
-            torn_writes: self.torn_writes.load(Ordering::Relaxed),
-            replay_truncated: self.replay_truncated.load(Ordering::Relaxed),
+            submits: self.submits.get(),
+            commits: self.commits.get(),
+            batches: self.batches.get(),
+            bytes_written: self.bytes_written.get(),
+            trimmed_bytes: self.trimmed_bytes.get(),
+            full_stalls: self.full_stalls.get(),
+            full_stall_us: self.full_stall_us.get(),
+            write_errors: self.write_errors.get(),
+            torn_writes: self.torn_writes.get(),
+            replay_truncated: self.replay_truncated.get(),
+        }
+    }
+
+    /// Register every cell under `<prefix>.<field>` (e.g.
+    /// `node0.journal.commits`). Registering the same cells from several
+    /// journals under one prefix sums them in snapshots.
+    pub fn register_into(&self, m: &Metrics, prefix: &str) {
+        let fields: [(&str, &Counter); 10] = [
+            ("submits", &self.submits),
+            ("commits", &self.commits),
+            ("batches", &self.batches),
+            ("bytes_written", &self.bytes_written),
+            ("trimmed_bytes", &self.trimmed_bytes),
+            ("full_stalls", &self.full_stalls),
+            ("full_stall_us", &self.full_stall_us),
+            ("write_errors", &self.write_errors),
+            ("torn_writes", &self.torn_writes),
+            ("replay_truncated", &self.replay_truncated),
+        ];
+        for (name, cell) in fields {
+            m.register_counter(format!("{prefix}.{name}"), cell);
         }
     }
 }
@@ -89,10 +112,23 @@ mod tests {
     #[test]
     fn snapshot_reflects_cell() {
         let c = JournalStatsCell::default();
-        c.submits.fetch_add(3, Ordering::Relaxed);
-        c.full_stalls.fetch_add(1, Ordering::Relaxed);
+        c.submits.add(3);
+        c.full_stalls.inc();
         let s = c.snapshot();
         assert_eq!(s.submits, 3);
         assert_eq!(s.full_stalls, 1);
+    }
+
+    #[test]
+    fn register_exposes_all_fields() {
+        let m = Metrics::new();
+        let c = JournalStatsCell::default();
+        c.register_into(&m, "node0.journal");
+        c.commits.add(7);
+        c.bytes_written.add(4096);
+        let s = m.snapshot();
+        assert_eq!(s.counter("node0.journal.commits"), Some(7));
+        assert_eq!(s.counter("node0.journal.bytes_written"), Some(4096));
+        assert_eq!(s.counter("node0.journal.torn_writes"), Some(0));
     }
 }

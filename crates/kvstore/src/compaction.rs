@@ -58,7 +58,7 @@ pub(crate) fn run(inner: Arc<Inner>) {
                 // is built in memory regardless, so the flush proceeds — but
                 // the failure is accounted, never silently discarded.
                 if inner.charge_table_write(bytes).is_err() {
-                    inner.stats.table_io_errors.fetch_add(1, Ordering::Relaxed);
+                    inner.stats.table_io_errors.inc();
                 }
                 {
                     let mut st = inner.state.lock();
@@ -66,8 +66,8 @@ pub(crate) fn run(inner: Arc<Inner>) {
                     st.imms.pop_front();
                     st.freeze_marks.pop_front();
                 }
-                inner.stats.flushes.fetch_add(1, Ordering::Relaxed);
-                inner.stats.flush_bytes.fetch_add(bytes, Ordering::Relaxed);
+                inner.stats.flushes.inc();
+                inner.stats.flush_bytes.add(bytes);
                 inner.stall_cv.notify_all();
                 let mut wal = inner.commit.lock();
                 wal.drop_through(mark);
@@ -76,7 +76,7 @@ pub(crate) fn run(inner: Arc<Inner>) {
                 let read_bytes: u64 = l0s.iter().map(|t| t.bytes()).sum::<u64>()
                     + l1.as_ref().map(|t| t.bytes()).unwrap_or(0);
                 if inner.charge_table_read(read_bytes).is_err() {
-                    inner.stats.table_io_errors.fetch_add(1, Ordering::Relaxed);
+                    inner.stats.table_io_errors.inc();
                 }
                 // Newest first: L0 back-to-front, then L1.
                 let mut runs: Vec<&[_]> = l0s.iter().rev().map(|t| t.entries()).collect();
@@ -88,7 +88,7 @@ pub(crate) fn run(inner: Arc<Inner>) {
                 let table = SsTable::build(id, merged);
                 let out_bytes = table.bytes();
                 if inner.charge_table_write(out_bytes).is_err() {
-                    inner.stats.table_io_errors.fetch_add(1, Ordering::Relaxed);
+                    inner.stats.table_io_errors.inc();
                 }
                 {
                     let mut st = inner.state.lock();
@@ -96,15 +96,9 @@ pub(crate) fn run(inner: Arc<Inner>) {
                     st.l0.retain(|t| !taken.contains(&t.id()));
                     st.l1 = Some(Arc::new(table));
                 }
-                inner.stats.compactions.fetch_add(1, Ordering::Relaxed);
-                inner
-                    .stats
-                    .compact_read_bytes
-                    .fetch_add(read_bytes, Ordering::Relaxed);
-                inner
-                    .stats
-                    .compact_write_bytes
-                    .fetch_add(out_bytes, Ordering::Relaxed);
+                inner.stats.compactions.inc();
+                inner.stats.compact_read_bytes.add(read_bytes);
+                inner.stats.compact_write_bytes.add(out_bytes);
                 inner.stall_cv.notify_all();
             }
         }

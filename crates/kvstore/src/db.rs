@@ -181,14 +181,11 @@ impl Db {
             if st.shutdown {
                 return Err(AfcError::ShutDown("kvstore".into()));
             }
-            inner.stats.stalls.fetch_add(1, Ordering::Relaxed);
+            inner.stats.stalls.inc();
             let t0 = Instant::now();
             inner.work_cv.notify_one();
             inner.stall_cv.wait(&mut st);
-            inner
-                .stats
-                .stall_us
-                .fetch_add(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
+            inner.stats.stall_us.add(t0.elapsed().as_micros() as u64);
         }
         if st.shutdown {
             return Err(AfcError::ShutDown("kvstore".into()));
@@ -203,18 +200,15 @@ impl Db {
         }
         self.stall_wait()?;
         let inner = &self.inner;
-        inner
-            .stats
-            .user_bytes
-            .fetch_add(batch.payload_bytes(), Ordering::Relaxed);
-        inner.stats.commits.fetch_add(1, Ordering::Relaxed);
+        inner.stats.user_bytes.add(batch.payload_bytes());
+        inner.stats.commits.inc();
         let mut wal = inner.commit.lock();
         let charged = if opts.sync {
             wal.append_sync(batch.ops())?
         } else {
             wal.append_async(batch.ops(), inner.cfg.group_commit_bytes)?
         };
-        inner.stats.wal_bytes.fetch_add(charged, Ordering::Relaxed);
+        inner.stats.wal_bytes.add(charged);
         let mut st = inner.state.lock();
         if st.shutdown {
             return Err(AfcError::ShutDown("kvstore".into()));
@@ -253,7 +247,7 @@ impl Db {
     /// write-through cache).
     pub fn get(&self, key: &[u8]) -> Result<Option<Value>> {
         let inner = &self.inner;
-        inner.stats.gets.fetch_add(1, Ordering::Relaxed);
+        inner.stats.gets.inc();
         let (l0, l1) = {
             let st = inner.state.lock();
             if let Some(v) = st.mem.get(key) {
@@ -268,14 +262,14 @@ impl Db {
         };
         for t in l0.iter().rev() {
             if let Some(v) = t.get(key) {
-                inner.stats.table_reads.fetch_add(1, Ordering::Relaxed);
+                inner.stats.table_reads.inc();
                 inner.charge_table_read(4 * KIB)?;
                 return Ok(v);
             }
         }
         if let Some(t) = l1 {
             if let Some(v) = t.get(key) {
-                inner.stats.table_reads.fetch_add(1, Ordering::Relaxed);
+                inner.stats.table_reads.inc();
                 inner.charge_table_read(4 * KIB)?;
                 return Ok(v);
             }
@@ -310,7 +304,7 @@ impl Db {
         for t in l0.iter().rev() {
             let r = t.range(lo, hi);
             if !r.is_empty() {
-                inner.stats.table_reads.fetch_add(1, Ordering::Relaxed);
+                inner.stats.table_reads.inc();
                 inner.charge_table_read(4 * KIB)?;
             }
             runs.push(r.to_vec());
@@ -318,7 +312,7 @@ impl Db {
         if let Some(t) = &l1 {
             let r = t.range(lo, hi);
             if !r.is_empty() {
-                inner.stats.table_reads.fetch_add(1, Ordering::Relaxed);
+                inner.stats.table_reads.inc();
                 inner.charge_table_read(4 * KIB)?;
             }
             runs.push(r.to_vec());
@@ -356,7 +350,7 @@ impl Db {
         {
             let mut wal = inner.commit.lock();
             let charged = wal.sync()?;
-            inner.stats.wal_bytes.fetch_add(charged, Ordering::Relaxed);
+            inner.stats.wal_bytes.add(charged);
             let mut st = inner.state.lock();
             if !st.mem.is_empty() {
                 let full = std::mem::take(&mut st.mem);
@@ -414,6 +408,12 @@ impl Db {
     /// Statistics snapshot.
     pub fn stats(&self) -> DbStats {
         self.inner.stats.snapshot()
+    }
+
+    /// Register this database's stat counters into a cluster metric
+    /// registry under `<prefix>.<field>` (e.g. `osd0.kv.wal_bytes`).
+    pub fn register_metrics(&self, m: &afc_common::metrics::Metrics, prefix: &str) {
+        self.inner.stats.register_into(m, prefix);
     }
 
     /// Current shape of the store `(memtable bytes, #imm, #L0, L1 bytes)`.

@@ -1,6 +1,6 @@
 //! Database statistics: write amplification, stalls, compaction work.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use afc_common::metrics::{Counter, Metrics};
 
 /// Snapshot of database activity.
 #[derive(Debug, Clone, Copy, Default)]
@@ -57,41 +57,65 @@ impl DbStats {
     }
 }
 
-/// Thread-safe accumulator behind [`DbStats`].
+/// Thread-safe accumulator behind [`DbStats`]. Fields are shared metric
+/// cells registrable into a cluster [`Metrics`] registry.
 #[derive(Debug, Default)]
 pub struct DbStatsCell {
-    pub(crate) user_bytes: AtomicU64,
-    pub(crate) commits: AtomicU64,
-    pub(crate) wal_bytes: AtomicU64,
-    pub(crate) flushes: AtomicU64,
-    pub(crate) flush_bytes: AtomicU64,
-    pub(crate) compactions: AtomicU64,
-    pub(crate) compact_read_bytes: AtomicU64,
-    pub(crate) compact_write_bytes: AtomicU64,
-    pub(crate) stalls: AtomicU64,
-    pub(crate) stall_us: AtomicU64,
-    pub(crate) gets: AtomicU64,
-    pub(crate) table_reads: AtomicU64,
-    pub(crate) table_io_errors: AtomicU64,
+    pub(crate) user_bytes: Counter,
+    pub(crate) commits: Counter,
+    pub(crate) wal_bytes: Counter,
+    pub(crate) flushes: Counter,
+    pub(crate) flush_bytes: Counter,
+    pub(crate) compactions: Counter,
+    pub(crate) compact_read_bytes: Counter,
+    pub(crate) compact_write_bytes: Counter,
+    pub(crate) stalls: Counter,
+    pub(crate) stall_us: Counter,
+    pub(crate) gets: Counter,
+    pub(crate) table_reads: Counter,
+    pub(crate) table_io_errors: Counter,
 }
 
 impl DbStatsCell {
     /// Snapshot current values.
     pub fn snapshot(&self) -> DbStats {
         DbStats {
-            user_bytes: self.user_bytes.load(Ordering::Relaxed),
-            commits: self.commits.load(Ordering::Relaxed),
-            wal_bytes: self.wal_bytes.load(Ordering::Relaxed),
-            flushes: self.flushes.load(Ordering::Relaxed),
-            flush_bytes: self.flush_bytes.load(Ordering::Relaxed),
-            compactions: self.compactions.load(Ordering::Relaxed),
-            compact_read_bytes: self.compact_read_bytes.load(Ordering::Relaxed),
-            compact_write_bytes: self.compact_write_bytes.load(Ordering::Relaxed),
-            stalls: self.stalls.load(Ordering::Relaxed),
-            stall_us: self.stall_us.load(Ordering::Relaxed),
-            gets: self.gets.load(Ordering::Relaxed),
-            table_reads: self.table_reads.load(Ordering::Relaxed),
-            table_io_errors: self.table_io_errors.load(Ordering::Relaxed),
+            user_bytes: self.user_bytes.get(),
+            commits: self.commits.get(),
+            wal_bytes: self.wal_bytes.get(),
+            flushes: self.flushes.get(),
+            flush_bytes: self.flush_bytes.get(),
+            compactions: self.compactions.get(),
+            compact_read_bytes: self.compact_read_bytes.get(),
+            compact_write_bytes: self.compact_write_bytes.get(),
+            stalls: self.stalls.get(),
+            stall_us: self.stall_us.get(),
+            gets: self.gets.get(),
+            table_reads: self.table_reads.get(),
+            table_io_errors: self.table_io_errors.get(),
+        }
+    }
+
+    /// Register every cell under `<prefix>.<field>` (e.g.
+    /// `osd0.kv.wal_bytes`).
+    pub fn register_into(&self, m: &Metrics, prefix: &str) {
+        let fields: [(&str, &Counter); 13] = [
+            ("user_bytes", &self.user_bytes),
+            ("commits", &self.commits),
+            ("wal_bytes", &self.wal_bytes),
+            ("flushes", &self.flushes),
+            ("flush_bytes", &self.flush_bytes),
+            ("compactions", &self.compactions),
+            ("compact_read_bytes", &self.compact_read_bytes),
+            ("compact_write_bytes", &self.compact_write_bytes),
+            ("stalls", &self.stalls),
+            ("stall_us", &self.stall_us),
+            ("gets", &self.gets),
+            ("table_reads", &self.table_reads),
+            ("table_io_errors", &self.table_io_errors),
+        ];
+        for (name, cell) in fields {
+            m.register_counter(format!("{prefix}.{name}"), cell);
         }
     }
 }
@@ -124,8 +148,8 @@ mod tests {
     #[test]
     fn cell_snapshot() {
         let c = DbStatsCell::default();
-        c.user_bytes.fetch_add(5, Ordering::Relaxed);
-        c.stalls.fetch_add(1, Ordering::Relaxed);
+        c.user_bytes.add(5);
+        c.stalls.inc();
         let s = c.snapshot();
         assert_eq!(s.user_bytes, 5);
         assert_eq!(s.stalls, 1);

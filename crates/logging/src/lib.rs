@@ -208,6 +208,13 @@ impl Logger {
         &self.counters
     }
 
+    /// Attach this logger's live counters to a cluster metric registry;
+    /// they appear in snapshots as `<prefix>.log.*` (e.g.
+    /// `osd0.log.dropped`).
+    pub fn attach_metrics(&self, m: &afc_common::metrics::Metrics, prefix: &str) {
+        m.attach_set(prefix, &self.counters);
+    }
+
     /// The configured mode.
     pub fn mode(&self) -> LogMode {
         self.cfg.mode

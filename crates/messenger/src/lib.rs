@@ -272,6 +272,12 @@ impl<M: Send + 'static> Network<M> {
         &self.counters
     }
 
+    /// Attach the network's live counters to a cluster metric registry;
+    /// they appear in snapshots under their own `net.*` names.
+    pub fn attach_metrics(&self, m: &afc_common::metrics::Metrics) {
+        m.attach_set("", &self.counters);
+    }
+
     fn deliver(&self, from: Addr, to: Addr, msg: M, wire_bytes: u32) -> Result<()> {
         // Fault injection happens "on the wire": a Drop is invisible to the
         // sender (it believes the send succeeded), a Delay stretches the

@@ -6,6 +6,10 @@
 //! - `lint` — the concurrency/static hygiene pass over the workspace
 //!   sources (see [`lint`] for the rules). Exits non-zero on violations,
 //!   so CI and pre-commit hooks can gate on it.
+//! - `bench-check` — re-run the deterministic smoke workload and compare
+//!   against the committed `BENCH_baseline.json`; exits non-zero when any
+//!   write-path stage, IOPS, or write amplification regresses past the
+//!   tolerance (see `afc_bench::baseline`).
 
 mod lint;
 
@@ -46,12 +50,39 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         }
+        Some("bench-check") => {
+            // Delegate to the bench crate's baseline binary so xtask keeps
+            // zero dependencies; --release because debug-build timings
+            // would trip the latency gates.
+            let status = std::process::Command::new("cargo")
+                .args([
+                    "run",
+                    "--release",
+                    "--quiet",
+                    "--package",
+                    "afc-bench",
+                    "--bin",
+                    "baseline",
+                    "--",
+                    "--check",
+                ])
+                .current_dir(workspace_root())
+                .status();
+            match status {
+                Ok(s) if s.success() => ExitCode::SUCCESS,
+                Ok(_) => ExitCode::FAILURE,
+                Err(e) => {
+                    eprintln!("xtask bench-check: cannot run cargo: {e}");
+                    ExitCode::from(2)
+                }
+            }
+        }
         Some(other) => {
-            eprintln!("xtask: unknown command '{other}' (expected: lint)");
+            eprintln!("xtask: unknown command '{other}' (expected: lint, bench-check)");
             ExitCode::from(2)
         }
         None => {
-            eprintln!("usage: cargo xtask lint");
+            eprintln!("usage: cargo xtask <lint|bench-check>");
             ExitCode::from(2)
         }
     }

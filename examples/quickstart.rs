@@ -52,6 +52,43 @@ fn main() -> afcstore::common::Result<()> {
             );
         }
     }
+
+    // --- Metrics snapshot ----------------------------------------------
+    // Every subsystem registers into one cluster-wide registry; a snapshot
+    // is a stable name → value tree (see DESIGN.md "Observability").
+    let snap = cluster.metrics_snapshot();
+    println!(
+        "metrics: {} series; osd0 data SSDs wrote {} bytes, node0 journal committed {} entries",
+        snap.len(),
+        snap.counter("osd0.data.bytes_written").unwrap_or(0),
+        snap.counter("node0.journal.commits").unwrap_or(0),
+    );
+    // Write-path stage histograms live under `osdN.stage.*`; show the
+    // journal-commit stage of whichever OSD served the most traffic.
+    if let Some((id, h)) = snap
+        .iter()
+        .filter_map(|(id, v)| match v {
+            afcstore::common::MetricValue::Histogram(h)
+                if id.name().ends_with(".stage.journal") =>
+            {
+                Some((id, h))
+            }
+            _ => None,
+        })
+        .max_by_key(|(_, h)| h.count)
+    {
+        println!(
+            "{}: p50 {}us p99 {}us over {} sampled writes",
+            id.name(),
+            h.p50_us(),
+            h.p99_us(),
+            h.count
+        );
+    }
+    // The whole snapshot also renders in Prometheus text format:
+    let prom = snap.to_prometheus();
+    println!("prometheus export: {} lines", prom.lines().count());
+
     cluster.shutdown();
     Ok(())
 }

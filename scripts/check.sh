@@ -58,6 +58,15 @@ step cargo test --workspace --quiet
 #    CI output even when the workspace test step is green-but-skipped.
 step cargo test --quiet --package afc-core --test crash_recovery --test fault_matrix
 
+# 6. API docs build clean (rustdoc warnings are errors: broken intra-doc
+#    links and malformed examples fail the gate).
+step env RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
+# 7. Performance baseline: re-run the deterministic smoke workload and
+#    compare IOPS, write amplification and per-stage p95 latencies against
+#    the committed BENCH_baseline.json (>20% regression fails).
+step cargo xtask bench-check
+
 echo
 if [ "$failures" -ne 0 ]; then
     echo "check.sh: $failures step(s) failed"
