@@ -1,0 +1,160 @@
+//! `hot-path-blocking`: sleeps, unbounded channel receives, and direct
+//! file I/O inside the OSD op path (`crates/core/src/osd`).
+//!
+//! The op path runs on the worker threads that drain PG pending queues;
+//! a blocked worker stalls every PG hashed onto it, which shows up as
+//! tail latency long before it shows up as a hang. Blocking belongs in
+//! the dedicated worker loops that exist for it:
+//!
+//! - `Osd::spawn` — ticker/timer closures (rep timer sleep, reader
+//!   worker recv) are set up here by design;
+//! - `completion_worker_loop` — the journal-completion drain loop
+//!   blocks on its channel, that is its job.
+//!
+//! Anything else needs a `// blocking-ok:` comment on or above the line
+//! saying why the wait is bounded or off the op path.
+
+use crate::source::SourceFile;
+use crate::{Diag, Severity};
+
+/// The op path the rule polices.
+const SCOPE: &str = "crates/core/src/osd";
+
+/// Functions (by name, within [`SCOPE`]) whose bodies may block: the
+/// worker/ticker entry points.
+const SANCTIONED_FNS: &[&str] = &["spawn", "completion_worker_loop"];
+
+/// Comment marker that waives a specific line.
+const WAIVER: &str = "blocking-ok:";
+
+pub fn check(f: &SourceFile, out: &mut Vec<Diag>) {
+    if !f.path.starts_with(SCOPE) || f.non_prod {
+        return;
+    }
+    let t = &f.toks;
+    for i in 0..t.len() {
+        if f.is_test(i) {
+            continue;
+        }
+        let found: Option<(&'static str, &'static str)> =
+            // thread::sleep(..) — std sleep in the op path.
+            if t[i].is_ident("sleep")
+                && i >= 3
+                && t[i - 1].is_punct(':')
+                && t[i - 2].is_punct(':')
+                && t[i - 3].is_ident("thread")
+                && t.get(i + 1).is_some_and(|x| x.is_punct('('))
+            {
+                Some(("thread::sleep", "use a timer wheel or an event, not a stalled worker"))
+            }
+            // .recv() with no timeout — unbounded channel wait.
+            else if t[i].is_ident("recv")
+                && i >= 1
+                && t[i - 1].is_punct('.')
+                && t.get(i + 1).is_some_and(|x| x.is_punct('('))
+                && t.get(i + 2).is_some_and(|x| x.is_punct(')'))
+            {
+                Some(("unbounded recv()", "use recv_timeout / try_recv, or move the wait into a worker loop"))
+            }
+            // Direct std::fs access — storage I/O must go through the
+            // device/filestore layers where faults and metrics attach.
+            else if t[i].is_ident("fs")
+                && i >= 3
+                && t[i - 1].is_punct(':')
+                && t[i - 2].is_punct(':')
+                && t[i - 3].is_ident("std")
+            {
+                Some(("std::fs call", "go through the filestore/device layer"))
+            }
+            // File::open / File::create / OpenOptions::new
+            else if (t[i].is_ident("File") || t[i].is_ident("OpenOptions"))
+                && t.get(i + 1).is_some_and(|x| x.is_punct(':'))
+                && t.get(i + 2).is_some_and(|x| x.is_punct(':'))
+                && t.get(i + 3).is_some_and(|x| {
+                    x.is_ident("open") || x.is_ident("create") || x.is_ident("new")
+                })
+                && t.get(i + 4).is_some_and(|x| x.is_punct('('))
+            {
+                Some(("blocking file open", "go through the filestore/device layer"))
+            } else {
+                None
+            };
+        let Some((what, fix)) = found else { continue };
+        if f.enclosing_fn(i)
+            .is_some_and(|fun| SANCTIONED_FNS.contains(&fun.name.as_str()))
+        {
+            continue;
+        }
+        if f.line_justified(t[i].line, WAIVER) {
+            continue;
+        }
+        out.push(Diag {
+            file: f.path.clone(),
+            line: t[i].line,
+            col: t[i].col,
+            rule: "hot-path-blocking",
+            severity: Severity::Error,
+            msg: format!("{what} in the OSD op path"),
+            suggestion: Some(format!(
+                "{fix}; or waive with a `// {WAIVER}` comment explaining why the wait is bounded"
+            )),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn run(path: &str, src: &str) -> Vec<Diag> {
+        let f = SourceFile::parse(path.into(), src.into());
+        let mut out = Vec::new();
+        check(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn sleep_in_op_path_is_flagged() {
+        let src = "fn handle_op(&self) {\n    std::thread::sleep(Duration::from_millis(1));\n}\n";
+        let v = run("crates/core/src/osd/mod.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "hot-path-blocking");
+        assert!(v[0].msg.contains("thread::sleep"));
+    }
+
+    #[test]
+    fn sleep_in_sanctioned_fns_is_clean() {
+        let src = "impl Osd {\n    pub fn spawn(&self) {\n        std::thread::sleep(t);\n        let m = self.rx.recv();\n    }\n}\nfn completion_worker_loop(rx: &Receiver<u32>) {\n    while let Ok(x) = rx.recv() {}\n}\n";
+        assert!(run("crates/core/src/osd/mod.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unbounded_recv_is_flagged_but_timeout_variants_are_clean() {
+        let src = "fn wait(&self) {\n    let a = self.rx.recv();\n    let b = self.rx.recv_timeout(d);\n    let c = self.rx.try_recv();\n}\n";
+        let v = run("crates/core/src/osd/pg.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].msg.contains("recv"));
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn direct_file_io_is_flagged() {
+        let src = "fn bad(&self) {\n    let f = File::open(p);\n    let m = std::fs::metadata(p);\n    let o = OpenOptions::new();\n}\n";
+        assert_eq!(run("crates/core/src/osd/mod.rs", src).len(), 3);
+    }
+
+    #[test]
+    fn waiver_comment_silences_the_line() {
+        let src = "fn backoff(&self) {\n    // blocking-ok: bounded 1ms backoff on journal-full, measured\n    std::thread::sleep(Duration::from_millis(1));\n}\n";
+        assert!(run("crates/core/src/osd/mod.rs", src).is_empty());
+    }
+
+    #[test]
+    fn outside_scope_and_tests_are_exempt() {
+        let src = "fn f() { std::thread::sleep(d); }\n";
+        assert!(run("crates/core/src/client/rados.rs", src).is_empty());
+        let test_src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { std::thread::sleep(d); let _ = rx.recv(); }\n}\n";
+        assert!(run("crates/core/src/osd/mod.rs", test_src).is_empty());
+    }
+}

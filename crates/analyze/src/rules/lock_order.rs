@@ -1,0 +1,310 @@
+//! `lock-order`: static extraction of nested `TrackedMutex` /
+//! `TrackedRwLock` acquisitions, checked against the hierarchy declared
+//! in `crates/common/src/lockdep.rs`.
+//!
+//! The runtime lockdep only sees interleavings that a test happens to
+//! execute; this rule walks every production function and reports
+//! acquisition pairs that the runtime would panic on *if* they ran:
+//!
+//! - acquiring a class whose rank does not strictly exceed every held
+//!   class's rank (mirrors `rt::on_acquire`);
+//! - re-acquiring a class that is already held (recursive deadlock);
+//! - a nested pair involving a class missing from `DECLARED_ORDER`
+//!   (the hierarchy must stay total, so the doc/render stays honest).
+//!
+//! Guard liveness is approximated: `let`-bound guards live until their
+//! enclosing block closes or an explicit `drop(name)`; guards that are
+//! never bound (`foo.lock().bar()`) are transient and only checked
+//! against the held set at the acquisition instant. Lock fields resolve
+//! to classes via the `TrackedMutex::new(&classes::X, ..)` constructor
+//! map built by [`crate::model`]; unresolvable fields are skipped, so
+//! the rule cannot misfire on ambiguous names.
+
+use crate::model::UNRANKED;
+use crate::source::SourceFile;
+use crate::{Diag, Severity, Workspace};
+
+/// Methods that acquire a tracked lock. All take no arguments, which is
+/// what disambiguates `.read()` / `.write()` from device I/O calls.
+const ACQUIRE_METHODS: &[&str] = &["lock", "try_lock", "read", "write"];
+
+#[derive(Debug)]
+struct Held {
+    /// Binding name for `let g = ...` guards; `None` never occurs in the
+    /// held list (transient guards are checked, not pushed).
+    guard: String,
+    /// Lock-class ident (e.g. `PG_STATE`).
+    class: String,
+    rank: u32,
+    /// Brace depth at binding time; popped when the block closes.
+    depth: usize,
+}
+
+pub fn check(ws: &Workspace, f: &SourceFile, out: &mut Vec<Diag>) {
+    if f.non_prod {
+        return;
+    }
+    let t = &f.toks;
+    let mut depth: usize = 0;
+    let mut held: Vec<Held> = Vec::new();
+
+    for i in 0..t.len() {
+        if t[i].is_punct('{') {
+            depth += 1;
+            continue;
+        }
+        if t[i].is_punct('}') {
+            depth = depth.saturating_sub(1);
+            held.retain(|h| h.depth <= depth);
+            continue;
+        }
+        if f.is_test(i) {
+            continue;
+        }
+        // drop(name) releases a bound guard early.
+        if t[i].is_ident("drop")
+            && t.get(i + 1).is_some_and(|x| x.is_punct('('))
+            && t.get(i + 2)
+                .is_some_and(|x| x.kind == crate::lexer::Kind::Ident)
+            && t.get(i + 3).is_some_and(|x| x.is_punct(')'))
+        {
+            let name = t[i + 2].text.as_str();
+            held.retain(|h| h.guard != name);
+            continue;
+        }
+        // . field . {lock|try_lock|read|write} ( )
+        let is_acquire = t[i].kind == crate::lexer::Kind::Ident
+            && i >= 1
+            && t[i - 1].is_punct('.')
+            && t.get(i + 1).is_some_and(|x| x.is_punct('.'))
+            && t.get(i + 2).is_some_and(|x| {
+                x.kind == crate::lexer::Kind::Ident && ACQUIRE_METHODS.contains(&x.text.as_str())
+            })
+            && t.get(i + 3).is_some_and(|x| x.is_punct('('))
+            && t.get(i + 4).is_some_and(|x| x.is_punct(')'));
+        if !is_acquire {
+            continue;
+        }
+        let Some(class) = ws.model.resolve_class(&f.path, &t[i].text) else {
+            continue;
+        };
+        let (line, col) = (t[i].line, t[i].col);
+
+        // Check the new acquisition against everything held.
+        for h in &held {
+            if h.class == class.ident {
+                out.push(Diag {
+                    file: f.path.clone(),
+                    line,
+                    col,
+                    rule: "lock-order",
+                    severity: Severity::Error,
+                    msg: format!(
+                        "recursive acquisition of lock class `{}` ({}); guard `{}` of the same class is still live",
+                        class.ident, class.site, h.guard
+                    ),
+                    suggestion: Some(format!(
+                        "drop `{}` first, or split the critical sections",
+                        h.guard
+                    )),
+                });
+                continue;
+            }
+            let undeclared: Vec<&str> = [h.class.as_str(), class.ident.as_str()]
+                .into_iter()
+                .filter(|c| !ws.model.declared_order.iter().any(|d| d == c))
+                .collect();
+            if !undeclared.is_empty() {
+                out.push(Diag {
+                    file: f.path.clone(),
+                    line,
+                    col,
+                    rule: "lock-order",
+                    severity: Severity::Error,
+                    msg: format!(
+                        "nested acquisition `{}` -> `{}`, but `{}` is missing from lockdep::DECLARED_ORDER",
+                        h.class,
+                        class.ident,
+                        undeclared.join("`, `")
+                    ),
+                    suggestion: Some(
+                        "add the class to DECLARED_ORDER so the hierarchy stays total".into(),
+                    ),
+                });
+                continue;
+            }
+            if h.rank != UNRANKED && class.rank != UNRANKED && h.rank >= class.rank {
+                out.push(Diag {
+                    file: f.path.clone(),
+                    line,
+                    col,
+                    rule: "lock-order",
+                    severity: Severity::Error,
+                    msg: format!(
+                        "acquiring `{}` (rank {}) while holding `{}` (rank {}, guard `{}`) contradicts lockdep::DECLARED_ORDER",
+                        class.ident, class.rank, h.class, h.rank, h.guard
+                    ),
+                    suggestion: Some(format!(
+                        "acquire `{}` before `{}`, or drop `{}` first",
+                        class.ident, h.class, h.guard
+                    )),
+                });
+            }
+        }
+
+        // `let g = ...` / `let mut g = ...` binds the guard for the block —
+        // but only when the acquire call ends the statement. In
+        // `let tx = inner.done_tx.lock().clone();` the guard is a
+        // temporary dropped at the `;`; the binding holds the clone.
+        if !t.get(i + 5).is_some_and(|x| x.is_punct(';')) {
+            continue;
+        }
+        let mut k = i;
+        while k >= 2 && t[k - 1].is_punct('.') && t[k - 2].kind == crate::lexer::Kind::Ident {
+            k -= 2;
+        }
+        let is_let_binding = k >= 3
+            && t[k - 1].is_punct('=')
+            && t[k - 2].kind == crate::lexer::Kind::Ident
+            && (t[k - 3].is_ident("let")
+                || (k >= 4 && t[k - 3].is_ident("mut") && t[k - 4].is_ident("let")));
+        let bound = is_let_binding.then(|| t[k - 2].text.clone());
+        if let Some(guard) = bound {
+            // Shadowing: a rebind of the same name drops the old guard.
+            held.retain(|h| h.guard != guard);
+            held.push(Held {
+                guard,
+                class: class.ident.clone(),
+                rank: class.rank,
+                depth,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model;
+    use crate::source::SourceFile;
+
+    /// Minimal lockdep + user files; returns diagnostics for `user.rs`.
+    fn run(user_src: &str) -> Vec<Diag> {
+        let lockdep = r#"
+pub mod classes {
+    use super::LockClass;
+    pub static LOW: LockClass = LockClass { name: "t.low", rank: 10, no_block_while_held: true };
+    pub static HIGH: LockClass = LockClass { name: "t.high", rank: 20, no_block_while_held: true };
+    pub static GHOST: LockClass = LockClass { name: "t.ghost", rank: 30, no_block_while_held: true };
+}
+pub static DECLARED_ORDER: &[&LockClass] = &[&classes::LOW, &classes::HIGH];
+"#;
+        let files = vec![
+            SourceFile::parse(model::LOCKDEP_PATH.into(), lockdep.into()),
+            SourceFile::parse("crates/core/src/user.rs".into(), user_src.into()),
+        ];
+        let model = model::build(&files);
+        let ws = crate::Workspace { files, model };
+        let mut out = Vec::new();
+        check(&ws, &ws.files[1], &mut out);
+        out
+    }
+
+    const CTORS: &str =
+        "struct S { lo: TrackedMutex<u32>, hi: TrackedMutex<u32>, gh: TrackedMutex<u32> }\n\
+        impl S { fn new() -> Self { Self {\n\
+            lo: TrackedMutex::new(&classes::LOW, 0),\n\
+            hi: TrackedMutex::new(&classes::HIGH, 0),\n\
+            gh: TrackedMutex::new(&classes::GHOST, 0),\n\
+        } } }\n";
+
+    #[test]
+    fn in_order_nesting_is_clean() {
+        let src = format!("{CTORS}fn ok(s: &S) {{ let a = s.lo.lock(); let b = s.hi.lock(); }}\n");
+        assert!(run(&src).is_empty());
+    }
+
+    #[test]
+    fn inversion_is_flagged_at_inner_site() {
+        let src = format!(
+            "{CTORS}fn bad(s: &S) {{\n    let a = s.hi.lock();\n    let b = s.lo.lock();\n}}\n"
+        );
+        let v = run(&src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "lock-order");
+        assert!(v[0]
+            .msg
+            .contains("`LOW` (rank 10) while holding `HIGH` (rank 20"));
+        assert_eq!(v[0].line, 9);
+    }
+
+    #[test]
+    fn recursive_acquisition_is_flagged() {
+        let src =
+            format!("{CTORS}fn twice(s: &S) {{ let a = s.lo.lock(); let b = s.lo.lock(); }}\n");
+        let v = run(&src);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].msg.contains("recursive acquisition"));
+    }
+
+    #[test]
+    fn drop_releases_the_guard() {
+        let src = format!(
+            "{CTORS}fn ok(s: &S) {{ let a = s.hi.lock(); drop(a); let b = s.lo.lock(); }}\n"
+        );
+        assert!(run(&src).is_empty());
+    }
+
+    #[test]
+    fn block_close_releases_the_guard() {
+        let src =
+            format!("{CTORS}fn ok(s: &S) {{ {{ let a = s.hi.lock(); }} let b = s.lo.lock(); }}\n");
+        assert!(run(&src).is_empty());
+    }
+
+    #[test]
+    fn transient_guard_is_checked_but_not_held() {
+        // The transient `s.hi.lock()` must not poison the rest of the fn.
+        let src =
+            format!("{CTORS}fn ok(s: &S) {{ s.hi.lock().checked_add(1); let b = s.lo.lock(); }}\n");
+        assert!(run(&src).is_empty());
+        let bad = format!(
+            "{CTORS}fn bad(s: &S) {{ let a = s.hi.lock(); s.lo.lock().checked_add(1); }}\n"
+        );
+        assert_eq!(run(&bad).len(), 1);
+    }
+
+    #[test]
+    fn let_bound_clone_of_locked_value_is_transient() {
+        // The guard is a temporary; the binding holds the clone, so the
+        // later acquisition is not nested.
+        let src = format!(
+            "{CTORS}fn ok(s: &S) {{ let tx = s.hi.lock().clone(); let b = s.lo.lock(); }}\n"
+        );
+        assert!(run(&src).is_empty());
+    }
+
+    #[test]
+    fn class_missing_from_declared_order_is_flagged() {
+        let src = format!("{CTORS}fn bad(s: &S) {{ let a = s.hi.lock(); let b = s.gh.lock(); }}\n");
+        let v = run(&src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0]
+            .msg
+            .contains("`GHOST` is missing from lockdep::DECLARED_ORDER"));
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = format!(
+            "{CTORS}#[cfg(test)]\nmod tests {{\n    #[test]\n    fn t(s: &S) {{ let a = s.hi.lock(); let b = s.lo.lock(); }}\n}}\n"
+        );
+        assert!(run(&src).is_empty());
+    }
+
+    #[test]
+    fn unresolvable_fields_are_skipped() {
+        let src = "fn f(m: &M) { let a = m.mystery.lock(); let b = m.other.lock(); }\n";
+        assert!(run(src).is_empty());
+    }
+}

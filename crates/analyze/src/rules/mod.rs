@@ -1,0 +1,28 @@
+//! The rule catalog. Each rule walks the token streams (and the
+//! cross-file [`crate::model::Model`]) and pushes [`crate::Diag`]s.
+
+pub mod atomic_ordering;
+pub mod blocking;
+pub mod hygiene;
+pub mod lock_order;
+pub mod pg_state;
+pub mod site_names;
+
+use crate::{Diag, Workspace};
+
+/// Run every rule over the workspace.
+pub fn run_all(ws: &Workspace) -> Vec<Diag> {
+    let mut out = Vec::new();
+    for f in &ws.files {
+        hygiene::check_std_sync(f, &mut out);
+        hygiene::check_unwrap_on_sync(f, &mut out);
+        hygiene::check_println(f, &mut out);
+        hygiene::check_discarded_io(f, &mut out);
+        pg_state::check(f, &mut out);
+        lock_order::check(ws, f, &mut out);
+        blocking::check(f, &mut out);
+    }
+    atomic_ordering::check(ws, &mut out);
+    site_names::check(ws, &mut out);
+    out
+}

@@ -1,0 +1,29 @@
+//! Mini lockdep hierarchy for the analyzer's golden test. Same shape as
+//! the real `afc_common::lockdep`, two classes.
+
+pub struct LockClass {
+    pub name: &'static str,
+    pub rank: u32,
+    pub no_block_while_held: bool,
+}
+
+pub const UNRANKED: u32 = 0;
+
+pub mod classes {
+    use super::LockClass;
+
+    /// Outer lock of the mini engine.
+    pub static FIRST: LockClass = LockClass {
+        name: "mini.first",
+        rank: 10,
+        no_block_while_held: true,
+    };
+    /// Inner lock of the mini engine.
+    pub static SECOND: LockClass = LockClass {
+        name: "mini.second",
+        rank: 20,
+        no_block_while_held: true,
+    };
+}
+
+pub static DECLARED_ORDER: &[&LockClass] = &[&classes::FIRST, &classes::SECOND];

@@ -1,0 +1,6 @@
+//! Deliberately misnamed fault site: expected to produce exactly one
+//! site-names diagnostic (convention violation).
+
+pub fn wire(reg: &FaultRegistry, dev: &Dev) {
+    dev.attach(reg, "Mini.Data".to_string());
+}

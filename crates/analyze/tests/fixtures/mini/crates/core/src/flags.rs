@@ -1,0 +1,14 @@
+//! Deliberately unjustified `SeqCst`: expected to produce exactly one
+//! atomic-ordering diagnostic.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Flags {
+    seq: AtomicU64,
+}
+
+impl Flags {
+    pub fn bump(&self) {
+        self.seq.store(1, Ordering::SeqCst);
+    }
+}

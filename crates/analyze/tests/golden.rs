@@ -1,0 +1,67 @@
+//! Golden-diagnostic test: run the full `analyze` pass — the exact code
+//! path behind `cargo xtask analyze --json` — over the checked-in
+//! fixture mini-workspace (`tests/fixtures/mini`) and assert the output
+//! byte-for-byte against `expected.json`.
+//!
+//! The fixture plants one violation per cross-file rule:
+//!
+//! - a lock-order inversion (`SECOND` held while `FIRST` is acquired),
+//! - a misnamed fault site (`Mini.Data`),
+//! - an unjustified `Ordering::SeqCst`,
+//! - a `thread::sleep` in the OSD op path.
+
+use std::path::PathBuf;
+
+fn fixture_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/mini")
+}
+
+#[test]
+fn mini_workspace_produces_exact_diagnostics() {
+    let root = fixture_root();
+    let report = analyze::analyze(&root).expect("analysis runs");
+
+    assert_eq!(report.files_scanned, 4);
+    assert_eq!(report.suppressed, 0);
+    assert!(!report.is_clean());
+
+    // One finding per new cross-file rule, nothing else.
+    let got: Vec<(&str, &str, u32, u32)> = report
+        .diags
+        .iter()
+        .map(|d| (d.file.as_str(), d.rule, d.line, d.col))
+        .collect();
+    assert_eq!(
+        got,
+        vec![
+            ("crates/core/src/cluster.rs", "site-names", 5, 21),
+            ("crates/core/src/flags.rs", "atomic-ordering", 12, 18),
+            ("crates/core/src/osd/engine.rs", "lock-order", 22, 22),
+            ("crates/core/src/osd/engine.rs", "hot-path-blocking", 28, 22),
+        ]
+    );
+
+    // Messages name the offending classes/sites precisely.
+    assert!(report.diags[0].msg.contains("`Mini.Data`"));
+    assert!(report.diags[1].msg.contains("`Ordering::SeqCst` on `seq`"));
+    assert!(report.diags[2]
+        .msg
+        .contains("acquiring `FIRST` (rank 10) while holding `SECOND` (rank 20"));
+    assert!(report.diags[3].msg.contains("thread::sleep"));
+
+    // Byte-exact machine output (what `xtask analyze --json` prints).
+    let expected = std::fs::read_to_string(root.join("expected.json")).expect("golden file");
+    assert_eq!(analyze::to_json(&report), expected);
+}
+
+#[test]
+fn mini_workspace_diagnostics_render_with_spans_and_help() {
+    let report = analyze::analyze(&fixture_root()).expect("analysis runs");
+    let rendered: Vec<String> = report.diags.iter().map(|d| d.to_string()).collect();
+    assert_eq!(
+        rendered[2],
+        "crates/core/src/osd/engine.rs:22:22: error [lock-order] acquiring `FIRST` \
+         (rank 10) while holding `SECOND` (rank 20, guard `b`) contradicts \
+         lockdep::DECLARED_ORDER\n    help: acquire `FIRST` before `SECOND`, or drop `b` first"
+    );
+}

@@ -236,6 +236,10 @@ impl FaultRegistry {
             seen: 0,
             fired: 0,
         });
+        // ordering: `armed` is an advisory fast-path filter with Relaxed
+        // readers; the specs themselves are only read under `state`, so the
+        // mutex provides the real synchronization. Release is belt-and-braces
+        // for the flag itself.
         self.armed.store(true, Ordering::Release);
     }
 
@@ -243,6 +247,7 @@ impl FaultRegistry {
     pub fn clear(&self) {
         let mut st = self.state.lock();
         st.specs.clear();
+        // ordering: see `install` — advisory filter, payload is mutex-guarded.
         self.armed.store(false, Ordering::Release);
     }
 
@@ -308,6 +313,7 @@ impl FaultRegistry {
         }
         if !live {
             // Everything exhausted: restore the zero-cost happy path.
+            // ordering: see `install` — advisory filter, payload is mutex-guarded.
             self.armed.store(false, Ordering::Release);
         }
         fired.map(|(_, kind)| kind)

@@ -482,6 +482,8 @@ impl Cluster {
 
     /// Stop everything: fabric first (no new messages), then OSD threads.
     pub fn shutdown(&self) {
+        // ordering: idempotence latch on a cold path; SeqCst so concurrent
+        // shutdown() calls (explicit + Drop) agree on a single winner.
         if self.stopped.swap(true, Ordering::SeqCst) {
             return;
         }

@@ -450,6 +450,9 @@ impl Osd {
             Ok(())
         })();
         if let Err(e) = result {
+            // ordering: cold spawn-failure path; SeqCst so the flag is ahead
+            // of the cv notify and channel teardown below in every thread's
+            // view (the worker loops read it Relaxed).
             inner.shutdown.store(true, Ordering::SeqCst);
             inner.opq.cv.notify_all();
             *inner.completion_tx.lock() = None;
@@ -623,6 +626,9 @@ impl Osd {
     /// the network endpoint should be shut down by the cluster first.
     /// Idempotent: later calls find the worker list already drained.
     pub fn shutdown(&self) {
+        // ordering: cold shutdown path; SeqCst so the flag is ahead of the
+        // cv notify and channel teardown below in every thread's view (the
+        // worker loops read it Relaxed).
         self.inner.shutdown.store(true, Ordering::SeqCst);
         self.inner.opq.cv.notify_all();
         *self.inner.completion_tx.lock() = None;

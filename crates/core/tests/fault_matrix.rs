@@ -165,3 +165,37 @@ fn write_path_device_error_does_not_wedge_the_osd() {
     assert!(stats.writes >= 2);
     cluster.shutdown();
 }
+
+#[test]
+fn delayed_request_and_reply_surface_as_latency_not_errors() {
+    let cluster = replicated_cluster(0x06);
+    let reg = cluster.fault_registry().unwrap().clone();
+    let client = cluster.client().unwrap();
+
+    // Stretch the client→OSD request and the OSD→client reply legs
+    // (Delay, not Drop: `OpHandle::wait` has no client-side timeout, so a
+    // dropped request would hang the test by design). The write must
+    // still succeed, just slower.
+    reg.install(
+        FaultSpec::new("net.request", FaultKind::Delay(Duration::from_millis(25))).times(1),
+    );
+    reg.install(FaultSpec::new("net.reply", FaultKind::Delay(Duration::from_millis(25))).times(1));
+    client
+        .write_object("slow_legs", 0, b"late but intact")
+        .unwrap();
+
+    assert!(
+        reg.hits("net.request") >= 1,
+        "request-leg fault never fired"
+    );
+    assert!(reg.hits("net.reply") >= 1, "reply-leg fault never fired");
+
+    cluster.quiesce();
+    let report = cluster.deep_scrub().unwrap();
+    assert!(report.is_clean(), "inconsistent: {:?}", report.inconsistent);
+    assert_eq!(
+        client.read_object("slow_legs", 0, 15).unwrap(),
+        b"late but intact"
+    );
+    cluster.shutdown();
+}

@@ -149,6 +149,10 @@ impl FaultInjector {
 
     /// Fail the next `n` requests (legacy countdown, kind-blind).
     pub fn inject(&self, n: u64) {
+        // ordering: test-only countdown. SeqCst keeps the inject visible to
+        // the very next request regardless of how the test thread and the
+        // device thread are (or aren't) otherwise synchronized; the op is a
+        // cold path guarded by the zero check in `check`.
         self.remaining.store(n, Ordering::SeqCst);
     }
 
@@ -164,10 +168,14 @@ impl FaultInjector {
     /// `Err(..)` fails the request — [`AfcError::TornWrite`] for torn
     /// writes, [`AfcError::Io`] otherwise.
     pub fn check(&self, req: &IoReq) -> Result<Option<Duration>> {
+        // ordering: matches `inject` — SeqCst so concurrent injectors and the
+        // countdown CAS agree on one total order (n injected faults fire
+        // exactly n times); on the fast path this is a single uncontended load.
         let mut cur = self.remaining.load(Ordering::SeqCst);
         while cur != 0 {
             match self
                 .remaining
+                // ordering: see the load above — one total order for the countdown.
                 .compare_exchange(cur, cur - 1, Ordering::SeqCst, Ordering::SeqCst)
             {
                 Ok(_) => return Err(AfcError::Io("injected device fault".into())),

@@ -3,15 +3,18 @@
 //!
 //! Commands:
 //!
-//! - `lint` — the concurrency/static hygiene pass over the workspace
-//!   sources (see [`lint`] for the rules). Exits non-zero on violations,
-//!   so CI and pre-commit hooks can gate on it.
+//! - `analyze` — the cross-file static-analysis pass over the workspace
+//!   sources (lock order, site names, memory-ordering hygiene, plus the
+//!   original hygiene rules; see the `analyze` crate for the rule
+//!   catalog). Exits non-zero on violations, so CI and pre-commit hooks
+//!   can gate on it. `--json` emits the `afc-analyze/1` schema on
+//!   stdout; `--write-report PATH` additionally writes it to a file.
+//! - `lint` — deprecated alias for `analyze` (kept for muscle memory
+//!   and old scripts).
 //! - `bench-check` — re-run the deterministic smoke workload and compare
 //!   against the committed `BENCH_baseline.json`; exits non-zero when any
 //!   write-path stage, IOPS, or write amplification regresses past the
 //!   tolerance (see `afc_bench::baseline`).
-
-mod lint;
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -27,33 +30,84 @@ fn workspace_root() -> PathBuf {
         })
 }
 
+fn run_analyze(args: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut write_report: Option<PathBuf> = None;
+    let mut root = workspace_root();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--write-report" => match it.next() {
+                Some(p) => write_report = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("xtask analyze: --write-report needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--root" => match it.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => {
+                    eprintln!("xtask analyze: --root needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("xtask analyze: unknown flag '{other}'");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let report = match analyze::analyze(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xtask analyze: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(path) = &write_report {
+        if let Err(e) = std::fs::write(path, analyze::to_json(&report)) {
+            eprintln!("xtask analyze: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if json {
+        print!("{}", analyze::to_json(&report));
+    } else {
+        for d in &report.diags {
+            println!("{d}");
+        }
+        println!(
+            "xtask analyze: {} file(s), {} finding(s), {} suppressed by baseline{}",
+            report.files_scanned,
+            report.diags.len(),
+            report.suppressed,
+            if report.is_clean() { " — clean" } else { "" }
+        );
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
+        Some("analyze") => run_analyze(&args[1..]),
         Some("lint") => {
-            let root = workspace_root();
-            let violations = match lint::run(&root) {
-                Ok(v) => v,
-                Err(e) => {
-                    eprintln!("xtask lint: {e}");
-                    return ExitCode::from(2);
-                }
-            };
-            if violations.is_empty() {
-                println!("xtask lint: clean");
-                ExitCode::SUCCESS
-            } else {
-                for v in &violations {
-                    println!("{v}");
-                }
-                println!("xtask lint: {} violation(s)", violations.len());
-                ExitCode::FAILURE
-            }
+            eprintln!(
+                "xtask lint: deprecated alias — use `cargo xtask analyze` \
+                 (same rules and exit codes, plus --json)"
+            );
+            run_analyze(&args[1..])
         }
         Some("bench-check") => {
-            // Delegate to the bench crate's baseline binary so xtask keeps
-            // zero dependencies; --release because debug-build timings
-            // would trip the latency gates.
+            // Delegate to the bench crate's baseline binary so xtask stays
+            // lean; --release because debug-build timings would trip the
+            // latency gates.
             let status = std::process::Command::new("cargo")
                 .args([
                     "run",
@@ -78,11 +132,11 @@ fn main() -> ExitCode {
             }
         }
         Some(other) => {
-            eprintln!("xtask: unknown command '{other}' (expected: lint, bench-check)");
+            eprintln!("xtask: unknown command '{other}' (expected: analyze, lint, bench-check)");
             ExitCode::from(2)
         }
         None => {
-            eprintln!("usage: cargo xtask <lint|bench-check>");
+            eprintln!("usage: cargo xtask <analyze|lint|bench-check>");
             ExitCode::from(2)
         }
     }

@@ -6,7 +6,7 @@
 #
 # Steps degrade gracefully: if a toolchain component (rustfmt, clippy) is
 # not installed, that step is skipped with a warning instead of failing —
-# the xtask lint and the test suite always run.
+# the xtask analyze pass and the test suite always run.
 
 set -u
 cd "$(dirname "$0")/.."
@@ -37,9 +37,19 @@ maybe_step() {
     fi
 }
 
-# 1. Concurrency/static hygiene pass (crates/xtask). Dependency-free, so
-#    it works even when the rest of the workspace is broken.
-step cargo run --quiet --package xtask -- lint
+# 1. Cross-file static analysis (lock order, site names, memory-ordering
+#    hygiene; see crates/analyze). Dependency-free, so it works even when
+#    the rest of the workspace is broken. Runs before clippy and fails
+#    fast; also emits analyze-report.json as a machine-readable artifact
+#    for CI annotation.
+step cargo run --quiet --package xtask -- analyze --write-report analyze-report.json
+if [ "$failures" -ne 0 ]; then
+    # Fail fast: span-accurate diagnostics are the most actionable output
+    # this script produces; don't bury them under clippy/test noise.
+    echo
+    echo "check.sh: static analysis failed (see analyze-report.json)"
+    exit 1
+fi
 
 # 2. Formatting.
 maybe_step cargo fmt --version -- cargo fmt --all --check
