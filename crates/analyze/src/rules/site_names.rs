@@ -224,6 +224,23 @@ mod tests {
         assert!(!template_matches("net.request", "net.reply"));
         assert!(!template_matches("osd{}.data", "osd0.data.write.extra"));
         assert!(!template_matches("osd{}.data", "osd.data")); // hole eats >= 1 char
+                                                              // Healing-loop sites (heartbeats, peering, recovery pushes).
+        assert!(template_matches("net.heartbeat", "net.heartbeat"));
+        assert!(template_matches("net.peering", "net.peering"));
+        assert!(template_matches("net.push", "net.push"));
+        assert!(template_matches(
+            "osd{}.recovery.pushes",
+            "osd3.recovery.pushes"
+        ));
+        assert!(template_matches(
+            "osd{}.peering.rounds",
+            "osd12.peering.rounds"
+        ));
+        assert!(!template_matches("net.heartbeat", "net.peering"));
+        assert!(!template_matches(
+            "osd{}.recovery.pushes",
+            "osd3.peering.pushes"
+        ));
     }
 
     #[test]
@@ -293,6 +310,23 @@ mod tests {
             ),
         ]);
         assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn unarmed_healing_sites_are_flagged() {
+        // The self-healing loop's injection points (heartbeat drops,
+        // peering-info drops, push drops) participate in arming coverage
+        // like any other site: attached-but-unarmed is dead surface.
+        let v = run(&[(
+            "crates/core/src/cluster.rs",
+            "fn wire(reg: &R) {\n    a.attach(reg, \"net.heartbeat\".to_string());\n    b.attach(reg, \"net.push\".to_string());\n}\n",
+        ), (
+            "crates/core/tests/recovery.rs",
+            "#[test]\nfn t() { reg.install(FaultSpec::new(\"net.heartbeat\", FaultKind::Drop)); }\n",
+        )]);
+        let unarmed: Vec<_> = v.iter().filter(|d| d.msg.contains("never armed")).collect();
+        assert_eq!(unarmed.len(), 1, "{v:?}");
+        assert!(unarmed[0].msg.contains("`net.push`"), "{v:?}");
     }
 
     #[test]

@@ -16,8 +16,9 @@
 
 use afc_common::faults::FaultPlan;
 use afc_common::metrics::HistSnapshot;
+use afc_common::OsdId;
 use afc_core::{Cluster, DeviceProfile, OsdTuning};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Schema tag written into every baseline record.
 pub const SCHEMA: &str = "afc-bench-baseline/1";
@@ -136,7 +137,95 @@ pub fn run_smoke(opts: &SmokeOpts) -> BaselineRecord {
     let elapsed = start.elapsed().as_secs_f64().max(1e-9);
     let snap = cluster.metrics_snapshot();
     cluster.shutdown();
+    distill(&snap, &tuning_label, opts.ops, elapsed)
+}
 
+/// Run the degraded-mode smoke workload: same shape and write pattern as
+/// [`run_smoke`], but with heartbeats on and one OSD killed (paused)
+/// halfway through. The client keeps writing across failure detection,
+/// promotion and degraded replication; the record therefore measures
+/// whole-run throughput *including* the detection stall and the degraded
+/// tail. After the workload the OSD is revived and the run waits for
+/// recovery to drain before reading the metric snapshot.
+///
+/// The resulting `BENCH_degraded.json` is informational: it is compared
+/// (and printed) by `cargo xtask bench-check` but never gates, because
+/// degraded-mode throughput depends on detection timing, not just on the
+/// write path.
+pub fn run_degraded_smoke(opts: &SmokeOpts) -> BaselineRecord {
+    let tuning = OsdTuning {
+        rep_resend_after_ms: 20,
+        heartbeat_grace_ms: 40,
+        ..OsdTuning::afceph().with_heartbeats(5)
+    };
+    let tuning_label = format!("{}+degraded", tuning.label());
+    let mut builder = Cluster::builder()
+        .nodes(2)
+        .osds_per_node(2)
+        .replication(2)
+        .pg_num(64)
+        .tuning(tuning)
+        .devices(DeviceProfile::clean());
+    if let Some(plan) = &opts.faults {
+        builder = builder.faults(plan.clone());
+    }
+    let cluster = builder.build().expect("degraded smoke cluster build");
+    let client = cluster.client().expect("degraded smoke client");
+    client.set_op_timeout(Duration::from_millis(400));
+    client.set_max_retries(24);
+    let victim = OsdId(1);
+    let buf = vec![0xb5u8; SMOKE_BS as usize];
+    let start = Instant::now();
+    for i in 0..opts.ops {
+        if i == opts.ops / 2 {
+            cluster.osd(victim).expect("victim exists").pause();
+        }
+        let obj = format!("smoke{}", i % SMOKE_OBJECTS);
+        let off = (i / SMOKE_OBJECTS) * SMOKE_BS;
+        client
+            .write_object(&obj, off, &buf)
+            .expect("degraded smoke write");
+    }
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    // Revive and let recovery drain so the snapshot includes the full
+    // peering/recovery counter story, not a mid-flight cut.
+    cluster.osd(victim).expect("victim exists").resume();
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while Instant::now() < deadline {
+        let snap = cluster.metrics_snapshot();
+        let busy: i64 = cluster
+            .osds()
+            .iter()
+            .map(|o| {
+                let n = o.id().0;
+                [
+                    "recovery.pgs_degraded",
+                    "recovery.pgs_recovering",
+                    "peering.pgs_peering",
+                ]
+                .iter()
+                .map(|g| snap.gauge(&format!("osd{n}.{g}")).unwrap_or(0))
+                .sum::<i64>()
+            })
+            .sum();
+        if busy == 0 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    cluster.quiesce();
+    let snap = cluster.metrics_snapshot();
+    cluster.shutdown();
+    distill(&snap, &tuning_label, opts.ops, elapsed)
+}
+
+/// Distil a metric snapshot into a [`BaselineRecord`].
+fn distill(
+    snap: &afc_common::metrics::MetricsSnapshot,
+    tuning_label: &str,
+    ops: u64,
+    elapsed: f64,
+) -> BaselineRecord {
     // Device-side bytes: every RAID-0 data member sums under
     // `osdN.data.bytes_written`; the per-node NVRAM card under
     // `nodeN.journal.dev.bytes_written`.
@@ -151,7 +240,7 @@ pub fn run_smoke(opts: &SmokeOpts) -> BaselineRecord {
     let data_bytes = sum_counters(&|n| n.starts_with("osd") && n.ends_with(".data.bytes_written"));
     let journal_bytes =
         sum_counters(&|n| n.starts_with("node") && n.ends_with(".journal.dev.bytes_written"));
-    let payload = (opts.ops * SMOKE_BS) as f64;
+    let payload = (ops * SMOKE_BS) as f64;
     let write_amplification = (data_bytes + journal_bytes) as f64 / payload;
 
     let stages = STAGES
@@ -182,9 +271,9 @@ pub fn run_smoke(opts: &SmokeOpts) -> BaselineRecord {
     BaselineRecord {
         schema: SCHEMA.to_string(),
         commit: crate::commit_hash(),
-        tuning: tuning_label,
-        ops: opts.ops,
-        iops: opts.ops as f64 / elapsed,
+        tuning: tuning_label.to_string(),
+        ops,
+        iops: ops as f64 / elapsed,
         write_amplification,
         stages,
     }

@@ -3,12 +3,19 @@
 //! ```text
 //! cargo run --release -p afc-bench --bin baseline -- --write [path]
 //! cargo run --release -p afc-bench --bin baseline -- --check [path]
+//! cargo run --release -p afc-bench --bin baseline -- --write-degraded [path]
 //! ```
 //!
 //! With no mode flag the smoke workload runs and the record prints to
 //! stdout. `path` defaults to `BENCH_baseline.json` at the workspace root.
 //! `--check` exits non-zero when the fresh run regresses against the
 //! committed record (see `afc_bench::baseline::compare`).
+//!
+//! `--write-degraded` records the kill-one-OSD smoke run into
+//! `BENCH_degraded.json`. When that file exists, `--check` additionally
+//! re-runs the degraded workload and prints the comparison — purely
+//! informational: degraded throughput depends on failure-detection
+//! timing, so it never affects the exit code.
 
 use afc_bench::baseline::{self, SmokeOpts};
 use std::path::PathBuf;
@@ -16,6 +23,37 @@ use std::process::ExitCode;
 
 fn default_path() -> PathBuf {
     std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_baseline.json")
+}
+
+fn default_degraded_path() -> PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_degraded.json")
+}
+
+/// Informational only: compare a fresh degraded run against the committed
+/// record, if one exists. Never changes the exit code.
+fn report_degraded() {
+    let path = default_degraded_path();
+    let Ok(committed) = std::fs::read_to_string(&path) else {
+        return; // no committed degraded record: nothing to report
+    };
+    let Some(committed) = baseline::parse(&committed) else {
+        println!(
+            "baseline: (degraded) {} is not a valid record — skipping",
+            path.display()
+        );
+        return;
+    };
+    let current = baseline::run_degraded_smoke(&SmokeOpts {
+        ops: committed.ops,
+        faults: None,
+    });
+    println!(
+        "baseline: (degraded, informational) committed {:.0} IOPS (commit {}), current {:.0} IOPS",
+        committed.iops, committed.commit, current.iops
+    );
+    for note in baseline::compare(&committed, &current, baseline::tolerance()) {
+        println!("baseline: (degraded, informational) {note}");
+    }
 }
 
 fn main() -> ExitCode {
@@ -69,6 +107,7 @@ fn main() -> ExitCode {
                     b.map(|b| b.p95_us).unwrap_or(0),
                 );
             }
+            report_degraded();
             if regressions.is_empty() {
                 println!("baseline: OK (tolerance {:.0}%)", tol * 100.0);
                 ExitCode::SUCCESS
@@ -79,13 +118,30 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         }
+        Some("--write-degraded") => {
+            let path = args
+                .get(1)
+                .map(PathBuf::from)
+                .unwrap_or_else(default_degraded_path);
+            let record = baseline::run_degraded_smoke(&SmokeOpts::default());
+            let json = baseline::to_json(&record);
+            if let Err(e) = std::fs::write(&path, &json) {
+                eprintln!("baseline: cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            print!("{json}");
+            println!("(wrote {})", path.display());
+            ExitCode::SUCCESS
+        }
         None => {
             let record = baseline::run_smoke(&SmokeOpts::default());
             print!("{}", baseline::to_json(&record));
             ExitCode::SUCCESS
         }
         Some(other) => {
-            eprintln!("baseline: unknown mode '{other}' (expected --write or --check)");
+            eprintln!(
+                "baseline: unknown mode '{other}' (expected --write, --check or --write-degraded)"
+            );
             ExitCode::from(2)
         }
     }

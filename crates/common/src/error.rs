@@ -32,6 +32,14 @@ pub enum AfcError {
     /// tail did not. Surfaced by device models under fault injection; the
     /// journal converts it into a checksum-invalid tail entry.
     TornWrite(String),
+    /// The op reached an OSD that is not the PG's primary (the client's
+    /// map is stale). The client must refresh its map snapshot and
+    /// re-target the current primary.
+    NotPrimary(String),
+    /// The op carried (or met) a map epoch the OSD cannot serve yet —
+    /// e.g. the PG is still peering after a map change. The client must
+    /// refresh its map and resubmit.
+    WrongEpoch(String),
 }
 
 impl AfcError {
@@ -48,17 +56,29 @@ impl AfcError {
             AfcError::Timeout(_) => "timeout",
             AfcError::Disconnected(_) => "disconnected",
             AfcError::TornWrite(_) => "torn_write",
+            AfcError::NotPrimary(_) => "not_primary",
+            AfcError::WrongEpoch(_) => "wrong_epoch",
         }
     }
 
     /// Whether a client may transparently retry the operation. Transient
     /// transport/device failures are retryable; semantic errors (missing
     /// object, bad argument, corruption) are terminal and must surface.
+    /// `NotPrimary`/`WrongEpoch` are deliberately *not* here: they are
+    /// retryable only after a map refresh, which the rados client handles
+    /// as its own explicit path.
     pub fn is_retryable(&self) -> bool {
         matches!(
             self,
             AfcError::Io(_) | AfcError::Timeout(_) | AfcError::Disconnected(_)
         )
+    }
+
+    /// Whether the error signals a stale client map (`NotPrimary` /
+    /// `WrongEpoch`): the op must be resubmitted against a refreshed
+    /// `OsdMap` snapshot, re-targeting whatever primary it names now.
+    pub fn needs_map_refresh(&self) -> bool {
+        matches!(self, AfcError::NotPrimary(_) | AfcError::WrongEpoch(_))
     }
 }
 
@@ -75,6 +95,8 @@ impl fmt::Display for AfcError {
             AfcError::Timeout(m) => write!(f, "timeout: {m}"),
             AfcError::Disconnected(m) => write!(f, "disconnected: {m}"),
             AfcError::TornWrite(m) => write!(f, "torn write: {m}"),
+            AfcError::NotPrimary(m) => write!(f, "not primary: {m}"),
+            AfcError::WrongEpoch(m) => write!(f, "wrong epoch: {m}"),
         }
     }
 }
@@ -107,6 +129,8 @@ mod tests {
             AfcError::Timeout(String::new()),
             AfcError::Disconnected(String::new()),
             AfcError::TornWrite(String::new()),
+            AfcError::NotPrimary(String::new()),
+            AfcError::WrongEpoch(String::new()),
         ];
         let mut kinds: Vec<_> = all.iter().map(|e| e.kind()).collect();
         kinds.sort_unstable();
@@ -123,6 +147,12 @@ mod tests {
         assert!(!AfcError::Corruption(String::new()).is_retryable());
         assert!(!AfcError::TornWrite(String::new()).is_retryable());
         assert!(!AfcError::ShutDown(String::new()).is_retryable());
+        // Stale-map errors retry only via the explicit map-refresh path.
+        assert!(!AfcError::NotPrimary(String::new()).is_retryable());
+        assert!(!AfcError::WrongEpoch(String::new()).is_retryable());
+        assert!(AfcError::NotPrimary(String::new()).needs_map_refresh());
+        assert!(AfcError::WrongEpoch(String::new()).needs_map_refresh());
+        assert!(!AfcError::Timeout(String::new()).needs_map_refresh());
     }
 
     #[test]

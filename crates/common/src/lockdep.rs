@@ -71,6 +71,14 @@ pub mod classes {
         rank: 100,
         no_block_while_held: true,
     };
+    /// `Monitor::fail` — failure-report accounting (reporters, down_since).
+    /// Ranks *below* the map: `report_down` publishes a new map while
+    /// holding it.
+    pub static MON_FAIL: LockClass = LockClass {
+        name: "mon.fail",
+        rank: 105,
+        no_block_while_held: true,
+    };
     /// `OsdInner::map` — current OSD map (RwLock).
     pub static OSD_MAP: LockClass = LockClass {
         name: "osd.map",
@@ -100,6 +108,14 @@ pub mod classes {
     pub static REP_WAITS: LockClass = LockClass {
         name: "osd.rep_waits",
         rank: 400,
+        no_block_while_held: true,
+    };
+    /// `OsdInner::push_waits` — push_id → in-flight recovery-push table.
+    /// Acquired under `PG_STATE` by the recovery pump, mirroring
+    /// `REP_WAITS` in the write path.
+    pub static PUSH_WAITS: LockClass = LockClass {
+        name: "osd.push_waits",
+        rank: 402,
         no_block_while_held: true,
     };
     /// `OsdInner::rep_seen` — replica-side rep_id dedup window.
@@ -136,6 +152,13 @@ pub mod classes {
     pub static ACK_LANES: LockClass = LockClass {
         name: "osd.ack_lanes",
         rank: 450,
+        no_block_while_held: true,
+    };
+    /// `OsdInner::hb_peers` — heartbeat last-seen timestamps (leaf; taken
+    /// alone by the heartbeat ticker and the ping/pong handlers).
+    pub static HB_PEERS: LockClass = LockClass {
+        name: "osd.hb_peers",
+        rank: 455,
         no_block_while_held: true,
     };
     /// `WriteOp::trace` — per-op trace timestamps (leaf).
@@ -194,17 +217,20 @@ pub mod classes {
 /// strictly ordered; DESIGN.md renders from the same order.
 pub static DECLARED_ORDER: &[&LockClass] = &[
     &classes::OP_QUEUE,
+    &classes::MON_FAIL,
     &classes::OSD_MAP,
     &classes::OSD_PG_MAP,
     &classes::PG_STATE,
     &classes::PG_PENDING,
     &classes::REP_WAITS,
+    &classes::PUSH_WAITS,
     &classes::REP_SEEN,
     &classes::PENDING_APPLY,
     &classes::APPLY_GATE,
     &classes::TRIM,
     &classes::OSD_CHANNEL_TX,
     &classes::ACK_LANES,
+    &classes::HB_PEERS,
     &classes::OP_TRACE,
     &classes::OP_PROGRESS,
     &classes::OP_PERMIT,

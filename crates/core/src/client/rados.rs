@@ -37,6 +37,7 @@ impl Dispatcher<OsdMsg> for ClientDispatcher {
 /// A pending asynchronous operation.
 pub struct OpHandle {
     rx: crossbeam::channel::Receiver<Result<OpOutcome>>,
+    op_id: OpId,
 }
 
 impl OpHandle {
@@ -45,6 +46,21 @@ impl OpHandle {
         self.rx
             .recv()
             .map_err(|_| AfcError::Disconnected("client shut down".into()))?
+    }
+
+    /// Block until the op completes or `timeout` elapses (typed
+    /// `Timeout`; the caller should abandon the op via its op id).
+    pub fn wait_timeout(&self, timeout: Duration) -> Result<OpOutcome> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(r) => r,
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => Err(AfcError::Timeout(format!(
+                "op {} unanswered after {timeout:?}",
+                self.op_id.0
+            ))),
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                Err(AfcError::Disconnected("client shut down".into()))
+            }
+        }
     }
 
     /// Non-blocking poll.
@@ -64,7 +80,12 @@ pub struct RadosClient {
     /// Request in-order ack delivery (exercises the §3.1 ordered-ack path).
     pub ordered_acks: bool,
     /// Retries for misdirected ops before giving up.
-    max_retries: usize,
+    max_retries: AtomicU64,
+    /// Per-attempt reply timeout, milliseconds; `0` waits forever (the
+    /// default — a healthy fixed topology never drops a request). Set it
+    /// when OSDs can die mid-op so the attempt fails typed and the retry
+    /// re-targets the refreshed map instead of hanging.
+    op_timeout_ms: AtomicU64,
 }
 
 impl RadosClient {
@@ -90,7 +111,8 @@ impl RadosClient {
             shared,
             next_op: AtomicU64::new(1),
             ordered_acks: false,
-            max_retries: 8,
+            max_retries: AtomicU64::new(8),
+            op_timeout_ms: AtomicU64::new(0),
         }))
     }
 
@@ -102,6 +124,18 @@ impl RadosClient {
     /// The pool this client addresses.
     pub fn pool(&self) -> PoolId {
         self.pool
+    }
+
+    /// Cap each [`RadosClient::execute`] attempt at `timeout` before
+    /// abandoning the request and retrying against a refreshed map.
+    pub fn set_op_timeout(&self, timeout: Duration) {
+        self.op_timeout_ms
+            .store(timeout.as_millis() as u64, Ordering::Relaxed);
+    }
+
+    /// Change the bounded retry budget of [`RadosClient::execute`].
+    pub fn set_max_retries(&self, n: usize) {
+        self.max_retries.store(n as u64, Ordering::Relaxed);
     }
 
     /// Submit an op asynchronously.
@@ -121,42 +155,64 @@ impl RadosClient {
             object: obj,
             op,
             ordered_ack: self.ordered_acks,
+            epoch: map.epoch(),
         });
         if let Err(e) = self.msgr.send(Addr::Osd(primary), req, wire) {
             self.shared.pending.lock().remove(&op_id);
             return Err(e);
         }
-        Ok(OpHandle { rx })
+        Ok(OpHandle { rx, op_id })
+    }
+
+    /// One attempt: wait (optionally bounded) and abandon the pending
+    /// entry on timeout so a late reply cannot leak into a later attempt.
+    fn wait_attempt(&self, handle: OpHandle) -> Result<OpOutcome> {
+        let timeout_ms = self.op_timeout_ms.load(Ordering::Relaxed);
+        if timeout_ms == 0 {
+            return handle.wait();
+        }
+        let r = handle.wait_timeout(Duration::from_millis(timeout_ms));
+        if matches!(r, Err(AfcError::Timeout(_))) {
+            self.shared.pending.lock().remove(&handle.op_id);
+        }
+        r
     }
 
     /// Submit and wait, retrying transient failures with exponential
-    /// backoff: misdirected ops (stale map — refreshed map next attempt)
-    /// and [`AfcError::is_retryable`] transport/timeout errors (lost
-    /// message, injected drop, replica-ack timeout). Permanent errors —
-    /// `NotFound`, `Corruption`, a device `Io` surfaced through the OSD —
-    /// propagate typed after the bounded retries; nothing panics.
+    /// backoff. Each `submit` re-reads the shared map, so stale-map
+    /// rejects ([`AfcError::needs_map_refresh`]: `NotPrimary` from an OSD
+    /// that lost primaryship, `WrongEpoch` from a PG still peering) are
+    /// resubmitted against the refreshed epoch, re-targeting whatever
+    /// primary it names now. [`AfcError::is_retryable`] transport/timeout
+    /// errors (lost message, injected drop, replica-ack timeout, a dead
+    /// primary when an op timeout is set) retry the same way. Permanent
+    /// errors — `NotFound`, `Corruption`, a device `Io` surfaced through
+    /// the OSD — propagate typed after the bounded retries; nothing
+    /// panics.
     pub fn execute(&self, object: &str, op: ObjectOp) -> Result<OpOutcome> {
         let mut last = AfcError::Timeout("no attempt".into());
-        for attempt in 0..self.max_retries {
+        let max_retries = self.max_retries.load(Ordering::Relaxed);
+        for attempt in 0..max_retries {
+            let attempt = (attempt as u32).min(6);
             let handle = match self.submit(object, op.clone()) {
                 Ok(h) => h,
                 Err(e) if e.is_retryable() => {
                     last = e;
-                    std::thread::sleep(Duration::from_millis(1 << attempt.min(6)));
+                    std::thread::sleep(Duration::from_millis(1 << attempt));
                     continue;
                 }
                 Err(e) => return Err(e),
             };
-            match handle.wait() {
+            match self.wait_attempt(handle) {
                 Ok(o) => return Ok(o),
-                Err(AfcError::InvalidArgument(m)) if m.starts_with("misdirected") => {
-                    last = AfcError::InvalidArgument(m);
+                Err(e) if e.needs_map_refresh() => {
+                    last = e;
                     // Map is shared; a short pause lets the monitor publish.
-                    std::thread::sleep(Duration::from_millis(2 << attempt.min(6)));
+                    std::thread::sleep(Duration::from_millis(2 << attempt));
                 }
                 Err(e) if e.is_retryable() => {
                     last = e;
-                    std::thread::sleep(Duration::from_millis(1 << attempt.min(6)));
+                    std::thread::sleep(Duration::from_millis(1 << attempt));
                 }
                 Err(e) => return Err(e),
             }

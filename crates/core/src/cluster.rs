@@ -8,7 +8,7 @@
 use crate::client::rados::RadosClient;
 use crate::client::rbd::RbdImage;
 use crate::messages::OsdMsg;
-use crate::monitor::Monitor;
+use crate::monitor::{FailureConfig, Monitor};
 use crate::osd::{Osd, OsdParams, OsdStats};
 use crate::tuning::OsdTuning;
 use afc_common::metrics::{Metrics, MetricsSnapshot};
@@ -99,6 +99,7 @@ pub struct ClusterBuilder {
     msgr_mode: MessengerMode,
     seed: u64,
     faults: Option<FaultPlan>,
+    failure: Option<FailureConfig>,
 }
 
 impl Default for ClusterBuilder {
@@ -115,6 +116,7 @@ impl Default for ClusterBuilder {
             msgr_mode: MessengerMode::Simple,
             seed: 0xafc_5eed,
             faults: None,
+            failure: None,
         }
     }
 }
@@ -206,6 +208,14 @@ impl ClusterBuilder {
         self
     }
 
+    /// Failure-detection policy (reporter quorum, auto mark-out). Only
+    /// meaningful together with [`OsdTuning::with_heartbeats`].
+    #[must_use]
+    pub fn failure_config(mut self, cfg: FailureConfig) -> Self {
+        self.failure = Some(cfg);
+        self
+    }
+
     /// Assemble and start the cluster.
     pub fn build(self) -> Result<Cluster> {
         if self.nodes == 0 || self.osds_per_node == 0 {
@@ -238,6 +248,9 @@ impl ClusterBuilder {
                         OsdMsg::Reply(_) => "net.reply",
                         OsdMsg::Replicate(_) => "net.replicate",
                         OsdMsg::RepAck(_) => "net.repack",
+                        OsdMsg::Ping(_) | OsdMsg::Pong(_) => "net.heartbeat",
+                        OsdMsg::PgQuery(_) | OsdMsg::PgInfo(_) => "net.peering",
+                        OsdMsg::Push(_) => "net.push",
                     }
                     .to_string(),
                 )
@@ -246,7 +259,10 @@ impl ClusterBuilder {
         let metrics = Arc::new(Metrics::new());
         net.attach_metrics(&metrics);
         let crush = CrushMap::uniform(self.nodes, self.osds_per_node);
-        let monitor = Monitor::new(crush);
+        let monitor = Arc::new(Monitor::new(crush));
+        if let Some(cfg) = self.failure {
+            monitor.set_failure_config(cfg);
+        }
         let pool = PoolId(0);
         monitor.update(|m| {
             m.add_pool(
@@ -301,6 +317,7 @@ impl ClusterBuilder {
                     journal_capacity,
                     map: monitor.shared_map(),
                     net: Arc::clone(&net),
+                    monitor: Some(Arc::clone(&monitor)),
                 })?;
                 if let Some(reg) = &faults {
                     osd.store()
@@ -327,7 +344,7 @@ impl ClusterBuilder {
 /// A running storage cluster.
 pub struct Cluster {
     net: Arc<Network<OsdMsg>>,
-    monitor: Monitor,
+    monitor: Arc<Monitor>,
     osds: Vec<Arc<Osd>>,
     pool: PoolId,
     tuning: OsdTuning,

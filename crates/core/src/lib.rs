@@ -41,6 +41,6 @@ pub use client::rados::RadosClient;
 pub use client::rbd::RbdImage;
 pub use cluster::{Cluster, ClusterBuilder, DeviceProfile, ScrubReport};
 pub use messages::{ObjectOp, OpOutcome, OsdMsg};
-pub use monitor::Monitor;
+pub use monitor::{FailureConfig, Monitor};
 pub use osd::{Osd, OsdStats, StageSample};
 pub use tuning::{Allocator, LoggingMode, OsdTuning, ThrottleProfile};

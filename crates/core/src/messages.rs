@@ -1,6 +1,6 @@
 //! Wire messages between clients, primaries and replicas.
 
-use afc_common::{AfcError, ClientId, ObjectId, OpId, OsdId, PgId};
+use afc_common::{AfcError, ClientId, Epoch, ObjectId, OpId, OsdId, PgId};
 use bytes::Bytes;
 
 /// Object-level operation requested by a client.
@@ -67,6 +67,10 @@ pub struct ClientOp {
     pub op: ObjectOp,
     /// Client requests in-order ack delivery (§3.1 ordered-ack option).
     pub ordered_ack: bool,
+    /// Map epoch the client computed the placement under. A primary that
+    /// has moved on rejects with `WrongEpoch`/`NotPrimary` so the client
+    /// refreshes its snapshot instead of hammering a stale target.
+    pub epoch: Epoch,
 }
 
 /// Primary's reply to the client (`MOSDOpReply`).
@@ -93,13 +97,65 @@ pub struct RepOp {
     pub pg_seq: u64,
 }
 
-/// Replica's commit ack, replica → primary (`MOSDRepOpReply`).
+/// Replica's commit ack, replica → primary (`MOSDRepOpReply`). Also acks
+/// recovery pushes (the `rep_id` then carries a push id from the same
+/// counter space).
 #[derive(Debug, Clone)]
 pub struct RepOpReply {
     /// Correlation id.
     pub rep_id: u64,
     /// Acking replica.
     pub from: OsdId,
+}
+
+/// Heartbeat ping/pong between OSDs (`MOSDPing`).
+#[derive(Debug, Clone)]
+pub struct PingMsg {
+    /// Sender.
+    pub from: OsdId,
+    /// Sender's map epoch (peers use it to notice they are stale).
+    pub epoch: Epoch,
+}
+
+/// Peering info request, primary → peer (`GetInfo`).
+#[derive(Debug, Clone)]
+pub struct PgQueryMsg {
+    /// Placement group being peered.
+    pub pg: PgId,
+    /// Epoch tagging the peering round; echoed in the reply so stale
+    /// answers from older rounds are ignored.
+    pub epoch: Epoch,
+    /// Querying (acting-primary) OSD.
+    pub from: OsdId,
+}
+
+/// Peering info reply, peer → primary (`Notify`/`Info`).
+#[derive(Debug, Clone)]
+pub struct PgInfoMsg {
+    /// Placement group.
+    pub pg: PgId,
+    /// Echo of the round epoch from the query.
+    pub epoch: Epoch,
+    /// Replying OSD.
+    pub from: OsdId,
+    /// Highest PG-log sequence the peer has committed.
+    pub last_update: u64,
+}
+
+/// Recovery push, primary → peer (`MOSDPGPush`): the authoritative full
+/// copy of one object (or its deletion when `data` is `None`).
+#[derive(Debug, Clone)]
+pub struct PushOp {
+    /// Correlation id unique on the pushing primary.
+    pub push_id: u64,
+    /// Placement group.
+    pub pg: PgId,
+    /// Object being recovered.
+    pub object: ObjectId,
+    /// Full object bytes, or `None` to propagate a deletion.
+    pub data: Option<Bytes>,
+    /// PG log sequence covered by this push.
+    pub pg_seq: u64,
 }
 
 /// Everything that travels over the fabric.
@@ -111,8 +167,18 @@ pub enum OsdMsg {
     Reply(ClientReply),
     /// Primary → replica.
     Replicate(RepOp),
-    /// Replica → primary.
+    /// Replica → primary (write sub-ops and recovery pushes).
     RepAck(RepOpReply),
+    /// OSD → OSD heartbeat.
+    Ping(PingMsg),
+    /// Heartbeat response.
+    Pong(PingMsg),
+    /// Peering: acting primary asks a peer for its PG info.
+    PgQuery(PgQueryMsg),
+    /// Peering: peer answers with its last committed PG-log seq.
+    PgInfo(PgInfoMsg),
+    /// Recovery/backfill object push.
+    Push(PushOp),
 }
 
 impl OsdMsg {
@@ -126,6 +192,10 @@ impl OsdMsg {
             },
             OsdMsg::Replicate(r) => r.op.wire_bytes() + 64,
             OsdMsg::RepAck(_) => 96,
+            OsdMsg::Ping(_) | OsdMsg::Pong(_) => 64,
+            OsdMsg::PgQuery(_) => 96,
+            OsdMsg::PgInfo(_) => 128,
+            OsdMsg::Push(p) => 256 + p.data.as_ref().map_or(0, |d| d.len() as u32),
         }
     }
 }
@@ -191,8 +261,40 @@ mod tests {
             object: ObjectId::new(PoolId(0), "o"),
             op: ObjectOp::Stat,
             ordered_ack: false,
+            epoch: Epoch(1),
         };
         assert_eq!(op.op_id, OpId(9));
         assert!(!op.op.is_write());
+    }
+
+    #[test]
+    fn recovery_wire_bytes() {
+        let ping = OsdMsg::Ping(PingMsg {
+            from: OsdId(0),
+            epoch: Epoch(3),
+        });
+        assert_eq!(ping.wire_bytes(), 64);
+        let push = OsdMsg::Push(PushOp {
+            push_id: 1,
+            pg: PgId {
+                pool: PoolId(0),
+                seq: 0,
+            },
+            object: ObjectId::new(PoolId(0), "o"),
+            data: Some(Bytes::from(vec![0; 4096])),
+            pg_seq: 9,
+        });
+        assert!(push.wire_bytes() > 4096);
+        let del = OsdMsg::Push(PushOp {
+            push_id: 2,
+            pg: PgId {
+                pool: PoolId(0),
+                seq: 0,
+            },
+            object: ObjectId::new(PoolId(0), "o"),
+            data: None,
+            pg_seq: 10,
+        });
+        assert_eq!(del.wire_bytes(), 256);
     }
 }

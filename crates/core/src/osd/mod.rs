@@ -24,13 +24,17 @@ pub mod trim;
 
 pub use trace::StageSample;
 
-use crate::messages::{ClientOp, ClientReply, ObjectOp, OpOutcome, OsdMsg, RepOp, RepOpReply};
-use crate::monitor::SharedMap;
+use crate::messages::{
+    ClientOp, ClientReply, ObjectOp, OpOutcome, OsdMsg, PgInfoMsg, PgQueryMsg, PingMsg, PushOp,
+    RepOp, RepOpReply,
+};
+use crate::monitor::{Monitor, SharedMap};
 use crate::tuning::OsdTuning;
 use ack::OrderedAcker;
 use afc_common::lockdep::{classes, TrackedCondvar, TrackedMutex, TrackedRwLock};
-use afc_common::metrics::{Counter as MetricCounter, Metrics};
-use afc_common::{AfcError, ClientId, ObjectId, OpId, OsdId, PgId, Result};
+use afc_common::metrics::{Counter as MetricCounter, Gauge as MetricGauge, Metrics};
+use afc_common::{AfcError, ClientId, ObjectId, OpId, OsdId, PgId, PoolId, Result};
+use afc_crush::OsdMap;
 use afc_device::BlockDev;
 use afc_filestore::throttle::OwnedPermit;
 use afc_filestore::{
@@ -40,8 +44,8 @@ use afc_journal::{Journal, JournalConfig, JournalStats};
 use afc_logging::{Level, Logger};
 use afc_messenger::{Addr, Dispatcher, Messenger, Network};
 use bytes::Bytes;
-use pg::{Pg, PgState};
-use std::collections::{HashMap, VecDeque};
+use pg::{Pg, PgHealth, PgState};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
@@ -64,6 +68,9 @@ pub struct OsdParams {
     pub map: SharedMap,
     /// The fabric.
     pub net: Arc<Network<OsdMsg>>,
+    /// Monitor handle for failure reports and `pg_temp` requests. `None`
+    /// disables the self-healing loop regardless of the tuning interval.
+    pub monitor: Option<Arc<Monitor>>,
 }
 
 /// Aggregated per-OSD statistics.
@@ -133,6 +140,19 @@ struct RepWait {
     rep: RepOp,
     sent: Instant,
     resends: u32,
+}
+
+/// Primary-side record of one outstanding recovery `Push`, kept until its
+/// ack (a `RepAck` carrying the push id) arrives. A push whose ack is
+/// overdue is not retransmitted verbatim — the object is requeued into
+/// `peer_missing` so the next pump pass pushes *fresh* data (a verbatim
+/// resend could overwrite a newer push on the peer).
+struct PushWait {
+    pg: Arc<Pg>,
+    peer: OsdId,
+    object: String,
+    gen: u64,
+    sent: Instant,
 }
 
 /// Replica-side dedup window so a retransmitted (or network-duplicated)
@@ -284,11 +304,15 @@ struct OsdInner {
     journal: Arc<Journal>,
     msgr: OnceLock<Messenger<OsdMsg>>,
     map: SharedMap,
+    monitor: Option<Arc<Monitor>>,
     pgs: TrackedRwLock<HashMap<PgId, Arc<Pg>>>,
     opq: OpQueue,
     client_throttle: Arc<Throttle>,
     rep_waits: TrackedMutex<HashMap<u64, RepWait>>,
+    push_waits: TrackedMutex<HashMap<u64, PushWait>>,
     rep_seen: TrackedMutex<RepSeen>,
+    /// Last heartbeat heard from each up peer (ping or pong).
+    hb_peers: TrackedMutex<HashMap<OsdId, Instant>>,
     next_rep_id: AtomicU64,
     trim: TrackedMutex<TrimTracker>,
     pending_apply: TrackedMutex<HashMap<u64, Transaction>>,
@@ -298,6 +322,9 @@ struct OsdInner {
     recorder: StageRecorder,
     acker: OrderedAcker,
     shutdown: AtomicBool,
+    /// Process freeze (failure injection): drops every inbound message and
+    /// suspends the heartbeat loop until `resume`.
+    paused: AtomicBool,
     // counters (shared metric cells, registrable into a cluster registry)
     client_ops: MetricCounter,
     writes: MetricCounter,
@@ -306,6 +333,16 @@ struct OsdInner {
     repacks: MetricCounter,
     apply_failures: MetricCounter,
     rep_resends: MetricCounter,
+    hb_pings: MetricCounter,
+    hb_reports: MetricCounter,
+    peering_rounds: MetricCounter,
+    peering_completed: MetricCounter,
+    recovery_pushes: MetricCounter,
+    recovery_push_acks: MetricCounter,
+    recovery_requeues: MetricCounter,
+    pgs_degraded: MetricGauge,
+    pgs_recovering: MetricGauge,
+    pgs_peering: MetricGauge,
 }
 
 /// A running OSD daemon.
@@ -351,6 +388,7 @@ impl Osd {
             journal,
             msgr: OnceLock::new(),
             map: params.map,
+            monitor: params.monitor,
             pgs: TrackedRwLock::new(&classes::OSD_PG_MAP, HashMap::new()),
             opq: OpQueue {
                 q: TrackedMutex::new(&classes::OP_QUEUE, VecDeque::new()),
@@ -361,7 +399,9 @@ impl Osd {
                 tuning.client_message_cap(),
             )),
             rep_waits: TrackedMutex::new(&classes::REP_WAITS, HashMap::new()),
+            push_waits: TrackedMutex::new(&classes::PUSH_WAITS, HashMap::new()),
             rep_seen: TrackedMutex::new(&classes::REP_SEEN, RepSeen::new()),
+            hb_peers: TrackedMutex::new(&classes::HB_PEERS, HashMap::new()),
             next_rep_id: AtomicU64::new(1),
             trim: TrackedMutex::new(&classes::TRIM, TrimTracker::new()),
             pending_apply: TrackedMutex::new(&classes::PENDING_APPLY, HashMap::new()),
@@ -371,6 +411,7 @@ impl Osd {
             recorder: StageRecorder::new(16, 4096),
             acker: OrderedAcker::new(),
             shutdown: AtomicBool::new(false),
+            paused: AtomicBool::new(false),
             client_ops: MetricCounter::new(),
             writes: MetricCounter::new(),
             reads: MetricCounter::new(),
@@ -378,6 +419,16 @@ impl Osd {
             repacks: MetricCounter::new(),
             apply_failures: MetricCounter::new(),
             rep_resends: MetricCounter::new(),
+            hb_pings: MetricCounter::new(),
+            hb_reports: MetricCounter::new(),
+            peering_rounds: MetricCounter::new(),
+            peering_completed: MetricCounter::new(),
+            recovery_pushes: MetricCounter::new(),
+            recovery_push_acks: MetricCounter::new(),
+            recovery_requeues: MetricCounter::new(),
+            pgs_degraded: MetricGauge::new(),
+            pgs_recovering: MetricGauge::new(),
+            pgs_peering: MetricGauge::new(),
             tuning,
         });
         let msgr = params.net.register(
@@ -434,7 +485,8 @@ impl Osd {
             }
             // Replication retransmit ticker: sweeps rep_waits for sub-ops
             // whose ack is overdue (lost Replicate or RepAck) and resends,
-            // failing the op after rep_max_resends attempts.
+            // failing the op after rep_max_resends attempts. Also sweeps
+            // push_waits, requeueing overdue recovery pushes.
             {
                 let inner2 = Arc::clone(&inner);
                 workers.push(spawn_worker(
@@ -443,6 +495,28 @@ impl Osd {
                         while !inner2.shutdown.load(Ordering::Relaxed) {
                             std::thread::sleep(Duration::from_millis(10));
                             inner2.resend_expired_reps();
+                            inner2.requeue_expired_pushes();
+                        }
+                    }),
+                )?);
+            }
+            // Heartbeat / self-healing ticker (opt-in): pings peers,
+            // reports silent ones to the monitor, and pumps the peering
+            // and recovery state machines on every map-epoch change.
+            if inner.tuning.heartbeat_interval_ms > 0 && inner.monitor.is_some() {
+                let interval = Duration::from_millis(inner.tuning.heartbeat_interval_ms);
+                let inner2 = Arc::clone(&inner);
+                workers.push(spawn_worker(
+                    format!("{}-hb", params.id),
+                    Box::new(move || {
+                        while !inner2.shutdown.load(Ordering::Relaxed) {
+                            std::thread::sleep(interval);
+                            if inner2.paused.load(Ordering::Relaxed)
+                                || inner2.shutdown.load(Ordering::Relaxed)
+                            {
+                                continue;
+                            }
+                            inner2.heartbeat_tick();
                         }
                     }),
                 )?);
@@ -519,6 +593,19 @@ impl Osd {
         for (name, cell) in fields {
             m.register_counter(format!("{op}.{name}"), cell);
         }
+        let hb = format!("osd{}.hb", inner.id.0);
+        m.register_counter(format!("{hb}.pings"), &inner.hb_pings);
+        m.register_counter(format!("{hb}.reports"), &inner.hb_reports);
+        let peering = format!("osd{}.peering", inner.id.0);
+        m.register_counter(format!("{peering}.rounds"), &inner.peering_rounds);
+        m.register_counter(format!("{peering}.completed"), &inner.peering_completed);
+        m.register_gauge(format!("{peering}.pgs_peering"), &inner.pgs_peering);
+        let rec = format!("osd{}.recovery", inner.id.0);
+        m.register_counter(format!("{rec}.pushes"), &inner.recovery_pushes);
+        m.register_counter(format!("{rec}.push_acks"), &inner.recovery_push_acks);
+        m.register_counter(format!("{rec}.requeues"), &inner.recovery_requeues);
+        m.register_gauge(format!("{rec}.pgs_degraded"), &inner.pgs_degraded);
+        m.register_gauge(format!("{rec}.pgs_recovering"), &inner.pgs_recovering);
         inner
             .client_throttle
             .register_into(m, &format!("{op}.client_throttle"));
@@ -615,6 +702,34 @@ impl Osd {
         self.inner.store.crash_volatile()
     }
 
+    /// Simulate a process freeze: every inbound message is dropped and the
+    /// heartbeat loop stops, so peers stop hearing from this OSD and (with
+    /// failure detection on) report it down. Storage state is untouched.
+    pub fn pause(&self) {
+        self.inner.paused.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether this OSD is currently paused.
+    pub fn is_paused(&self) -> bool {
+        self.inner.paused.load(Ordering::Relaxed)
+    }
+
+    /// Unfreeze a paused OSD. Local PGs are fenced into `Peering` *before*
+    /// dispatch resumes, so a formerly-primary OSD cannot serve stale data
+    /// in the window before its first post-resume peering round completes.
+    pub fn resume(&self) {
+        let pgs: Vec<Arc<Pg>> = self.inner.pgs.read().values().cloned().collect();
+        for pg in pgs {
+            let mut st = pg.lock_measured();
+            st.health = PgHealth::Peering;
+            st.peering = None;
+            st.acting.clear(); // force a fresh round on the next tick
+        }
+        // Restart every peer's grace window from scratch.
+        self.inner.hb_peers.lock().clear();
+        self.inner.paused.store(false, Ordering::Relaxed);
+    }
+
     /// Drain in-flight work (test/bench helper): waits until the filestore
     /// queue empties and the journal has committed everything submitted.
     pub fn quiesce(&self) {
@@ -645,6 +760,7 @@ impl Osd {
             self.inner
                 .fail_op(&op, AfcError::ShutDown("osd stopping".into()));
         }
+        self.inner.push_waits.lock().clear();
         self.inner.apply_gate.reset();
         // Take the handles out first: joining while holding the workers
         // lock would block concurrent shutdown() callers on a lock held
@@ -663,13 +779,18 @@ struct OsdDispatcher(Arc<OsdInner>);
 impl Dispatcher<OsdMsg> for OsdDispatcher {
     fn dispatch(&self, from: Addr, msg: OsdMsg) {
         let inner = &self.0;
-        if inner.shutdown.load(Ordering::Relaxed) {
+        if inner.shutdown.load(Ordering::Relaxed) || inner.paused.load(Ordering::Relaxed) {
             return;
         }
         match msg {
             OsdMsg::Request(op) => inner.handle_request(from, op),
             OsdMsg::Replicate(rep) => inner.handle_repop(from, rep),
             OsdMsg::RepAck(ack) => inner.handle_repack(ack),
+            OsdMsg::Ping(p) => inner.handle_ping(from, p),
+            OsdMsg::Pong(p) => inner.note_peer_alive(p.from),
+            OsdMsg::PgQuery(q) => inner.handle_pgquery(from, q),
+            OsdMsg::PgInfo(i) => inner.handle_pginfo(i),
+            OsdMsg::Push(push) => inner.handle_push(from, push),
             OsdMsg::Reply(_) => {
                 inner
                     .logger
@@ -817,7 +938,9 @@ impl OsdInner {
             Ok(p) => p,
             Err(_) => return,
         };
-        // Primary check against the current map.
+        // Primary check against the current map: a stale client (or a map
+        // that moved underneath it) gets a typed reject so it refreshes
+        // its snapshot and re-targets instead of hammering us.
         let map = self.map.read().clone();
         let primary = map.pg_primary(op.pg).ok();
         if primary != Some(self.id) {
@@ -825,14 +948,25 @@ impl OsdInner {
                 from,
                 OsdMsg::Reply(ClientReply {
                     op_id: op.op_id,
-                    result: Err(AfcError::InvalidArgument(format!(
-                        "misdirected op for pg {}",
-                        op.pg
+                    result: Err(AfcError::NotPrimary(format!(
+                        "{} is not primary for pg {} at epoch {}",
+                        self.id,
+                        op.pg,
+                        map.epoch().0
                     ))),
                 }),
             );
             return;
         }
+        // Down-but-placed peers: every write they miss is journaled into
+        // the PG's `peer_missing` ledger for later recovery pushes.
+        let acting = map.pg_acting(op.pg).unwrap_or_default();
+        let absent: Vec<OsdId> = map
+            .pg_placed(op.pg)
+            .unwrap_or_default()
+            .into_iter()
+            .filter(|o| !acting.contains(o))
+            .collect();
         let pg = self.pg(op.pg);
         let inner = Arc::clone(self);
         match op.op {
@@ -841,7 +975,6 @@ impl OsdInner {
                     .recorder
                     .should_trace()
                     .then(|| TrackedMutex::new(&classes::OP_TRACE, TraceTimes::start()));
-                let acting = map.pg_acting(op.pg).unwrap_or_default();
                 let needed_acks = acting.len().saturating_sub(1);
                 // §3.1: ordered acks when enabled OSD-wide or requested by
                 // the client ("sends client sequential acks if a client
@@ -867,7 +1000,7 @@ impl OsdInner {
                     ack_lane,
                 });
                 let object = op.object;
-                let replicas: Vec<OsdId> = acting.into_iter().skip(1).collect();
+                let replicas: Vec<OsdId> = acting.iter().copied().skip(1).collect();
                 let pgc = Arc::clone(&pg);
                 if let Some(t) = &wop.trace {
                     t.lock().queued = Some(Instant::now());
@@ -878,12 +1011,27 @@ impl OsdInner {
                         if let Some(t) = &wop.trace {
                             t.lock().dequeue = Some(Instant::now());
                         }
-                        inner.process_write(st, &pgc, wop.clone(), object, offset, data, &replicas);
+                        if !inner.pg_ready(st, &acting) {
+                            inner.fail_op(
+                                &wop,
+                                AfcError::WrongEpoch(format!("pg {} is peering", pgc.id())),
+                            );
+                            return;
+                        }
+                        inner.process_write(
+                            st,
+                            &pgc,
+                            wop.clone(),
+                            object,
+                            offset,
+                            data,
+                            &replicas,
+                            &absent,
+                        );
                     }),
                 );
             }
             ObjectOp::Delete => {
-                let acting = map.pg_acting(op.pg).unwrap_or_default();
                 let needed_acks = acting.len().saturating_sub(1);
                 let wop = Arc::new(WriteOp {
                     client: op.client,
@@ -904,7 +1052,7 @@ impl OsdInner {
                     ack_lane: None,
                 });
                 let object = op.object;
-                let replicas: Vec<OsdId> = acting.into_iter().skip(1).collect();
+                let replicas: Vec<OsdId> = acting.iter().copied().skip(1).collect();
                 let pgc = Arc::clone(&pg);
                 if let Some(t) = &wop.trace {
                     t.lock().queued = Some(Instant::now());
@@ -912,16 +1060,29 @@ impl OsdInner {
                 self.queue_pg(
                     pg,
                     Box::new(move |st| {
-                        inner.process_delete(st, &pgc, wop.clone(), object, &replicas);
+                        if !inner.pg_ready(st, &acting) {
+                            inner.fail_op(
+                                &wop,
+                                AfcError::WrongEpoch(format!("pg {} is peering", pgc.id())),
+                            );
+                            return;
+                        }
+                        inner.process_delete(st, &pgc, wop.clone(), object, &replicas, &absent);
                     }),
                 );
             }
             ObjectOp::Read { offset, len } => {
                 let object = op.object;
                 let (client, op_id) = (op.client, op.op_id);
+                let pgid = op.pg;
                 self.queue_pg(
                     pg,
-                    Box::new(move |_st| {
+                    Box::new(move |st| {
+                        if !inner.pg_ready(st, &acting) {
+                            inner.reject_peering(from, op_id, pgid);
+                            drop(permit);
+                            return;
+                        }
                         inner.process_read(from, client, op_id, object, offset, len, permit);
                     }),
                 );
@@ -929,9 +1090,15 @@ impl OsdInner {
             ObjectOp::Stat => {
                 let object = op.object;
                 let op_id = op.op_id;
+                let pgid = op.pg;
                 self.queue_pg(
                     pg,
-                    Box::new(move |_st| {
+                    Box::new(move |st| {
+                        if !inner.pg_ready(st, &acting) {
+                            inner.reject_peering(from, op_id, pgid);
+                            drop(permit);
+                            return;
+                        }
                         let obj_name = object.to_string();
                         inner.apply_gate.wait_ordered(&obj_name);
                         let result = inner.store.stat(&obj_name).map(|m| OpOutcome::Size(m.size));
@@ -941,6 +1108,36 @@ impl OsdInner {
                 );
             }
         }
+    }
+
+    /// Whether the self-healing loop (heartbeats → peering → recovery)
+    /// is active on this OSD.
+    fn healing_enabled(&self) -> bool {
+        self.tuning.heartbeat_interval_ms > 0 && self.monitor.is_some()
+    }
+
+    /// Whether a client op may be served right now. Two fences:
+    /// - a PG mid-peering never serves (its log position is unsettled);
+    /// - with healing on, `st.acting` must match the acting set the op was
+    ///   admitted under — between a map epoch bump and this PG's next
+    ///   peering tick the two diverge, and serving in that gap could hand
+    ///   out stale (or absent) data from a just-promoted primary.
+    ///
+    /// Rejected ops go back typed (`WrongEpoch`) and the client retries
+    /// against the refreshed map once peering settles.
+    fn pg_ready(&self, st: &PgState, acting: &[OsdId]) -> bool {
+        st.health != PgHealth::Peering && (!self.healing_enabled() || st.acting == acting)
+    }
+
+    /// Typed reject for read-side ops that arrive while the PG is peering.
+    fn reject_peering(&self, from: Addr, op_id: OpId, pg: PgId) {
+        self.send(
+            from,
+            OsdMsg::Reply(ClientReply {
+                op_id,
+                result: Err(AfcError::WrongEpoch(format!("pg {pg} is peering"))),
+            }),
+        );
     }
 
     /// The write path under the PG lock: log, metadata read (community),
@@ -955,6 +1152,7 @@ impl OsdInner {
         offset: u64,
         data: Bytes,
         replicas: &[OsdId],
+        absent: &[OsdId],
     ) {
         self.log("do_op: write enter");
         self.log("get object context");
@@ -976,10 +1174,20 @@ impl OsdInner {
         // Later reads of this object must wait for the apply (gate is
         // released in on_applied).
         self.apply_gate.add(&obj_name);
+        self.record_degraded_write(st, absent, &obj_name);
         // Replicate before journaling (splay replication, Figure 2). Each
         // sub-op is remembered with its wire form so the retransmit ticker
         // can resend it if the ack never arrives.
+        let mut skipped = 0usize;
         for r in replicas.iter() {
+            if self.defer_to_recovery(st, *r, &obj_name) {
+                // The peer's copy of this object is stale/absent: a partial
+                // write on that base would corrupt it. Leave the object in
+                // `peer_missing`; the recovery pump pushes the full,
+                // up-to-date copy instead. Count the ack as satisfied.
+                skipped += 1;
+                continue;
+            }
             let rep_id = self.next_rep_id.fetch_add(1, Ordering::Relaxed);
             self.log("send repop");
             let rep = RepOp {
@@ -994,6 +1202,9 @@ impl OsdInner {
             };
             self.track_rep(rep_id, &op, Addr::Osd(*r), rep.clone());
             self.send(Addr::Osd(*r), OsdMsg::Replicate(rep));
+        }
+        if skipped > 0 {
+            op.progress.lock().acks += skipped;
         }
         if let Some(t) = &op.trace {
             t.lock().jsubmit = Some(Instant::now());
@@ -1022,6 +1233,7 @@ impl OsdInner {
         self.writes.inc();
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn process_delete(
         self: &Arc<Self>,
         st: &mut PgState,
@@ -1029,6 +1241,7 @@ impl OsdInner {
         op: Arc<WriteOp>,
         object: ObjectId,
         replicas: &[OsdId],
+        absent: &[OsdId],
     ) {
         self.alloc_overhead();
         let obj_name = object.to_string();
@@ -1040,7 +1253,16 @@ impl OsdInner {
         });
         txn.push(pg_log_op(pg.id(), pg_seq, &obj_name));
         self.apply_gate.add(&obj_name);
+        self.record_degraded_write(st, absent, &obj_name);
+        let mut skipped = 0usize;
         for r in replicas {
+            if self.defer_to_recovery(st, *r, &obj_name) {
+                // The peer may not even hold the object (`Remove` on a
+                // missing object errors); the recovery pump propagates the
+                // deletion as a data-less push instead.
+                skipped += 1;
+                continue;
+            }
             let rep_id = self.next_rep_id.fetch_add(1, Ordering::Relaxed);
             let rep = RepOp {
                 rep_id,
@@ -1051,6 +1273,9 @@ impl OsdInner {
             };
             self.track_rep(rep_id, &op, Addr::Osd(*r), rep.clone());
             self.send(Addr::Osd(*r), OsdMsg::Replicate(rep));
+        }
+        if skipped > 0 {
+            op.progress.lock().acks += skipped;
         }
         let inner = Arc::clone(self);
         let pgc = Arc::clone(pg);
@@ -1405,7 +1630,11 @@ impl OsdInner {
     fn handle_repack(self: &Arc<Self>, ack: RepOpReply) {
         self.repacks.inc();
         let Some(wait) = self.rep_waits.lock().remove(&ack.rep_id) else {
-            return; // duplicate ack (retransmit raced the original)
+            // Not a replication sub-op: recovery-push acks share the id
+            // space; anything left is a duplicate ack (retransmit raced
+            // the original) and is dropped.
+            self.handle_push_ack(ack);
+            return;
         };
         let op = wait.op;
         if self.tuning.fast_ack {
@@ -1439,6 +1668,645 @@ impl OsdInner {
                 }),
             );
         }
+    }
+
+    // ---------------------------------------------------------------- //
+    // Failure detection, peering and recovery (the self-healing loop)
+    // ---------------------------------------------------------------- //
+
+    /// Record a heartbeat (ping or pong) from `peer`.
+    fn note_peer_alive(&self, peer: OsdId) {
+        self.hb_peers.lock().insert(peer, Instant::now());
+    }
+
+    fn handle_ping(&self, from: Addr, ping: PingMsg) {
+        self.note_peer_alive(ping.from);
+        let epoch = self.map.read().epoch();
+        self.send(
+            from,
+            OsdMsg::Pong(PingMsg {
+                from: self.id,
+                epoch,
+            }),
+        );
+    }
+
+    /// One heartbeat interval: reassert liveness, ping peers, report the
+    /// silent ones, then pump peering/recovery against the current map.
+    /// Runs on the dedicated `-hb` thread; never called on the I/O path.
+    fn heartbeat_tick(self: &Arc<Self>) {
+        let Some(mon) = self.monitor.clone() else {
+            return;
+        };
+        // Rejoin: if the map thinks we are down (we were paused, or a peer
+        // falsely accused us), reassert liveness — epoch bump, peers re-peer.
+        {
+            let map = self.map.read().clone();
+            if !map.osd_status(self.id).up {
+                mon.report_alive(self.id);
+            }
+        }
+        let map = self.map.read().clone();
+        let peers: Vec<OsdId> = map
+            .crush()
+            .osds()
+            .into_iter()
+            .filter(|&o| o != self.id && map.osd_status(o).up)
+            .collect();
+        // Suspicion sweep before this round's pings: a peer heard from
+        // within the grace window is healthy; one first seen now starts
+        // its window fresh (no instant accusations after our own resume).
+        let grace = Duration::from_millis(self.tuning.heartbeat_grace_ms.max(1));
+        let now = Instant::now();
+        let mut suspects: Vec<OsdId> = Vec::new();
+        {
+            let mut hb = self.hb_peers.lock();
+            hb.retain(|o, _| peers.contains(o));
+            for &p in &peers {
+                let last = *hb.entry(p).or_insert(now);
+                if now.duration_since(last) >= grace {
+                    suspects.push(p);
+                }
+            }
+        }
+        for &p in &peers {
+            self.hb_pings.inc();
+            self.send(
+                Addr::Osd(p),
+                OsdMsg::Ping(PingMsg {
+                    from: self.id,
+                    epoch: map.epoch(),
+                }),
+            );
+        }
+        for s in suspects {
+            self.hb_reports.inc();
+            mon.report_down(self.id, s);
+        }
+        mon.tick();
+        // Pump against the possibly-just-bumped map.
+        let map = self.map.read().clone();
+        self.pump_pgs(&map, &mon);
+        self.refresh_health_gauges();
+    }
+
+    /// Drive every local PG's peering and recovery state machine one step.
+    fn pump_pgs(self: &Arc<Self>, map: &OsdMap, mon: &Monitor) {
+        let mut by_id: BTreeMap<PgId, Arc<Pg>> = self
+            .pgs
+            .read()
+            .iter()
+            .map(|(id, pg)| (*id, Arc::clone(pg)))
+            .collect();
+        // A re-placement can promote this OSD into a PG it has never
+        // hosted (no ops ever touched it here): the *map*, not the local
+        // PG table, decides what must be peered — instantiate those on
+        // demand or they would silently never peer or backfill.
+        for (pool, spec) in map.pools() {
+            for seq in 0..spec.pg_num {
+                let id = PgId { pool, seq };
+                if !by_id.contains_key(&id)
+                    && map.pg_acting(id).is_ok_and(|a| a.first() == Some(&self.id))
+                {
+                    by_id.insert(id, self.pg(id));
+                }
+            }
+        }
+        let pgs: Vec<Arc<Pg>> = by_id.into_values().collect();
+        let mut temps: Vec<(PgId, Vec<OsdId>)> = Vec::new();
+        let mut clears: Vec<PgId> = Vec::new();
+        for pg in pgs {
+            let acting = map.pg_acting(pg.id()).unwrap_or_default();
+            if acting.first() != Some(&self.id) {
+                // Replica (or unplaced): primary-side bookkeeping dies
+                // here; a later promotion re-peers from scratch.
+                let mut st = pg.lock_measured();
+                st.peering = None;
+                st.health = PgHealth::Active;
+                st.acting = acting;
+                st.peer_missing.clear();
+                st.recovering.clear();
+                st.backfill.clear();
+                st.want_pg_temp = None;
+                st.want_clear_temp = false;
+                continue;
+            }
+            let placed = map.pg_placed(pg.id()).unwrap_or_default();
+            let mut queries: Vec<OsdId> = Vec::new();
+            let mut picks: Vec<(OsdId, String, u64)> = Vec::new();
+            {
+                let mut st = pg.lock_measured();
+                let round_current = st.peering.as_ref().is_some_and(|r| r.epoch == map.epoch());
+                if round_current {
+                    // Round already in flight for this epoch: re-query the
+                    // laggards (tolerates dropped peering messages).
+                    if let Some(round) = &st.peering {
+                        queries.extend(round.awaiting.iter().copied());
+                    }
+                } else if st.peering.is_some() || st.acting != acting {
+                    // Stale round, or the map moved this PG: (re)peer.
+                    self.start_peering(map, &pg, &mut st, &acting, &mut queries);
+                }
+                if st.peering.is_none() {
+                    self.schedule_recovery_locked(map, pg.id(), &mut st, &mut picks);
+                    // pg_temp stewardship: pin ourselves while the placed
+                    // primary is down or stale; hand primacy back (behind
+                    // a peering fence) once it is owed nothing. A handoff
+                    // temp queued by `complete_peering` takes precedence.
+                    if st.want_pg_temp.is_none()
+                        && placed.first() != Some(&self.id)
+                        && map.pg_temp(pg.id()).is_none()
+                    {
+                        st.want_pg_temp = Some(acting.clone());
+                    }
+                    if map.pg_temp(pg.id()).is_some() {
+                        if let Some(&head) = placed.first() {
+                            if head == self.id {
+                                // We are the placed primary again (e.g. a
+                                // re-placement after a mark-out): the
+                                // override is obsolete once no placed peer
+                                // is owed anything; clearing it lets the
+                                // next round admit new placed members for
+                                // backfill.
+                                if !placed.iter().any(|o| *o != self.id && st.owes_peer(*o)) {
+                                    st.want_clear_temp = true;
+                                }
+                            } else if map.osd_status(head).up && !st.owes_peer(head) {
+                                // Fence before the handoff publishes: a
+                                // write racing past this point would miss
+                                // `head`; fenced, it is rejected with
+                                // `WrongEpoch` and retried against the
+                                // post-handoff map.
+                                st.health = PgHealth::Peering;
+                                st.want_clear_temp = true;
+                            }
+                        }
+                    }
+                    if let Some(t) = st.want_pg_temp.take() {
+                        temps.push((pg.id(), t));
+                    }
+                    if std::mem::take(&mut st.want_clear_temp) {
+                        clears.push(pg.id());
+                    } else if st.health != PgHealth::Peering {
+                        self.update_health_locked(map, &placed, &mut st);
+                    }
+                }
+            }
+            for p in queries {
+                self.send(
+                    Addr::Osd(p),
+                    OsdMsg::PgQuery(PgQueryMsg {
+                        pg: pg.id(),
+                        epoch: map.epoch(),
+                        from: self.id,
+                    }),
+                );
+            }
+            for (peer, obj_name, gen) in picks {
+                self.send_push(&pg, peer, obj_name, gen);
+            }
+        }
+        // pg_temp changes batch into one epoch bump each; both are no-ops
+        // (and free) when the batches are empty.
+        mon.set_pg_temps(&temps);
+        mon.clear_pg_temps(&clears);
+    }
+
+    /// Begin a peering round for the current epoch (PG lock held).
+    fn start_peering(
+        &self,
+        map: &OsdMap,
+        pg: &Arc<Pg>,
+        st: &mut PgState,
+        acting: &[OsdId],
+        queries: &mut Vec<OsdId>,
+    ) {
+        let peers: BTreeSet<OsdId> = acting.iter().copied().filter(|&o| o != self.id).collect();
+        self.peering_rounds.inc();
+        self.log("peering: start round");
+        st.health = PgHealth::Peering;
+        st.peering = Some(pg::PeeringRound {
+            epoch: map.epoch(),
+            awaiting: peers.clone(),
+            infos: BTreeMap::new(),
+        });
+        if peers.is_empty() {
+            // Sole member: the round completes on local info alone.
+            self.complete_peering(map, pg, st);
+        } else {
+            queries.extend(peers);
+        }
+    }
+
+    /// A peer answers a `GetInfo` with its highest known PG-log sequence.
+    fn handle_pgquery(self: &Arc<Self>, from: Addr, q: PgQueryMsg) {
+        let pg = self.pg(q.pg);
+        let last_update = {
+            let st = pg.lock_measured();
+            st.next_pg_seq.max(st.last_committed)
+        };
+        self.send(
+            from,
+            OsdMsg::PgInfo(PgInfoMsg {
+                pg: q.pg,
+                epoch: q.epoch,
+                from: self.id,
+                last_update,
+            }),
+        );
+    }
+
+    /// Collect a peering answer; the round completes when every acting
+    /// peer has reported.
+    fn handle_pginfo(self: &Arc<Self>, info: PgInfoMsg) {
+        // Map snapshot strictly before the PG lock (lock rank order).
+        let map = self.map.read().clone();
+        if info.epoch != map.epoch() {
+            return; // answer from a superseded round
+        }
+        let pg = self.pg(info.pg);
+        let mut st = pg.lock_measured();
+        let Some(round) = st.peering.as_mut() else {
+            return;
+        };
+        if round.epoch != info.epoch {
+            return;
+        }
+        round.awaiting.remove(&info.from);
+        round.infos.insert(info.from, info.last_update);
+        if round.awaiting.is_empty() {
+            self.complete_peering(&map, &pg, &mut st);
+        }
+    }
+
+    /// Close a peering round: agree on the authoritative log position,
+    /// schedule backfill for stale peers, resume I/O.
+    fn complete_peering(&self, map: &OsdMap, pg: &Arc<Pg>, st: &mut PgState) {
+        let Some(round) = st.peering.take() else {
+            return;
+        };
+        let acting = map.pg_acting(pg.id()).unwrap_or_default();
+        let placed = map.pg_placed(pg.id()).unwrap_or_default();
+        let mine = st.next_pg_seq.max(st.last_committed);
+        let target = round.infos.values().copied().fold(mine, u64::max);
+        if target > mine {
+            // A peer holds history we lack (we were down, or we are a
+            // fresh member promoted by a re-placement): hand primacy to
+            // the most advanced peer via `pg_temp` and stay fenced until
+            // the map reflects it — serving I/O without the data would
+            // fabricate `NotFound`s for acked writes. The interim primary
+            // then backfills us and hands primacy back (see `pump_pgs`).
+            let best = round
+                .infos
+                .iter()
+                .filter(|(_, lu)| **lu == target)
+                .map(|(p, _)| *p)
+                .min()
+                .expect("target came from infos");
+            let mut temp = vec![best];
+            temp.extend(acting.iter().copied().filter(|o| *o != best));
+            st.want_pg_temp = Some(temp);
+            st.health = PgHealth::Peering;
+            st.acting = acting;
+            self.peering_completed.inc();
+            return;
+        }
+        for (&peer, &lu) in &round.infos {
+            if lu != target {
+                // Stale (or divergent) copy: full backfill — every local
+                // object is pushed, converging the peer without a per-op
+                // log diff.
+                st.backfill.insert(peer);
+            }
+        }
+        // Ledgers owed to peers that left placement (marked out) are
+        // dropped: CRUSH re-homed their data.
+        st.peer_missing
+            .retain(|o, s| !s.is_empty() && (placed.contains(o) || map.osd_status(*o).up));
+        st.backfill
+            .retain(|o| placed.contains(o) || map.osd_status(*o).up);
+        st.acting = acting;
+        self.peering_completed.inc();
+        self.log("peering: round complete");
+        self.update_health_locked(map, &placed, st);
+    }
+
+    /// Recompute `health` from the ledgers and the map (PG lock held).
+    fn update_health_locked(&self, map: &OsdMap, placed: &[OsdId], st: &mut PgState) {
+        if st.peering.is_some() {
+            st.health = PgHealth::Peering;
+            return;
+        }
+        let owes_up = !st.recovering.is_empty()
+            || st.backfill.iter().any(|o| map.osd_status(*o).up)
+            || st
+                .peer_missing
+                .iter()
+                .any(|(o, s)| !s.is_empty() && map.osd_status(*o).up);
+        let degraded = placed.iter().any(|o| !st.acting.contains(o));
+        st.health = if owes_up {
+            PgHealth::Recovering
+        } else if degraded {
+            PgHealth::Degraded
+        } else {
+            PgHealth::Active
+        };
+    }
+
+    /// Journal a write the down-but-placed peers missed (PG lock held).
+    fn record_degraded_write(&self, st: &mut PgState, absent: &[OsdId], obj_name: &str) {
+        for &peer in absent {
+            st.peer_missing
+                .entry(peer)
+                .or_default()
+                .insert(obj_name.to_string());
+        }
+        if !absent.is_empty() && st.health == PgHealth::Active {
+            st.health = PgHealth::Degraded;
+        }
+    }
+
+    /// Whether replication of `obj_name` to `peer` must yield to recovery:
+    /// the peer's base copy is stale or absent, so mirroring a partial
+    /// write onto it would corrupt it — the pump pushes the full object
+    /// instead. Supersedes any in-flight push so stale data cannot win.
+    fn defer_to_recovery(&self, st: &mut PgState, peer: OsdId, obj_name: &str) -> bool {
+        let missing = st
+            .peer_missing
+            .get(&peer)
+            .is_some_and(|s| s.contains(obj_name));
+        let key = (peer, obj_name.to_string());
+        let in_flight = st.recovering.contains_key(&key);
+        if !missing && !in_flight && !st.backfill.contains(&peer) {
+            return false;
+        }
+        st.recovering.remove(&key);
+        st.peer_missing
+            .entry(peer)
+            .or_default()
+            .insert(obj_name.to_string());
+        true
+    }
+
+    /// Move up to `recovery_max_inflight` owed objects into `recovering`
+    /// (PG lock held); the caller performs the reads and sends after
+    /// releasing the lock. Backfill peers get the PG's whole object list
+    /// enumerated into their ledger first.
+    fn schedule_recovery_locked(
+        &self,
+        map: &OsdMap,
+        pg_id: PgId,
+        st: &mut PgState,
+        picks: &mut Vec<(OsdId, String, u64)>,
+    ) {
+        if !st.backfill.is_empty() {
+            let objects: Vec<String> = self
+                .store
+                .list_objects()
+                .into_iter()
+                .filter(|name| {
+                    parse_object_name(name).and_then(|obj| map.object_pg(&obj).ok()) == Some(pg_id)
+                })
+                .collect();
+            let peers: Vec<OsdId> = st.backfill.iter().copied().collect();
+            for p in peers {
+                st.backfill.remove(&p);
+                let set = st.peer_missing.entry(p).or_default();
+                for o in &objects {
+                    set.insert(o.clone());
+                }
+            }
+        }
+        let max = self.tuning.recovery_max_inflight.max(1);
+        if st.recovering.len() >= max {
+            return;
+        }
+        let budget = max - st.recovering.len();
+        let mut chosen: Vec<(OsdId, String)> = Vec::new();
+        'outer: for (&peer, objs) in st.peer_missing.iter() {
+            if !map.osd_status(peer).up {
+                continue; // unreachable peer: its ledger waits
+            }
+            for o in objs.iter() {
+                if st.recovering.contains_key(&(peer, o.clone())) {
+                    continue;
+                }
+                chosen.push((peer, o.clone()));
+                if chosen.len() >= budget {
+                    break 'outer;
+                }
+            }
+        }
+        for (peer, obj) in chosen {
+            if let Some(s) = st.peer_missing.get_mut(&peer) {
+                s.remove(&obj);
+            }
+            st.push_gen += 1;
+            let gen = st.push_gen;
+            st.recovering.insert((peer, obj.clone()), gen);
+            picks.push((peer, obj, gen));
+        }
+    }
+
+    /// Read the authoritative copy of one owed object and push it. The
+    /// read happens off the PG lock; the send re-validates the pick's
+    /// generation under the lock, so a push superseded by a concurrent
+    /// write is dropped (the pump re-pushes fresh data later).
+    fn send_push(self: &Arc<Self>, pg: &Arc<Pg>, peer: OsdId, obj_name: String, gen: u64) {
+        // Every acked write must be in the pushed bytes.
+        self.apply_gate.wait_ordered(&obj_name);
+        let data = match self.store.stat(&obj_name) {
+            Ok(m) => self
+                .store
+                .read(&obj_name, 0, m.size as usize)
+                .ok()
+                .map(Bytes::from),
+            Err(_) => None, // deleted (or never created): propagate absence
+        };
+        let Some(object) = parse_object_name(&obj_name) else {
+            return;
+        };
+        let st = pg.lock_measured();
+        if st.recovering.get(&(peer, obj_name.clone())) != Some(&gen) {
+            return; // superseded; the pump will push fresh data
+        }
+        let push_id = self.next_rep_id.fetch_add(1, Ordering::Relaxed);
+        let push = PushOp {
+            push_id,
+            pg: pg.id(),
+            object,
+            data,
+            pg_seq: st.next_pg_seq,
+        };
+        // PG_STATE → PUSH_WAITS ranks upward; holding the PG lock through
+        // the send keeps the ack from racing this bookkeeping.
+        self.push_waits.lock().insert(
+            push_id,
+            PushWait {
+                pg: Arc::clone(pg),
+                peer,
+                object: obj_name,
+                gen,
+                sent: Instant::now(),
+            },
+        );
+        self.recovery_pushes.inc();
+        self.log("send recovery push");
+        self.send(Addr::Osd(peer), OsdMsg::Push(push));
+        drop(st);
+    }
+
+    /// Replica side of a recovery push: install the full copy (or the
+    /// deletion) through the normal journal → filestore pipeline and ack
+    /// with the shared `RepAck` message.
+    fn handle_push(self: &Arc<Self>, from: Addr, push: PushOp) {
+        self.log("handle recovery push");
+        // Same dedup window as Replicate: push ids share the id space.
+        {
+            let key = (from, push.push_id);
+            let mut seen = self.rep_seen.lock();
+            match seen.state.get(&key) {
+                Some(true) => {
+                    drop(seen);
+                    self.send(
+                        from,
+                        OsdMsg::RepAck(RepOpReply {
+                            rep_id: push.push_id,
+                            from: self.id,
+                        }),
+                    );
+                    return;
+                }
+                Some(false) => return,
+                None => seen.insert(key),
+            }
+        }
+        let pg = self.pg(push.pg);
+        let inner = Arc::clone(self);
+        let pgc = Arc::clone(&pg);
+        self.queue_pg(
+            pg,
+            Box::new(move |st| {
+                st.next_pg_seq = st.next_pg_seq.max(push.pg_seq);
+                let obj_name = push.object.to_string();
+                let txn = match &push.data {
+                    Some(data) => {
+                        // Full-object overwrite: truncate-then-write
+                        // installs exactly the primary's copy regardless
+                        // of the local state.
+                        let mut t = Transaction::new();
+                        t.push(TxOp::Touch {
+                            object: obj_name.clone(),
+                        });
+                        t.push(TxOp::Truncate {
+                            object: obj_name.clone(),
+                            size: 0,
+                        });
+                        t.push(TxOp::Write {
+                            object: obj_name.clone(),
+                            offset: 0,
+                            data: data.clone(),
+                        });
+                        t.push(pg_log_op(pgc.id(), push.pg_seq, &obj_name));
+                        t
+                    }
+                    None => {
+                        if inner.store.stat(&obj_name).is_err() {
+                            // Nothing to delete locally: ack right away.
+                            inner.mark_rep_done(from, push.push_id);
+                            inner.send(
+                                from,
+                                OsdMsg::RepAck(RepOpReply {
+                                    rep_id: push.push_id,
+                                    from: inner.id,
+                                }),
+                            );
+                            return;
+                        }
+                        let mut t = Transaction::new();
+                        t.push(TxOp::Remove {
+                            object: obj_name.clone(),
+                        });
+                        t.push(pg_log_op(pgc.id(), push.pg_seq, &obj_name));
+                        t
+                    }
+                };
+                let inner2 = Arc::clone(&inner);
+                let pgc2 = Arc::clone(&pgc);
+                let payload = txn.encode();
+                let pg_seq = push.pg_seq;
+                let push_id = push.push_id;
+                let _ = inner.journal.submit(
+                    payload,
+                    Box::new(move |jseq| {
+                        inner2.on_journal_commit_replica(pgc2, jseq, txn, pg_seq, from, push_id);
+                    }),
+                );
+            }),
+        );
+    }
+
+    /// Primary side of a push ack: retire the in-flight entry unless a
+    /// newer generation superseded it.
+    fn handle_push_ack(&self, ack: RepOpReply) {
+        // The push_waits guard drops before the PG lock (sequential, not
+        // nested: the ranks would invert the declared order otherwise).
+        let Some(pw) = self.push_waits.lock().remove(&ack.rep_id) else {
+            return;
+        };
+        self.recovery_push_acks.inc();
+        let mut st = pw.pg.lock_measured();
+        let key = (pw.peer, pw.object);
+        if st.recovering.get(&key) == Some(&pw.gen) {
+            st.recovering.remove(&key);
+        }
+    }
+
+    /// Requeue pushes whose ack is overdue (lost push or lost ack, or the
+    /// peer died again). A verbatim resend could overwrite a newer push on
+    /// the peer, so the object goes back into `peer_missing` and the pump
+    /// pushes fresh bytes instead.
+    fn requeue_expired_pushes(&self) {
+        let timeout = Duration::from_millis(self.tuning.rep_resend_after_ms.max(1) * 4);
+        let now = Instant::now();
+        let expired: Vec<PushWait> = {
+            let mut waits = self.push_waits.lock();
+            let ids: Vec<u64> = waits
+                .iter()
+                .filter(|(_, w)| now.duration_since(w.sent) >= timeout)
+                .map(|(id, _)| *id)
+                .collect();
+            ids.into_iter().filter_map(|id| waits.remove(&id)).collect()
+        };
+        for pw in expired {
+            self.recovery_requeues.inc();
+            let mut st = pw.pg.lock_measured();
+            let key = (pw.peer, pw.object.clone());
+            if st.recovering.get(&key) == Some(&pw.gen) {
+                st.recovering.remove(&key);
+                st.peer_missing
+                    .entry(pw.peer)
+                    .or_default()
+                    .insert(pw.object);
+            }
+        }
+    }
+
+    /// Refresh the per-OSD PG-health gauges (heartbeat thread).
+    fn refresh_health_gauges(&self) {
+        let pgs: Vec<Arc<Pg>> = self.pgs.read().values().cloned().collect();
+        let (mut deg, mut rec, mut peering) = (0i64, 0i64, 0i64);
+        for pg in pgs {
+            match pg.lock_measured().health {
+                PgHealth::Degraded => deg += 1,
+                PgHealth::Recovering => rec += 1,
+                PgHealth::Peering => peering += 1,
+                PgHealth::Active => {}
+            }
+        }
+        self.pgs_degraded.set(deg);
+        self.pgs_recovering.set(rec);
+        self.pgs_peering.set(peering);
     }
 
     fn maybe_reply(&self, op: &Arc<WriteOp>) {
@@ -1520,6 +2388,15 @@ fn build_write_txn(pg: PgId, object: &str, offset: u64, data: &Bytes, pg_seq: u6
     });
     txn.push(pg_log_op(pg, pg_seq, object));
     txn
+}
+
+/// Recover an [`ObjectId`] from its store name (`pool<N>/<name>`). PG meta
+/// objects (`pgmeta_*`) and any other non-object files yield `None`, so
+/// backfill enumeration skips them.
+fn parse_object_name(name: &str) -> Option<ObjectId> {
+    let (pool, obj) = name.split_once('/')?;
+    let n: u32 = pool.strip_prefix("pool")?.parse().ok()?;
+    Some(ObjectId::new(PoolId(n), obj))
 }
 
 /// The PG-log entry (omap insert on the PG's meta object): entry + info.

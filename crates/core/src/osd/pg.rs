@@ -16,11 +16,43 @@
 //! invariant the paper insists on preserving.
 
 use afc_common::lockdep::{classes, TrackedMutex, TrackedMutexGuard};
-use afc_common::PgId;
-use std::collections::VecDeque;
+use afc_common::{Epoch, OsdId, PgId};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Health of a PG as seen by its acting primary.
+///
+/// Precedence when several conditions hold: `Peering` (map changed, the
+/// authoritative log is being agreed — client I/O is rejected with
+/// `WrongEpoch`) > `Recovering` (pushes in flight to stale-but-up peers;
+/// I/O continues) > `Degraded` (a placed peer is down; I/O continues at
+/// reduced redundancy while its missed ops accumulate) > `Active`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum PgHealth {
+    /// All placed replicas up to date.
+    #[default]
+    Active,
+    /// Serving I/O with a down replica; missed ops are being journaled.
+    Degraded,
+    /// Serving I/O while pushing missed/backfill objects to peers.
+    Recovering,
+    /// Map changed; agreeing on the authoritative log. I/O rejected.
+    Peering,
+}
+
+/// One in-flight peering round (GetInfo fan-out), tagged by the map epoch
+/// that started it so stale replies are discarded.
+#[derive(Debug)]
+pub struct PeeringRound {
+    /// Epoch this round peers for.
+    pub epoch: Epoch,
+    /// Peers that have not answered yet.
+    pub awaiting: BTreeSet<OsdId>,
+    /// `last_update` reported by each peer so far.
+    pub infos: BTreeMap<OsdId, u64>,
+}
 
 /// Mutable PG state guarded by the PG lock.
 #[derive(Debug, Default)]
@@ -33,6 +65,40 @@ pub struct PgState {
     pub last_applied: u64,
     /// PG info version (bumped per mutation).
     pub info_version: u64,
+    /// Current health (primary's view; replicas stay `Active`).
+    pub health: PgHealth,
+    /// In-flight peering round, if any.
+    pub peering: Option<PeeringRound>,
+    /// Acting set agreed by the last completed peering round (used to
+    /// skip re-peering when an epoch bump did not move this PG).
+    pub acting: Vec<OsdId>,
+    /// Objects each absent/stale peer is missing (the degraded-write
+    /// journal: written while the peer was not in the acting set, or
+    /// discovered stale during peering).
+    pub peer_missing: BTreeMap<OsdId, BTreeSet<String>>,
+    /// Pushes in flight: `(peer, object) → generation`. The write path
+    /// bumps the generation when it supersedes an in-flight push with an
+    /// inline one, so the stale push is dropped instead of sent.
+    pub recovering: BTreeMap<(OsdId, String), u64>,
+    /// Generation counter for `recovering` entries.
+    pub push_gen: u64,
+    /// Peers needing full backfill (no per-object missing log — e.g. a
+    /// CRUSH replacement): the pump enumerates local objects into
+    /// `peer_missing` on its next pass.
+    pub backfill: BTreeSet<OsdId>,
+    /// Deferred request to install a `pg_temp` override (applied by the
+    /// heartbeat ticker — never while holding the PG lock).
+    pub want_pg_temp: Option<Vec<OsdId>>,
+    /// Deferred request to clear this PG's `pg_temp` override.
+    pub want_clear_temp: bool,
+}
+
+impl PgState {
+    /// Objects still owed to `peer` (missing or push in flight).
+    pub fn owes_peer(&self, peer: OsdId) -> bool {
+        self.peer_missing.get(&peer).is_some_and(|s| !s.is_empty())
+            || self.recovering.keys().any(|(p, _)| *p == peer)
+    }
 }
 
 /// Work executed under the PG lock.

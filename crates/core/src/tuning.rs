@@ -117,6 +117,17 @@ pub struct OsdTuning {
     /// Retransmits per sub-op before the primary gives up and fails the
     /// client op with a typed `Timeout`.
     pub rep_max_resends: u32,
+    /// Heartbeat ping interval, milliseconds. `0` disables the whole
+    /// failure-detection / peering / recovery loop (the default: fixed
+    /// topologies — most tests and benches — pay nothing for it).
+    pub heartbeat_interval_ms: u64,
+    /// Silence tolerated from a peer before this OSD reports it down to
+    /// the monitor (Ceph's `osd_heartbeat_grace`).
+    pub heartbeat_grace_ms: u64,
+    /// Max concurrent recovery pushes per PG — the throttle keeping
+    /// backfill traffic from starving client I/O (Ceph's
+    /// `osd_recovery_max_active`).
+    pub recovery_max_inflight: usize,
 }
 
 impl OsdTuning {
@@ -136,6 +147,9 @@ impl OsdTuning {
             apply_threads: 2,
             rep_resend_after_ms: 150,
             rep_max_resends: 5,
+            heartbeat_interval_ms: 0,
+            heartbeat_grace_ms: 200,
+            recovery_max_inflight: 16,
         }
     }
 
@@ -155,7 +169,18 @@ impl OsdTuning {
             apply_threads: 2,
             rep_resend_after_ms: 150,
             rep_max_resends: 5,
+            heartbeat_interval_ms: 0,
+            heartbeat_grace_ms: 200,
+            recovery_max_inflight: 16,
         }
+    }
+
+    /// Enable the self-healing loop (heartbeats → peering → recovery)
+    /// with the given ping interval.
+    #[must_use]
+    pub fn with_heartbeats(mut self, interval_ms: u64) -> Self {
+        self.heartbeat_interval_ms = interval_ms;
+        self
     }
 
     /// Figure 9 step 1: community + PG-lock minimization.
@@ -249,6 +274,12 @@ mod tests {
         assert!(c.client_message_cap() < a.client_message_cap());
         assert_eq!(c.label(), "community");
         assert_eq!(a.label(), "afceph");
+        // The self-healing loop is opt-in; both profiles ship it disabled
+        // and enabling it does not change the optimization label.
+        assert_eq!(c.heartbeat_interval_ms, 0);
+        assert_eq!(a.heartbeat_interval_ms, 0);
+        assert_eq!(a.with_heartbeats(5).heartbeat_interval_ms, 5);
+        assert_eq!(OsdTuning::afceph().with_heartbeats(5).label(), "afceph");
     }
 
     #[test]

@@ -38,6 +38,10 @@ pub struct OsdMap {
     crush: CrushMap,
     status: BTreeMap<OsdId, OsdStatus>,
     pools: BTreeMap<PoolId, PoolSpec>,
+    /// Temporary acting-set overrides installed during peering, so a
+    /// caught-up survivor can keep primaryship while the CRUSH-preferred
+    /// OSD recovers (Ceph's `pg_temp`). Cleared when recovery completes.
+    pg_temp: BTreeMap<PgId, Vec<OsdId>>,
 }
 
 impl OsdMap {
@@ -53,6 +57,7 @@ impl OsdMap {
             crush,
             status,
             pools: BTreeMap::new(),
+            pg_temp: BTreeMap::new(),
         }
     }
 
@@ -98,16 +103,78 @@ impl OsdMap {
         self.status.get(&osd).copied().unwrap_or_default()
     }
 
-    /// Mark an OSD up/down. Bumps the epoch.
+    /// Mark an OSD up/down. Bumps the epoch only on an actual transition:
+    /// re-marking a down OSD down must not invalidate maps (that would
+    /// retrigger peering across the cluster for a no-op).
     pub fn set_up(&mut self, osd: OsdId, up: bool) {
-        self.status.entry(osd).or_default().up = up;
+        let st = self.status.entry(osd).or_default();
+        if st.up == up {
+            return;
+        }
+        st.up = up;
         self.epoch = self.epoch.next();
     }
 
-    /// Mark an OSD in/out of placement. Bumps the epoch.
+    /// Mark an OSD in/out of placement. Bumps the epoch only on an actual
+    /// transition (idempotent like [`OsdMap::set_up`]).
     pub fn set_in(&mut self, osd: OsdId, in_cluster: bool) {
-        self.status.entry(osd).or_default().in_cluster = in_cluster;
+        let st = self.status.entry(osd).or_default();
+        if st.in_cluster == in_cluster {
+            return;
+        }
+        st.in_cluster = in_cluster;
         self.epoch = self.epoch.next();
+    }
+
+    /// Install a temporary acting-set override for a PG (primary first).
+    /// Idempotent: re-installing the same override does not bump the epoch.
+    pub fn set_pg_temp(&mut self, pg: PgId, acting: Vec<OsdId>) {
+        if self.pg_temp.get(&pg) == Some(&acting) {
+            return;
+        }
+        self.pg_temp.insert(pg, acting);
+        self.epoch = self.epoch.next();
+    }
+
+    /// Remove a PG's temporary acting-set override. Idempotent.
+    pub fn clear_pg_temp(&mut self, pg: PgId) {
+        if self.pg_temp.remove(&pg).is_some() {
+            self.epoch = self.epoch.next();
+        }
+    }
+
+    /// Install several `pg_temp` overrides in one epoch bump (a recovery
+    /// tick publishes its whole batch as a single map version). No-op
+    /// entries don't count; an all-no-op batch leaves the epoch alone.
+    pub fn set_pg_temps(&mut self, temps: &[(PgId, Vec<OsdId>)]) {
+        let mut changed = false;
+        for (pg, acting) in temps {
+            if self.pg_temp.get(pg) == Some(acting) {
+                continue;
+            }
+            self.pg_temp.insert(*pg, acting.clone());
+            changed = true;
+        }
+        if changed {
+            self.epoch = self.epoch.next();
+        }
+    }
+
+    /// Remove several `pg_temp` overrides in one epoch bump. Idempotent
+    /// like [`OsdMap::set_pg_temps`].
+    pub fn clear_pg_temps(&mut self, pgs: &[PgId]) {
+        let mut changed = false;
+        for pg in pgs {
+            changed |= self.pg_temp.remove(pg).is_some();
+        }
+        if changed {
+            self.epoch = self.epoch.next();
+        }
+    }
+
+    /// The temporary acting-set override for a PG, if any.
+    pub fn pg_temp(&self, pg: PgId) -> Option<&[OsdId]> {
+        self.pg_temp.get(&pg).map(|v| v.as_slice())
     }
 
     /// Replace the CRUSH hierarchy (cluster expansion). Bumps the epoch and
@@ -126,20 +193,41 @@ impl OsdMap {
         Ok(obj.pg(spec.pg_num))
     }
 
+    /// The *placed set* of a PG: CRUSH's choice excluding **out** OSDs but
+    /// *including* down-but-in ones. This is the set that is expected to
+    /// hold the PG's data once everyone is healthy again — primaries use
+    /// `placed − acting` to know which absent peers are missing each write.
+    pub fn pg_placed(&self, pg: PgId) -> Result<Vec<OsdId>> {
+        let spec = self.pool(pg.pool)?;
+        Ok(self
+            .crush
+            .select(pg, spec.size, &|o| !self.osd_status(o).in_cluster))
+    }
+
     /// The *acting set* of a PG, primary first.
     ///
-    /// Placement excludes **out** OSDs (CRUSH re-descends; their data is
-    /// expected to be rebalanced), while **down-but-in** OSDs are merely
-    /// dropped from the placed set — the PG runs *degraded* on the
-    /// survivors, which is Ceph's short-term behaviour before backfill
-    /// (backfill/recovery data movement is out of scope here; see
-    /// DESIGN.md).
+    /// A `pg_temp` override (installed during recovery) wins when it still
+    /// names at least one up+in OSD. Otherwise placement excludes **out**
+    /// OSDs (CRUSH re-descends; their data is rebalanced by backfill),
+    /// while **down-but-in** OSDs are merely dropped from the placed set —
+    /// the PG runs *degraded* on the survivors until the peer returns and
+    /// recovery replays what it missed (see DESIGN.md).
     pub fn pg_acting(&self, pg: PgId) -> Result<Vec<OsdId>> {
-        let spec = self.pool(pg.pool)?;
-        let placed = self
-            .crush
-            .select(pg, spec.size, &|o| !self.osd_status(o).in_cluster);
-        let acting: Vec<OsdId> = placed
+        if let Some(temp) = self.pg_temp.get(&pg) {
+            let acting: Vec<OsdId> = temp
+                .iter()
+                .copied()
+                .filter(|o| {
+                    let st = self.osd_status(*o);
+                    st.up && st.in_cluster
+                })
+                .collect();
+            if !acting.is_empty() {
+                return Ok(acting);
+            }
+        }
+        let acting: Vec<OsdId> = self
+            .pg_placed(pg)?
             .into_iter()
             .filter(|o| self.osd_status(*o).up)
             .collect();
@@ -224,6 +312,75 @@ mod tests {
         let e1 = m.epoch();
         m.set_crush(CrushMap::uniform(5, 4));
         assert!(m.epoch() > e1);
+    }
+
+    #[test]
+    fn status_transitions_are_idempotent() {
+        // Regression: re-marking a down OSD down (or an out OSD out) used
+        // to bump the epoch, spuriously invalidating every cached map.
+        let mut m = map4x4();
+        m.set_up(OsdId(3), false);
+        let e = m.epoch();
+        m.set_up(OsdId(3), false);
+        assert_eq!(m.epoch(), e, "no-op set_up must not bump the epoch");
+        m.set_up(OsdId(3), true);
+        assert!(m.epoch() > e);
+
+        let e = m.epoch();
+        m.set_in(OsdId(5), true); // already in
+        assert_eq!(m.epoch(), e, "no-op set_in must not bump the epoch");
+        m.set_in(OsdId(5), false);
+        assert!(m.epoch() > e);
+        let e = m.epoch();
+        m.set_in(OsdId(5), false);
+        assert_eq!(m.epoch(), e);
+    }
+
+    #[test]
+    fn pg_temp_overrides_acting_until_cleared() {
+        let mut m = map4x4();
+        let pg = PgId {
+            pool: PoolId(0),
+            seq: 7,
+        };
+        let crush_acting = m.pg_acting(pg).unwrap();
+        let swapped: Vec<OsdId> = crush_acting.iter().rev().copied().collect();
+        m.set_pg_temp(pg, swapped.clone());
+        let e = m.epoch();
+        assert_eq!(m.pg_acting(pg).unwrap(), swapped);
+        assert_eq!(m.pg_temp(pg), Some(swapped.as_slice()));
+        // Idempotent re-install: no epoch bump.
+        m.set_pg_temp(pg, swapped.clone());
+        assert_eq!(m.epoch(), e);
+        // Down members are filtered out of the override.
+        m.set_up(swapped[0], false);
+        let acting = m.pg_acting(pg).unwrap();
+        assert!(!acting.contains(&swapped[0]));
+        m.set_up(swapped[0], true);
+        // Clearing restores CRUSH placement; clearing twice is a no-op.
+        m.clear_pg_temp(pg);
+        assert_eq!(m.pg_acting(pg).unwrap(), crush_acting);
+        let e = m.epoch();
+        m.clear_pg_temp(pg);
+        assert_eq!(m.epoch(), e);
+    }
+
+    #[test]
+    fn placed_set_includes_down_but_in_osds() {
+        let mut m = map4x4();
+        let pg = PgId {
+            pool: PoolId(0),
+            seq: 11,
+        };
+        let placed = m.pg_placed(pg).unwrap();
+        assert_eq!(placed.len(), 2);
+        m.set_up(placed[0], false);
+        // Down-but-in: still placed, no longer acting.
+        assert_eq!(m.pg_placed(pg).unwrap(), placed);
+        assert!(!m.pg_acting(pg).unwrap().contains(&placed[0]));
+        // Out: removed from the placed set entirely.
+        m.set_in(placed[0], false);
+        assert!(!m.pg_placed(pg).unwrap().contains(&placed[0]));
     }
 
     #[test]

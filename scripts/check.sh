@@ -63,10 +63,12 @@ maybe_step cargo clippy --version -- cargo clippy --workspace --all-targets --qu
 step cargo build --workspace --quiet
 step cargo test --workspace --quiet
 
-# 5. Fault matrix: the crash-recovery harness and injected-fault suite
-#    run as an explicit pass so a fault-handling regression is named in
-#    CI output even when the workspace test step is green-but-skipped.
-step cargo test --quiet --package afc-core --test crash_recovery --test fault_matrix
+# 5. Fault matrix: the crash-recovery harness, injected-fault suite and
+#    the failure-detection/recovery suite (heartbeats, peering, degraded
+#    I/O, backfill) run as an explicit pass so a fault-handling
+#    regression is named in CI output even when the workspace test step
+#    is green-but-skipped.
+step cargo test --quiet --package afc-core --test crash_recovery --test fault_matrix --test recovery
 
 # 6. API docs build clean (rustdoc warnings are errors: broken intra-doc
 #    links and malformed examples fail the gate).

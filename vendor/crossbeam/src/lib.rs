@@ -9,6 +9,7 @@ pub mod channel {
     use std::collections::VecDeque;
     use std::fmt;
     use std::sync::{Arc, Condvar, Mutex, PoisonError};
+    use std::time::{Duration, Instant};
 
     struct State<T> {
         q: VecDeque<T>,
@@ -61,6 +62,15 @@ pub mod channel {
     pub enum TryRecvError {
         /// Nothing queued right now.
         Empty,
+        /// Empty and all senders are gone.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived within the timeout.
+        Timeout,
         /// Empty and all senders are gone.
         Disconnected,
     }
@@ -177,6 +187,32 @@ pub mod channel {
                     .not_empty
                     .wait(st)
                     .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+
+        /// Receive, blocking up to `timeout` for a message or disconnect.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut st = self.chan.lock();
+            loop {
+                if let Some(v) = st.q.pop_front() {
+                    drop(st);
+                    self.chan.not_full.notify_one();
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                st = self
+                    .chan
+                    .not_empty
+                    .wait_timeout(st, deadline - now)
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .0;
             }
         }
 
@@ -352,6 +388,22 @@ pub mod channel {
                 .flat_map(|t| (0..100).map(move |i| t * 1000 + i))
                 .collect();
             assert_eq!(all, expect);
+        }
+
+        #[test]
+        fn recv_timeout_times_out_then_delivers() {
+            let (tx, rx) = unbounded::<u32>();
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(5)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            tx.send(9).unwrap();
+            assert_eq!(rx.recv_timeout(Duration::from_millis(100)), Ok(9));
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(5)),
+                Err(RecvTimeoutError::Disconnected)
+            );
         }
 
         #[test]
