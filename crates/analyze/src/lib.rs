@@ -22,6 +22,7 @@
 //! | `site-names`          | fault/metric site naming, unarmed fault sites, dead metrics |
 //! | `atomic-ordering`     | unjustified `SeqCst`, unpaired Acquire/Release            |
 //! | `hot-path-blocking`   | sleeps / blocking recv / file I/O in the OSD op path      |
+//! | `hot-path-copy`       | deep copies of op payload buffers in the write hot path   |
 //!
 //! The whole pass is plain-text + tokenizer work: no rustc plumbing, no
 //! network, and it finishes in well under a second on this workspace.

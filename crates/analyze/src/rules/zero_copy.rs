@@ -1,0 +1,126 @@
+//! `hot-path-copy`: deep copies of op payload buffers inside the write
+//! hot path (`crates/core/src/osd`, `crates/journal/src`).
+//!
+//! The zero-copy pipeline threads one shared `Bytes` buffer from
+//! messenger decode through the PG queue, the journal record, and the
+//! filestore apply. A `payload.to_vec()` or a `.clone()` of a payload
+//! buffer re-introduces a per-op memcpy (and an allocator round trip)
+//! that the pipeline exists to eliminate — at 4K ops it costs more than
+//! the journal flush it rides along with.
+//!
+//! `Bytes::clone` is a refcount bump, not a byte copy, but the lexer
+//! cannot see types: a clone of a payload-named binding must carry a
+//! `// zero-copy-ok:` comment on or above the line saying why it is
+//! cheap (or why a real copy is unavoidable there).
+
+use crate::source::SourceFile;
+use crate::{Diag, Severity};
+
+/// The write-path scopes the rule polices.
+const SCOPES: &[&str] = &["crates/core/src/osd", "crates/journal/src"];
+
+/// Comment marker that waives a specific line.
+const WAIVER: &str = "zero-copy-ok:";
+
+/// Whether `name` binds an op payload buffer by this codebase's naming
+/// conventions (`payload`, `payload2`, `data`, `buf`).
+fn is_payload_ident(name: &str) -> bool {
+    name.contains("payload") || name == "data" || name == "buf"
+}
+
+pub fn check(f: &SourceFile, out: &mut Vec<Diag>) {
+    if !SCOPES.iter().any(|s| f.path.starts_with(s)) || f.non_prod {
+        return;
+    }
+    let t = &f.toks;
+    for i in 0..t.len() {
+        if f.is_test(i) {
+            continue;
+        }
+        // `<payload>.to_vec()` / `<payload>.clone()`: a method call on a
+        // payload-named receiver.
+        let receiver_is_payload = i >= 2
+            && t[i - 1].is_punct('.')
+            && t[i - 2].kind == crate::lexer::Kind::Ident
+            && is_payload_ident(&t[i - 2].text);
+        if !receiver_is_payload || !t.get(i + 1).is_some_and(|x| x.is_punct('(')) {
+            continue;
+        }
+        let what = if t[i].is_ident("to_vec") || t[i].is_ident("to_owned") {
+            "payload deep copy"
+        } else if t[i].is_ident("clone") {
+            "payload clone"
+        } else {
+            continue;
+        };
+        if f.line_justified(t[i].line, WAIVER) {
+            continue;
+        }
+        out.push(Diag {
+            file: f.path.clone(),
+            line: t[i].line,
+            col: t[i].col,
+            rule: "hot-path-copy",
+            severity: Severity::Error,
+            msg: format!(
+                "{what} (`{}.{}()`) in the write hot path",
+                t[i - 2].text,
+                t[i].text
+            ),
+            suggestion: Some(format!(
+                "thread the shared `Bytes` through instead; if this is a \
+                 refcount bump or a cold path, waive with a `// {WAIVER}` \
+                 comment saying why"
+            )),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn run(path: &str, src: &str) -> Vec<Diag> {
+        let f = SourceFile::parse(path.into(), src.into());
+        let mut out = Vec::new();
+        check(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn payload_to_vec_is_flagged() {
+        let src = "fn submit(&self, payload: Bytes) {\n    let copy = payload.to_vec();\n}\n";
+        let v = run("crates/journal/src/lib.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "hot-path-copy");
+        assert!(v[0].msg.contains("to_vec"));
+    }
+
+    #[test]
+    fn payload_clone_is_flagged_without_waiver() {
+        let src = "fn queue(&self, payload: Bytes) {\n    let p = payload.clone();\n    let d = data.clone();\n}\n";
+        let v = run("crates/core/src/osd/mod.rs", src);
+        assert_eq!(v.len(), 2, "{v:?}");
+    }
+
+    #[test]
+    fn waiver_comment_silences_the_line() {
+        let src = "fn queue(&self, payload: Bytes) {\n    // zero-copy-ok: Bytes refcount bump, no byte copy\n    let p = payload.clone();\n}\n";
+        assert!(run("crates/core/src/osd/mod.rs", src).is_empty());
+    }
+
+    #[test]
+    fn non_payload_clones_and_other_scopes_are_exempt() {
+        let src = "fn f(&self, payload: Bytes) {\n    let t = txn_name.clone();\n    let s = self.stats.clone();\n}\n";
+        assert!(run("crates/core/src/osd/mod.rs", src).is_empty());
+        let copy = "fn g(d: &[u8]) -> Vec<u8> { payload.to_vec() }\n";
+        assert!(run("crates/core/src/client/rados.rs", copy).is_empty());
+    }
+
+    #[test]
+    fn tests_inside_scope_are_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { let p = payload.to_vec(); }\n}\n";
+        assert!(run("crates/journal/src/lib.rs", src).is_empty());
+    }
+}

@@ -48,6 +48,17 @@ pub fn tolerance() -> f64 {
 /// flapping the check.
 pub const STAGE_SLACK_US: u64 = 200;
 
+/// Stages whose *median* is additionally gated. The group-commit and
+/// sharded-completion work lives or dies at the median — a p95 gate with
+/// 200µs slack would let the common case quietly give back the win — so
+/// the journal commit and ack stages get an individual p50 ceiling with
+/// a much tighter absolute slack.
+pub const P50_GATED_STAGES: [&str; 2] = ["journal", "ack"];
+
+/// Absolute slack for the p50 gates, µs (one scheduler quantum of noise,
+/// not twenty).
+pub const P50_SLACK_US: u64 = 50;
+
 /// Latency quantiles of one write-path stage, µs.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StageQuantiles {
@@ -288,6 +299,8 @@ fn distill(
 /// - Write amplification must not exceed `baseline × (1 + tol) + 0.1`.
 /// - Every stage's p95 must not exceed
 ///   `baseline × (1 + tol) + STAGE_SLACK_US`.
+/// - The [`P50_GATED_STAGES`] stages' p50 must not exceed
+///   `baseline × (1 + tol) + P50_SLACK_US`.
 pub fn compare(baseline: &BaselineRecord, current: &BaselineRecord, tol: f64) -> Vec<String> {
     let mut out = Vec::new();
     let floor = baseline.iops * (1.0 - tol);
@@ -323,6 +336,20 @@ pub fn compare(baseline: &BaselineRecord, current: &BaselineRecord, tol: f64) ->
                 tol * 100.0,
                 STAGE_SLACK_US
             ));
+        }
+        if P50_GATED_STAGES.contains(&b.stage.as_str()) {
+            let p50_ceiling = (b.p50_us as f64 * (1.0 + tol)) as u64 + P50_SLACK_US;
+            if c.p50_us > p50_ceiling {
+                out.push(format!(
+                    "stage {} p50 regressed: {}us > {}us (baseline {}us, tol {:.0}% + {}us)",
+                    b.stage,
+                    c.p50_us,
+                    p50_ceiling,
+                    b.p50_us,
+                    tol * 100.0,
+                    P50_SLACK_US
+                ));
+            }
         }
     }
     out
@@ -489,6 +516,30 @@ mod tests {
         let msgs = compare(&base, &cur, 0.20);
         assert!(msgs.iter().any(|m| m.starts_with("iops regressed")));
         assert!(msgs.iter().any(|m| m.contains("stage journal")));
+    }
+
+    #[test]
+    fn compare_gates_journal_and_ack_medians() {
+        let base = record();
+        let mut cur = record();
+        // journal p50 is 40 in the fixture; 40*1.2 + 50 = 98 is the ceiling.
+        cur.stages[3].p50_us = 99; // journal
+        let msgs = compare(&base, &cur, 0.20);
+        assert!(
+            msgs.iter().any(|m| m.contains("stage journal p50")),
+            "{msgs:?}"
+        );
+        // ack p50 is 60: 60*1.2 + 50 = 122.
+        let mut cur = record();
+        cur.stages[5].p50_us = 122; // at the ceiling: pass
+        assert!(compare(&base, &cur, 0.20).is_empty());
+        cur.stages[5].p50_us = 123;
+        let msgs = compare(&base, &cur, 0.20);
+        assert!(msgs.iter().any(|m| m.contains("stage ack p50")), "{msgs:?}");
+        // Non-gated stages may move their p50 freely (p95 still gated).
+        let mut cur = record();
+        cur.stages[2].p50_us = 10_000; // submit
+        assert!(compare(&base, &cur, 0.20).is_empty());
     }
 
     #[test]

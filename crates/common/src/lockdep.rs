@@ -180,17 +180,14 @@ pub mod classes {
         rank: 490,
         no_block_while_held: true,
     };
-    /// `Journal` ring state (waits on its own work/space condvars).
+    /// `Journal` ring state (waits on its own work/space condvars). Also
+    /// serializes group-commit records: the `committing` flag guarded
+    /// here is what keeps inline and batched commit callbacks in global
+    /// sequence order.
     pub static JOURNAL_RING: LockClass = LockClass {
         name: "journal.ring",
         rank: 600,
         no_block_while_held: false,
-    };
-    /// `Journal::done_tx` — completion channel handle.
-    pub static JOURNAL_DONE_TX: LockClass = LockClass {
-        name: "journal.done_tx",
-        rank: 610,
-        no_block_while_held: true,
     };
     /// `Throttle::state` — counting-semaphore state (waits on own cv).
     pub static THROTTLE: LockClass = LockClass {
@@ -235,7 +232,6 @@ pub static DECLARED_ORDER: &[&LockClass] = &[
     &classes::OP_PROGRESS,
     &classes::OP_PERMIT,
     &classes::JOURNAL_RING,
-    &classes::JOURNAL_DONE_TX,
     &classes::THROTTLE,
     &classes::OSD_WORKERS,
     &classes::FAULTS,

@@ -30,7 +30,7 @@ use crate::messages::{
 };
 use crate::monitor::{Monitor, SharedMap};
 use crate::tuning::OsdTuning;
-use ack::OrderedAcker;
+use ack::{pg_shard, OrderedAcker, COMPLETION_SHARDS};
 use afc_common::lockdep::{classes, TrackedCondvar, TrackedMutex, TrackedRwLock};
 use afc_common::metrics::{Counter as MetricCounter, Gauge as MetricGauge, Metrics};
 use afc_common::{AfcError, ClientId, ObjectId, OpId, OsdId, PgId, PoolId, Result};
@@ -165,6 +165,8 @@ struct RepSeen {
 }
 
 impl RepSeen {
+    /// Per completion shard; a shard only sees its own PGs' ids, so the
+    /// effective window per primary matches the pre-sharding table.
     const CAP: usize = 8192;
 
     fn new() -> Self {
@@ -185,17 +187,34 @@ impl RepSeen {
     }
 }
 
+/// Bits of a rep/push id reserved for the originating PG's completion
+/// shard (see [`OsdInner::alloc_rep_id`]).
+const SHARD_BITS: u32 = COMPLETION_SHARDS.trailing_zeros();
+
+/// The completion shard a rep/push id routes to. Acks carry only the id,
+/// so the shard must be recoverable from it alone: [`OsdInner::alloc_rep_id`]
+/// stamps the PG's shard into the low bits at allocation.
+#[inline]
+fn rep_shard(rep_id: u64) -> usize {
+    (rep_id as usize) & (COMPLETION_SHARDS - 1)
+}
+
 enum CompletionEvent {
     PrimaryCommit {
         op: Arc<WriteOp>,
         jseq: u64,
         txn: Transaction,
+        /// The txn's journal encoding, shared (refcounted) with the
+        /// journal entry — retained for `pending_apply` without a deep
+        /// transaction clone.
+        payload: Bytes,
         pg_seq: u64,
     },
     ReplicaCommit {
         pg: Arc<Pg>,
         jseq: u64,
         txn: Transaction,
+        payload: Bytes,
         pg_seq: u64,
         primary: Addr,
         rep_id: u64,
@@ -308,14 +327,22 @@ struct OsdInner {
     pgs: TrackedRwLock<HashMap<PgId, Arc<Pg>>>,
     opq: OpQueue,
     client_throttle: Arc<Throttle>,
-    rep_waits: TrackedMutex<HashMap<u64, RepWait>>,
-    push_waits: TrackedMutex<HashMap<u64, PushWait>>,
-    rep_seen: TrackedMutex<RepSeen>,
+    /// Outstanding `Replicate` sub-ops, sharded by the rep id's embedded
+    /// PG shard so acks for different PG shards never contend on one lock.
+    rep_waits: Vec<TrackedMutex<HashMap<u64, RepWait>>>,
+    /// Outstanding recovery pushes, sharded like `rep_waits`.
+    push_waits: Vec<TrackedMutex<HashMap<u64, PushWait>>>,
+    /// Replica-side dedup windows, sharded like `rep_waits`.
+    rep_seen: Vec<TrackedMutex<RepSeen>>,
     /// Last heartbeat heard from each up peer (ping or pong).
     hb_peers: TrackedMutex<HashMap<OsdId, Instant>>,
     next_rep_id: AtomicU64,
     trim: TrackedMutex<TrimTracker>,
-    pending_apply: TrackedMutex<HashMap<u64, Transaction>>,
+    /// Journaled-but-unapplied entries: apply-gate object → the entry's
+    /// journal encoding (shared with the journal's copy, refcount only —
+    /// never a deep transaction clone). Decoded only on the cold replay
+    /// path.
+    pending_apply: TrackedMutex<HashMap<u64, (String, Bytes)>>,
     apply_gate: ApplyGate,
     completion_tx: TrackedMutex<Option<crossbeam::channel::Sender<CompletionEvent>>>,
     reader_tx: TrackedMutex<Option<crossbeam::channel::Sender<ReadJob>>>,
@@ -378,6 +405,9 @@ impl Osd {
             Arc::clone(&params.journal_dev),
             JournalConfig {
                 capacity: params.journal_capacity,
+                batch_max_ops: tuning.journal_batch_max_ops,
+                batch_max_bytes: tuning.journal_batch_max_bytes,
+                batch_max_wait: Duration::from_micros(tuning.journal_batch_max_wait_us),
                 ..JournalConfig::default()
             },
         );
@@ -398,9 +428,15 @@ impl Osd {
                 "osd_client_message_cap",
                 tuning.client_message_cap(),
             )),
-            rep_waits: TrackedMutex::new(&classes::REP_WAITS, HashMap::new()),
-            push_waits: TrackedMutex::new(&classes::PUSH_WAITS, HashMap::new()),
-            rep_seen: TrackedMutex::new(&classes::REP_SEEN, RepSeen::new()),
+            rep_waits: (0..COMPLETION_SHARDS)
+                .map(|_| TrackedMutex::new(&classes::REP_WAITS, HashMap::new()))
+                .collect(),
+            push_waits: (0..COMPLETION_SHARDS)
+                .map(|_| TrackedMutex::new(&classes::PUSH_WAITS, HashMap::new()))
+                .collect(),
+            rep_seen: (0..COMPLETION_SHARDS)
+                .map(|_| TrackedMutex::new(&classes::REP_SEEN, RepSeen::new()))
+                .collect(),
             hb_peers: TrackedMutex::new(&classes::HB_PEERS, HashMap::new()),
             next_rep_id: AtomicU64::new(1),
             trim: TrackedMutex::new(&classes::TRIM, TrimTracker::new()),
@@ -672,13 +708,13 @@ impl Osd {
         }
         let mut todo: Vec<(u64, Transaction)> = Vec::with_capacity(entries.len());
         for e in &entries {
-            todo.push((e.seq, Transaction::decode(&e.payload)?));
+            todo.push((e.seq, Transaction::decode_shared(&e.payload)?));
         }
         {
             let p = self.inner.pending_apply.lock();
-            for (s, t) in p.iter() {
+            for (s, (_, payload)) in p.iter() {
                 if !todo.iter().any(|(s2, _)| s2 == s) {
-                    todo.push((*s, t.clone()));
+                    todo.push((*s, Transaction::decode_shared(payload)?));
                 }
             }
         }
@@ -752,15 +788,22 @@ impl Osd {
         // Fail writes still waiting on replica acks (e.g. acks lost to
         // injected faults) so nothing blocks on them across shutdown, and
         // release any readers parked on their apply gates.
-        let stranded: Vec<Arc<WriteOp>> = {
-            let mut w = self.inner.rep_waits.lock();
-            w.drain().map(|(_, rw)| rw.op).collect()
-        };
+        let stranded: Vec<Arc<WriteOp>> = self
+            .inner
+            .rep_waits
+            .iter()
+            .flat_map(|shard| {
+                let mut w = shard.lock();
+                w.drain().map(|(_, rw)| rw.op).collect::<Vec<_>>()
+            })
+            .collect();
         for op in stranded {
             self.inner
                 .fail_op(&op, AfcError::ShutDown("osd stopping".into()));
         }
-        self.inner.push_waits.lock().clear();
+        for shard in &self.inner.push_waits {
+            shard.lock().clear();
+        }
         self.inner.apply_gate.reset();
         // Take the handles out first: joining while holding the workers
         // lock would block concurrent shutdown() callers on a lock held
@@ -844,8 +887,14 @@ fn completion_worker_loop(inner: Arc<OsdInner>, rx: crossbeam::channel::Receiver
         }
         for ev in batch {
             match ev {
-                CompletionEvent::PrimaryCommit { op, jseq, txn, .. } => {
-                    inner.enqueue_filestore(jseq, txn);
+                CompletionEvent::PrimaryCommit {
+                    op,
+                    jseq,
+                    txn,
+                    payload,
+                    ..
+                } => {
+                    inner.enqueue_filestore(jseq, txn, payload);
                     if let Some(t) = &op.trace {
                         t.lock().handled = Some(Instant::now());
                     }
@@ -858,11 +907,12 @@ fn completion_worker_loop(inner: Arc<OsdInner>, rx: crossbeam::channel::Receiver
                 CompletionEvent::ReplicaCommit {
                     jseq,
                     txn,
+                    payload,
                     primary,
                     rep_id,
                     ..
                 } => {
-                    inner.enqueue_filestore(jseq, txn);
+                    inner.enqueue_filestore(jseq, txn, payload);
                     inner.mark_rep_done(primary, rep_id);
                     inner.send(
                         primary,
@@ -1155,29 +1205,19 @@ impl OsdInner {
         absent: &[OsdId],
     ) {
         self.log("do_op: write enter");
-        self.log("get object context");
         self.alloc_overhead();
         let obj_name = object.to_string();
-        // Object-context metadata: community reads it back from storage
-        // (device read under the PG lock — Figure 3's large stage (2));
-        // the LWT profile serves it from the write-through cache.
-        if self.tuning.lightweight_txn {
-            let _ = self.store.stat(&obj_name);
-        } else {
-            let _ = self.store.getattr(&obj_name, "_");
-        }
         st.next_pg_seq += 1;
         st.info_version += 1;
         let pg_seq = st.next_pg_seq;
-        self.log("append pg log");
-        let txn = build_write_txn(pg.id(), &obj_name, offset, &data, pg_seq);
-        // Later reads of this object must wait for the apply (gate is
-        // released in on_applied).
-        self.apply_gate.add(&obj_name);
         self.record_degraded_write(st, absent, &obj_name);
-        // Replicate before journaling (splay replication, Figure 2). Each
-        // sub-op is remembered with its wire form so the retransmit ticker
-        // can resend it if the ack never arrives.
+        // Replicate FIRST (splay replication, Figure 2) — before the
+        // metadata read, txn build and journal submit, so each replica's
+        // journal round trip overlaps the primary's own pipeline instead
+        // of queueing behind it. The payload `Bytes` is refcount-shared
+        // with the client decode, never copied. Each sub-op is remembered
+        // with its wire form so the retransmit ticker can resend it if
+        // the ack never arrives.
         let mut skipped = 0usize;
         for r in replicas.iter() {
             if self.defer_to_recovery(st, *r, &obj_name) {
@@ -1188,7 +1228,7 @@ impl OsdInner {
                 skipped += 1;
                 continue;
             }
-            let rep_id = self.next_rep_id.fetch_add(1, Ordering::Relaxed);
+            let rep_id = self.alloc_rep_id(pg.id());
             self.log("send repop");
             let rep = RepOp {
                 rep_id,
@@ -1196,6 +1236,7 @@ impl OsdInner {
                 object: object.clone(),
                 op: ObjectOp::Write {
                     offset,
+                    // zero-copy-ok: Bytes refcount bump into the wire message
                     data: data.clone(),
                 },
                 pg_seq,
@@ -1206,6 +1247,20 @@ impl OsdInner {
         if skipped > 0 {
             op.progress.lock().acks += skipped;
         }
+        self.log("get object context");
+        // Object-context metadata: community reads it back from storage
+        // (device read under the PG lock — Figure 3's large stage (2));
+        // the LWT profile serves it from the write-through cache.
+        if self.tuning.lightweight_txn {
+            let _ = self.store.stat(&obj_name);
+        } else {
+            let _ = self.store.getattr(&obj_name, "_");
+        }
+        self.log("append pg log");
+        let txn = build_write_txn(pg.id(), &obj_name, offset, &data, pg_seq);
+        // Later reads of this object must wait for the apply (gate is
+        // released in on_applied).
+        self.apply_gate.add(&obj_name);
         if let Some(t) = &op.trace {
             t.lock().jsubmit = Some(Instant::now());
         }
@@ -1214,8 +1269,11 @@ impl OsdInner {
         let inner = Arc::clone(self);
         let pgc = Arc::clone(pg);
         // The journal carries the real transaction encoding: replay after a
-        // crash decodes and re-applies exactly what was acknowledged.
+        // crash decodes and re-applies exactly what was acknowledged. The
+        // same `Bytes` (refcount-shared) later backs `pending_apply`.
         let payload = txn.encode();
+        // zero-copy-ok: Bytes refcount bump shared with the journal record
+        let payload2 = payload.clone();
         let opc = Arc::clone(&op);
         let res = self.journal.submit(
             payload,
@@ -1223,7 +1281,7 @@ impl OsdInner {
                 if let Some(t) = &opc.trace {
                     t.lock().jcommit = Some(Instant::now());
                 }
-                inner.on_journal_commit_primary(pgc, opc, jseq, txn, pg_seq);
+                inner.on_journal_commit_primary(pgc, opc, jseq, txn, payload2, pg_seq);
             }),
         );
         if let Err(e) = res {
@@ -1263,7 +1321,7 @@ impl OsdInner {
                 skipped += 1;
                 continue;
             }
-            let rep_id = self.next_rep_id.fetch_add(1, Ordering::Relaxed);
+            let rep_id = self.alloc_rep_id(pg.id());
             let rep = RepOp {
                 rep_id,
                 pg: pg.id(),
@@ -1281,10 +1339,12 @@ impl OsdInner {
         let pgc = Arc::clone(pg);
         let opc = Arc::clone(&op);
         let payload = txn.encode();
+        // zero-copy-ok: Bytes refcount bump shared with the journal record
+        let payload2 = payload.clone();
         let res = self.journal.submit(
             payload,
             Box::new(move |jseq| {
-                inner.on_journal_commit_primary(pgc, opc, jseq, txn, pg_seq);
+                inner.on_journal_commit_primary(pgc, opc, jseq, txn, payload2, pg_seq);
             }),
         );
         if let Err(e) = res {
@@ -1365,6 +1425,7 @@ impl OsdInner {
         op: Arc<WriteOp>,
         jseq: u64,
         txn: Transaction,
+        payload: Bytes,
         pg_seq: u64,
     ) {
         if self.tuning.dedicated_completion {
@@ -1376,6 +1437,7 @@ impl OsdInner {
                     op,
                     jseq,
                     txn,
+                    payload,
                     pg_seq,
                 });
             }
@@ -1386,7 +1448,7 @@ impl OsdInner {
         // the finisher, serializing every completion behind it (Figure 3
         // stage (5), Figure 4's collapse) — and then re-acquires the PG
         // lock for completion bookkeeping, contending with op workers.
-        self.enqueue_filestore(jseq, txn);
+        self.enqueue_filestore(jseq, txn, payload);
         let mut st = pg.lock_measured();
         self.log("journal commit -> pg backend");
         st.last_committed = st.last_committed.max(pg_seq);
@@ -1407,6 +1469,7 @@ impl OsdInner {
         pg: Arc<Pg>,
         jseq: u64,
         txn: Transaction,
+        payload: Bytes,
         pg_seq: u64,
         primary: Addr,
         rep_id: u64,
@@ -1418,6 +1481,7 @@ impl OsdInner {
                     pg,
                     jseq,
                     txn,
+                    payload,
                     pg_seq,
                     primary,
                     rep_id,
@@ -1425,7 +1489,7 @@ impl OsdInner {
             }
             return;
         }
-        self.enqueue_filestore(jseq, txn);
+        self.enqueue_filestore(jseq, txn, payload);
         let mut st = pg.lock_measured();
         st.last_committed = st.last_committed.max(pg_seq);
         drop(st);
@@ -1440,15 +1504,26 @@ impl OsdInner {
         );
     }
 
+    /// Allocate a replication/push sub-op id. The counter occupies the
+    /// high bits; the low [`SHARD_BITS`] carry the PG's completion shard,
+    /// so the eventual ack — which carries only the id — routes straight
+    /// to the right sharded wait table.
+    fn alloc_rep_id(&self, pg: PgId) -> u64 {
+        (self.next_rep_id.fetch_add(1, Ordering::Relaxed) << SHARD_BITS) | pg_shard(pg) as u64
+    }
+
     /// Flip a replica-side rep_id to "committed" so retransmits re-ack.
     fn mark_rep_done(&self, primary: Addr, rep_id: u64) {
-        self.rep_seen.lock().state.insert((primary, rep_id), true);
+        self.rep_seen[rep_shard(rep_id)]
+            .lock()
+            .state
+            .insert((primary, rep_id), true);
     }
 
     /// Remember an outstanding replication sub-op for ack tracking and
     /// timeout-driven retransmission.
     fn track_rep(&self, rep_id: u64, op: &Arc<WriteOp>, to: Addr, rep: RepOp) {
-        self.rep_waits.lock().insert(
+        self.rep_waits[rep_shard(rep_id)].lock().insert(
             rep_id,
             RepWait {
                 op: Arc::clone(op),
@@ -1468,8 +1543,9 @@ impl OsdInner {
         let now = Instant::now();
         let mut resend: Vec<(Addr, RepOp)> = Vec::new();
         let mut gave_up: Vec<Arc<WriteOp>> = Vec::new();
-        {
-            let mut waits = self.rep_waits.lock();
+        // Shards are swept one at a time — never two shard locks at once.
+        for shard in &self.rep_waits {
+            let mut waits = shard.lock();
             let mut dead: Vec<u64> = Vec::new();
             for (id, w) in waits.iter_mut() {
                 if now.duration_since(w.sent) < timeout {
@@ -1502,8 +1578,16 @@ impl OsdInner {
         }
     }
 
-    fn enqueue_filestore(self: &Arc<Self>, jseq: u64, txn: Transaction) {
-        self.pending_apply.lock().insert(jseq, txn.clone());
+    fn enqueue_filestore(self: &Arc<Self>, jseq: u64, txn: Transaction, payload: Bytes) {
+        // `payload` is the txn's journal encoding — a refcounted slice of
+        // the same buffer the journal holds, so this insert is O(1) and
+        // copy-free where the old code deep-cloned the transaction.
+        let gate_obj = txn
+            .ops()
+            .first()
+            .map(|o| o.object().to_string())
+            .unwrap_or_default();
+        self.pending_apply.lock().insert(jseq, (gate_obj, payload));
         let inner = Arc::clone(self);
         let res = self.store.queue_transaction(
             txn,
@@ -1531,22 +1615,20 @@ impl OsdInner {
     /// release the apply gate fail-open so readers of the object aren't
     /// wedged behind a txn that will never complete on this incarnation.
     fn on_apply_failed(&self, jseq: u64) {
-        let obj = self
-            .pending_apply
-            .lock()
-            .get(&jseq)
-            .and_then(|t| t.ops().first().map(|o| o.object().to_string()));
+        let obj = self.pending_apply.lock().get(&jseq).map(|(o, _)| o.clone());
         if let Some(obj) = obj {
-            self.apply_gate.done(&obj);
+            if !obj.is_empty() {
+                self.apply_gate.done(&obj);
+            }
         }
     }
 
     fn on_applied(&self, jseq: u64) {
         self.log("filestore applied");
-        let txn = self.pending_apply.lock().remove(&jseq);
-        if let Some(txn) = txn {
-            if let Some(op) = txn.ops().first() {
-                self.apply_gate.done(op.object());
+        let entry = self.pending_apply.lock().remove(&jseq);
+        if let Some((obj, _)) = entry {
+            if !obj.is_empty() {
+                self.apply_gate.done(&obj);
             }
         }
         let watermark = self.trim.lock().mark(jseq);
@@ -1567,7 +1649,7 @@ impl OsdInner {
         // ignored (its commit will ack); only new ids are journaled.
         {
             let key = (from, rep.rep_id);
-            let mut seen = self.rep_seen.lock();
+            let mut seen = self.rep_seen[rep_shard(rep.rep_id)].lock();
             match seen.state.get(&key) {
                 Some(true) => {
                     drop(seen);
@@ -1588,6 +1670,15 @@ impl OsdInner {
         let pg = self.pg(rep.pg);
         let inner = Arc::clone(self);
         let pgc = Arc::clone(&pg);
+        if self.tuning.fast_ack {
+            // §3.1 + group commit: the whole sub-op — PG bookkeeping, txn
+            // build, journal commit, RepAck — runs inline on the messenger
+            // dispatch thread through the journal's inline fast path,
+            // cutting the PG-queue, committer and completion-worker
+            // hand-offs out of the primary-observed ack round trip.
+            pg.submit(Box::new(move |st| inner.process_repop(st, &pgc, from, rep)), true);
+            return;
+        }
         self.queue_pg(
             pg,
             Box::new(move |st| {
@@ -1611,16 +1702,66 @@ impl OsdInner {
                 let inner2 = Arc::clone(&inner);
                 let pgc2 = Arc::clone(&pgc);
                 let payload = txn.encode();
+                // zero-copy-ok: Bytes refcount bump shared with the journal record
+                let payload2 = payload.clone();
                 let pg_seq = rep.pg_seq;
                 let rep_id = rep.rep_id;
                 let _ = inner.journal.submit(
                     payload,
                     Box::new(move |jseq| {
-                        inner2.on_journal_commit_replica(pgc2, jseq, txn, pg_seq, from, rep_id);
+                        inner2.on_journal_commit_replica(
+                            pgc2, jseq, txn, payload2, pg_seq, from, rep_id,
+                        );
                     }),
                 );
             }),
         );
+    }
+
+    /// Fast-path replica sub-op, running under the PG lock on whichever
+    /// thread drained it (normally the messenger dispatch thread). The
+    /// journal commit callback runs either inline right here (idle
+    /// journal) or later on the committer thread; both contexts only take
+    /// locks ranked above `PG_STATE`, and neither re-locks this PG — the
+    /// `last_committed` bump happens below, under the guard we already
+    /// hold (`next_pg_seq` was raised first, so peering answers are
+    /// identical either way).
+    fn process_repop(self: &Arc<Self>, st: &mut PgState, pg: &Arc<Pg>, from: Addr, rep: RepOp) {
+        self.alloc_overhead();
+        st.next_pg_seq = st.next_pg_seq.max(rep.pg_seq);
+        let obj_name = rep.object.to_string();
+        let txn = match &rep.op {
+            ObjectOp::Write { offset, data } => {
+                build_write_txn(pg.id(), &obj_name, *offset, data, rep.pg_seq)
+            }
+            ObjectOp::Delete => {
+                let mut t = Transaction::new();
+                t.push(TxOp::Remove {
+                    object: obj_name.clone(),
+                });
+                t.push(pg_log_op(pg.id(), rep.pg_seq, &obj_name));
+                t
+            }
+            _ => return,
+        };
+        let payload = txn.encode();
+        // zero-copy-ok: Bytes refcount bump shared with the journal record
+        let payload2 = payload.clone();
+        let inner = Arc::clone(self);
+        let osd_id = self.id;
+        let rep_id = rep.rep_id;
+        let res = self.journal.submit_inline(
+            payload,
+            Box::new(move |jseq| {
+                inner.enqueue_filestore(jseq, txn, payload2);
+                inner.mark_rep_done(from, rep_id);
+                inner.log("replica commit ack (inline)");
+                inner.send(from, OsdMsg::RepAck(RepOpReply { rep_id, from: osd_id }));
+            }),
+        );
+        if res.is_ok() {
+            st.last_committed = st.last_committed.max(rep.pg_seq);
+        }
     }
 
     // ---------------------------------------------------------------- //
@@ -1629,7 +1770,12 @@ impl OsdInner {
 
     fn handle_repack(self: &Arc<Self>, ack: RepOpReply) {
         self.repacks.inc();
-        let Some(wait) = self.rep_waits.lock().remove(&ack.rep_id) else {
+        // The id's low bits name its completion shard: one sharded lock,
+        // no scan, no contention with acks on other PG shards.
+        let Some(wait) = self.rep_waits[rep_shard(ack.rep_id)]
+            .lock()
+            .remove(&ack.rep_id)
+        else {
             // Not a replication sub-op: recovery-push acks share the id
             // space; anything left is a duplicate ack (retransmit raced
             // the original) and is dropped.
@@ -2130,7 +2276,7 @@ impl OsdInner {
         if st.recovering.get(&(peer, obj_name.clone())) != Some(&gen) {
             return; // superseded; the pump will push fresh data
         }
-        let push_id = self.next_rep_id.fetch_add(1, Ordering::Relaxed);
+        let push_id = self.alloc_rep_id(pg.id());
         let push = PushOp {
             push_id,
             pg: pg.id(),
@@ -2140,7 +2286,7 @@ impl OsdInner {
         };
         // PG_STATE → PUSH_WAITS ranks upward; holding the PG lock through
         // the send keeps the ack from racing this bookkeeping.
-        self.push_waits.lock().insert(
+        self.push_waits[rep_shard(push_id)].lock().insert(
             push_id,
             PushWait {
                 pg: Arc::clone(pg),
@@ -2164,7 +2310,7 @@ impl OsdInner {
         // Same dedup window as Replicate: push ids share the id space.
         {
             let key = (from, push.push_id);
-            let mut seen = self.rep_seen.lock();
+            let mut seen = self.rep_seen[rep_shard(push.push_id)].lock();
             match seen.state.get(&key) {
                 Some(true) => {
                     drop(seen);
@@ -2205,6 +2351,7 @@ impl OsdInner {
                         t.push(TxOp::Write {
                             object: obj_name.clone(),
                             offset: 0,
+                            // zero-copy-ok: Bytes refcount bump into the txn
                             data: data.clone(),
                         });
                         t.push(pg_log_op(pgc.id(), push.pg_seq, &obj_name));
@@ -2234,12 +2381,16 @@ impl OsdInner {
                 let inner2 = Arc::clone(&inner);
                 let pgc2 = Arc::clone(&pgc);
                 let payload = txn.encode();
+                // zero-copy-ok: Bytes refcount bump shared with the journal record
+                let payload2 = payload.clone();
                 let pg_seq = push.pg_seq;
                 let push_id = push.push_id;
                 let _ = inner.journal.submit(
                     payload,
                     Box::new(move |jseq| {
-                        inner2.on_journal_commit_replica(pgc2, jseq, txn, pg_seq, from, push_id);
+                        inner2.on_journal_commit_replica(
+                            pgc2, jseq, txn, payload2, pg_seq, from, push_id,
+                        );
                     }),
                 );
             }),
@@ -2251,7 +2402,10 @@ impl OsdInner {
     fn handle_push_ack(&self, ack: RepOpReply) {
         // The push_waits guard drops before the PG lock (sequential, not
         // nested: the ranks would invert the declared order otherwise).
-        let Some(pw) = self.push_waits.lock().remove(&ack.rep_id) else {
+        let Some(pw) = self.push_waits[rep_shard(ack.rep_id)]
+            .lock()
+            .remove(&ack.rep_id)
+        else {
             return;
         };
         self.recovery_push_acks.inc();
@@ -2269,15 +2423,16 @@ impl OsdInner {
     fn requeue_expired_pushes(&self) {
         let timeout = Duration::from_millis(self.tuning.rep_resend_after_ms.max(1) * 4);
         let now = Instant::now();
-        let expired: Vec<PushWait> = {
-            let mut waits = self.push_waits.lock();
+        let mut expired: Vec<PushWait> = Vec::new();
+        for shard in &self.push_waits {
+            let mut waits = shard.lock();
             let ids: Vec<u64> = waits
                 .iter()
                 .filter(|(_, w)| now.duration_since(w.sent) >= timeout)
                 .map(|(id, _)| *id)
                 .collect();
-            ids.into_iter().filter_map(|id| waits.remove(&id)).collect()
-        };
+            expired.extend(ids.into_iter().filter_map(|id| waits.remove(&id)));
+        }
         for pw in expired {
             self.recovery_requeues.inc();
             let mut st = pw.pg.lock_measured();
@@ -2380,6 +2535,7 @@ fn build_write_txn(pg: PgId, object: &str, offset: u64, data: &Bytes, pg_seq: u6
     txn.push(TxOp::Write {
         object: object.to_string(),
         offset,
+        // zero-copy-ok: Bytes refcount bump into the txn
         data: data.clone(),
     });
     txn.push(TxOp::SetAttrs {

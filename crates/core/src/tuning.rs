@@ -128,6 +128,15 @@ pub struct OsdTuning {
     /// backfill traffic from starving client I/O (Ceph's
     /// `osd_recovery_max_active`).
     pub recovery_max_inflight: usize,
+    /// Group commit: max entries coalesced into one journal record.
+    pub journal_batch_max_ops: usize,
+    /// Group commit: max aligned bytes coalesced into one journal record.
+    pub journal_batch_max_bytes: u64,
+    /// Group commit: adaptive linger window, microseconds. A batch that
+    /// already holds ≥2 entries waits up to this long to fill before the
+    /// single flush; a lone entry never waits (no added latency at low
+    /// queue depth). Zero disables lingering.
+    pub journal_batch_max_wait_us: u64,
 }
 
 impl OsdTuning {
@@ -150,6 +159,9 @@ impl OsdTuning {
             heartbeat_interval_ms: 0,
             heartbeat_grace_ms: 200,
             recovery_max_inflight: 16,
+            journal_batch_max_ops: 64,
+            journal_batch_max_bytes: 8 * 1024 * 1024,
+            journal_batch_max_wait_us: 0,
         }
     }
 
@@ -172,6 +184,9 @@ impl OsdTuning {
             heartbeat_interval_ms: 0,
             heartbeat_grace_ms: 200,
             recovery_max_inflight: 16,
+            journal_batch_max_ops: 64,
+            journal_batch_max_bytes: 8 * 1024 * 1024,
+            journal_batch_max_wait_us: 50,
         }
     }
 
@@ -280,6 +295,11 @@ mod tests {
         assert_eq!(a.heartbeat_interval_ms, 0);
         assert_eq!(a.with_heartbeats(5).heartbeat_interval_ms, 5);
         assert_eq!(OsdTuning::afceph().with_heartbeats(5).label(), "afceph");
+        // Group commit is tuned on in afceph, conservative in community.
+        let (c, a) = (OsdTuning::community(), OsdTuning::afceph());
+        assert_eq!(c.journal_batch_max_wait_us, 0);
+        assert_eq!(a.journal_batch_max_wait_us, 50);
+        assert!(a.journal_batch_max_ops >= 2 && a.journal_batch_max_bytes > 0);
     }
 
     #[test]

@@ -4,6 +4,7 @@
 
 use afc_common::{AfcError, FaultKind, FaultPlan, FaultSpec};
 use afc_core::{Cluster, DeviceProfile, OsdTuning};
+use bytes::Bytes;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -163,6 +164,46 @@ fn write_path_device_error_does_not_wedge_the_osd() {
     // another device op; either way nothing hung and stats are coherent.
     let stats = osd.stats();
     assert!(stats.writes >= 2);
+    cluster.shutdown();
+}
+
+#[test]
+fn journal_flush_backpressure_preserves_ack_order() {
+    let cluster = replicated_cluster(0x07);
+    let reg = cluster.fault_registry().unwrap().clone();
+    let client = cluster.client().unwrap();
+
+    // Stall several group-commit flush barriers on both nodes' journals
+    // while a pipelined burst of overwrites is in flight. Acks back up
+    // behind the slow records, batches grow, but commit callbacks still
+    // fire in journal-sequence order — so per-PG write order must hold
+    // and the final state must be the LAST issued write.
+    reg.install(
+        FaultSpec::new("node0.journal.flush", FaultKind::Delay(Duration::from_millis(5))).times(4),
+    );
+    reg.install(
+        FaultSpec::new("node1.journal.flush", FaultKind::Delay(Duration::from_millis(5))).times(4),
+    );
+    let handles: Vec<_> = (0..24u8)
+        .map(|v| {
+            client
+                .write_object_async("gc_order", 0, Bytes::from(vec![v; 512]))
+                .unwrap()
+        })
+        .collect();
+    for h in handles {
+        h.wait().unwrap();
+    }
+    let hits = reg.hits("node0.journal.flush") + reg.hits("node1.journal.flush");
+    assert!(hits >= 1, "flush fault never fired");
+
+    cluster.quiesce();
+    let report = cluster.deep_scrub().unwrap();
+    assert!(report.is_clean(), "inconsistent: {:?}", report.inconsistent);
+    assert_eq!(client.read_object("gc_order", 0, 512).unwrap(), vec![
+        23u8;
+        512
+    ]);
     cluster.shutdown();
 }
 

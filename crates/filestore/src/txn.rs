@@ -222,7 +222,29 @@ impl Transaction {
     /// Decode a serialized transaction (journal replay). Fails with
     /// [`AfcError::Corruption`] on any structural damage.
     pub fn decode(buf: &[u8]) -> Result<Transaction> {
-        let mut cur = Cursor { buf, pos: 0 };
+        let mut cur = Cursor {
+            buf,
+            shared: None,
+            pos: 0,
+        };
+        Self::decode_from(&mut cur)
+    }
+
+    /// Decode from a refcounted buffer, slicing each `Bytes` field (write
+    /// payloads, omap keys/values, attr values) out of `buf` instead of
+    /// copying it — the zero-copy replay path: a decoded write shares its
+    /// data with the journal entry that carried it.
+    pub fn decode_shared(buf: &Bytes) -> Result<Transaction> {
+        let mut cur = Cursor {
+            buf,
+            shared: Some(buf),
+            pos: 0,
+        };
+        Self::decode_from(&mut cur)
+    }
+
+    fn decode_from(cur: &mut Cursor) -> Result<Transaction> {
+        let buf = cur.buf;
         let n = cur.u32()? as usize;
         let mut ops = Vec::with_capacity(n.min(1024));
         for _ in 0..n {
@@ -363,6 +385,9 @@ fn put_bytes(buf: &mut Vec<u8>, b: &[u8]) {
 
 struct Cursor<'a> {
     buf: &'a [u8],
+    /// When decoding from a refcounted buffer, `bytes()` slices it
+    /// (O(1), shared ownership) instead of copying.
+    shared: Option<&'a Bytes>,
     pos: usize,
 }
 
@@ -392,6 +417,11 @@ impl Cursor<'_> {
 
     fn bytes(&mut self) -> Result<Bytes> {
         let n = self.u32()? as usize;
+        if let Some(shared) = self.shared {
+            let start = self.pos;
+            self.take(n)?; // bounds check + advance
+            return Ok(shared.slice(start..start + n));
+        }
         Ok(Bytes::copy_from_slice(self.take(n)?))
     }
 
@@ -560,6 +590,39 @@ mod tests {
         let d = Transaction::decode(&enc).unwrap();
         assert_eq!(d.len(), t.len());
         assert_eq!(format!("{:?}", d.ops()), format!("{:?}", t.ops()));
+    }
+
+    #[test]
+    fn decode_shared_is_zero_copy_and_identical() {
+        let mut t = Transaction::new();
+        t.push(TxOp::Touch { object: "o".into() });
+        t.push(TxOp::Write {
+            object: "o".into(),
+            offset: 64,
+            data: Bytes::from(vec![7u8; 4096]),
+        });
+        t.push(TxOp::OmapSetKeys {
+            object: "pgmeta_1".into(),
+            keys: vec![(Bytes::from_static(b"k"), Bytes::from_static(b"v"))],
+        });
+        let enc = t.encode();
+        let copied = Transaction::decode(&enc).unwrap();
+        let shared = Transaction::decode_shared(&enc).unwrap();
+        assert_eq!(format!("{:?}", shared.ops()), format!("{:?}", copied.ops()));
+        // The write payload must alias the encoding, not a fresh allocation.
+        let data = shared
+            .ops()
+            .iter()
+            .find_map(|o| match o {
+                TxOp::Write { data, .. } => Some(data),
+                _ => None,
+            })
+            .unwrap();
+        let enc_range = enc.as_ptr() as usize..enc.as_ptr() as usize + enc.len();
+        assert!(enc_range.contains(&(data.as_ptr() as usize)));
+        // Damage is rejected identically on both paths.
+        let torn = enc.slice(..enc.len() - 3);
+        assert!(Transaction::decode_shared(&torn).is_err());
     }
 
     #[test]

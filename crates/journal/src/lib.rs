@@ -6,9 +6,21 @@
 //! on an [`afc_device::BlockDev`] (the paper used a PMC 8 GB NVRAM card,
 //! 2 GB per OSD):
 //!
-//! - **Batching writer thread**: queued entries are written in one aligned
-//!   device write (direct I/O style), then handed to the completion thread,
-//!   which fires the commit callbacks in submission order.
+//! - **Group commit**: submissions enqueue into a pending batch; the
+//!   committer thread drains the queue, writes one coalesced multi-entry
+//!   record (per-entry checksums preserved), issues a **single flush**
+//!   barrier for the whole record, and fires every commit callback in
+//!   submission order on its own thread — no per-entry device round trip,
+//!   no completion-channel hop. Batch size is bounded by
+//!   [`JournalConfig::batch_max_ops`] / [`JournalConfig::batch_max_bytes`];
+//!   an adaptive linger ([`JournalConfig::batch_max_wait`]) lets a batch
+//!   that already holds ≥2 entries fill further, while a lone entry always
+//!   flushes immediately so low queue depth pays no added latency.
+//! - **Inline fast path**: [`Journal::submit_inline`] commits on the
+//!   *calling* thread when the journal is idle, skipping the committer
+//!   wakeup entirely; under contention it degrades to the queued path. A
+//!   `committing` flag makes inline and batch commits mutually exclusive,
+//!   so the global callback order is still exactly sequence order.
 //! - **Ring space accounting**: entries occupy the ring until the filestore
 //!   reports them applied ([`Journal::trim_through`]). When the ring fills,
 //!   submitters block — the backpressure behind Figure 10's 32K-random-write
@@ -24,11 +36,13 @@
 //! modeling power loss mid-transfer), the batch's tail entry reached media
 //! only partially: it is published with a poisoned checksum and its commit
 //! callback is **dropped** — the write was never durable, so it must never
-//! be acknowledged. [`Journal::replay`] validates checksums oldest-first and
-//! truncates the log at the first invalid entry; garbage past a tear is
-//! never replayed. [`Journal::crash_image`] + [`Journal::recover`] model a
-//! crash/restart: the image holds exactly the media-durable entries
-//! (in-flight submissions are lost, like DRAM contents at power loss).
+//! be acknowledged. A torn record is also never flushed: the barrier only
+//! runs for records that reached media whole. [`Journal::replay`] validates
+//! checksums oldest-first and truncates the log at the first invalid entry;
+//! garbage past a tear is never replayed. [`Journal::crash_image`] +
+//! [`Journal::recover`] model a crash/restart: the image holds exactly the
+//! media-durable entries (in-flight submissions are lost, like DRAM
+//! contents at power loss).
 
 pub mod stats;
 
@@ -50,8 +64,16 @@ pub struct JournalConfig {
     pub capacity: u64,
     /// Device-write alignment (direct I/O block size).
     pub align: u64,
-    /// Maximum entries folded into one device write.
-    pub batch_max: usize,
+    /// Maximum entries folded into one group-commit record.
+    pub batch_max_ops: usize,
+    /// Maximum aligned bytes folded into one group-commit record. A batch
+    /// always admits at least one entry regardless of this cap.
+    pub batch_max_bytes: u64,
+    /// Adaptive linger: once the pending batch holds ≥2 entries, wait up
+    /// to this long for it to fill before flushing. A lone entry never
+    /// lingers, so low queue depth pays no added latency. Zero disables
+    /// lingering entirely (flush whatever drained).
+    pub batch_max_wait: Duration,
     /// Fail `submit` instead of blocking when the ring is full.
     pub fail_when_full: bool,
 }
@@ -61,14 +83,17 @@ impl Default for JournalConfig {
         JournalConfig {
             capacity: 2 * 1024 * 1024 * 1024,
             align: 4096,
-            batch_max: 64,
+            batch_max_ops: 64,
+            batch_max_bytes: 8 * 1024 * 1024,
+            batch_max_wait: Duration::ZERO,
             fail_when_full: false,
         }
     }
 }
 
 /// Commit callback: receives the entry's journal sequence number. Runs on
-/// the journal's completion thread.
+/// the journal committer thread (or the submitting thread for inline
+/// commits), always in sequence order.
 pub type CommitFn = Box<dyn FnOnce(u64) + Send>;
 
 /// A journaled entry retained for replay until trimmed.
@@ -105,7 +130,7 @@ struct Pending {
 }
 
 struct RingState {
-    /// Entries waiting for the writer thread.
+    /// Entries waiting for the committer thread.
     pending: VecDeque<Pending>,
     /// Committed but untrimmed entries (replay set), oldest first.
     live: VecDeque<JournalEntry>,
@@ -113,6 +138,11 @@ struct RingState {
     used: u64,
     next_seq: u64,
     write_cursor: u64,
+    /// A record (batch or inline) is between drain and callback-complete.
+    /// While set, no other commit may start: this is what serializes
+    /// inline commits against the committer and keeps callback order
+    /// equal to sequence order.
+    committing: bool,
     shutdown: bool,
 }
 
@@ -120,20 +150,17 @@ struct Inner {
     cfg: JournalConfig,
     dev: Arc<dyn BlockDev>,
     ring: TrackedMutex<RingState>,
-    /// Writer thread wakeup.
+    /// Committer wakeup (work arrived, or `committing` cleared).
     work_cv: TrackedCondvar,
     /// Space-available wakeup for blocked submitters.
     space_cv: TrackedCondvar,
     stats: JournalStatsCell,
-    /// Channel to the completion thread.
-    done_tx: TrackedMutex<Option<crossbeam::channel::Sender<(u64, CommitFn)>>>,
 }
 
 /// The write-ahead ring journal. See the crate docs.
 pub struct Journal {
     inner: Arc<Inner>,
-    writer: Option<std::thread::JoinHandle<()>>,
-    completer: Option<std::thread::JoinHandle<()>>,
+    committer: Option<std::thread::JoinHandle<()>>,
 }
 
 impl Journal {
@@ -144,7 +171,6 @@ impl Journal {
             capacity: cfg.capacity.min(dev.capacity()),
             ..cfg
         };
-        let (done_tx, done_rx) = crossbeam::channel::unbounded::<(u64, CommitFn)>();
         let inner = Arc::new(Inner {
             cfg,
             dev,
@@ -156,37 +182,24 @@ impl Journal {
                     used: 0,
                     next_seq: 1,
                     write_cursor: 0,
+                    committing: false,
                     shutdown: false,
                 },
             ),
             work_cv: TrackedCondvar::new(),
             space_cv: TrackedCondvar::new(),
             stats: JournalStatsCell::default(),
-            done_tx: TrackedMutex::new(&classes::JOURNAL_DONE_TX, Some(done_tx)),
         });
-        let writer = {
+        let committer = {
             let inner = Arc::clone(&inner);
             std::thread::Builder::new()
-                .name("journal-writer".into())
-                .spawn(move || writer_loop(inner))
-                .expect("spawn journal writer")
-        };
-        let completer = {
-            let stats = Arc::clone(&inner);
-            std::thread::Builder::new()
-                .name("journal-finisher".into())
-                .spawn(move || {
-                    while let Ok((seq, cb)) = done_rx.recv() {
-                        stats.stats.commits.inc();
-                        cb(seq);
-                    }
-                })
-                .expect("spawn journal finisher")
+                .name("journal-committer".into())
+                .spawn(move || committer_loop(inner))
+                .expect("spawn journal committer")
         };
         Arc::new(Journal {
             inner,
-            writer: Some(writer),
-            completer: Some(completer),
+            committer: Some(committer),
         })
     }
 
@@ -196,17 +209,25 @@ impl Journal {
         raw.div_ceil(self.inner.cfg.align) * self.inner.cfg.align
     }
 
-    /// Submit a transaction payload. Blocks while the ring is full (or
-    /// fails with [`AfcError::Full`] when `fail_when_full`). `on_commit`
-    /// fires on the completion thread once the entry is durable.
-    pub fn submit(&self, payload: Bytes, on_commit: CommitFn) -> Result<u64> {
-        let footprint = self.footprint(payload.len());
+    /// Reserve ring space and a sequence number, enqueueing nothing yet.
+    /// Shared by the queued and inline submit paths.
+    fn check_footprint(&self, footprint: u64) -> Result<()> {
         if footprint > self.inner.cfg.capacity {
             return Err(AfcError::InvalidArgument(format!(
                 "entry footprint {footprint} exceeds journal capacity {}",
                 self.inner.cfg.capacity
             )));
         }
+        Ok(())
+    }
+
+    /// Submit a transaction payload into the pending group-commit batch.
+    /// Blocks while the ring is full (or fails with [`AfcError::Full`]
+    /// when `fail_when_full`). `on_commit` fires on the committer thread
+    /// once the entry's record is durable.
+    pub fn submit(&self, payload: Bytes, on_commit: CommitFn) -> Result<u64> {
+        let footprint = self.footprint(payload.len());
+        self.check_footprint(footprint)?;
         let inner = &self.inner;
         if !inner.cfg.fail_when_full {
             // May park on space_cv until the filestore trims; callers must
@@ -243,6 +264,64 @@ impl Journal {
         });
         inner.stats.submits.inc();
         inner.work_cv.notify_one();
+        Ok(seq)
+    }
+
+    /// Submit with the low-queue-depth fast path: when the journal is
+    /// idle (no pending batch, no commit in flight, space available), the
+    /// record is written and flushed on the *calling* thread and
+    /// `on_commit` fires before this returns — no committer-thread hop.
+    /// Otherwise it degrades to the queued group-commit path. Callback
+    /// order is sequence order either way (see [`RingState::committing`]).
+    ///
+    /// The caller eats the device latency, so use this only from threads
+    /// allowed to block for a device write (e.g. replica-side dispatch).
+    pub fn submit_inline(&self, payload: Bytes, on_commit: CommitFn) -> Result<u64> {
+        let footprint = self.footprint(payload.len());
+        self.check_footprint(footprint)?;
+        let inner = &self.inner;
+        let seq = {
+            let mut ring = inner.ring.lock();
+            if ring.shutdown {
+                return Err(AfcError::ShutDown("journal".into()));
+            }
+            if !ring.pending.is_empty()
+                || ring.committing
+                || ring.used + footprint > inner.cfg.capacity
+            {
+                drop(ring);
+                return self.submit(payload, on_commit);
+            }
+            let seq = ring.next_seq;
+            ring.next_seq += 1;
+            ring.used += footprint;
+            ring.committing = true;
+            inner.stats.submits.inc();
+            seq
+        };
+        let torn = write_record(inner, footprint);
+        let mut checksum = entry_checksum(seq, &payload);
+        if torn {
+            checksum = !checksum;
+        }
+        {
+            let mut ring = inner.ring.lock();
+            ring.live.push_back(JournalEntry {
+                seq,
+                footprint,
+                payload,
+                checksum,
+            });
+        }
+        if !torn {
+            inner.stats.commits.inc();
+            inner.stats.inline_commits.inc();
+            on_commit(seq);
+        }
+        // Only now may the committer (or another inline submitter) start
+        // the next record: our callback has fired, order is preserved.
+        inner.ring.lock().committing = false;
+        inner.work_cv.notify_all();
         Ok(seq)
     }
 
@@ -361,82 +440,134 @@ impl Journal {
     }
 }
 
-fn writer_loop(inner: Arc<Inner>) {
+/// Write one coalesced record of `total` aligned bytes at the ring cursor,
+/// then issue the group-commit flush barrier. Returns whether the record's
+/// tail tore. Called with no locks held (device waits block).
+fn write_record(inner: &Inner, total: u64) -> bool {
+    let offset = {
+        let mut ring = inner.ring.lock();
+        let cap = inner.cfg.capacity;
+        if ring.write_cursor + total > cap {
+            ring.write_cursor = 0;
+        }
+        let off = ring.write_cursor;
+        ring.write_cursor += total;
+        off
+    };
+    let torn = match inner
+        .dev
+        .submit(IoReq::write(offset, total.min(u32::MAX as u64) as u32))
+    {
+        Ok(_) => false,
+        Err(AfcError::TornWrite(_)) => {
+            // Power-loss model: a prefix of the record reached media, the
+            // tail entry tore. The caller poisons the tail when publishing.
+            inner.stats.torn_writes.inc();
+            true
+        }
+        Err(_) => {
+            // Injected device fault: entries are still accepted (NVRAM
+            // models don't really fail mid-stream); account and continue.
+            inner.stats.write_errors.inc();
+            false
+        }
+    };
+    inner.stats.batches.inc();
+    inner.stats.bytes_written.add(total);
+    if !torn {
+        // One barrier makes the whole record durable — this is the flush
+        // the group amortizes. A torn record never reached media whole,
+        // so there is nothing to harden.
+        match inner.dev.submit(IoReq::flush()) {
+            Ok(_) => inner.stats.flushes.inc(),
+            Err(_) => inner.stats.write_errors.inc(),
+        }
+    }
+    torn
+}
+
+fn committer_loop(inner: Arc<Inner>) {
     loop {
-        // Collect a batch.
+        // Claim a batch: wait for work and for any in-flight record
+        // (inline or previous batch) to finish its callbacks.
         let batch: Vec<Pending> = {
             let mut ring = inner.ring.lock();
             loop {
-                if !ring.pending.is_empty() {
-                    let n = ring.pending.len().min(inner.cfg.batch_max);
-                    break ring.pending.drain(..n).collect();
+                if !ring.pending.is_empty() && !ring.committing {
+                    break;
                 }
-                if ring.shutdown {
+                if ring.shutdown && ring.pending.is_empty() {
                     return;
                 }
                 inner.work_cv.wait(&mut ring);
             }
+            // Adaptive linger: a lone entry flushes immediately (low
+            // queue depth must not pay added latency); with ≥2 entries
+            // queued, arrivals are bursty — wait up to batch_max_wait for
+            // the batch to fill before flushing.
+            let wait = inner.cfg.batch_max_wait;
+            if !wait.is_zero() && ring.pending.len() >= 2 {
+                let deadline = Instant::now() + wait;
+                let full = |r: &RingState| {
+                    r.pending.len() >= inner.cfg.batch_max_ops
+                        || r.pending.iter().map(|p| p.footprint).sum::<u64>()
+                            >= inner.cfg.batch_max_bytes
+                };
+                while !full(&ring) && !ring.shutdown {
+                    if inner.work_cv.wait_until(&mut ring, deadline).timed_out() {
+                        break;
+                    }
+                }
+            }
+            // Drain up to the ops/bytes caps (always at least one entry).
+            let mut n = 0usize;
+            let mut bytes = 0u64;
+            for p in ring.pending.iter() {
+                if n == inner.cfg.batch_max_ops
+                    || (n > 0 && bytes + p.footprint > inner.cfg.batch_max_bytes)
+                {
+                    break;
+                }
+                bytes += p.footprint;
+                n += 1;
+            }
+            ring.committing = true;
+            ring.pending.drain(..n).collect()
         };
-        // One aligned device write for the whole batch.
         let total: u64 = batch.iter().map(|p| p.footprint).sum();
-        let (offset, wrapped) = {
-            let mut ring = inner.ring.lock();
-            let cap = inner.cfg.capacity;
-            if ring.write_cursor + total > cap {
-                ring.write_cursor = 0;
-            }
-            let off = ring.write_cursor;
-            ring.write_cursor += total;
-            (off, ring.write_cursor >= cap)
-        };
-        let _ = wrapped;
-        let torn = match inner
-            .dev
-            .submit(IoReq::write(offset, total.min(u32::MAX as u64) as u32))
-        {
-            Ok(_) => false,
-            Err(AfcError::TornWrite(_)) => {
-                // Power-loss model: a prefix of the batch reached media, the
-                // tail entry tore. Handled below when publishing.
-                inner.stats.torn_writes.inc();
-                true
-            }
-            Err(_) => {
-                // Injected device fault: entries are still accepted (NVRAM
-                // models don't really fail mid-stream); account and continue.
-                inner.stats.write_errors.inc();
-                false
-            }
-        };
-        inner.stats.batches.inc();
-        inner.stats.bytes_written.add(total);
-        // Publish as live (replayable) and hand to the completion thread.
-        let done_tx = inner.done_tx.lock().clone();
+        let torn = write_record(&inner, total);
+        // Publish to the replay set, then fire callbacks in submission
+        // order on this thread — no completion-channel hop.
         let n = batch.len();
-        let mut ring = inner.ring.lock();
-        for (i, p) in batch.into_iter().enumerate() {
-            let tail_torn = torn && i + 1 == n;
-            let mut checksum = entry_checksum(p.seq, &p.payload);
-            if tail_torn {
-                // The tail is garbage on media: poison its checksum so
-                // replay truncates it.
-                checksum = !checksum;
-            }
-            ring.live.push_back(JournalEntry {
-                seq: p.seq,
-                footprint: p.footprint,
-                payload: p.payload,
-                checksum,
-            });
-            if tail_torn {
-                // Never durable, so never acknowledged: the commit callback
-                // is dropped, not fired.
-                continue;
-            }
-            if let Some(Some(tx)) = done_tx.as_ref().map(Some) {
-                let _ = tx.send((p.seq, p.on_commit));
+        let mut callbacks: Vec<(u64, CommitFn)> = Vec::with_capacity(n);
+        {
+            let mut ring = inner.ring.lock();
+            for (i, p) in batch.into_iter().enumerate() {
+                let tail_torn = torn && i + 1 == n;
+                let mut checksum = entry_checksum(p.seq, &p.payload);
+                if tail_torn {
+                    // The tail is garbage on media: poison its checksum so
+                    // replay truncates it. Never durable, so never
+                    // acknowledged: its commit callback is dropped.
+                    checksum = !checksum;
+                }
+                ring.live.push_back(JournalEntry {
+                    seq: p.seq,
+                    footprint: p.footprint,
+                    payload: p.payload,
+                    checksum,
+                });
+                if !tail_torn {
+                    callbacks.push((p.seq, p.on_commit));
+                }
             }
         }
+        for (seq, cb) in callbacks {
+            inner.stats.commits.inc();
+            cb(seq);
+        }
+        inner.ring.lock().committing = false;
+        inner.work_cv.notify_all();
     }
 }
 
@@ -448,14 +579,7 @@ impl Drop for Journal {
         }
         self.inner.work_cv.notify_all();
         self.inner.space_cv.notify_all();
-        if let Some(h) = self.writer.take() {
-            if h.thread().id() != std::thread::current().id() {
-                let _ = h.join();
-            }
-        }
-        // Closing the completion channel stops the finisher.
-        *self.inner.done_tx.lock() = None;
-        if let Some(h) = self.completer.take() {
+        if let Some(h) = self.committer.take() {
             if h.thread().id() != std::thread::current().id() {
                 let _ = h.join();
             }
@@ -505,6 +629,7 @@ mod tests {
         assert_eq!(s.submits, 1);
         assert_eq!(s.commits, 1);
         assert!(s.bytes_written >= 4096);
+        assert_eq!(s.flushes, 1, "one barrier per record");
     }
 
     #[test]
@@ -536,6 +661,104 @@ mod tests {
             s.batches,
             s.submits
         );
+        // One flush per record, not per entry: the group-commit payoff.
+        assert_eq!(s.flushes, s.batches);
+    }
+
+    #[test]
+    fn batch_respects_bytes_cap() {
+        let dev = Arc::new(Nvram::new(NvramConfig::pmc_8g()));
+        let j = Journal::new(
+            dev,
+            JournalConfig {
+                capacity: 64 * MIB,
+                // Two 4K-aligned footprints per record, max.
+                batch_max_bytes: 8 * 1024,
+                ..JournalConfig::default()
+            },
+        );
+        for _ in 0..10 {
+            j.submit(payload(512), Box::new(|_| {})).unwrap();
+        }
+        j.quiesce();
+        let s = j.stats();
+        assert_eq!(s.commits, 10);
+        assert!(s.batches >= 5, "bytes cap ignored: {} batches", s.batches);
+    }
+
+    #[test]
+    fn inline_commit_fires_before_return() {
+        let j = journal(16 * MIB);
+        let fired = Arc::new(AtomicU64::new(0));
+        let f = Arc::clone(&fired);
+        let seq = j
+            .submit_inline(
+                payload(1024),
+                Box::new(move |s| {
+                    f.store(s, AOrd::SeqCst);
+                }),
+            )
+            .unwrap();
+        // No quiesce: the callback ran on *this* thread before return.
+        assert_eq!(fired.load(AOrd::SeqCst), seq);
+        let s = j.stats();
+        assert_eq!(s.inline_commits, 1);
+        assert_eq!(s.commits, 1);
+        assert_eq!(s.flushes, 1);
+        assert_eq!(j.replay().len(), 1);
+    }
+
+    #[test]
+    fn mixed_inline_and_queued_callbacks_stay_ordered() {
+        let j = journal(64 * MIB);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let j = &j;
+                let order = Arc::clone(&order);
+                s.spawn(move || {
+                    for _ in 0..50 {
+                        let o = Arc::clone(&order);
+                        let cb: CommitFn = Box::new(move |s| o.lock().push(s));
+                        if t % 2 == 0 {
+                            j.submit_inline(payload(128), cb).unwrap();
+                        } else {
+                            j.submit(payload(128), cb).unwrap();
+                        }
+                    }
+                });
+            }
+        });
+        j.quiesce();
+        let o = order.lock();
+        assert_eq!(o.len(), 200);
+        assert!(
+            o.windows(2).all(|w| w[0] < w[1]),
+            "inline/queued commit interleaving broke order"
+        );
+    }
+
+    #[test]
+    fn linger_fills_batches_under_load() {
+        let dev = Arc::new(Nvram::new(NvramConfig::pmc_8g()));
+        let j = Journal::new(
+            dev,
+            JournalConfig {
+                capacity: 64 * MIB,
+                batch_max_wait: Duration::from_millis(5),
+                ..JournalConfig::default()
+            },
+        );
+        // Queue a burst before the committer can drain it all; the linger
+        // window should coalesce the stragglers instead of emitting many
+        // tiny records.
+        for _ in 0..64 {
+            j.submit(payload(256), Box::new(|_| {})).unwrap();
+        }
+        j.quiesce();
+        let s = j.stats();
+        assert_eq!(s.commits, 64);
+        assert!(s.batches <= 8, "linger did not coalesce: {}", s.batches);
     }
 
     #[test]
@@ -612,6 +835,10 @@ mod tests {
     fn oversized_entry_rejected() {
         let j = journal(64 * 1024);
         let err = j.submit(payload(128 * 1024), Box::new(|_| {})).unwrap_err();
+        assert_eq!(err.kind(), "invalid_argument");
+        let err = j
+            .submit_inline(payload(128 * 1024), Box::new(|_| {}))
+            .unwrap_err();
         assert_eq!(err.kind(), "invalid_argument");
     }
 
@@ -726,6 +953,32 @@ mod fault_tests {
         // Sequencing resumes after the highest recovered entry.
         let seq = j2.submit_and_wait(Bytes::from_static(b"next")).unwrap();
         assert_eq!(seq, 5);
+    }
+
+    #[test]
+    fn torn_inline_commit_never_acks() {
+        let dev = Arc::new(Nvram::new(NvramConfig::pmc_8g()));
+        let reg = Arc::new(FaultRegistry::new());
+        dev.faults().attach(Arc::clone(&reg), "jdev");
+        let j = Journal::new(dev, JournalConfig::default());
+        reg.install(FaultSpec::new("jdev.write", FaultKind::Torn));
+        let acked = Arc::new(AtomicU64::new(0));
+        let a = Arc::clone(&acked);
+        j.submit_inline(
+            Bytes::from(vec![7u8; 256]),
+            Box::new(move |_| {
+                a.fetch_add(1, AOrd::SeqCst);
+            }),
+        )
+        .unwrap();
+        j.quiesce();
+        assert_eq!(acked.load(AOrd::SeqCst), 0, "torn inline write was acked");
+        assert_eq!(j.stats().torn_writes, 1);
+        assert_eq!(j.stats().flushes, 0, "torn record must not be flushed");
+        // The poisoned entry truncates on replay; the journal keeps working.
+        assert!(j.replay().is_empty());
+        let seq = j.submit_and_wait(Bytes::from_static(b"after")).unwrap();
+        assert_eq!(seq, 2);
     }
 
     #[test]

@@ -9,8 +9,13 @@ pub struct JournalStats {
     pub submits: u64,
     /// Entries committed (callbacks fired).
     pub commits: u64,
+    /// Entries committed on the submitter's thread via the inline
+    /// low-queue-depth fast path (subset of `commits`).
+    pub inline_commits: u64,
     /// Device writes issued (each covers a batch).
     pub batches: u64,
+    /// Group-commit flush barriers issued (one per intact record).
+    pub flushes: u64,
     /// Bytes written to the device (aligned footprints).
     pub bytes_written: u64,
     /// Bytes released by trims.
@@ -45,7 +50,9 @@ impl JournalStats {
 pub struct JournalStatsCell {
     pub(crate) submits: Counter,
     pub(crate) commits: Counter,
+    pub(crate) inline_commits: Counter,
     pub(crate) batches: Counter,
+    pub(crate) flushes: Counter,
     pub(crate) bytes_written: Counter,
     pub(crate) trimmed_bytes: Counter,
     pub(crate) full_stalls: Counter,
@@ -61,7 +68,9 @@ impl JournalStatsCell {
         JournalStats {
             submits: self.submits.get(),
             commits: self.commits.get(),
+            inline_commits: self.inline_commits.get(),
             batches: self.batches.get(),
+            flushes: self.flushes.get(),
             bytes_written: self.bytes_written.get(),
             trimmed_bytes: self.trimmed_bytes.get(),
             full_stalls: self.full_stalls.get(),
@@ -76,10 +85,12 @@ impl JournalStatsCell {
     /// `node0.journal.commits`). Registering the same cells from several
     /// journals under one prefix sums them in snapshots.
     pub fn register_into(&self, m: &Metrics, prefix: &str) {
-        let fields: [(&str, &Counter); 10] = [
+        let fields: [(&str, &Counter); 12] = [
             ("submits", &self.submits),
             ("commits", &self.commits),
+            ("inline_commits", &self.inline_commits),
             ("batches", &self.batches),
+            ("flushes", &self.flushes),
             ("bytes_written", &self.bytes_written),
             ("trimmed_bytes", &self.trimmed_bytes),
             ("full_stalls", &self.full_stalls),

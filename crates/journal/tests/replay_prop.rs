@@ -7,7 +7,9 @@ use afc_device::{Nvram, NvramConfig};
 use afc_journal::{Journal, JournalConfig};
 use bytes::Bytes;
 use proptest::prelude::*;
+use parking_lot::Mutex;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Deterministic per-entry payload so replayed bytes can be checked.
 fn payload_for(seq: u64, len: usize) -> Bytes {
@@ -80,4 +82,149 @@ proptest! {
         let again: Vec<u64> = j2.replay().iter().map(|e| e.seq).collect();
         prop_assert_eq!(&again, &expect, "second replay must be a no-op repeat");
     }
+
+    /// Group commit is a pure batching optimization: a run of coalesced
+    /// submits must replay to exactly the same `(seq, payload)` sequence
+    /// as the same payloads written one record per op, and callbacks must
+    /// fire in submission order either way.
+    #[test]
+    fn group_commit_replay_equals_per_op_replay(
+        lens in proptest::collection::vec(1u16..2048, 3..32),
+    ) {
+        // Batched journal: stall record 1's flush barrier so the rest of
+        // the run queues behind it and coalesces into multi-entry records.
+        let dev = Arc::new(Nvram::new(NvramConfig::pmc_8g()));
+        let reg = Arc::new(FaultRegistry::new());
+        dev.faults().attach(Arc::clone(&reg), "jdev");
+        let grouped = Journal::new(dev, JournalConfig::default());
+        reg.install(
+            FaultSpec::new("jdev.flush", FaultKind::Delay(Duration::from_millis(10))).times(1),
+        );
+        let acked = Arc::new(Mutex::new(Vec::new()));
+        for (i, len) in lens.iter().enumerate() {
+            let a = Arc::clone(&acked);
+            grouped
+                .submit(
+                    payload_for(i as u64 + 1, *len as usize),
+                    Box::new(move |s| a.lock().push(s)),
+                )
+                .unwrap();
+            if i == 0 {
+                // Record 1 is in flight before anything else is queued, so
+                // entries 2.. coalesce deterministically behind its slow
+                // barrier.
+                while grouped.stats().batches < 1 {
+                    std::thread::sleep(Duration::from_micros(100));
+                }
+            }
+        }
+        while acked.lock().len() < lens.len() {
+            std::thread::sleep(Duration::from_micros(100));
+        }
+        let gs = grouped.stats();
+        prop_assert!(
+            gs.batches < gs.submits,
+            "no coalescing: {} records for {} submits", gs.batches, gs.submits
+        );
+        prop_assert_eq!(gs.flushes, gs.batches, "one barrier per record");
+        let order = acked.lock().clone();
+        let expect_order: Vec<u64> = (1..=lens.len() as u64).collect();
+        prop_assert_eq!(&order, &expect_order, "callbacks left submission order");
+
+        // Per-op reference: identical payloads, one record + flush each.
+        let solo = Journal::new(
+            Arc::new(Nvram::new(NvramConfig::pmc_8g())),
+            JournalConfig { batch_max_ops: 1, ..JournalConfig::default() },
+        );
+        for (i, len) in lens.iter().enumerate() {
+            solo.submit_and_wait(payload_for(i as u64 + 1, *len as usize)).unwrap();
+        }
+        prop_assert_eq!(solo.stats().batches, lens.len() as u64);
+
+        // Crash both; the recovered logs must replay identically.
+        let (gi, si) = (grouped.crash_image(), solo.crash_image());
+        drop(grouped);
+        drop(solo);
+        let g2 = Journal::recover(
+            Arc::new(Nvram::new(NvramConfig::pmc_8g())),
+            JournalConfig::default(),
+            gi,
+        );
+        let s2 = Journal::recover(
+            Arc::new(Nvram::new(NvramConfig::pmc_8g())),
+            JournalConfig::default(),
+            si,
+        );
+        let gr: Vec<(u64, Bytes)> = g2.replay().iter().map(|e| (e.seq, e.payload.clone())).collect();
+        let sr: Vec<(u64, Bytes)> = s2.replay().iter().map(|e| (e.seq, e.payload.clone())).collect();
+        prop_assert_eq!(&gr, &sr, "group-commit replay diverges from per-op replay");
+        // Double replay is a no-op repeat on both.
+        prop_assert_eq!(g2.replay().len(), gr.len());
+        prop_assert_eq!(s2.replay().len(), sr.len());
+    }
+}
+
+/// Crash point inside a multi-entry batch flush: the record tears at its
+/// tail. Entries before the tail reached media whole and are committed;
+/// only the tail is poisoned, dropped from acks, and truncated on replay.
+#[test]
+fn torn_batch_tail_poisons_only_the_tail() {
+    let dev = Arc::new(Nvram::new(NvramConfig::pmc_8g()));
+    let reg = Arc::new(FaultRegistry::new());
+    dev.faults().attach(Arc::clone(&reg), "jdev");
+    let j = Journal::new(dev, JournalConfig::default());
+
+    // Hold the committer inside record 1's flush so entries 2..=5
+    // coalesce into one multi-entry record behind it.
+    reg.install(FaultSpec::new("jdev.flush", FaultKind::Delay(Duration::from_millis(25))).times(1));
+    let acked = Arc::new(Mutex::new(Vec::new()));
+    let a = Arc::clone(&acked);
+    j.submit(
+        payload_for(1, 256),
+        Box::new(move |s| a.lock().push(s)),
+    )
+    .unwrap();
+    while j.stats().batches < 1 {
+        std::thread::sleep(Duration::from_micros(100));
+    }
+    // Record 2 (entries 2..=5) tears at its tail mid-write.
+    reg.install(FaultSpec::new("jdev.write", FaultKind::Torn).times(1));
+    for s in 2..=5u64 {
+        let a = Arc::clone(&acked);
+        j.submit(
+            payload_for(s, 256),
+            Box::new(move |q| a.lock().push(q)),
+        )
+        .unwrap();
+    }
+    j.quiesce();
+    while acked.lock().len() < 4 {
+        std::thread::sleep(Duration::from_micros(100));
+    }
+
+    let st = j.stats();
+    assert_eq!(st.torn_writes, 1);
+    assert_eq!(st.batches, 2, "entries 2..=5 must share one record");
+    assert_eq!(st.flushes, 1, "a torn record must never be flushed");
+    // Entries 2..=4 of the torn record are durable and acked in order;
+    // only the tail (5) is dropped.
+    assert_eq!(acked.lock().clone(), vec![1, 2, 3, 4]);
+
+    // Crash: replay truncates exactly at the torn tail, idempotently.
+    let image = j.crash_image();
+    assert_eq!(image.len(), 5, "the torn tail is on media, as garbage");
+    drop(j);
+    let j2 = Journal::recover(
+        Arc::new(Nvram::new(NvramConfig::pmc_8g())),
+        JournalConfig::default(),
+        image,
+    );
+    let seqs: Vec<u64> = j2.replay().iter().map(|e| e.seq).collect();
+    assert_eq!(seqs, vec![1, 2, 3, 4]);
+    assert_eq!(j2.stats().replay_truncated, 1);
+    assert_eq!(
+        j2.replay().len(),
+        4,
+        "double replay must repeat the same prefix"
+    );
 }
