@@ -7,6 +7,7 @@ pub mod hygiene;
 pub mod lock_order;
 pub mod pg_state;
 pub mod site_names;
+pub mod stream_tag;
 pub mod zero_copy;
 
 use crate::{Diag, Workspace};
@@ -23,6 +24,7 @@ pub fn run_all(ws: &Workspace) -> Vec<Diag> {
         lock_order::check(ws, f, &mut out);
         blocking::check(f, &mut out);
         zero_copy::check(f, &mut out);
+        stream_tag::check(f, &mut out);
     }
     atomic_ordering::check(ws, &mut out);
     site_names::check(ws, &mut out);

@@ -241,6 +241,28 @@ mod tests {
             "osd{}.recovery.pushes",
             "osd3.peering.pushes"
         ));
+        // Multi-stream device metrics: per-stream byte counters and the
+        // GC copy-forward accounting exported by the stream-aware FTL.
+        assert!(template_matches(
+            "osd{}.data.stream.{}.bytes",
+            "osd0.data.stream.journal.bytes"
+        ));
+        assert!(template_matches(
+            "osd{}.data.stream.{}.bytes",
+            "osd3.data.stream.kv_compaction.bytes"
+        ));
+        assert!(template_matches(
+            "osd{}.data.gc.copied_bytes",
+            "osd1.data.gc.copied_bytes"
+        ));
+        assert!(template_matches(
+            "osd{}.data.gc.pauses",
+            "osd0.data.gc.pauses"
+        ));
+        assert!(!template_matches(
+            "osd{}.data.stream.{}.bytes",
+            "osd0.data.stream.bytes" // hole eats >= 1 segment char, not zero segments
+        ));
     }
 
     #[test]
@@ -248,6 +270,8 @@ mod tests {
         assert!(valid_site("net.request"));
         assert!(valid_site("osd{}.data"));
         assert!(valid_site("node{node}.journal"));
+        assert!(valid_site("osd{}.data.stream.{}.bytes"));
+        assert!(valid_site("osd{}.data.gc.copied_bytes"));
         assert!(!valid_site("Net.Request"));
         assert!(!valid_site("osd..data"));
         assert!(!valid_site("osd-0.data"));

@@ -1,0 +1,110 @@
+//! `stream-tag`: untagged device writes in the storage bottom half
+//! (`crates/journal/src`, `crates/kvstore/src`, `crates/filestore/src`).
+//!
+//! Every producer in those crates owns a distinct write lifetime (journal
+//! ring, KV WAL, compaction output, metadata, object data) and must say so:
+//! device writes go through `IoReq::write_stream(.., StreamId::..)` (or a
+//! struct literal with an explicit `stream:` field, which the type system
+//! already enforces). The bare `IoReq::write(..)` constructor silently
+//! falls through to the default cold-data stream — on a multi-stream FTL
+//! that re-mixes lifetimes into shared erase blocks and quietly undoes the
+//! write-amplification win the streams exist for.
+//!
+//! A genuinely stream-less write (a test fixture, a one-off scratch write
+//! outside any modeled lifetime) carries a `// stream-ok:` comment saying
+//! why the default stream is correct there.
+
+use crate::source::SourceFile;
+use crate::{Diag, Severity};
+
+/// The stream-aware producer crates the rule polices.
+const SCOPES: &[&str] = &[
+    "crates/journal/src",
+    "crates/kvstore/src",
+    "crates/filestore/src",
+];
+
+/// Comment marker that waives a specific line.
+const WAIVER: &str = "stream-ok:";
+
+pub fn check(f: &SourceFile, out: &mut Vec<Diag>) {
+    if !SCOPES.iter().any(|s| f.path.starts_with(s)) || f.non_prod {
+        return;
+    }
+    let t = &f.toks;
+    for i in 0..t.len() {
+        if f.is_test(i) {
+            continue;
+        }
+        // `IoReq::write(` — the stream-less write constructor.
+        let untagged_ctor = i >= 3
+            && t[i].is_ident("write")
+            && t[i - 1].is_punct(':')
+            && t[i - 2].is_punct(':')
+            && t[i - 3].is_ident("IoReq")
+            && t.get(i + 1).is_some_and(|x| x.is_punct('('));
+        if !untagged_ctor {
+            continue;
+        }
+        if f.line_justified(t[i].line, WAIVER) {
+            continue;
+        }
+        out.push(Diag {
+            file: f.path.clone(),
+            line: t[i].line,
+            col: t[i].col,
+            rule: "stream-tag",
+            severity: Severity::Error,
+            msg: "untagged device write (`IoReq::write(..)`) in a stream-aware crate".into(),
+            suggestion: Some(format!(
+                "tag the producer's lifetime with \
+                 `IoReq::write_stream(offset, len, StreamId::..)`; if the \
+                 default cold-data stream is genuinely right here, waive \
+                 with a `// {WAIVER}` comment saying why"
+            )),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn run(path: &str, src: &str) -> Vec<Diag> {
+        let f = SourceFile::parse(path.into(), src.into());
+        let mut out = Vec::new();
+        check(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn untagged_write_is_flagged() {
+        let src = "fn append(&self) {\n    self.dev.submit(IoReq::write(0, 4096)).unwrap();\n}\n";
+        let v = run("crates/kvstore/src/wal.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "stream-tag");
+        assert_eq!(v[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn tagged_write_and_reads_pass() {
+        let src = "fn append(&self) {\n    self.dev.submit(IoReq::write_stream(0, 4096, StreamId::KvWal)).unwrap();\n    self.dev.submit(IoReq::read(0, 4096)).unwrap();\n    self.dev.submit(IoReq::flush()).unwrap();\n}\n";
+        assert!(run("crates/kvstore/src/wal.rs", src).is_empty());
+    }
+
+    #[test]
+    fn waiver_comment_silences_the_line() {
+        let src = "fn scratch(&self) {\n    // stream-ok: scratch-region write outside any modeled lifetime\n    self.dev.submit(IoReq::write(0, 512)).unwrap();\n}\n";
+        assert!(run("crates/journal/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn other_scopes_and_tests_are_exempt() {
+        let src = "fn f(&self) { self.dev.submit(IoReq::write(0, 512)).unwrap(); }\n";
+        assert!(run("crates/device/src/raid.rs", src).is_empty());
+        assert!(run("crates/core/src/osd/mod.rs", src).is_empty());
+        let test_src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { dev.submit(IoReq::write(0, 512)).unwrap(); }\n}\n";
+        assert!(run("crates/filestore/src/simfs.rs", test_src).is_empty());
+    }
+}

@@ -120,7 +120,8 @@ mod tests {
 
     #[test]
     fn tests_inside_scope_are_exempt() {
-        let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { let p = payload.to_vec(); }\n}\n";
+        let src =
+            "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { let p = payload.to_vec(); }\n}\n";
         assert!(run("crates/journal/src/lib.rs", src).is_empty());
     }
 }

@@ -20,8 +20,14 @@ use afc_common::OsdId;
 use afc_core::{Cluster, DeviceProfile, OsdTuning};
 use std::time::{Duration, Instant};
 
-/// Schema tag written into every baseline record.
-pub const SCHEMA: &str = "afc-bench-baseline/1";
+/// Schema tag written into every baseline record. `/2` added device-level
+/// flash write amplification and per-stream byte counters; `/1` records
+/// no longer parse, forcing regeneration.
+pub const SCHEMA: &str = "afc-bench-baseline/2";
+
+/// Per-stream byte counters captured per record, in [`afc_device::StreamId`]
+/// index order (the `osdN.data.stream.<name>.bytes` metric names).
+pub const STREAM_NAMES: [&str; 6] = ["journal", "kv_wal", "kv_compaction", "meta", "hot", "cold"];
 
 /// Write-path stages captured per record, in pipeline order. These are the
 /// `osdN.stage.*` histogram names from the cluster metric registry.
@@ -87,6 +93,13 @@ pub struct BaselineRecord {
     pub iops: f64,
     /// (data-SSD bytes + journal-device bytes) / client payload bytes.
     pub write_amplification: f64,
+    /// Device-level WA on the data SSDs: (host bytes + GC copy-forward
+    /// bytes) / host bytes, summed over every data device. 1.0 when the
+    /// FTL never collected (clean drives).
+    pub flash_write_amplification: f64,
+    /// Host bytes per write stream across all data SSDs, in
+    /// [`STREAM_NAMES`] order.
+    pub stream_bytes: Vec<(String, u64)>,
     /// Per-stage latency quantiles, aggregated across every OSD.
     pub stages: Vec<StageQuantiles>,
 }
@@ -149,6 +162,99 @@ pub fn run_smoke(opts: &SmokeOpts) -> BaselineRecord {
     let snap = cluster.metrics_snapshot();
     cluster.shutdown();
     distill(&snap, &tuning_label, opts.ops, elapsed)
+}
+
+/// Run the multi-stream comparison smoke workload: same cluster shape as
+/// [`run_smoke`] but on **sustained** (pre-aged) devices, with
+/// `streams_enabled` forced to `streams` on top of the `afceph` profile.
+///
+/// The write pattern differs from the baseline smoke run on purpose:
+/// even-numbered ops sweep a *large* object set round-robin (each object
+/// rewritten once per lap, far apart in time and under the filestore's
+/// hot-write threshold) while odd-numbered ops hammer a small hot set
+/// the heat tracker promotes. The cold lap mimics how long-lived data
+/// actually dies on this stack — in bulk, in allocation order, when the
+/// next compaction/rewrite pass supersedes it. Separated, both lifetimes
+/// retire whole erase blocks and GC rides free victims; mixed, each
+/// block holds sequential cold pages plus scattered hot pages whose
+/// deaths never line up, so blocks strand at partial validity and every
+/// GC pass drags survivors forward — the pathology separation fixes.
+/// The op count is scaled 8x over `opts.ops` and the FTL window shrunk
+/// so the workload laps the representative flash span several times;
+/// the separated groups need whole-block turnover to reach steady state
+/// before the per-group open-block overhead is amortized.
+pub fn run_streams_smoke(streams: bool, opts: &SmokeOpts) -> BaselineRecord {
+    let tuning = OsdTuning {
+        streams_enabled: streams,
+        ..OsdTuning::afceph()
+    };
+    let tuning_label = format!(
+        "{}+sustained+streams_{}",
+        tuning.label(),
+        if streams { "on" } else { "off" }
+    );
+    // One OSD, replication 1: all traffic lands on three member SSDs, so
+    // the run laps each FTL span several times. Large erase blocks make
+    // lifetime mixing expensive (the real-drive regime); the deep OP pool
+    // keeps the per-group open-block tax (`groups / OP-blocks`) modest.
+    let mut devices = DeviceProfile::sustained();
+    devices.ssd.ftl = afc_device::FtlConfig {
+        pages_per_block: 64,
+        blocks: 96,
+        op_ratio: 0.22,
+        ..afc_device::FtlConfig::default()
+    };
+    let cluster = Cluster::builder()
+        .nodes(1)
+        .osds_per_node(1)
+        .replication(1)
+        .pg_num(64)
+        .tuning(tuning)
+        .devices(devices)
+        .build()
+        .expect("streams smoke cluster build");
+    let client = cluster.client().expect("streams smoke client");
+    let ops = opts.ops * 16;
+    // Sized so a cold object sees ~2 writes over the whole run — any
+    // closer to the filestore's hot-write threshold and the tail of the
+    // cold sweep gets promoted, smearing cold-lifetime pages into the
+    // hot stream.
+    const HOT_OBJECTS: u64 = 32;
+    const COLD_OBJECTS: u64 = 8192;
+    // SplitMix64: deterministic stand-in for a uniform random pick.
+    let mix = |mut x: u64| {
+        x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^ (x >> 31)
+    };
+    let buf = vec![0xb5u8; SMOKE_BS as usize];
+    let start = Instant::now();
+    for i in 0..ops {
+        let (obj, off) = if i % 2 == 0 {
+            // Cold: round-robin lap over the whole set (~2 laps per run),
+            // one page per visit — long-lived pages that die in bulk, in
+            // allocation order, when the next lap supersedes them. Stays
+            // under the heat threshold.
+            let n = i / 2;
+            (format!("cold{}", n % COLD_OBJECTS), 0)
+        } else {
+            // Hot: ~125 overwrites per object, random page in the first
+            // 64 KiB.
+            (
+                format!("hot{}", mix(i) % HOT_OBJECTS),
+                (mix(i ^ 0x5eed) % 16) * SMOKE_BS,
+            )
+        };
+        client
+            .write_object(&obj, off, &buf)
+            .expect("streams smoke write");
+    }
+    cluster.quiesce();
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    let snap = cluster.metrics_snapshot();
+    cluster.shutdown();
+    distill(&snap, &tuning_label, ops, elapsed)
 }
 
 /// Run the degraded-mode smoke workload: same shape and write pattern as
@@ -254,6 +360,26 @@ fn distill(
     let payload = (ops * SMOKE_BS) as f64;
     let write_amplification = (data_bytes + journal_bytes) as f64 / payload;
 
+    // Device-level WA: flash writes / host writes on the data SSDs. The
+    // FTL bills copy-forward into `gc.copied_bytes`; on a clean drive
+    // that never collects this is exactly 1.0.
+    let gc_copied = sum_counters(&|n| n.starts_with("osd") && n.ends_with(".data.gc.copied_bytes"));
+    let flash_write_amplification = if data_bytes == 0 {
+        1.0
+    } else {
+        (data_bytes + gc_copied) as f64 / data_bytes as f64
+    };
+    let stream_bytes = STREAM_NAMES
+        .iter()
+        .map(|name| {
+            let suffix = format!(".data.stream.{name}.bytes");
+            (
+                name.to_string(),
+                sum_counters(&|n| n.starts_with("osd") && n.ends_with(&suffix)),
+            )
+        })
+        .collect();
+
     let stages = STAGES
         .iter()
         .map(|stage| {
@@ -286,6 +412,8 @@ fn distill(
         ops,
         iops: ops as f64 / elapsed,
         write_amplification,
+        flash_write_amplification,
+        stream_bytes,
         stages,
     }
 }
@@ -297,6 +425,9 @@ fn distill(
 ///
 /// - IOPS must not drop below `baseline × (1 − tol)`.
 /// - Write amplification must not exceed `baseline × (1 + tol) + 0.1`.
+/// - Device-level flash write amplification must not exceed
+///   `baseline × (1 + tol) + 0.1` (same shape: a ceiling with absolute
+///   slack, so the clean-drive 1.0 floor doesn't make the gate vacuous).
 /// - Every stage's p95 must not exceed
 ///   `baseline × (1 + tol) + STAGE_SLACK_US`.
 /// - The [`P50_GATED_STAGES`] stages' p50 must not exceed
@@ -318,6 +449,13 @@ pub fn compare(baseline: &BaselineRecord, current: &BaselineRecord, tol: f64) ->
         out.push(format!(
             "write amplification regressed: {:.2} > {:.2} (baseline {:.2})",
             current.write_amplification, wa_ceiling, baseline.write_amplification
+        ));
+    }
+    let flash_ceiling = baseline.flash_write_amplification * (1.0 + tol) + 0.1;
+    if current.flash_write_amplification > flash_ceiling {
+        out.push(format!(
+            "flash write amplification regressed: {:.2} > {:.2} (baseline {:.2})",
+            current.flash_write_amplification, flash_ceiling, baseline.flash_write_amplification
         ));
     }
     for b in &baseline.stages {
@@ -378,6 +516,24 @@ pub fn to_json(r: &BaselineRecord) -> String {
         "  \"write_amplification\": {},\n",
         crate::json_num(r.write_amplification)
     ));
+    s.push_str(&format!(
+        "  \"flash_write_amplification\": {},\n",
+        crate::json_num(r.flash_write_amplification)
+    ));
+    s.push_str("  \"stream_bytes\": [\n");
+    for (i, (name, bytes)) in r.stream_bytes.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"stream\": \"{}\", \"bytes\": {}}}{}\n",
+            crate::json_escape(name),
+            bytes,
+            if i + 1 == r.stream_bytes.len() {
+                ""
+            } else {
+                ","
+            },
+        ));
+    }
+    s.push_str("  ],\n");
     s.push_str("  \"stages\": [\n");
     for (i, st) in r.stages.iter().enumerate() {
         s.push_str(&format!(
@@ -403,10 +559,14 @@ pub fn parse(s: &str) -> Option<BaselineRecord> {
     let mut ops = None;
     let mut iops = None;
     let mut wa = None;
+    let mut flash_wa = None;
+    let mut stream_bytes = Vec::new();
     let mut stages = Vec::new();
     for line in s.lines() {
         let line = line.trim();
-        if line.contains("\"stage\":") {
+        if line.contains("\"stream\":") {
+            stream_bytes.push((field_str(line, "stream")?, field_num(line, "bytes")? as u64));
+        } else if line.contains("\"stage\":") {
             stages.push(StageQuantiles {
                 stage: field_str(line, "stage")?,
                 p50_us: field_num(line, "p50_us")? as u64,
@@ -423,6 +583,8 @@ pub fn parse(s: &str) -> Option<BaselineRecord> {
             ops = field_num(line, "ops").map(|v| v as u64);
         } else if line.starts_with("\"iops\"") {
             iops = field_num(line, "iops");
+        } else if line.starts_with("\"flash_write_amplification\"") {
+            flash_wa = field_num(line, "flash_write_amplification");
         } else if line.starts_with("\"write_amplification\"") {
             wa = field_num(line, "write_amplification");
         }
@@ -438,6 +600,8 @@ pub fn parse(s: &str) -> Option<BaselineRecord> {
         ops: ops?,
         iops: iops?,
         write_amplification: wa?,
+        flash_write_amplification: flash_wa?,
+        stream_bytes,
         stages,
     })
 }
@@ -475,6 +639,12 @@ mod tests {
             ops: 2000,
             iops: 5123.75,
             write_amplification: 2.31,
+            flash_write_amplification: 1.27,
+            stream_bytes: STREAM_NAMES
+                .iter()
+                .enumerate()
+                .map(|(i, n)| (n.to_string(), 1000 * (i as u64 + 1)))
+                .collect(),
             stages: STAGES
                 .iter()
                 .enumerate()
@@ -505,6 +675,22 @@ mod tests {
     fn compare_passes_identical_runs() {
         let r = record();
         assert!(compare(&r, &r, 0.20).is_empty());
+    }
+
+    #[test]
+    fn compare_gates_flash_write_amplification() {
+        let base = record();
+        let mut cur = record();
+        // Fixture flash WA is 1.27: ceiling = 1.27 * 1.2 + 0.1 = 1.624.
+        cur.flash_write_amplification = 1.62;
+        assert!(compare(&base, &cur, 0.20).is_empty());
+        cur.flash_write_amplification = 1.70;
+        let msgs = compare(&base, &cur, 0.20);
+        assert!(
+            msgs.iter()
+                .any(|m| m.starts_with("flash write amplification regressed")),
+            "{msgs:?}"
+        );
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! cargo run --release -p afc-bench --bin baseline -- --write [path]
 //! cargo run --release -p afc-bench --bin baseline -- --check [path]
 //! cargo run --release -p afc-bench --bin baseline -- --write-degraded [path]
+//! cargo run --release -p afc-bench --bin baseline -- --write-streams
 //! ```
 //!
 //! With no mode flag the smoke workload runs and the record prints to
@@ -16,6 +17,10 @@
 //! re-runs the degraded workload and prints the comparison — purely
 //! informational: degraded throughput depends on failure-detection
 //! timing, so it never affects the exit code.
+//!
+//! `--write-streams` runs the sustained-device overwrite workload twice —
+//! multi-stream separation off, then on — prints both records side by
+//! side, and saves the comparison to `bench_results/streams.json`.
 
 use afc_bench::baseline::{self, SmokeOpts};
 use std::path::PathBuf;
@@ -118,6 +123,53 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         }
+        Some("--write-streams") => {
+            let opts = SmokeOpts::default();
+            let off = baseline::run_streams_smoke(false, &opts);
+            let on = baseline::run_streams_smoke(true, &opts);
+            println!(
+                "baseline: multi-stream separation, sustained devices, {} ops:",
+                off.ops
+            );
+            for r in [&off, &on] {
+                let streams: Vec<String> = r
+                    .stream_bytes
+                    .iter()
+                    .filter(|(_, b)| *b > 0)
+                    .map(|(n, b)| format!("{n}={b}"))
+                    .collect();
+                println!(
+                    "  {:<28} logical WA {:.2}  flash WA {:.3}  ({})",
+                    r.tuning,
+                    r.write_amplification,
+                    r.flash_write_amplification,
+                    streams.join(" "),
+                );
+            }
+            let rows: Vec<afc_bench::FigRow> = [("streams_off", &off), ("streams_on", &on)]
+                .into_iter()
+                .enumerate()
+                .map(|(i, (series, r))| afc_bench::FigRow {
+                    series: series.to_string(),
+                    x: i as f64,
+                    value: r.flash_write_amplification,
+                    lat_ms: 0.0,
+                    p99_ms: 0.0,
+                    unit: "flash_wa".to_string(),
+                    tuning: r.tuning.clone(),
+                })
+                .collect();
+            afc_bench::save_rows("streams", &rows);
+            if on.flash_write_amplification < off.flash_write_amplification {
+                println!(
+                    "baseline: separation cut flash WA by {:.1}%",
+                    (1.0 - on.flash_write_amplification / off.flash_write_amplification) * 100.0
+                );
+            } else {
+                println!("baseline: WARNING: streams-on flash WA did not improve");
+            }
+            ExitCode::SUCCESS
+        }
         Some("--write-degraded") => {
             let path = args
                 .get(1)
@@ -140,7 +192,7 @@ fn main() -> ExitCode {
         }
         Some(other) => {
             eprintln!(
-                "baseline: unknown mode '{other}' (expected --write, --check or --write-degraded)"
+                "baseline: unknown mode '{other}' (expected --write, --check, --write-degraded or --write-streams)"
             );
             ExitCode::from(2)
         }

@@ -290,7 +290,16 @@ impl ClusterBuilder {
                 let members: Vec<Arc<dyn BlockDev>> = (0..self.devices.ssds_per_osd.max(1))
                     .map(|d| {
                         let seed = self.seed ^ ((id.0 as u64) << 16) ^ d as u64;
-                        let ssd = Ssd::new(self.devices.ssd.clone().with_seed(seed));
+                        // The tuning profile decides write placement: afceph
+                        // separates streams into per-group FTL allocation,
+                        // community keeps the mixed-stream behaviour.
+                        let ssd = Ssd::new(
+                            self.devices
+                                .ssd
+                                .clone()
+                                .with_seed(seed)
+                                .with_streams(self.tuning.streams_enabled),
+                        );
                         if let Some(reg) = &faults {
                             // Attach to every member: RAID-0 fans a request
                             // out, so any member can surface the fault.

@@ -1676,7 +1676,10 @@ impl OsdInner {
             // dispatch thread through the journal's inline fast path,
             // cutting the PG-queue, committer and completion-worker
             // hand-offs out of the primary-observed ack round trip.
-            pg.submit(Box::new(move |st| inner.process_repop(st, &pgc, from, rep)), true);
+            pg.submit(
+                Box::new(move |st| inner.process_repop(st, &pgc, from, rep)),
+                true,
+            );
             return;
         }
         self.queue_pg(
@@ -1756,7 +1759,13 @@ impl OsdInner {
                 inner.enqueue_filestore(jseq, txn, payload2);
                 inner.mark_rep_done(from, rep_id);
                 inner.log("replica commit ack (inline)");
-                inner.send(from, OsdMsg::RepAck(RepOpReply { rep_id, from: osd_id }));
+                inner.send(
+                    from,
+                    OsdMsg::RepAck(RepOpReply {
+                        rep_id,
+                        from: osd_id,
+                    }),
+                );
             }),
         );
         if res.is_ok() {

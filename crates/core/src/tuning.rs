@@ -137,6 +137,12 @@ pub struct OsdTuning {
     /// single flush; a lone entry never waits (no added latency at low
     /// queue depth). Zero disables lingering.
     pub journal_batch_max_wait_us: u64,
+    /// Multi-stream write separation on the data SSDs: each write stream
+    /// (KV WAL, KV compaction, metadata, hot/cold data) gets its own FTL
+    /// allocation group, so short-lived pages never share erase blocks
+    /// with cold data and GC copies less. Off = community mixed-stream
+    /// placement.
+    pub streams_enabled: bool,
 }
 
 impl OsdTuning {
@@ -162,6 +168,7 @@ impl OsdTuning {
             journal_batch_max_ops: 64,
             journal_batch_max_bytes: 8 * 1024 * 1024,
             journal_batch_max_wait_us: 0,
+            streams_enabled: false,
         }
     }
 
@@ -187,6 +194,7 @@ impl OsdTuning {
             journal_batch_max_ops: 64,
             journal_batch_max_bytes: 8 * 1024 * 1024,
             journal_batch_max_wait_us: 50,
+            streams_enabled: true,
         }
     }
 
@@ -300,6 +308,10 @@ mod tests {
         assert_eq!(c.journal_batch_max_wait_us, 0);
         assert_eq!(a.journal_batch_max_wait_us, 50);
         assert!(a.journal_batch_max_ops >= 2 && a.journal_batch_max_bytes > 0);
+        // Multi-stream separation ships on in afceph, off in community
+        // (and does not affect the optimization label — it's a device
+        // placement policy, not one of the Figure 9 steps).
+        assert!(!c.streams_enabled && a.streams_enabled);
     }
 
     #[test]

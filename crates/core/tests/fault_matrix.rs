@@ -179,10 +179,18 @@ fn journal_flush_backpressure_preserves_ack_order() {
     // fire in journal-sequence order — so per-PG write order must hold
     // and the final state must be the LAST issued write.
     reg.install(
-        FaultSpec::new("node0.journal.flush", FaultKind::Delay(Duration::from_millis(5))).times(4),
+        FaultSpec::new(
+            "node0.journal.flush",
+            FaultKind::Delay(Duration::from_millis(5)),
+        )
+        .times(4),
     );
     reg.install(
-        FaultSpec::new("node1.journal.flush", FaultKind::Delay(Duration::from_millis(5))).times(4),
+        FaultSpec::new(
+            "node1.journal.flush",
+            FaultKind::Delay(Duration::from_millis(5)),
+        )
+        .times(4),
     );
     let handles: Vec<_> = (0..24u8)
         .map(|v| {
@@ -200,10 +208,10 @@ fn journal_flush_backpressure_preserves_ack_order() {
     cluster.quiesce();
     let report = cluster.deep_scrub().unwrap();
     assert!(report.is_clean(), "inconsistent: {:?}", report.inconsistent);
-    assert_eq!(client.read_object("gc_order", 0, 512).unwrap(), vec![
-        23u8;
-        512
-    ]);
+    assert_eq!(
+        client.read_object("gc_order", 0, 512).unwrap(),
+        vec![23u8; 512]
+    );
     cluster.shutdown();
 }
 

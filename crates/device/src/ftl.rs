@@ -1,0 +1,492 @@
+//! A small flash-translation-layer model: pages, blocks, per-stream
+//! allocation groups, valid-page accounting and greedy garbage collection.
+//!
+//! Real SSDs remap every host write to a fresh flash page; overwritten
+//! pages become garbage that GC must reclaim by copying the *live* pages
+//! out of a victim erase block. When writes with different lifetimes mix
+//! in the same block (journal next to cold data), victims always hold
+//! live pages and GC copies them forward — device-level write
+//! amplification. Multi-stream separation gives each producer its own
+//! allocation group so short-lived blocks die wholesale and GC finds
+//! (nearly) empty victims.
+//!
+//! Scale: modelling the full 512 GiB drive page-by-page would be absurd
+//! in a timing simulation, so the FTL models a *representative window*
+//! of flash and folds the logical address space onto it
+//! (`lpn = page % logical_pages`). Overwrite behaviour — the thing GC
+//! cares about — is preserved: hot ranges refold onto the same logical
+//! pages and invalidate them, cold ranges stay live. All bookkeeping is
+//! plain memory ops; only GC copy-forward charges simulated time (the
+//! caller converts copied pages into a service-time stall).
+
+use crate::StreamId;
+use afc_common::rng::mix64;
+use std::time::Duration;
+
+/// Sentinel: logical page not mapped / physical page never written.
+const FREE: u32 = u32::MAX;
+/// Sentinel: physical page holds stale (overwritten or trimmed) data.
+const INVALID: u32 = u32::MAX - 1;
+
+/// One allocation group per stream when separation is on.
+const GROUPS: usize = StreamId::ALL.len();
+
+/// FTL model parameters.
+#[derive(Debug, Clone)]
+pub struct FtlConfig {
+    /// Flash page size in bytes.
+    pub page_size: u32,
+    /// Pages per erase block.
+    pub pages_per_block: u32,
+    /// Physical erase blocks in the modeled window.
+    pub blocks: u32,
+    /// Over-provisioning: fraction of physical pages *not* exposed as
+    /// logical space. Guarantees GC can always find a non-full victim.
+    pub op_ratio: f64,
+    /// GC engages while the free-block count is at or below this
+    /// threshold (free-block pressure, not a write-count modulo).
+    pub gc_free_blocks: u32,
+    /// Map each [`StreamId`] to its own allocation group. Off = the
+    /// community mixed-stream behaviour (everything in one group).
+    pub streams_enabled: bool,
+    /// Service-time charge per live page GC copies forward (internal
+    /// page read + program), billed to the host write that triggered it.
+    pub gc_page_cost: Duration,
+}
+
+impl Default for FtlConfig {
+    fn default() -> Self {
+        // 24 MiB modeled window (96 × 64 × 4 KiB), 12.5% over-provisioned.
+        // The reserve must exceed `gc_free_blocks` plus one open block per
+        // allocation group, or a fully-valid steady state could leave GC
+        // with no reclaimable victim (asserted in [`Ftl::new`]).
+        FtlConfig {
+            page_size: 4096,
+            pages_per_block: 64,
+            blocks: 96,
+            op_ratio: 0.125,
+            gc_free_blocks: 4,
+            streams_enabled: false,
+            gc_page_cost: Duration::from_micros(60),
+        }
+    }
+}
+
+impl FtlConfig {
+    /// Enable/disable multi-stream allocation groups (builder style).
+    #[must_use]
+    pub fn with_streams(mut self, on: bool) -> Self {
+        self.streams_enabled = on;
+        self
+    }
+}
+
+/// GC activity caused by one host write (or trim); the device model
+/// converts copied pages into a stall charged to that write.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcOutcome {
+    /// GC passes (erase-block reclaims) triggered.
+    pub passes: u64,
+    /// Live pages copied forward across those passes.
+    pub copied_pages: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BlockState {
+    /// On the free list, erased.
+    Free,
+    /// Open for allocation by some group.
+    Active,
+    /// Fully written; GC victim candidate.
+    Sealed,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Active {
+    block: u32,
+    next: u32,
+}
+
+/// The flash-translation layer. Not internally synchronized — the owning
+/// device wraps it in a mutex alongside its other write-path state.
+#[derive(Debug)]
+pub struct Ftl {
+    cfg: FtlConfig,
+    logical_pages: u32,
+    /// lpn → ppn ([`FREE`] if unmapped).
+    forward: Vec<u32>,
+    /// ppn → lpn ([`FREE`] erased, [`INVALID`] stale).
+    rev: Vec<u32>,
+    /// Live pages per block.
+    valid: Vec<u32>,
+    state: Vec<BlockState>,
+    /// Group a block was opened under (GC copies stay in this group).
+    block_group: Vec<u8>,
+    /// Erased blocks, used as a stack.
+    free: Vec<u32>,
+    active: [Option<Active>; GROUPS],
+    host_pages: u64,
+    copied_pages: u64,
+    gc_passes: u64,
+}
+
+impl Ftl {
+    /// Build an empty (freshly erased) FTL.
+    pub fn new(cfg: FtlConfig) -> Self {
+        assert!(cfg.page_size > 0 && cfg.pages_per_block > 0 && cfg.blocks > 1);
+        assert!(cfg.gc_free_blocks >= 2, "GC needs transient copy headroom");
+        let physical = cfg.blocks * cfg.pages_per_block;
+        let logical = ((physical as f64 * (1.0 - cfg.op_ratio)) as u32)
+            .clamp(cfg.pages_per_block, physical - cfg.pages_per_block);
+        // Over-provisioning floor: with fewer reserve blocks than the GC
+        // threshold plus the open blocks, pressure could strand GC with
+        // only fully-valid victims.
+        let groups = if cfg.streams_enabled {
+            GROUPS as u32
+        } else {
+            1
+        };
+        assert!(
+            cfg.blocks - logical.div_ceil(cfg.pages_per_block) > cfg.gc_free_blocks + groups,
+            "over-provisioning too small for gc_free_blocks + stream groups"
+        );
+        Ftl {
+            logical_pages: logical,
+            forward: vec![FREE; logical as usize],
+            rev: vec![FREE; physical as usize],
+            valid: vec![0; cfg.blocks as usize],
+            state: vec![BlockState::Free; cfg.blocks as usize],
+            block_group: vec![0; cfg.blocks as usize],
+            free: (0..cfg.blocks).rev().collect(),
+            active: [None; GROUPS],
+            host_pages: 0,
+            copied_pages: 0,
+            gc_passes: 0,
+            cfg,
+        }
+    }
+
+    /// Pre-age to steady state: fill the whole logical span, then
+    /// overwrite a seeded pseudorandom half so sealed blocks carry mixed
+    /// validity (the fragmentation a drive accumulates in service).
+    /// Aging traffic is not counted in the WA statistics.
+    pub fn pre_age(&mut self, seed: u64) {
+        let mut out = GcOutcome::default();
+        for lpn in 0..self.logical_pages {
+            self.write_lpn(lpn, self.group_of(StreamId::DataCold), &mut out);
+        }
+        for i in 0..(self.logical_pages as u64 / 2) {
+            let lpn = (mix64(seed ^ i) % self.logical_pages as u64) as u32;
+            self.write_lpn(lpn, self.group_of(StreamId::DataCold), &mut out);
+        }
+        self.host_pages = 0;
+        self.copied_pages = 0;
+        self.gc_passes = 0;
+    }
+
+    /// Logical pages exposed by the folding window.
+    pub fn logical_pages(&self) -> u32 {
+        self.logical_pages
+    }
+
+    /// Blocks currently on the free list.
+    pub fn free_blocks(&self) -> usize {
+        self.free.len()
+    }
+
+    /// (host pages written, GC-copied pages, GC passes) since creation
+    /// (or since [`Ftl::pre_age`]).
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.host_pages, self.copied_pages, self.gc_passes)
+    }
+
+    /// Device-level write amplification: (host + copied) / host pages.
+    pub fn flash_wa(&self) -> f64 {
+        if self.host_pages == 0 {
+            return 1.0;
+        }
+        (self.host_pages + self.copied_pages) as f64 / self.host_pages as f64
+    }
+
+    fn group_of(&self, stream: StreamId) -> usize {
+        if self.cfg.streams_enabled {
+            stream.index()
+        } else {
+            0
+        }
+    }
+
+    /// Account a host write of `len` bytes at `offset` on `stream`.
+    /// Returns the GC work it triggered.
+    pub fn host_write(&mut self, offset: u64, len: u32, stream: StreamId) -> GcOutcome {
+        let mut out = GcOutcome::default();
+        if len == 0 {
+            return out;
+        }
+        let group = self.group_of(stream);
+        let page = self.cfg.page_size as u64;
+        let first = offset / page;
+        let last = (offset + len as u64 - 1) / page;
+        for pn in first..=last {
+            let lpn = (pn % self.logical_pages as u64) as u32;
+            self.write_lpn(lpn, group, &mut out);
+            self.host_pages += 1;
+        }
+        out
+    }
+
+    /// Discard the mapping for `[offset, offset+len)` (journal trim,
+    /// deleted object). Frees garbage without copying anything.
+    pub fn trim(&mut self, offset: u64, len: u32) {
+        if len == 0 {
+            return;
+        }
+        let page = self.cfg.page_size as u64;
+        let first = offset / page;
+        let last = (offset + len as u64 - 1) / page;
+        for pn in first..=last.min(first + self.logical_pages as u64 - 1) {
+            let lpn = (pn % self.logical_pages as u64) as usize;
+            let ppn = self.forward[lpn];
+            if ppn != FREE {
+                self.invalidate(ppn);
+                self.forward[lpn] = FREE;
+            }
+        }
+    }
+
+    fn invalidate(&mut self, ppn: u32) {
+        let b = (ppn / self.cfg.pages_per_block) as usize;
+        debug_assert!(self.valid[b] > 0);
+        self.rev[ppn as usize] = INVALID;
+        self.valid[b] -= 1;
+    }
+
+    fn write_lpn(&mut self, lpn: u32, group: usize, out: &mut GcOutcome) {
+        let old = self.forward[lpn as usize];
+        if old != FREE {
+            self.invalidate(old);
+        }
+        let ppn = self.alloc_page(group, true, out);
+        self.forward[lpn as usize] = ppn;
+        self.rev[ppn as usize] = lpn;
+        self.valid[(ppn / self.cfg.pages_per_block) as usize] += 1;
+    }
+
+    /// Claim the next page in `group`'s active block, opening a fresh
+    /// block (after a pressure-triggered GC sweep when `gc` is set —
+    /// GC's own copy-forward allocations must not recurse) as needed.
+    fn alloc_page(&mut self, group: usize, gc: bool, out: &mut GcOutcome) -> u32 {
+        loop {
+            if let Some(a) = &mut self.active[group] {
+                if a.next < self.cfg.pages_per_block {
+                    let ppn = a.block * self.cfg.pages_per_block + a.next;
+                    a.next += 1;
+                    return ppn;
+                }
+                self.state[a.block as usize] = BlockState::Sealed;
+                self.active[group] = None;
+            }
+            if gc {
+                while self.free.len() <= self.cfg.gc_free_blocks as usize {
+                    if !self.gc_once(out) {
+                        break;
+                    }
+                }
+                if self.active[group].is_some() {
+                    // GC copy-forward reopened this group's block — use it
+                    // instead of popping (and leaking) another free block.
+                    continue;
+                }
+            }
+            let b = self
+                .free
+                .pop()
+                .expect("ftl: out of flash (over-provisioning misconfigured)");
+            self.state[b as usize] = BlockState::Active;
+            self.block_group[b as usize] = group as u8;
+            self.active[group] = Some(Active { block: b, next: 1 });
+            return b * self.cfg.pages_per_block;
+        }
+    }
+
+    /// One greedy GC pass: erase the sealed block with the fewest live
+    /// pages, copying those pages into its group's active block. Returns
+    /// false when no reclaimable victim exists.
+    fn gc_once(&mut self, out: &mut GcOutcome) -> bool {
+        let victim = (0..self.cfg.blocks)
+            .filter(|&b| self.state[b as usize] == BlockState::Sealed)
+            .min_by_key(|&b| (self.valid[b as usize], b));
+        let Some(victim) = victim else { return false };
+        if self.valid[victim as usize] >= self.cfg.pages_per_block {
+            // Every sealed block is fully live: copying reclaims nothing.
+            return false;
+        }
+        let group = if self.cfg.streams_enabled {
+            self.block_group[victim as usize] as usize
+        } else {
+            0
+        };
+        let base = victim * self.cfg.pages_per_block;
+        let mut copied = 0u64;
+        for slot in 0..self.cfg.pages_per_block {
+            let lpn = self.rev[(base + slot) as usize];
+            if lpn == FREE || lpn == INVALID {
+                continue;
+            }
+            self.rev[(base + slot) as usize] = INVALID;
+            self.valid[victim as usize] -= 1;
+            let ppn = self.alloc_page(group, false, out);
+            self.forward[lpn as usize] = ppn;
+            self.rev[ppn as usize] = lpn;
+            self.valid[(ppn / self.cfg.pages_per_block) as usize] += 1;
+            copied += 1;
+        }
+        for slot in 0..self.cfg.pages_per_block {
+            self.rev[(base + slot) as usize] = FREE;
+        }
+        debug_assert_eq!(self.valid[victim as usize], 0);
+        self.state[victim as usize] = BlockState::Free;
+        self.free.push(victim);
+        self.copied_pages += copied;
+        self.gc_passes += 1;
+        out.copied_pages += copied;
+        out.passes += 1;
+        true
+    }
+
+    /// Model invariants, asserted by the property tests:
+    /// every mapped logical page round-trips through the reverse map,
+    /// per-block valid counts agree with the reverse map, and no
+    /// physical page is claimed by two logical pages.
+    pub fn check_invariants(&self) {
+        let ppb = self.cfg.pages_per_block;
+        let mut live_by_block = vec![0u32; self.cfg.blocks as usize];
+        let mut mapped = 0u64;
+        for (lpn, &ppn) in self.forward.iter().enumerate() {
+            if ppn == FREE {
+                continue;
+            }
+            mapped += 1;
+            assert_eq!(
+                self.rev[ppn as usize], lpn as u32,
+                "forward/reverse map disagree for lpn {lpn}"
+            );
+            live_by_block[(ppn / ppb) as usize] += 1;
+        }
+        let mut rev_live = 0u64;
+        for &lpn in &self.rev {
+            if lpn != FREE && lpn != INVALID {
+                rev_live += 1;
+            }
+        }
+        assert_eq!(mapped, rev_live, "a live page was lost or duplicated");
+        for (b, &live) in live_by_block.iter().enumerate() {
+            assert_eq!(self.valid[b], live, "valid count drifted for block {b}");
+            if self.state[b] == BlockState::Free {
+                assert_eq!(self.valid[b], 0, "free block {b} holds live pages");
+            }
+        }
+        assert!(self.flash_wa() >= 1.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(streams: bool) -> FtlConfig {
+        FtlConfig {
+            pages_per_block: 8,
+            blocks: 32,
+            op_ratio: 0.3,
+            gc_free_blocks: 2,
+            streams_enabled: streams,
+            ..FtlConfig::default()
+        }
+    }
+
+    #[test]
+    fn clean_sequential_fill_never_collects() {
+        let mut f = Ftl::new(tiny(false));
+        let span = f.logical_pages() as u64 * 4096;
+        let out = f.host_write(0, span as u32, StreamId::DataCold);
+        assert_eq!(out, GcOutcome::default());
+        assert_eq!(f.flash_wa(), 1.0);
+        f.check_invariants();
+    }
+
+    #[test]
+    fn overwrites_trigger_pressure_gc() {
+        let mut f = Ftl::new(tiny(false));
+        let span = f.logical_pages() as u64 * 4096;
+        // Three full logical laps: folding rewrites every lpn, garbage
+        // accumulates, free-block pressure forces GC.
+        for lap in 0..3u64 {
+            f.host_write(lap * span, span as u32, StreamId::DataCold);
+        }
+        let (_, _, passes) = f.counters();
+        assert!(passes > 0, "GC never fired");
+        assert!(f.flash_wa() >= 1.0);
+        f.check_invariants();
+    }
+
+    #[test]
+    fn trim_frees_without_copying() {
+        let mut f = Ftl::new(tiny(false));
+        let span = f.logical_pages() as u64 * 4096;
+        f.host_write(0, span as u32, StreamId::DataCold);
+        f.trim(0, span as u32);
+        // Everything is garbage: further laps collect empty victims.
+        let out = f.host_write(0, span as u32, StreamId::DataCold);
+        assert_eq!(out.copied_pages, 0, "trimmed pages were copied");
+        f.check_invariants();
+    }
+
+    #[test]
+    fn stream_separation_cuts_copy_forward() {
+        // Mixed lifetimes: a small hot ring (journal-like, dies fast)
+        // interleaved with a cold sequential sweep (stays live).
+        let run = |streams: bool| {
+            let mut f = Ftl::new(tiny(streams));
+            let page = 4096u64;
+            let cold_pages = (f.logical_pages() / 2) as u64;
+            let hot_base = cold_pages * page;
+            for i in 0..cold_pages {
+                f.host_write(i * page, page as u32, StreamId::DataCold);
+                // 4 hot-ring overwrites per cold page, folding over 8 lpns.
+                for j in 0..4 {
+                    let off = hot_base + ((i * 4 + j) % 8) * page;
+                    f.host_write(off, page as u32, StreamId::Journal);
+                }
+            }
+            f.check_invariants();
+            (f.flash_wa(), f.counters().1)
+        };
+        let (wa_mixed, copied_mixed) = run(false);
+        let (wa_sep, copied_sep) = run(true);
+        assert!(
+            copied_sep < copied_mixed,
+            "separation did not cut copies: {copied_sep} vs {copied_mixed}"
+        );
+        assert!(wa_sep < wa_mixed, "WA did not drop: {wa_sep} vs {wa_mixed}");
+    }
+
+    #[test]
+    fn pre_age_leaves_pressure_but_zeroed_counters() {
+        let mut f = Ftl::new(tiny(false));
+        f.pre_age(0x5eed);
+        assert_eq!(f.counters(), (0, 0, 0));
+        // Most of the window is occupied: the free list sits near the
+        // pressure threshold, not near the erased-drive count.
+        assert!(
+            f.free_blocks() <= 8,
+            "pre-age left {} free",
+            f.free_blocks()
+        );
+        f.check_invariants();
+        // The very next lap of writes meets GC immediately.
+        let span = f.logical_pages() as u64 * 4096;
+        let out = f.host_write(0, span as u32, StreamId::DataCold);
+        assert!(out.passes > 0);
+    }
+}

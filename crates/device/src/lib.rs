@@ -19,6 +19,7 @@
 //!   journal buffer, memtables). Devices account bytes and time only.
 //! - All jitter is deterministic (seeded), so runs are reproducible.
 
+pub mod ftl;
 pub mod hdd;
 pub mod nvram;
 pub mod plan;
@@ -26,6 +27,7 @@ pub mod raid;
 pub mod ssd;
 pub mod stats;
 
+pub use ftl::{Ftl, FtlConfig};
 pub use hdd::{Hdd, HddConfig};
 pub use nvram::{Nvram, NvramConfig};
 pub use raid::Raid0;
@@ -49,6 +51,70 @@ pub enum IoKind {
     Flush,
 }
 
+/// Write-stream tag: which logical producer a write belongs to.
+///
+/// Multi-stream SSDs (T10 streams / NVMe directives) let the host segregate
+/// writes by expected lifetime so the FTL never mixes short-lived journal
+/// pages with long-lived cold data in one erase block — the lifetime mixing
+/// that forces GC to copy live pages. Every producer in the stack tags its
+/// writes; the SSD model maps each stream to its own allocation group when
+/// `streams_enabled` is set (and ignores the tag otherwise, reproducing the
+/// community mixed-stream behaviour).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StreamId {
+    /// OSD journal ring writes (shortest lifetime: trimmed after apply).
+    Journal,
+    /// KV store write-ahead-log appends (trimmed at memtable flush).
+    KvWal,
+    /// KV compaction / table-flush output (medium lifetime, sequential).
+    KvCompaction,
+    /// Filestore metadata (xattrs, allocation hints).
+    Meta,
+    /// Frequently overwritten object data (per-object heat tracker).
+    DataHot,
+    /// Rarely overwritten object data. Also the default for untagged I/O
+    /// (legacy constructors, tests, non-stream-aware callers): cold data is
+    /// the conservative guess — it never steals room from the short-lived
+    /// streams.
+    DataCold,
+}
+
+impl StreamId {
+    /// All streams, in allocation-group order.
+    pub const ALL: [StreamId; 6] = [
+        StreamId::Journal,
+        StreamId::KvWal,
+        StreamId::KvCompaction,
+        StreamId::Meta,
+        StreamId::DataHot,
+        StreamId::DataCold,
+    ];
+
+    /// Stable index (allocation-group slot, metrics array slot).
+    pub fn index(&self) -> usize {
+        match self {
+            StreamId::Journal => 0,
+            StreamId::KvWal => 1,
+            StreamId::KvCompaction => 2,
+            StreamId::Meta => 3,
+            StreamId::DataHot => 4,
+            StreamId::DataCold => 5,
+        }
+    }
+
+    /// Metric-name segment (`osd0.data.stream.<this>.bytes`).
+    pub fn metric_name(&self) -> &'static str {
+        match self {
+            StreamId::Journal => "journal",
+            StreamId::KvWal => "kv_wal",
+            StreamId::KvCompaction => "kv_compaction",
+            StreamId::Meta => "meta",
+            StreamId::DataHot => "hot",
+            StreamId::DataCold => "cold",
+        }
+    }
+}
+
 /// A single device request.
 #[derive(Debug, Clone, Copy)]
 pub struct IoReq {
@@ -58,6 +124,8 @@ pub struct IoReq {
     pub offset: u64,
     /// Length in bytes (0 allowed only for `Flush`).
     pub len: u32,
+    /// Write-stream tag (meaningful for writes; ignored for reads/flushes).
+    pub stream: StreamId,
 }
 
 impl IoReq {
@@ -67,15 +135,29 @@ impl IoReq {
             kind: IoKind::Read,
             offset,
             len,
+            stream: StreamId::DataCold,
         }
     }
 
-    /// A write request.
+    /// A write request with no stream tag (defaults to [`StreamId::DataCold`]).
+    /// Production write paths should use [`IoReq::write_stream`] — the
+    /// `stream-tag` analyze rule polices this in journal/kvstore/filestore.
     pub fn write(offset: u64, len: u32) -> Self {
         IoReq {
             kind: IoKind::Write,
             offset,
             len,
+            stream: StreamId::DataCold,
+        }
+    }
+
+    /// A write request tagged with the producer's stream.
+    pub fn write_stream(offset: u64, len: u32, stream: StreamId) -> Self {
+        IoReq {
+            kind: IoKind::Write,
+            offset,
+            len,
+            stream,
         }
     }
 
@@ -85,6 +167,7 @@ impl IoReq {
             kind: IoKind::Flush,
             offset: 0,
             len: 0,
+            stream: StreamId::DataCold,
         }
     }
 }
@@ -262,6 +345,24 @@ mod tests {
         // Torn spec targets writes only; reads pass once the delay spec is spent.
         assert_eq!(f.check(&IoReq::read(0, 512)).unwrap(), None);
         assert!(reg.hits("dev0.write") >= 1);
+    }
+
+    #[test]
+    fn stream_tags_and_defaults() {
+        assert_eq!(IoReq::write(0, 4096).stream, StreamId::DataCold);
+        assert_eq!(
+            IoReq::write_stream(0, 4096, StreamId::Journal).stream,
+            StreamId::Journal
+        );
+        // Indexes are a permutation of 0..6 and metric names are unique.
+        let mut seen = [false; 6];
+        let mut names = std::collections::HashSet::new();
+        for s in StreamId::ALL {
+            seen[s.index()] = true;
+            names.insert(s.metric_name());
+        }
+        assert!(seen.iter().all(|&b| b));
+        assert_eq!(names.len(), 6);
     }
 
     #[test]

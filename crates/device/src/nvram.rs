@@ -90,7 +90,7 @@ impl BlockDev for Nvram {
         };
         match req.kind {
             IoKind::Read => self.stats.on_read(req.len as u64, service, false),
-            IoKind::Write => self.stats.on_write(req.len as u64, service),
+            IoKind::Write => self.stats.on_write(req.len as u64, req.stream, service),
             IoKind::Flush => self.stats.on_flush(self.cfg.access),
         }
         Ok(IoPlan {

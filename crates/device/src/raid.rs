@@ -91,6 +91,7 @@ impl BlockDev for Raid0 {
                 kind: req.kind,
                 offset: off,
                 len,
+                stream: req.stream,
             })?;
             service = service.max(p.service);
             completion = Some(match completion {

@@ -13,12 +13,42 @@
 //! syscall-reduction table.
 
 use afc_common::{AfcError, CounterSet, Result};
-use afc_device::{BlockDev, IoKind, IoReq};
+use afc_device::{BlockDev, IoKind, IoReq, StreamId};
 use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Per-object heat threshold: an object rewritten this many times is
+/// classed hot and its data writes move to the [`StreamId::DataHot`]
+/// stream, keeping frequently-invalidated pages out of cold erase blocks.
+const HOT_WRITE_THRESHOLD: u64 = 4;
+
+/// Extent granule for object data placement. Objects get stable device
+/// extents in these units, so rewriting an object page hits the *same*
+/// device offset and invalidates its predecessor in the device's FTL —
+/// an append-cursor charge model would make every write look
+/// freshly-allocated and erase the hot/cold lifetime structure the
+/// multi-stream FTL exists to exploit. 64 KiB matches the RAID-0 stripe
+/// unit, so one extent lands wholly on one member SSD.
+const EXTENT: u64 = 64 * 1024;
+
+/// Map a logical byte range onto the node's extents: one `(device
+/// offset, len)` span per touched [`EXTENT`] chunk. Callers must have
+/// extended `extents` to cover the range first.
+fn extent_spans(extents: &[u64], offset: u64, len: u64) -> Vec<(u64, u32)> {
+    let mut out = Vec::new();
+    let mut pos = offset;
+    let end = offset + len;
+    while pos < end {
+        let intra = pos % EXTENT;
+        let n = (EXTENT - intra).min(end - pos);
+        out.push((extents[(pos / EXTENT) as usize] + intra, n as u32));
+        pos += n;
+    }
+    out
+}
 
 /// Cost of one kernel crossing. Real syscalls are ~0.3–1 µs; on this
 /// simulator's coarse sleep clock we fold syscall cost into counters only
@@ -31,6 +61,13 @@ struct FileNode {
     data: Vec<u8>,
     xattrs: HashMap<String, Bytes>,
     alloc_hint: bool,
+    /// Lightweight heat tracker: data writes observed on this object.
+    writes: u64,
+    /// Device base offset of each [`EXTENT`]-sized data chunk.
+    extents: Vec<u64>,
+    /// Stable inode/xattr block on the device (metadata writes overwrite
+    /// in place, like a real filesystem journals the same inode).
+    meta_block: u64,
 }
 
 /// The simulated filesystem: named files + xattrs over a device.
@@ -38,7 +75,7 @@ pub struct SimFs {
     dev: Arc<dyn BlockDev>,
     files: RwLock<HashMap<String, Arc<Mutex<FileNode>>>>,
     counters: CounterSet,
-    /// Ring cursor for placing data on the device (timing only).
+    /// Bump allocator for extents and inode blocks (wraps at capacity).
     cursor: std::sync::atomic::AtomicU64,
 }
 
@@ -90,6 +127,9 @@ impl SimFs {
                 data: Vec::new(),
                 xattrs: HashMap::new(),
                 alloc_hint: false,
+                writes: 0,
+                extents: Vec::new(),
+                meta_block: self.alloc(4096),
             }))
         });
         Ok(())
@@ -106,22 +146,34 @@ impl SimFs {
         self.files.read().contains_key(path)
     }
 
-    /// `pwrite`: store bytes and charge the device write.
+    /// `pwrite`: store bytes and charge the device write, tagged hot or
+    /// cold by the object's write count (per-object heat tracker).
     pub fn write(&self, path: &str, offset: u64, data: &[u8]) -> Result<()> {
         self.syscall("sys.write");
         if data.is_empty() {
             return Err(AfcError::InvalidArgument("zero-length write".into()));
         }
         let node = self.node(path)?;
-        {
+        let (stream, spans) = {
             let mut n = node.lock();
             let end = offset as usize + data.len();
             if n.data.len() < end {
                 n.data.resize(end, 0);
             }
             n.data[offset as usize..end].copy_from_slice(data);
+            n.writes += 1;
+            let stream = if n.writes >= HOT_WRITE_THRESHOLD {
+                StreamId::DataHot
+            } else {
+                StreamId::DataCold
+            };
+            self.ensure_extents(&mut n, offset + data.len() as u64);
+            (stream, extent_spans(&n.extents, offset, data.len() as u64))
+        };
+        for (off, len) in spans {
+            self.charge_at(IoKind::Write, off, len, stream)?;
         }
-        self.charge(IoKind::Write, data.len() as u64)
+        Ok(())
     }
 
     /// `pread`: fetch bytes and charge the device read. Reads past EOF
@@ -129,13 +181,17 @@ impl SimFs {
     pub fn read(&self, path: &str, offset: u64, len: usize) -> Result<Vec<u8>> {
         self.syscall("sys.read");
         let node = self.node(path)?;
-        let out = {
-            let n = node.lock();
+        let (out, spans) = {
+            let mut n = node.lock();
             let start = (offset as usize).min(n.data.len());
             let end = (offset as usize + len).min(n.data.len());
-            n.data[start..end].to_vec()
+            let out = n.data[start..end].to_vec();
+            self.ensure_extents(&mut n, offset + len as u64);
+            (out, extent_spans(&n.extents, offset, len as u64))
         };
-        self.charge(IoKind::Read, len as u64)?;
+        for (off, l) in spans {
+            self.charge_at(IoKind::Read, off, l, StreamId::DataCold)?;
+        }
         Ok(out)
     }
 
@@ -153,8 +209,12 @@ impl SimFs {
     pub fn setxattr(&self, path: &str, name: &str, value: Bytes) -> Result<()> {
         self.syscall("sys.setxattr");
         let node = self.node(path)?;
-        node.lock().xattrs.insert(name.to_string(), value);
-        self.charge(IoKind::Write, 4096)
+        let off = {
+            let mut n = node.lock();
+            n.xattrs.insert(name.to_string(), value);
+            n.meta_block
+        };
+        self.charge_at(IoKind::Write, off, 4096, StreamId::Meta)
     }
 
     /// `getxattr`: charges a small device read (inode/xattr block fetch) —
@@ -162,8 +222,11 @@ impl SimFs {
     pub fn getxattr(&self, path: &str, name: &str) -> Result<Option<Bytes>> {
         self.syscall("sys.getxattr");
         let node = self.node(path)?;
-        let v = node.lock().xattrs.get(name).cloned();
-        self.charge(IoKind::Read, 4096)?;
+        let (v, off) = {
+            let n = node.lock();
+            (n.xattrs.get(name).cloned(), n.meta_block)
+        };
+        self.charge_at(IoKind::Read, off, 4096, StreamId::Meta)?;
         Ok(v)
     }
 
@@ -172,8 +235,12 @@ impl SimFs {
     pub fn fallocate_hint(&self, path: &str) -> Result<()> {
         self.syscall("sys.fallocate");
         let node = self.node(path)?;
-        node.lock().alloc_hint = true;
-        self.charge(IoKind::Write, 4096)
+        let off = {
+            let mut n = node.lock();
+            n.alloc_hint = true;
+            n.meta_block
+        };
+        self.charge_at(IoKind::Write, off, 4096, StreamId::Meta)
     }
 
     /// `unlink`.
@@ -198,20 +265,30 @@ impl SimFs {
         Ok(self.node(path)?.lock().alloc_hint)
     }
 
-    fn charge(&self, kind: IoKind, len: u64) -> Result<()> {
+    /// Bump-allocate `len` bytes of device address space (extents, inode
+    /// blocks). Wraps at capacity; allocation granularity keeps alignment.
+    fn alloc(&self, len: u64) -> u64 {
         use std::sync::atomic::Ordering::Relaxed;
-        let cap = self.dev.capacity();
-        let mut remaining = len;
-        while remaining > 0 {
-            let chunk = remaining.min(1 << 20);
-            let off = self.cursor.fetch_add(chunk, Relaxed) % cap.saturating_sub(chunk).max(1);
-            self.dev.submit(IoReq {
-                kind,
-                offset: off,
-                len: chunk as u32,
-            })?;
-            remaining -= chunk;
+        let cap = self.dev.capacity().max(len);
+        self.cursor.fetch_add(len, Relaxed) % cap.saturating_sub(len).max(1)
+    }
+
+    /// Grow the node's extent list to cover logical bytes `[0, end)`.
+    fn ensure_extents(&self, n: &mut FileNode, end: u64) {
+        let need = end.div_ceil(EXTENT) as usize;
+        while n.extents.len() < need {
+            n.extents.push(self.alloc(EXTENT));
         }
+    }
+
+    /// Submit one device I/O at a stable offset.
+    fn charge_at(&self, kind: IoKind, offset: u64, len: u32, stream: StreamId) -> Result<()> {
+        self.dev.submit(IoReq {
+            kind,
+            offset,
+            len,
+            stream,
+        })?;
         Ok(())
     }
 }
@@ -285,6 +362,26 @@ mod tests {
         let s = fs.device().stats();
         assert_eq!(s.bytes_written, 8192 + 4096); // data + xattr/inode write
         assert_eq!(s.bytes_read, 4096 + 4096);
+    }
+
+    #[test]
+    fn heat_tracker_promotes_rewritten_objects() {
+        let fs = fs();
+        fs.open_create("hot").unwrap();
+        // First writes are cold; from the threshold on, writes tag hot.
+        for _ in 0..HOT_WRITE_THRESHOLD + 2 {
+            fs.write("hot", 0, &[7u8; 4096]).unwrap();
+        }
+        let s = fs.device().stats();
+        let hot = s.stream_bytes[StreamId::DataHot.index()];
+        let cold = s.stream_bytes[StreamId::DataCold.index()];
+        assert_eq!(cold, (HOT_WRITE_THRESHOLD - 1) * 4096);
+        assert_eq!(hot, 3 * 4096);
+        // Metadata writes go to the meta stream, not data streams.
+        fs.setxattr("hot", "_", Bytes::new()).unwrap();
+        let s = fs.device().stats();
+        assert_eq!(s.stream_bytes[StreamId::Meta.index()], 4096);
+        assert_eq!(s.stream_bytes.iter().sum::<u64>(), s.bytes_written);
     }
 
     #[test]

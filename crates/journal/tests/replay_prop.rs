@@ -6,8 +6,8 @@ use afc_common::faults::{FaultKind, FaultRegistry, FaultSpec};
 use afc_device::{Nvram, NvramConfig};
 use afc_journal::{Journal, JournalConfig};
 use bytes::Bytes;
-use proptest::prelude::*;
 use parking_lot::Mutex;
+use proptest::prelude::*;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -179,11 +179,8 @@ fn torn_batch_tail_poisons_only_the_tail() {
     reg.install(FaultSpec::new("jdev.flush", FaultKind::Delay(Duration::from_millis(25))).times(1));
     let acked = Arc::new(Mutex::new(Vec::new()));
     let a = Arc::clone(&acked);
-    j.submit(
-        payload_for(1, 256),
-        Box::new(move |s| a.lock().push(s)),
-    )
-    .unwrap();
+    j.submit(payload_for(1, 256), Box::new(move |s| a.lock().push(s)))
+        .unwrap();
     while j.stats().batches < 1 {
         std::thread::sleep(Duration::from_micros(100));
     }
@@ -191,11 +188,8 @@ fn torn_batch_tail_poisons_only_the_tail() {
     reg.install(FaultSpec::new("jdev.write", FaultKind::Torn).times(1));
     for s in 2..=5u64 {
         let a = Arc::clone(&acked);
-        j.submit(
-            payload_for(s, 256),
-            Box::new(move |q| a.lock().push(q)),
-        )
-        .unwrap();
+        j.submit(payload_for(s, 256), Box::new(move |q| a.lock().push(q)))
+            .unwrap();
     }
     j.quiesce();
     while acked.lock().len() < 4 {

@@ -10,7 +10,7 @@ use crate::stats::{DbStats, DbStatsCell};
 use crate::wal::Wal;
 use crate::{Key, Value};
 use afc_common::{AfcError, Result, KIB, MIB};
-use afc_device::{BlockDev, IoReq};
+use afc_device::{BlockDev, IoReq, StreamId};
 use parking_lot::{Condvar, Mutex};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -99,8 +99,11 @@ impl Inner {
             let chunk = remaining.min(MIB);
             let off =
                 self.data_cursor.fetch_add(chunk, Ordering::Relaxed) % (region - chunk).max(1);
-            self.dev
-                .submit(IoReq::write(self.data_base + off, chunk as u32))?;
+            self.dev.submit(IoReq::write_stream(
+                self.data_base + off,
+                chunk as u32,
+                StreamId::KvCompaction,
+            ))?;
             remaining -= chunk;
         }
         Ok(())

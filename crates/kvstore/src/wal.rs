@@ -13,7 +13,7 @@
 
 use crate::batch::BatchOp;
 use afc_common::Result;
-use afc_device::{BlockDev, IoReq};
+use afc_device::{BlockDev, IoReq, StreamId};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -69,7 +69,11 @@ impl Wal {
         if self.cursor + size > self.region {
             self.cursor = 0;
         }
-        self.dev.submit(IoReq::write(self.cursor, size as u32))?;
+        self.dev.submit(IoReq::write_stream(
+            self.cursor,
+            size as u32,
+            StreamId::KvWal,
+        ))?;
         self.cursor += size;
         self.appended_bytes += size;
         Ok(())

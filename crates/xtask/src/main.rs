@@ -13,8 +13,9 @@
 //!   and old scripts).
 //! - `bench-check` — re-run the deterministic smoke workload and compare
 //!   against the committed `BENCH_baseline.json`; exits non-zero when any
-//!   write-path stage, IOPS, or write amplification regresses past the
-//!   tolerance (see `afc_bench::baseline`).
+//!   write-path stage, IOPS, logical write amplification, or device-level
+//!   flash write amplification regresses past the tolerance (see
+//!   `afc_bench::baseline`).
 
 use std::path::PathBuf;
 use std::process::ExitCode;

@@ -75,9 +75,17 @@ step cargo test --quiet --package afc-core --test crash_recovery --test fault_ma
 step env RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
 # 7. Performance baseline: re-run the deterministic smoke workload and
-#    compare IOPS, write amplification and per-stage p95 latencies against
-#    the committed BENCH_baseline.json (>20% regression fails).
+#    compare IOPS, write amplification (logical and device-level flash)
+#    and per-stage p95 latencies against the committed BENCH_baseline.json
+#    (>20% regression fails).
 step cargo xtask bench-check
+
+# 8. Multi-stream separation record: run the sustained-device overwrite
+#    workload with stream separation off and on, and refresh
+#    bench_results/streams.json. The off/on ordering claim (separation
+#    strictly lowers flash WA) is gated by the seed-pinned device test in
+#    step 4; this step records the cluster-level numbers for EXPERIMENTS.md.
+step cargo run --release --quiet --package afc-bench --bin baseline -- --write-streams
 
 echo
 if [ "$failures" -ne 0 ]; then
