@@ -6,6 +6,7 @@ pub mod blocking;
 pub mod hygiene;
 pub mod lock_order;
 pub mod pg_state;
+pub mod qos_tag;
 pub mod site_names;
 pub mod stream_tag;
 pub mod zero_copy;
@@ -25,6 +26,7 @@ pub fn run_all(ws: &Workspace) -> Vec<Diag> {
         blocking::check(f, &mut out);
         zero_copy::check(f, &mut out);
         stream_tag::check(f, &mut out);
+        qos_tag::check(f, &mut out);
     }
     atomic_ordering::check(ws, &mut out);
     site_names::check(ws, &mut out);

@@ -1,0 +1,104 @@
+//! `qos-tag`: untagged op-queue submissions in the OSD (`crates/core/src/osd`).
+//!
+//! Client ops must enter the op queue through `queue_client(&qos, ..)` so
+//! the per-volume QoS scheduler sees every tagged request. The bare
+//! `queue_pg(..)` path bypasses the scheduler entirely — a client op
+//! routed through it silently escapes its volume's min/max/burst contract
+//! and is billed to nobody, which is exactly the kind of leak that shows
+//! up as "QoS works except under X" months later.
+//!
+//! Internal traffic (replication sub-ops, acks, recovery pushes, peering)
+//! is *supposed* to bypass the scheduler; each such call site carries a
+//! `// qos-ok:` comment saying why it is internal.
+
+use crate::source::SourceFile;
+use crate::{Diag, Severity};
+
+/// The OSD sources the rule polices.
+const SCOPES: &[&str] = &["crates/core/src/osd"];
+
+/// Comment marker that waives a specific line.
+const WAIVER: &str = "qos-ok:";
+
+pub fn check(f: &SourceFile, out: &mut Vec<Diag>) {
+    if !SCOPES.iter().any(|s| f.path.starts_with(s)) || f.non_prod {
+        return;
+    }
+    let t = &f.toks;
+    for i in 0..t.len() {
+        if f.is_test(i) {
+            continue;
+        }
+        // `.queue_pg(` — a call site; `fn queue_pg` (the definition) has
+        // no leading dot and stays exempt.
+        let untagged_call = i >= 1
+            && t[i].is_ident("queue_pg")
+            && t[i - 1].is_punct('.')
+            && t.get(i + 1).is_some_and(|x| x.is_punct('('));
+        if !untagged_call {
+            continue;
+        }
+        if f.line_justified(t[i].line, WAIVER) {
+            continue;
+        }
+        out.push(Diag {
+            file: f.path.clone(),
+            line: t[i].line,
+            col: t[i].col,
+            rule: "qos-tag",
+            severity: Severity::Error,
+            msg: "op queued without a QoS tag (`queue_pg(..)` bypasses the per-volume scheduler)"
+                .into(),
+            suggestion: Some(format!(
+                "route client ops through `queue_client(&op.qos, ..)` so the \
+                 volume's min/max/burst contract applies; if this is internal \
+                 traffic (replication, recovery, peering), waive with a \
+                 `// {WAIVER}` comment saying so"
+            )),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn run(path: &str, src: &str) -> Vec<Diag> {
+        let f = SourceFile::parse(path.into(), src.into());
+        let mut out = Vec::new();
+        check(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn untagged_queue_is_flagged() {
+        let src = "fn handle(&self) {\n    self.queue_pg(pg, work);\n}\n";
+        let v = run("crates/core/src/osd/mod.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "qos-tag");
+        assert_eq!(v[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn tagged_path_and_definition_pass() {
+        let src = "fn queue_pg(&self, pg: Arc<Pg>, work: PgWork) {\n    todo!()\n}\nfn handle(&self, op: &ClientOp) {\n    self.queue_client(&op.qos, pg, work);\n}\n";
+        assert!(run("crates/core/src/osd/mod.rs", src).is_empty());
+    }
+
+    #[test]
+    fn waiver_comment_silences_the_line() {
+        let src = "fn handle_repop(&self) {\n    // qos-ok: replica-side sub-op — internal traffic is never shaped.\n    self.queue_pg(pg, work);\n}\n";
+        assert!(run("crates/core/src/osd/mod.rs", src).is_empty());
+    }
+
+    #[test]
+    fn other_scopes_and_tests_are_exempt() {
+        let src = "fn f(&self) { self.queue_pg(pg, work); }\n";
+        assert!(run("crates/core/src/pg.rs", src).is_empty());
+        assert!(run("crates/journal/src/lib.rs", src).is_empty());
+        let test_src =
+            "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { osd.queue_pg(pg, work); }\n}\n";
+        assert!(run("crates/core/src/osd/mod.rs", test_src).is_empty());
+    }
+}

@@ -21,8 +21,17 @@
 //! `--write-streams` runs the sustained-device overwrite workload twice —
 //! multi-stream separation off, then on — prints both records side by
 //! side, and saves the comparison to `bench_results/streams.json`.
+//!
+//! `--write-qos` runs the multi-tenant QoS fairness experiment (solo,
+//! contended-with-QoS, contended-without) and saves
+//! `bench_results/qos.json`; it exits non-zero when the fresh run fails
+//! the isolation gate (protected p99 under contention within
+//! `AFC_QOS_P99_FACTOR`× of solo). When `bench_results/qos.json` exists,
+//! `--check` re-applies the same gate to the committed rows (no re-run),
+//! so `cargo xtask bench-check` also guards the isolation claim.
 
 use afc_bench::baseline::{self, SmokeOpts};
+use afc_bench::qos;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -59,6 +68,38 @@ fn report_degraded() {
     for note in baseline::compare(&committed, &current, baseline::tolerance()) {
         println!("baseline: (degraded, informational) {note}");
     }
+}
+
+fn default_qos_path() -> PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../bench_results/qos.json")
+}
+
+/// Gate the committed qos.json rows (no re-run). Returns regression
+/// messages; warns (but passes) when the file is absent or empty, so
+/// repositories that have not generated the figure yet still check clean.
+fn check_qos() -> Vec<String> {
+    let path = default_qos_path();
+    let Ok(json) = std::fs::read_to_string(&path) else {
+        println!(
+            "baseline: (qos) no {} — run --write-qos to generate it",
+            path.display()
+        );
+        return Vec::new();
+    };
+    let rows = qos::parse_rows(&json);
+    if rows.is_empty() {
+        println!("baseline: (qos) {} has no rows — skipping", path.display());
+        return Vec::new();
+    }
+    let msgs = qos::gate_rows(&rows);
+    if msgs.is_empty() {
+        println!(
+            "baseline: (qos) OK — protected p99 within {}× of solo (+{}ms) in committed qos.json",
+            qos::p99_factor(),
+            qos::p99_slack_ms()
+        );
+    }
+    msgs
 }
 
 fn main() -> ExitCode {
@@ -113,11 +154,12 @@ fn main() -> ExitCode {
                 );
             }
             report_degraded();
-            if regressions.is_empty() {
+            let qos_regressions = check_qos();
+            if regressions.is_empty() && qos_regressions.is_empty() {
                 println!("baseline: OK (tolerance {:.0}%)", tol * 100.0);
                 ExitCode::SUCCESS
             } else {
-                for r in &regressions {
+                for r in regressions.iter().chain(&qos_regressions) {
                     eprintln!("baseline: REGRESSION: {r}");
                 }
                 ExitCode::FAILURE
@@ -170,6 +212,33 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
+        Some("--write-qos") => {
+            let rows = qos::run_fairness();
+            afc_bench::print_rows("QoS fairness (4 KiB randwrite)", "noisy", &rows);
+            afc_bench::save_rows("qos", &rows);
+            let parsed: Vec<qos::QosRow> = rows
+                .iter()
+                .map(|r| qos::QosRow {
+                    series: r.series.clone(),
+                    value: r.value,
+                    p99_ms: r.p99_ms,
+                })
+                .collect();
+            let msgs = qos::gate_rows(&parsed);
+            if msgs.is_empty() {
+                println!(
+                    "baseline: qos gate OK — protected p99 within {}× of solo (+{}ms host-noise allowance)",
+                    qos::p99_factor(),
+                    qos::p99_slack_ms()
+                );
+                ExitCode::SUCCESS
+            } else {
+                for m in &msgs {
+                    eprintln!("baseline: QOS GATE: {m}");
+                }
+                ExitCode::FAILURE
+            }
+        }
         Some("--write-degraded") => {
             let path = args
                 .get(1)
@@ -192,7 +261,7 @@ fn main() -> ExitCode {
         }
         Some(other) => {
             eprintln!(
-                "baseline: unknown mode '{other}' (expected --write, --check, --write-degraded or --write-streams)"
+                "baseline: unknown mode '{other}' (expected --write, --check, --write-degraded, --write-streams or --write-qos)"
             );
             ExitCode::from(2)
         }

@@ -11,6 +11,7 @@
 //! `AFC_BENCH_VMS_MAX` to raise the fleet sizes.
 
 pub mod baseline;
+pub mod qos;
 
 use afc_common::{BlockTarget, LatencyHist, Table, MIB};
 use afc_core::{Cluster, DeviceProfile, OsdTuning, RbdImage};
@@ -253,7 +254,7 @@ pub(crate) fn json_num(v: f64) -> String {
     }
 }
 
-fn rows_to_json(rows: &[FigRow]) -> String {
+pub(crate) fn rows_to_json(rows: &[FigRow]) -> String {
     // Each record carries the commit and tuning profile so BENCH_*.json
     // files stay interpretable after the run that produced them.
     let commit = commit_hash();

@@ -34,6 +34,12 @@ pub struct PgId {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ClientId(pub u64);
 
+/// A logical volume for QoS accounting: the unit that owns a min/max/burst
+/// IOPS spec in the per-volume scheduler. Volume 0 is the shared
+/// best-effort volume (untagged traffic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VolumeId(pub u64);
+
 /// A monotonically increasing cluster-map version.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Epoch(pub u64);
@@ -131,6 +137,12 @@ impl fmt::Display for ClientId {
     }
 }
 
+impl fmt::Display for VolumeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vol{}", self.0)
+    }
+}
+
 impl fmt::Display for Epoch {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "e{}", self.0)
@@ -198,6 +210,7 @@ mod tests {
         );
         assert_eq!(NodeId(1).to_string(), "node1");
         assert_eq!(ClientId(7).to_string(), "client.7");
+        assert_eq!(VolumeId(5).to_string(), "vol5");
         assert_eq!(Epoch(9).to_string(), "e9");
     }
 }

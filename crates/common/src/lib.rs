@@ -41,8 +41,10 @@ pub use counters::CounterSet;
 pub use error::{AfcError, Result};
 pub use faults::{FaultKind, FaultPlan, FaultRegistry, FaultSpec};
 pub use hist::LatencyHist;
-pub use ids::{ClientId, Epoch, NodeId, ObjectId, OpId, OsdId, PgId, PoolId};
-pub use metrics::{Gauge, Histogram, MetricId, MetricValue, Metrics, MetricsSnapshot};
+pub use ids::{ClientId, Epoch, NodeId, ObjectId, OpId, OsdId, PgId, PoolId, VolumeId};
+pub use metrics::{
+    Gauge, Histogram, HistogramSet, MetricId, MetricValue, Metrics, MetricsSnapshot,
+};
 
 pub use lockdep::{
     TrackedCondvar, TrackedMutex, TrackedMutexGuard, TrackedRwLock, TrackedRwLockReadGuard,

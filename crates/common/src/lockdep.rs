@@ -53,7 +53,8 @@ pub mod classes {
     //! The declared lock hierarchy — **the** one place ranks live.
     //!
     //! Order (must strictly increase along any nested acquisition):
-    //! op queue → OSD maps → `Pg::state` → `Pg::pending` → OSD op tables
+    //! op queue → QoS scheduler → OSD maps → `Pg::state` → `Pg::pending`
+    //! → OSD op tables
     //! (rep_waits / pending_apply / apply gate / trim / channel handles /
     //! ack lanes) → per-op leaf locks → journal → filestore throttle.
     //!
@@ -69,6 +70,15 @@ pub mod classes {
     pub static OP_QUEUE: LockClass = LockClass {
         name: "osd.op_queue",
         rank: 100,
+        no_block_while_held: true,
+    };
+    /// `QosScheduler::state` — per-volume QoS queues and token buckets.
+    /// Acquired by op workers *while holding* `OP_QUEUE` (so it must rank
+    /// just above the queue) and alone by client-op enqueuers. Pure
+    /// bookkeeping: never held across journal submits or condvar waits.
+    pub static OSD_QOS: LockClass = LockClass {
+        name: "osd.qos",
+        rank: 102,
         no_block_while_held: true,
     };
     /// `Monitor::fail` — failure-report accounting (reporters, down_since).
@@ -214,6 +224,7 @@ pub mod classes {
 /// strictly ordered; DESIGN.md renders from the same order.
 pub static DECLARED_ORDER: &[&LockClass] = &[
     &classes::OP_QUEUE,
+    &classes::OSD_QOS,
     &classes::MON_FAIL,
     &classes::OSD_MAP,
     &classes::OSD_PG_MAP,

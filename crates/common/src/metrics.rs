@@ -213,6 +213,55 @@ impl Histogram {
     }
 }
 
+/// A live, dynamically growing set of named [`Histogram`]s — the histogram
+/// analogue of [`CounterSet`]. Subsystems that discover their label space
+/// at runtime (per-volume QoS latency, where volumes appear with the first
+/// tagged op) create histograms on demand with [`HistogramSet::hist`];
+/// attaching the set once via [`Metrics::attach_hist_set`] makes every
+/// present *and future* member visible in snapshots.
+///
+/// ```
+/// use afc_common::metrics::{HistogramSet, Metrics};
+/// let set = HistogramSet::new();
+/// let m = Metrics::new();
+/// m.attach_hist_set("osd0.qos", &set);
+/// set.hist("vol1.queue_wait").observe_us(250); // created after attach
+/// assert!(m.snapshot().histogram("osd0.qos.vol1.queue_wait").is_some());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct HistogramSet {
+    inner: Arc<RwLock<BTreeMap<String, Histogram>>>,
+}
+
+impl HistogramSet {
+    /// Create an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get-or-create the histogram named `name`. Callers cache the
+    /// returned handle; the set is not meant to be hit per sample.
+    pub fn hist(&self, name: &str) -> Histogram {
+        if let Some(h) = self.inner.read().get(name) {
+            return h.clone();
+        }
+        self.inner
+            .write()
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// The current members as `(name, handle)` pairs (sorted by name).
+    pub fn entries(&self) -> Vec<(String, Histogram)> {
+        self.inner
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+}
+
 /// A metric's identity: a dotted site name plus optional key/value labels.
 ///
 /// Site names follow the fault-injection convention: subsystem instances
@@ -301,6 +350,7 @@ enum Source {
 pub struct Metrics {
     sources: RwLock<BTreeMap<MetricId, Vec<Source>>>,
     sets: RwLock<Vec<(String, CounterSet)>>,
+    hist_sets: RwLock<Vec<(String, HistogramSet)>>,
 }
 
 impl Metrics {
@@ -375,6 +425,15 @@ impl Metrics {
         self.sets.write().push((prefix.to_string(), set.clone()));
     }
 
+    /// Attach a live [`HistogramSet`]: every histogram in the set —
+    /// including ones created after the attach — appears in snapshots as
+    /// `<prefix>.<name>` (or bare `<name>` when `prefix` is empty).
+    pub fn attach_hist_set(&self, prefix: &str, set: &HistogramSet) {
+        self.hist_sets
+            .write()
+            .push((prefix.to_string(), set.clone()));
+    }
+
     /// Point-in-time snapshot of every registered metric, as a stable
     /// sorted tree. Duplicate registrations are summed (counters, gauges)
     /// or merged (histograms).
@@ -436,6 +495,29 @@ impl Metrics {
                 }
             }
         }
+        for (prefix, set) in self.hist_sets.read().iter() {
+            for (name, h) in set.entries() {
+                let full = if prefix.is_empty() {
+                    name
+                } else {
+                    format!("{prefix}.{name}")
+                };
+                let (raw, sum_us) = h.load_raw();
+                let snap = HistSnapshot::from_raw(&raw, sum_us);
+                match out.entry(MetricId::new(full)) {
+                    std::collections::btree_map::Entry::Vacant(e) => {
+                        e.insert(MetricValue::Histogram(snap));
+                    }
+                    std::collections::btree_map::Entry::Occupied(mut e) => {
+                        // Merge with a same-named histogram registration;
+                        // on a kind collision the typed registration wins.
+                        if let MetricValue::Histogram(acc) = e.get_mut() {
+                            acc.merge(&snap);
+                        }
+                    }
+                }
+            }
+        }
         MetricsSnapshot { metrics: out }
     }
 }
@@ -445,6 +527,7 @@ impl std::fmt::Debug for Metrics {
         f.debug_struct("Metrics")
             .field("registered", &self.sources.read().len())
             .field("sets", &self.sets.read().len())
+            .field("hist_sets", &self.hist_sets.read().len())
             .finish()
     }
 }
@@ -955,6 +1038,38 @@ mod tests {
         let s = m.snapshot();
         assert_eq!(s.counter("net.bytes"), Some(11));
         assert_eq!(s.counter("osd1.log.dropped"), Some(3));
+    }
+
+    #[test]
+    fn attached_hist_sets_appear_with_prefix() {
+        let m = Metrics::new();
+        let set = HistogramSet::new();
+        m.attach_hist_set("osd0.qos", &set);
+        // Members created *after* the attach are still visible — the whole
+        // point of the live set.
+        set.hist("vol1.queue_wait").observe_us(100);
+        set.hist("vol1.queue_wait").observe_us(300);
+        set.hist("vol2.queue_wait").observe_us(50);
+        let s = m.snapshot();
+        let h1 = s.histogram("osd0.qos.vol1.queue_wait").expect("vol1 hist");
+        assert_eq!(h1.count, 2);
+        let h2 = s.histogram("osd0.qos.vol2.queue_wait").expect("vol2 hist");
+        assert_eq!(h2.count, 1);
+        // hist() returns the same underlying cell each call.
+        assert_eq!(set.hist("vol1.queue_wait").count(), 2);
+        assert_eq!(set.entries().len(), 2);
+    }
+
+    #[test]
+    fn hist_set_merges_with_typed_registration() {
+        let m = Metrics::new();
+        let typed = m.histogram("qos.lat");
+        typed.observe_us(10);
+        let set = HistogramSet::new();
+        set.hist("lat").observe_us(20);
+        m.attach_hist_set("qos", &set);
+        let s = m.snapshot();
+        assert_eq!(s.histogram("qos.lat").expect("merged").count, 2);
     }
 
     #[test]

@@ -7,7 +7,8 @@
 
 use crate::messages::{ClientOp, ClientReply, ObjectOp, OpOutcome, OsdMsg};
 use crate::monitor::SharedMap;
-use afc_common::{AfcError, ClientId, ObjectId, OpId, PoolId, Result};
+use crate::qos::{QosSpec, QosTag};
+use afc_common::{AfcError, ClientId, ObjectId, OpId, PoolId, Result, VolumeId};
 use afc_messenger::{Addr, Dispatcher, Messenger, Network};
 use bytes::Bytes;
 use parking_lot::Mutex;
@@ -86,6 +87,9 @@ pub struct RadosClient {
     /// when OSDs can die mid-op so the attempt fails typed and the retry
     /// re-targets the refreshed map instead of hanging.
     op_timeout_ms: AtomicU64,
+    /// QoS identity stamped on every submitted op. Defaults to
+    /// [`QosTag::best_effort`]; [`RadosClient::open_volume`] replaces it.
+    qos: Mutex<QosTag>,
 }
 
 impl RadosClient {
@@ -113,6 +117,7 @@ impl RadosClient {
             ordered_acks: false,
             max_retries: AtomicU64::new(8),
             op_timeout_ms: AtomicU64::new(0),
+            qos: Mutex::new(QosTag::best_effort()),
         }))
     }
 
@@ -138,6 +143,22 @@ impl RadosClient {
         self.max_retries.store(n as u64, Ordering::Relaxed);
     }
 
+    /// Bind this session to `volume` under `spec`: every subsequent op is
+    /// tagged with it and scheduled by the OSD-side per-volume QoS
+    /// scheduler. Carrying the spec inline means there is no registration
+    /// round-trip — the first tagged op teaches each OSD the contract,
+    /// and re-opening with a new spec updates it in place.
+    pub fn open_volume(&self, volume: VolumeId, spec: QosSpec) -> QosTag {
+        let tag = QosTag::new(volume, spec);
+        *self.qos.lock() = tag;
+        tag
+    }
+
+    /// The QoS tag currently stamped on submitted ops.
+    pub fn qos_tag(&self) -> QosTag {
+        *self.qos.lock()
+    }
+
     /// Submit an op asynchronously.
     pub fn submit(&self, object: &str, op: ObjectOp) -> Result<OpHandle> {
         let obj = ObjectId::new(self.pool, object);
@@ -156,6 +177,7 @@ impl RadosClient {
             op,
             ordered_ack: self.ordered_acks,
             epoch: map.epoch(),
+            qos: self.qos_tag(),
         });
         if let Err(e) = self.msgr.send(Addr::Osd(primary), req, wire) {
             self.shared.pending.lock().remove(&op_id);

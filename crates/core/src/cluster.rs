@@ -10,11 +10,12 @@ use crate::client::rbd::RbdImage;
 use crate::messages::OsdMsg;
 use crate::monitor::{FailureConfig, Monitor};
 use crate::osd::{Osd, OsdParams, OsdStats};
+use crate::qos::QosSpec;
 use crate::tuning::OsdTuning;
 use afc_common::metrics::{Metrics, MetricsSnapshot};
 use afc_common::{
     AfcError, ClientId, FaultPlan, FaultRegistry, NodeId, ObjectId, OsdId, PgId, PoolId, Result,
-    GIB, KIB,
+    VolumeId, GIB, KIB,
 };
 use afc_crush::osdmap::PoolSpec;
 use afc_crush::CrushMap;
@@ -345,6 +346,7 @@ impl ClusterBuilder {
             faults,
             metrics,
             next_client: AtomicU64::new(1),
+            next_volume: AtomicU64::new(1),
             stopped: AtomicBool::new(false),
         })
     }
@@ -360,6 +362,7 @@ pub struct Cluster {
     faults: Option<Arc<FaultRegistry>>,
     metrics: Arc<Metrics>,
     next_client: AtomicU64,
+    next_volume: AtomicU64,
     stopped: AtomicBool,
 }
 
@@ -379,6 +382,19 @@ impl Cluster {
     pub fn create_image(&self, name: &str, size: u64) -> Result<RbdImage> {
         let client = self.client()?;
         RbdImage::new(client, name, size)
+    }
+
+    /// Connect a client session bound to a fresh QoS volume under `spec`
+    /// (SolidFire-style min/max/burst IOPS). Every op the session issues
+    /// carries the volume tag; OSDs schedule it in the per-volume QoS
+    /// scheduler when [`OsdTuning::qos_enabled`] is set. Volume ids are
+    /// cluster-allocated starting at 1 (volume 0 is the shared
+    /// best-effort volume untagged clients bill to).
+    pub fn open_volume(&self, spec: QosSpec) -> Result<Arc<RadosClient>> {
+        let client = self.client()?;
+        let vid = VolumeId(self.next_volume.fetch_add(1, Ordering::Relaxed));
+        client.open_volume(vid, spec);
+        Ok(client)
     }
 
     /// The monitor.

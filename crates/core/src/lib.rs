@@ -35,6 +35,7 @@ pub mod cluster;
 pub mod messages;
 pub mod monitor;
 pub mod osd;
+pub mod qos;
 pub mod tuning;
 
 pub use client::rados::RadosClient;
@@ -43,4 +44,5 @@ pub use cluster::{Cluster, ClusterBuilder, DeviceProfile, ScrubReport};
 pub use messages::{ObjectOp, OpOutcome, OsdMsg};
 pub use monitor::{FailureConfig, Monitor};
 pub use osd::{Osd, OsdStats, StageSample};
+pub use qos::{QosSpec, QosTag};
 pub use tuning::{Allocator, LoggingMode, OsdTuning, ThrottleProfile};

@@ -1,5 +1,6 @@
 //! Wire messages between clients, primaries and replicas.
 
+use crate::qos::QosTag;
 use afc_common::{AfcError, ClientId, Epoch, ObjectId, OpId, OsdId, PgId};
 use bytes::Bytes;
 
@@ -71,6 +72,10 @@ pub struct ClientOp {
     /// has moved on rejects with `WrongEpoch`/`NotPrimary` so the client
     /// refreshes its snapshot instead of hammering a stale target.
     pub epoch: Epoch,
+    /// QoS identity: which volume this op bills to and that volume's
+    /// min/max/burst contract. Untagged clients send
+    /// [`QosTag::best_effort`] (volume 0, no floor, no ceiling).
+    pub qos: QosTag,
 }
 
 /// Primary's reply to the client (`MOSDOpReply`).
@@ -262,6 +267,7 @@ mod tests {
             op: ObjectOp::Stat,
             ordered_ack: false,
             epoch: Epoch(1),
+            qos: QosTag::best_effort(),
         };
         assert_eq!(op.op_id, OpId(9));
         assert!(!op.op.is_write());

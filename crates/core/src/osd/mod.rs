@@ -29,6 +29,7 @@ use crate::messages::{
     RepOp, RepOpReply,
 };
 use crate::monitor::{Monitor, SharedMap};
+use crate::qos::{Deq, QosScheduler, QosTag};
 use crate::tuning::OsdTuning;
 use ack::{pg_shard, OrderedAcker, COMPLETION_SHARDS};
 use afc_common::lockdep::{classes, TrackedCondvar, TrackedMutex, TrackedRwLock};
@@ -226,6 +227,16 @@ struct OpQueue {
     cv: TrackedCondvar,
 }
 
+/// A tagged client op parked in the QoS scheduler: the PG it targets plus
+/// the pipeline closure to run once the scheduler releases it. Dropping an
+/// undispatched `ClientWork` (shutdown drain) drops the closure and with
+/// it every captured resource — throttle permits, trace cells — so nothing
+/// leaks when queued work is abandoned.
+struct ClientWork {
+    pg: Arc<Pg>,
+    work: pg::PgWork,
+}
+
 /// Read gate: a read must not observe the filestore before every write to
 /// its object that was *ordered before it* (journal-acked but not yet
 /// applied) has landed — Ceph's per-object sequencer behaviour that keeps
@@ -326,6 +337,12 @@ struct OsdInner {
     monitor: Option<Arc<Monitor>>,
     pgs: TrackedRwLock<HashMap<PgId, Arc<Pg>>>,
     opq: OpQueue,
+    /// Per-volume QoS scheduler for *client* ops (reservation-first +
+    /// token-bucket limits; see `crate::qos`). Internal traffic —
+    /// replication, acks, recovery, peering — bypasses it via the plain
+    /// `opq`, which workers always drain first. Consulted only when
+    /// `tuning.qos_enabled`.
+    qos: QosScheduler<ClientWork>,
     client_throttle: Arc<Throttle>,
     /// Outstanding `Replicate` sub-ops, sharded by the rep id's embedded
     /// PG shard so acks for different PG shards never contend on one lock.
@@ -424,6 +441,7 @@ impl Osd {
                 q: TrackedMutex::new(&classes::OP_QUEUE, VecDeque::new()),
                 cv: TrackedCondvar::new(),
             },
+            qos: QosScheduler::new(),
             client_throttle: Arc::new(Throttle::new(
                 "osd_client_message_cap",
                 tuning.client_message_cap(),
@@ -567,6 +585,7 @@ impl Osd {
             inner.opq.cv.notify_all();
             *inner.completion_tx.lock() = None;
             *inner.reader_tx.lock() = None;
+            drop(inner.qos.clear());
             for h in workers {
                 let _ = h.join();
             }
@@ -642,6 +661,9 @@ impl Osd {
         m.register_counter(format!("{rec}.requeues"), &inner.recovery_requeues);
         m.register_gauge(format!("{rec}.pgs_degraded"), &inner.pgs_degraded);
         m.register_gauge(format!("{rec}.pgs_recovering"), &inner.pgs_recovering);
+        let qos = format!("osd{}.qos", inner.id.0);
+        m.attach_set(&qos, inner.qos.counters());
+        m.attach_hist_set(&qos, inner.qos.hists());
         inner
             .client_throttle
             .register_into(m, &format!("{op}.client_throttle"));
@@ -784,6 +806,9 @@ impl Osd {
         self.inner.opq.cv.notify_all();
         *self.inner.completion_tx.lock() = None;
         *self.inner.reader_tx.lock() = None;
+        // Abandon undispatched QoS-queued client ops: dropping the work
+        // closures releases their captured throttle permits.
+        drop(self.inner.qos.clear());
         self.inner.client_throttle.close();
         // Fail writes still waiting on replica acks (e.g. acks lost to
         // injected faults) so nothing blocks on them across shutdown, and
@@ -845,20 +870,54 @@ impl Dispatcher<OsdMsg> for OsdDispatcher {
 
 fn op_worker_loop(inner: Arc<OsdInner>) {
     let blocking = !inner.tuning.pending_queue;
+    let qos_on = inner.tuning.qos_enabled;
+    enum Next {
+        Pg(Arc<Pg>),
+        Client(ClientWork),
+    }
     loop {
-        let pg = {
+        let next = {
             let mut q = inner.opq.q.lock();
             loop {
+                // Internal traffic (replication, acks, recovery, peering)
+                // always dispatches first and is never rate-limited:
+                // shaping it would stall the very pipelines client QoS
+                // depends on.
                 if let Some(pg) = q.pop_front() {
-                    break pg;
+                    break Next::Pg(pg);
                 }
                 if inner.shutdown.load(Ordering::Relaxed) {
                     return;
                 }
+                if qos_on {
+                    // Lock order: OP_QUEUE (held) → OSD_QOS inside
+                    // dequeue — ranks 100 → 102.
+                    match inner.qos.dequeue(Instant::now()) {
+                        Deq::Ready(cw) => break Next::Client(cw),
+                        Deq::Wait(deadline) => {
+                            // Every backlogged volume is at its IOPS
+                            // limit: sleep until the earliest token (or
+                            // an enqueue/shutdown notify) instead of
+                            // spinning.
+                            let _ = inner.opq.cv.wait_until(&mut q, deadline);
+                            continue;
+                        }
+                        Deq::Empty => {}
+                    }
+                }
                 inner.opq.cv.wait(&mut q);
             }
         };
-        pg.drain(blocking);
+        match next {
+            Next::Pg(pg) => pg.drain(blocking),
+            Next::Client(cw) => {
+                // Admission into the PG pipeline happens at *dispatch*
+                // time, so PG FIFO order reflects the scheduler's
+                // decisions rather than raw arrival order.
+                cw.pg.queue(cw.work);
+                cw.pg.drain(blocking);
+            }
+        }
     }
 }
 
@@ -967,11 +1026,33 @@ impl OsdInner {
         Arc::clone(w.entry(id).or_insert_with(|| Pg::new(id)))
     }
 
+    /// Enqueue *internal* work (replication, acks, recovery) on the plain
+    /// op queue. Client ops must go through [`Self::queue_client`] so the
+    /// QoS scheduler sees them — the analyze `qos-tag` rule enforces this.
     fn queue_pg(&self, pg: Arc<Pg>, work: pg::PgWork) {
         pg.queue(work);
         let mut q = self.opq.q.lock();
         q.push_back(pg);
         drop(q);
+        self.opq.cv.notify_one();
+    }
+
+    /// Route a tagged client op to the op workers: through the per-volume
+    /// QoS scheduler when enabled, else straight onto the plain queue.
+    fn queue_client(&self, qos: &QosTag, pg: Arc<Pg>, work: pg::PgWork) {
+        if !self.tuning.qos_enabled {
+            // qos-ok: QoS disabled by tuning — legacy arrival-order path.
+            self.queue_pg(pg, work);
+            return;
+        }
+        self.qos
+            .enqueue(qos, ClientWork { pg, work }, Instant::now());
+        // Serialize against a worker's empty-check: workers inspect the
+        // scheduler while holding `opq.q` and release it only inside
+        // `cv.wait`, so acquiring the queue lock here (even empty-handed)
+        // guarantees our notify lands after their wait began — no lost
+        // wakeup.
+        drop(self.opq.q.lock());
         self.opq.cv.notify_one();
     }
 
@@ -1019,6 +1100,7 @@ impl OsdInner {
             .collect();
         let pg = self.pg(op.pg);
         let inner = Arc::clone(self);
+        let qos = op.qos;
         match op.op {
             ObjectOp::Write { offset, data } => {
                 let trace = self
@@ -1055,7 +1137,8 @@ impl OsdInner {
                 if let Some(t) = &wop.trace {
                     t.lock().queued = Some(Instant::now());
                 }
-                self.queue_pg(
+                self.queue_client(
+                    &qos,
                     pg,
                     Box::new(move |st| {
                         if let Some(t) = &wop.trace {
@@ -1107,7 +1190,8 @@ impl OsdInner {
                 if let Some(t) = &wop.trace {
                     t.lock().queued = Some(Instant::now());
                 }
-                self.queue_pg(
+                self.queue_client(
+                    &qos,
                     pg,
                     Box::new(move |st| {
                         if !inner.pg_ready(st, &acting) {
@@ -1125,7 +1209,8 @@ impl OsdInner {
                 let object = op.object;
                 let (client, op_id) = (op.client, op.op_id);
                 let pgid = op.pg;
-                self.queue_pg(
+                self.queue_client(
+                    &qos,
                     pg,
                     Box::new(move |st| {
                         if !inner.pg_ready(st, &acting) {
@@ -1141,7 +1226,8 @@ impl OsdInner {
                 let object = op.object;
                 let op_id = op.op_id;
                 let pgid = op.pg;
-                self.queue_pg(
+                self.queue_client(
+                    &qos,
                     pg,
                     Box::new(move |st| {
                         if !inner.pg_ready(st, &acting) {
@@ -1682,6 +1768,7 @@ impl OsdInner {
             );
             return;
         }
+        // qos-ok: replica-side sub-op — internal traffic is never shaped.
         self.queue_pg(
             pg,
             Box::new(move |st| {
@@ -1808,6 +1895,7 @@ impl OsdInner {
             // and the PG lock.
             let inner = Arc::clone(self);
             let pg = Arc::clone(&op.pg);
+            // qos-ok: replica ack on the community path — internal traffic.
             self.queue_pg(
                 pg,
                 Box::new(move |_st| {
@@ -2339,6 +2427,7 @@ impl OsdInner {
         let pg = self.pg(push.pg);
         let inner = Arc::clone(self);
         let pgc = Arc::clone(&pg);
+        // qos-ok: recovery push install — internal traffic is never shaped.
         self.queue_pg(
             pg,
             Box::new(move |st| {

@@ -143,6 +143,10 @@ pub struct OsdTuning {
     /// with cold data and GC copies less. Off = community mixed-stream
     /// placement.
     pub streams_enabled: bool,
+    /// Per-volume QoS: dmClock-style reservation/limit scheduling of
+    /// client ops at the OSD op queue (see `crate::qos`). Off = client
+    /// ops dispatch in pure arrival order, tags ignored.
+    pub qos_enabled: bool,
 }
 
 impl OsdTuning {
@@ -169,6 +173,7 @@ impl OsdTuning {
             journal_batch_max_bytes: 8 * 1024 * 1024,
             journal_batch_max_wait_us: 0,
             streams_enabled: false,
+            qos_enabled: false,
         }
     }
 
@@ -195,6 +200,7 @@ impl OsdTuning {
             journal_batch_max_bytes: 8 * 1024 * 1024,
             journal_batch_max_wait_us: 50,
             streams_enabled: true,
+            qos_enabled: true,
         }
     }
 
@@ -312,6 +318,9 @@ mod tests {
         // (and does not affect the optimization label — it's a device
         // placement policy, not one of the Figure 9 steps).
         assert!(!c.streams_enabled && a.streams_enabled);
+        // Per-volume QoS likewise: on in afceph, off in community, and
+        // not part of the Figure 9 label.
+        assert!(!c.qos_enabled && a.qos_enabled);
     }
 
     #[test]

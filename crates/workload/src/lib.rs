@@ -11,9 +11,11 @@
 
 pub mod report;
 pub mod spec;
+pub mod tenants;
 
 pub use report::Report;
 pub use spec::{JobSpec, Rw};
+pub use tenants::{run_tenants, Tenant};
 
 use afc_common::rng::{child_seed, seeded};
 use afc_common::{BlockTarget, IopsSampler, LatencyHist};

@@ -15,7 +15,8 @@
 //!   against the committed `BENCH_baseline.json`; exits non-zero when any
 //!   write-path stage, IOPS, logical write amplification, or device-level
 //!   flash write amplification regresses past the tolerance (see
-//!   `afc_bench::baseline`).
+//!   `afc_bench::baseline`). Also applies the QoS fairness gate to the
+//!   committed `bench_results/qos.json` (see `afc_bench::qos::gate_rows`).
 
 use std::path::PathBuf;
 use std::process::ExitCode;

@@ -87,6 +87,14 @@ step cargo xtask bench-check
 #    step 4; this step records the cluster-level numbers for EXPERIMENTS.md.
 step cargo run --release --quiet --package afc-bench --bin baseline -- --write-streams
 
+# 9. Multi-tenant QoS fairness: run the reserved-tenant-vs-noisy-neighbors
+#    experiment (QoS on and off), refresh bench_results/qos.json, and fail
+#    if the protected tenant's contended p99 blows past the gate
+#    (solo p99 × AFC_QOS_P99_FACTOR + AFC_QOS_P99_SLACK_MS, QoS-on must
+#    beat QoS-off, nobody starves). bench-check (step 7) applies the same
+#    gate to the *committed* qos.json; this step gates a fresh run.
+step cargo run --release --quiet --package afc-bench --bin baseline -- --write-qos
+
 echo
 if [ "$failures" -ne 0 ]; then
     echo "check.sh: $failures step(s) failed"
