@@ -871,12 +871,8 @@ impl Dispatcher<OsdMsg> for OsdDispatcher {
 fn op_worker_loop(inner: Arc<OsdInner>) {
     let blocking = !inner.tuning.pending_queue;
     let qos_on = inner.tuning.qos_enabled;
-    enum Next {
-        Pg(Arc<Pg>),
-        Client(ClientWork),
-    }
     loop {
-        let next = {
+        let pg = {
             let mut q = inner.opq.q.lock();
             loop {
                 // Internal traffic (replication, acks, recovery, peering)
@@ -884,7 +880,7 @@ fn op_worker_loop(inner: Arc<OsdInner>) {
                 // shaping it would stall the very pipelines client QoS
                 // depends on.
                 if let Some(pg) = q.pop_front() {
-                    break Next::Pg(pg);
+                    break pg;
                 }
                 if inner.shutdown.load(Ordering::Relaxed) {
                     return;
@@ -893,7 +889,21 @@ fn op_worker_loop(inner: Arc<OsdInner>) {
                     // Lock order: OP_QUEUE (held) → OSD_QOS inside
                     // dequeue — ranks 100 → 102.
                     match inner.qos.dequeue(Instant::now()) {
-                        Deq::Ready(cw) => break Next::Client(cw),
+                        Deq::Ready(cw) => {
+                            // Admit into the PG pending FIFO *before*
+                            // releasing the op-queue lock (OP_QUEUE 100 →
+                            // PG_PENDING 300). Every QoS dequeue happens
+                            // under `opq.q`, so admitting under the same
+                            // lock makes scheduler pop order and PG FIFO
+                            // order one atomic step — admission after the
+                            // unlock would let two workers race
+                            // `Pg::queue` and invert same-volume op
+                            // order, which the read gate and ordered-ack
+                            // machinery assume cannot happen.
+                            let ClientWork { pg, work } = cw;
+                            pg.queue(work);
+                            break pg;
+                        }
                         Deq::Wait(deadline) => {
                             // Every backlogged volume is at its IOPS
                             // limit: sleep until the earliest token (or
@@ -908,16 +918,7 @@ fn op_worker_loop(inner: Arc<OsdInner>) {
                 inner.opq.cv.wait(&mut q);
             }
         };
-        match next {
-            Next::Pg(pg) => pg.drain(blocking),
-            Next::Client(cw) => {
-                // Admission into the PG pipeline happens at *dispatch*
-                // time, so PG FIFO order reflects the scheduler's
-                // decisions rather than raw arrival order.
-                cw.pg.queue(cw.work);
-                cw.pg.drain(blocking);
-            }
-        }
+        pg.drain(blocking);
     }
 }
 

@@ -44,7 +44,7 @@ use std::time::{Duration, Instant};
 /// candidates are waiting, before one weight pick is forced. Bounds
 /// best-effort starvation at ~1/(K+1) of capacity under reservation
 /// oversubscription.
-const RESERVATION_STREAK_MAX: u32 = 8;
+pub const RESERVATION_STREAK_MAX: u32 = 8;
 
 /// A volume's QoS contract: guaranteed floor, hard ceiling, burst credit.
 ///
@@ -229,6 +229,10 @@ struct VolState<T> {
     /// Ceiling, present when `max_iops > 0`. Rate `max_iops`, cap `burst`
     /// (or 250 ms of ceiling when no burst is configured).
     limit: Option<TokenBucket>,
+    /// Whether the current queue head has already been billed to the
+    /// `limited` counters — dequeue polls repeat (one per woken worker),
+    /// but each *op* counts as rate-limited at most once.
+    limited_counted: bool,
     c_res: Counter,
     c_weight: Counter,
     c_limited: Counter,
@@ -244,6 +248,7 @@ impl<T> VolState<T> {
             queue: VecDeque::new(),
             reservation,
             limit,
+            limited_counted: false,
             c_res: cs.counter(&format!("{vol}.served_reservation")),
             c_weight: cs.counter(&format!("{vol}.served_weight")),
             c_limited: cs.counter(&format!("{vol}.limited")),
@@ -266,14 +271,28 @@ impl<T> VolState<T> {
     }
 
     /// Adopt a changed spec (volume re-opened with new QoS): rebuild the
-    /// buckets, keep the queue.
+    /// buckets, keep the queue. Balances carry over — a fresh bucket
+    /// starts full, so without the carry-over a client could mint a new
+    /// burst of credit (and reset consumed reservation credit) just by
+    /// re-opening the volume with an alternating spec.
     fn set_spec(&mut self, spec: QosSpec, now: Instant) {
-        if self.spec != spec {
-            self.spec = spec;
-            let (r, l) = Self::buckets(&spec, now);
-            self.reservation = r;
-            self.limit = l;
+        if self.spec == spec {
+            return;
         }
+        self.spec = spec;
+        let (mut r, mut l) = Self::buckets(&spec, now);
+        if let (Some(old), Some(new)) = (self.limit.as_mut(), l.as_mut()) {
+            old.refill(now);
+            new.tokens = old.tokens.min(new.cap);
+        }
+        if let (Some(old), Some(new)) = (self.reservation.as_ref(), r.as_mut()) {
+            // The further-ahead tag means less outstanding credit; keep it.
+            if old.tag > new.tag {
+                new.tag = old.tag;
+            }
+        }
+        self.reservation = r;
+        self.limit = l;
     }
 
     /// True when the limit bucket (if any) permits a dispatch now.
@@ -459,11 +478,14 @@ impl<T> QosScheduler<T> {
                     b.take();
                 }
                 let (item, enq) = vs.queue.pop_front().expect("picked volume backlogged");
+                vs.limited_counted = false;
                 vs.h_wait.observe(now.duration_since(enq));
                 vs.c_res.inc();
                 self.c_res.inc();
                 st.queued -= 1;
-                st.streak += 1;
+                // Saturate: with no weight candidate waiting the cap check
+                // is skipped, so the streak can grow without bound.
+                st.streak = st.streak.saturating_add(1);
                 return Deq::Ready(item);
             }
             // Streak cap hit: force one weight pick, and aim it at the
@@ -488,6 +510,7 @@ impl<T> QosScheduler<T> {
                 b.take();
             }
             let (item, enq) = vs.queue.pop_front().expect("picked volume backlogged");
+            vs.limited_counted = false;
             vs.h_wait.observe(now.duration_since(enq));
             vs.c_weight.inc();
             self.c_weight.inc();
@@ -504,8 +527,12 @@ impl<T> QosScheduler<T> {
             if vs.queue.is_empty() {
                 continue;
             }
-            vs.c_limited.inc();
-            self.c_limited.inc();
+            // Bill the deferred head once, not once per worker poll.
+            if !vs.limited_counted {
+                vs.limited_counted = true;
+                vs.c_limited.inc();
+                self.c_limited.inc();
+            }
             if let Some(b) = &vs.limit {
                 let at = b.next_available(now);
                 deadline = Some(deadline.map_or(at, |d| d.min(at)));
@@ -701,12 +728,76 @@ mod tests {
         let v = VolumeId(1);
         s.enqueue(&QosTag::new(v, QosSpec::new(0, 100, 1)), 0u32, now);
         drain_at(&s, now, 1);
-        // Re-open with a higher burst: the new spec applies immediately.
+        // Re-open with a higher burst: the new cap applies, but the spent
+        // token balance carries over — re-opening mints no fresh credit.
         let tag = QosTag::new(v, QosSpec::new(0, 100, 50));
         for i in 0..30u32 {
             s.enqueue(&tag, i, now);
         }
-        assert_eq!(drain_at(&s, now, 40).len(), 30);
+        assert!(matches!(s.dequeue(now), Deq::Wait(_)));
+        // A second later the 100 IOPS rate has accrued past 30 tokens
+        // (clamped to the new 50 cap), so the whole backlog drains.
+        let later = now + Duration::from_secs(1);
+        assert_eq!(drain_at(&s, later, 40).len(), 30);
+    }
+
+    #[test]
+    fn reopen_with_alternating_spec_mints_no_burst() {
+        let s = QosScheduler::new();
+        let now = t0();
+        let v = VolumeId(1);
+        let a = QosTag::new(v, QosSpec::new(0, 100, 5));
+        let b = QosTag::new(v, QosSpec::new(0, 100, 6));
+        for i in 0..40u32 {
+            s.enqueue(if i % 2 == 0 { &a } else { &b }, i, now);
+        }
+        // The first open's burst (5) is all the credit there is; flapping
+        // the spec on every enqueue refills nothing.
+        assert_eq!(drain_at(&s, now, 40).len(), 5);
+        assert!(matches!(s.dequeue(now), Deq::Wait(_)));
+    }
+
+    #[test]
+    fn reopen_does_not_reset_reservation_credit() {
+        let s = QosScheduler::new();
+        let now = t0();
+        let v = VolumeId(1);
+        let t1 = QosTag::new(v, QosSpec::new(1000, 0, 0));
+        for i in 0..400u32 {
+            s.enqueue(&t1, i, now);
+        }
+        // Consumes the whole 250 ms catch-up window of reservation
+        // credit; the tail dispatches via the weight phase.
+        drain_at(&s, now, 400);
+        let before = s.counters().get("vol1.served_reservation");
+        assert!(before > 0);
+        // Re-opening with a different floor must not re-arm the window.
+        s.enqueue(&QosTag::new(v, QosSpec::new(2000, 0, 0)), 999u32, now);
+        drain_at(&s, now, 1);
+        assert_eq!(s.counters().get("vol1.served_reservation"), before);
+    }
+
+    #[test]
+    fn limited_counts_deferred_ops_not_polls() {
+        let s = QosScheduler::new();
+        let now = t0();
+        let tag = QosTag::new(VolumeId(1), QosSpec::new(0, 1000, 1));
+        for i in 0..3u32 {
+            s.enqueue(&tag, i, now);
+        }
+        assert_eq!(drain_at(&s, now, 1).len(), 1);
+        // Several workers re-polling the same blocked head bill it once.
+        for _ in 0..5 {
+            assert!(matches!(s.dequeue(now), Deq::Wait(_)));
+        }
+        assert_eq!(s.counters().get("vol1.limited"), 1);
+        assert_eq!(s.counters().get("limited"), 1);
+        // Once the head dispatches, the next deferred head counts anew.
+        let later = now + Duration::from_millis(2);
+        assert_eq!(drain_at(&s, later, 1).len(), 1);
+        assert!(matches!(s.dequeue(later), Deq::Wait(_)));
+        assert!(matches!(s.dequeue(later), Deq::Wait(_)));
+        assert_eq!(s.counters().get("vol1.limited"), 2);
     }
 
     #[test]
